@@ -1,0 +1,32 @@
+//! State-of-the-art baselines the UpKit paper compares against.
+//!
+//! Each baseline reproduces the *security-relevant behaviour* of its
+//! namesake, running over the same flash and manifest substrates as UpKit
+//! so the comparison experiments are apples to apples:
+//!
+//! * [`mcumgr`] — push distribution with **no** agent-side verification
+//!   and **no** freshness (Fig. 7c comparison).
+//! * [`lwm2m`] — pull distribution, verification deferred to the
+//!   bootloader, freshness only from (terminable) transport security
+//!   (Fig. 7b comparison).
+//! * [`mcuboot`] — boot-time single-signature verification with swap
+//!   loading; accepts replays/downgrades by default (Fig. 7a comparison).
+//! * [`sparrow`] — CRC-only integrity, the Sparrow/Deluge class of
+//!   systems; demonstrates why checksums are not security.
+//!
+//! The flash/RAM *footprints* of these systems for Fig. 7 are modeled in
+//! `upkit-footprint` (they come from the paper's measurements); this crate
+//! models their *behaviour*.
+
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod lwm2m;
+pub mod mcuboot;
+pub mod mcumgr;
+pub mod sparrow;
+
+pub use lwm2m::{Lwm2mAgent, Lwm2mError};
+pub use mcuboot::{McubootBootloader, McubootConfig, McubootError, McubootOutcome};
+pub use mcumgr::{McumgrAgent, McumgrError};
+pub use sparrow::{SparrowAgent, SparrowError};

@@ -1,0 +1,279 @@
+//! LwM2M-like pull update agent.
+//!
+//! LwM2M's firmware-update object is the state-of-the-art pull mechanism
+//! the paper compares against (Fig. 7b). Its security characteristics,
+//! reproduced here:
+//!
+//! * **No verification in the agent** — the downloaded image is written to
+//!   flash and handed to the bootloader; integrity and authenticity are
+//!   the bootloader's problem.
+//! * **Freshness only from transport security** — update freshness relies
+//!   on an end-to-end DTLS session between device and server. When a
+//!   gateway or proxy terminates that session (the common smartphone /
+//!   border-router deployment), replay protection evaporates. The
+//!   [`Lwm2mAgent::secure_channel_end_to_end`] flag models exactly this.
+
+use upkit_core::image::write_manifest;
+use upkit_flash::{LayoutError, MemoryLayout, SlotId};
+use upkit_manifest::{ManifestError, SignedManifest, SIGNED_MANIFEST_LEN};
+
+/// Errors from the LwM2M-like agent.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Lwm2mError {
+    /// Flash failure.
+    Layout(LayoutError),
+    /// Image framing unparseable.
+    Framing(ManifestError),
+    /// Download exceeded the declared length.
+    TooMuchData,
+    /// Operation in the wrong state.
+    WrongState,
+    /// The session was replayed/hijacked and end-to-end security is on:
+    /// the DTLS layer (simulated) detects non-fresh traffic.
+    TransportReplayDetected,
+}
+
+impl core::fmt::Display for Lwm2mError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Layout(e) => write!(f, "flash error: {e}"),
+            Self::Framing(e) => write!(f, "framing error: {e}"),
+            Self::TooMuchData => f.write_str("download exceeded declared length"),
+            Self::WrongState => f.write_str("operation invalid in current state"),
+            Self::TransportReplayDetected => {
+                f.write_str("DTLS session rejected replayed traffic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Lwm2mError {}
+
+impl From<LayoutError> for Lwm2mError {
+    fn from(e: LayoutError) -> Self {
+        Self::Layout(e)
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum DownloadState {
+    Idle,
+    Header,
+    Body,
+    Done,
+}
+
+/// The LwM2M-like pull agent.
+#[derive(Debug)]
+pub struct Lwm2mAgent {
+    target: SlotId,
+    state: DownloadState,
+    header_buf: Vec<u8>,
+    manifest: Option<SignedManifest>,
+    body_received: u64,
+    write_pos: u32,
+    /// Whether the DTLS session reaches the update server end to end
+    /// (true only when no gateway/proxy terminates it).
+    pub secure_channel_end_to_end: bool,
+}
+
+impl Lwm2mAgent {
+    /// Creates an idle agent targeting `slot`.
+    #[must_use]
+    pub fn new(target: SlotId, secure_channel_end_to_end: bool) -> Self {
+        Self {
+            target,
+            state: DownloadState::Idle,
+            header_buf: Vec::with_capacity(SIGNED_MANIFEST_LEN),
+            manifest: None,
+            body_received: 0,
+            write_pos: 0,
+            secure_channel_end_to_end,
+        }
+    }
+
+    /// Starts a firmware download (LwM2M `/5/0/1` write).
+    pub fn begin(&mut self, layout: &mut MemoryLayout) -> Result<(), Lwm2mError> {
+        layout.erase_slot(self.target)?;
+        self.state = DownloadState::Header;
+        self.header_buf.clear();
+        self.manifest = None;
+        self.body_received = 0;
+        self.write_pos = upkit_core::image::FIRMWARE_OFFSET;
+        Ok(())
+    }
+
+    /// Accepts downloaded blocks. `fresh_session` tells the simulated DTLS
+    /// layer whether these bytes come from a live server session (`true`)
+    /// or are replayed by an intermediary (`false`). With an end-to-end
+    /// channel, replays are caught; without one they are indistinguishable.
+    pub fn push_data(
+        &mut self,
+        layout: &mut MemoryLayout,
+        mut chunk: &[u8],
+        fresh_session: bool,
+    ) -> Result<bool, Lwm2mError> {
+        if self.secure_channel_end_to_end && !fresh_session {
+            return Err(Lwm2mError::TransportReplayDetected);
+        }
+        while !chunk.is_empty() {
+            match self.state {
+                DownloadState::Header => {
+                    let need = SIGNED_MANIFEST_LEN - self.header_buf.len();
+                    let take = need.min(chunk.len());
+                    self.header_buf.extend_from_slice(&chunk[..take]);
+                    chunk = &chunk[take..];
+                    if self.header_buf.len() == SIGNED_MANIFEST_LEN {
+                        let manifest = SignedManifest::from_bytes(&self.header_buf)
+                            .map_err(Lwm2mError::Framing)?;
+                        write_manifest(layout, self.target, &manifest)?;
+                        self.manifest = Some(manifest);
+                        self.state = DownloadState::Body;
+                    }
+                }
+                DownloadState::Body => {
+                    let expected = u64::from(
+                        self.manifest
+                            .as_ref()
+                            .expect("header parsed")
+                            .manifest
+                            .payload_size,
+                    );
+                    let remaining = expected - self.body_received;
+                    if remaining == 0 {
+                        return Err(Lwm2mError::TooMuchData);
+                    }
+                    let take = (remaining as usize).min(chunk.len());
+                    layout.write_slot(self.target, self.write_pos, &chunk[..take])?;
+                    self.write_pos += take as u32;
+                    self.body_received += take as u64;
+                    chunk = &chunk[take..];
+                    if self.body_received == expected {
+                        if !chunk.is_empty() {
+                            return Err(Lwm2mError::TooMuchData);
+                        }
+                        self.state = DownloadState::Done;
+                        return Ok(true);
+                    }
+                }
+                DownloadState::Idle | DownloadState::Done => return Err(Lwm2mError::WrongState),
+            }
+        }
+        Ok(self.state == DownloadState::Done)
+    }
+
+    /// Whether the download finished (the device then reboots; all
+    /// verification happens in the bootloader).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == DownloadState::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use upkit_core::generation::{UpdateServer, VendorServer};
+    use upkit_crypto::ecdsa::SigningKey;
+    use upkit_flash::{configuration_b, standard, FlashGeometry, SimFlash};
+    use upkit_manifest::{DeviceToken, Version};
+
+    fn layout() -> MemoryLayout {
+        configuration_b(
+            Box::new(SimFlash::new(FlashGeometry {
+                size: 4096 * 64,
+                sector_size: 4096,
+                read_micros_per_byte: 0,
+                write_micros_per_byte: 0,
+                erase_micros_per_sector: 0,
+            })),
+            None,
+            4096 * 8,
+        )
+        .unwrap()
+    }
+
+    fn wire(seed: u64, fw: Vec<u8>) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+        let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+        server.publish(vendor.release(fw, Version(2), 0, 0xA));
+        server
+            .prepare_update(&DeviceToken {
+                device_id: 1,
+                nonce: 1,
+                current_version: Version(0),
+            })
+            .unwrap()
+            .image
+            .to_bytes()
+    }
+
+    #[test]
+    fn downloads_and_stores_without_verification() {
+        let mut layout = layout();
+        let mut bytes = wire(180, vec![0xAA; 3_000]);
+        let len = bytes.len();
+        bytes[len - 1] ^= 0xFF; // corrupt: the agent will not notice
+        let mut agent = Lwm2mAgent::new(standard::SLOT_B, false);
+        agent.begin(&mut layout).unwrap();
+        let mut done = false;
+        for block in bytes.chunks(64) {
+            done = agent.push_data(&mut layout, block, true).unwrap();
+        }
+        assert!(done, "corrupt image accepted: no agent verification");
+    }
+
+    #[test]
+    fn end_to_end_dtls_catches_replay() {
+        let mut layout = layout();
+        let bytes = wire(181, vec![0xBB; 1_000]);
+        let mut agent = Lwm2mAgent::new(standard::SLOT_B, true);
+        agent.begin(&mut layout).unwrap();
+        assert!(matches!(
+            agent.push_data(&mut layout, &bytes[..64], false),
+            Err(Lwm2mError::TransportReplayDetected)
+        ));
+    }
+
+    #[test]
+    fn proxied_deployment_accepts_replay() {
+        // The paper's architectural point: with a gateway in the path the
+        // DTLS session terminates at the proxy, and replayed bytes are
+        // accepted without complaint.
+        let mut layout = layout();
+        let replayed = wire(182, vec![0xCC; 1_000]);
+        let mut agent = Lwm2mAgent::new(standard::SLOT_B, false);
+        agent.begin(&mut layout).unwrap();
+        let mut done = false;
+        for block in replayed.chunks(64) {
+            done = agent.push_data(&mut layout, block, false).unwrap();
+        }
+        assert!(done, "replay accepted through the proxy");
+    }
+
+    #[test]
+    fn state_machine_guards() {
+        let mut layout = layout();
+        let bytes = wire(183, vec![0xDD; 500]);
+        let mut agent = Lwm2mAgent::new(standard::SLOT_B, false);
+        assert!(matches!(
+            agent.push_data(&mut layout, &bytes, true),
+            Err(Lwm2mError::WrongState)
+        ));
+        agent.begin(&mut layout).unwrap();
+        let mut extended = bytes.clone();
+        extended.push(0);
+        let mut result = Ok(false);
+        for block in extended.chunks(64) {
+            result = agent.push_data(&mut layout, block, true);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(result, Err(Lwm2mError::TooMuchData)));
+    }
+}

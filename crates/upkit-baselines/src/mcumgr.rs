@@ -1,0 +1,262 @@
+//! mcumgr-like push update agent.
+//!
+//! MCU Manager (mcumgr) is the state-of-the-art push distribution tool the
+//! paper compares against (Fig. 7c): it uploads an image over BLE or a
+//! serial shell and **performs no verification at all** — integrity,
+//! authenticity, version checks, everything is deferred to mcuboot after a
+//! reboot. It also has no freshness mechanism: any image the proxy offers
+//! is stored. This module reproduces that behaviour so the evaluation can
+//! measure what UpKit's agent-side verification saves.
+
+use upkit_core::image::write_manifest;
+use upkit_flash::{LayoutError, MemoryLayout, SlotId};
+use upkit_manifest::{ManifestError, SignedManifest, SIGNED_MANIFEST_LEN};
+
+/// Errors from the mcumgr-like agent — note the absence of any
+/// verification-related variant.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum McumgrError {
+    /// Flash failure.
+    Layout(LayoutError),
+    /// Image header unparseable (framing only, not authenticity).
+    Framing(ManifestError),
+    /// Upload exceeded the declared image length.
+    TooMuchData,
+    /// An operation happened in the wrong upload state.
+    WrongState,
+}
+
+impl core::fmt::Display for McumgrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Layout(e) => write!(f, "flash error: {e}"),
+            Self::Framing(e) => write!(f, "image framing error: {e}"),
+            Self::TooMuchData => f.write_str("upload exceeded declared length"),
+            Self::WrongState => f.write_str("operation invalid in current upload state"),
+        }
+    }
+}
+
+impl std::error::Error for McumgrError {}
+
+impl From<LayoutError> for McumgrError {
+    fn from(e: LayoutError) -> Self {
+        Self::Layout(e)
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum UploadState {
+    Idle,
+    Header,
+    Body,
+    Done,
+}
+
+/// The mcumgr-like agent: store-and-reboot, zero checks.
+#[derive(Debug)]
+pub struct McumgrAgent {
+    target: SlotId,
+    state: UploadState,
+    header_buf: Vec<u8>,
+    manifest: Option<SignedManifest>,
+    body_received: u64,
+    write_pos: u32,
+}
+
+impl McumgrAgent {
+    /// Creates an idle agent targeting `slot`.
+    #[must_use]
+    pub fn new(target: SlotId) -> Self {
+        Self {
+            target,
+            state: UploadState::Idle,
+            header_buf: Vec::with_capacity(SIGNED_MANIFEST_LEN),
+            manifest: None,
+            body_received: 0,
+            write_pos: 0,
+        }
+    }
+
+    /// Begins an upload: erases the slot (mcumgr's `image erase`).
+    pub fn begin(&mut self, layout: &mut MemoryLayout) -> Result<(), McumgrError> {
+        layout.erase_slot(self.target)?;
+        self.state = UploadState::Header;
+        self.header_buf.clear();
+        self.manifest = None;
+        self.body_received = 0;
+        self.write_pos = upkit_core::image::FIRMWARE_OFFSET;
+        Ok(())
+    }
+
+    /// Accepts upload chunks. Everything parseable is stored — no
+    /// signature, nonce, version, or digest check happens here.
+    pub fn push_data(
+        &mut self,
+        layout: &mut MemoryLayout,
+        mut chunk: &[u8],
+    ) -> Result<bool, McumgrError> {
+        while !chunk.is_empty() {
+            match self.state {
+                UploadState::Header => {
+                    let need = SIGNED_MANIFEST_LEN - self.header_buf.len();
+                    let take = need.min(chunk.len());
+                    self.header_buf.extend_from_slice(&chunk[..take]);
+                    chunk = &chunk[take..];
+                    if self.header_buf.len() == SIGNED_MANIFEST_LEN {
+                        let manifest = SignedManifest::from_bytes(&self.header_buf)
+                            .map_err(McumgrError::Framing)?;
+                        write_manifest(layout, self.target, &manifest)?;
+                        self.manifest = Some(manifest);
+                        self.state = UploadState::Body;
+                    }
+                }
+                UploadState::Body => {
+                    let expected =
+                        u64::from(self.manifest.as_ref().expect("header parsed").manifest.payload_size);
+                    let remaining = expected - self.body_received;
+                    if remaining == 0 {
+                        return Err(McumgrError::TooMuchData);
+                    }
+                    let take = (remaining as usize).min(chunk.len());
+                    layout.write_slot(self.target, self.write_pos, &chunk[..take])?;
+                    self.write_pos += take as u32;
+                    self.body_received += take as u64;
+                    chunk = &chunk[take..];
+                    if self.body_received == expected {
+                        if !chunk.is_empty() {
+                            return Err(McumgrError::TooMuchData);
+                        }
+                        self.state = UploadState::Done;
+                        return Ok(true);
+                    }
+                }
+                UploadState::Idle | UploadState::Done => return Err(McumgrError::WrongState),
+            }
+        }
+        Ok(self.state == UploadState::Done)
+    }
+
+    /// Whether the upload finished (mcumgr then marks the image for test
+    /// and the device reboots — verification happens only in mcuboot).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == UploadState::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use upkit_core::generation::{UpdateServer, VendorServer};
+    use upkit_core::image::FIRMWARE_OFFSET;
+    use upkit_crypto::ecdsa::SigningKey;
+    use upkit_flash::{configuration_a, standard, FlashGeometry, SimFlash};
+    use upkit_manifest::{DeviceToken, Version};
+
+    fn layout() -> MemoryLayout {
+        configuration_a(
+            Box::new(SimFlash::new(FlashGeometry {
+                size: 4096 * 64,
+                sector_size: 4096,
+                read_micros_per_byte: 0,
+                write_micros_per_byte: 0,
+                erase_micros_per_sector: 0,
+            })),
+            4096 * 16,
+        )
+        .unwrap()
+    }
+
+    fn image(seed: u64, fw: Vec<u8>, nonce: u32) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+        let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+        server.publish(vendor.release(fw, Version(2), 0, 0xA));
+        server
+            .prepare_update(&DeviceToken {
+                device_id: 1,
+                nonce,
+                current_version: Version(0),
+            })
+            .unwrap()
+            .image
+            .to_bytes()
+    }
+
+    #[test]
+    fn stores_uploaded_image() {
+        let mut layout = layout();
+        let fw = vec![0x5A; 10_000];
+        let wire = image(160, fw.clone(), 1);
+        let mut agent = McumgrAgent::new(standard::SLOT_B);
+        agent.begin(&mut layout).unwrap();
+        let mut done = false;
+        for chunk in wire.chunks(300) {
+            done = agent.push_data(&mut layout, chunk).unwrap();
+        }
+        assert!(done);
+        let mut stored = vec![0u8; fw.len()];
+        layout
+            .read_slot(standard::SLOT_B, FIRMWARE_OFFSET, &mut stored)
+            .unwrap();
+        assert_eq!(stored, fw);
+    }
+
+    #[test]
+    fn accepts_tampered_firmware_without_complaint() {
+        // The vulnerability UpKit's agent-side verification fixes: mcumgr
+        // happily stores corrupt firmware; the device will reboot for
+        // nothing.
+        let mut layout = layout();
+        let mut wire = image(161, vec![0x5A; 5_000], 1);
+        let len = wire.len();
+        wire[len - 10] ^= 0xFF;
+        let mut agent = McumgrAgent::new(standard::SLOT_B);
+        agent.begin(&mut layout).unwrap();
+        let mut done = false;
+        for chunk in wire.chunks(300) {
+            done = agent.push_data(&mut layout, chunk).unwrap();
+        }
+        assert!(done, "tampered image accepted by the agent");
+    }
+
+    #[test]
+    fn accepts_replayed_image_no_freshness() {
+        // A replayed (old-nonce) image is indistinguishable to mcumgr.
+        let mut layout = layout();
+        let replayed = image(162, vec![0x11; 2_000], 42);
+        let mut agent = McumgrAgent::new(standard::SLOT_B);
+        agent.begin(&mut layout).unwrap();
+        let mut done = false;
+        for chunk in replayed.chunks(100) {
+            done = agent.push_data(&mut layout, chunk).unwrap();
+        }
+        assert!(done, "replay accepted: no freshness mechanism");
+    }
+
+    #[test]
+    fn rejects_overflow_and_wrong_state() {
+        let mut layout = layout();
+        let wire = image(163, vec![0x11; 500], 1);
+        let mut agent = McumgrAgent::new(standard::SLOT_B);
+        assert!(matches!(
+            agent.push_data(&mut layout, &wire),
+            Err(McumgrError::WrongState)
+        ));
+        agent.begin(&mut layout).unwrap();
+        let mut extended = wire.clone();
+        extended.push(0);
+        let mut result = Ok(false);
+        for chunk in extended.chunks(256) {
+            result = agent.push_data(&mut layout, chunk);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(result, Err(McumgrError::TooMuchData)));
+    }
+}

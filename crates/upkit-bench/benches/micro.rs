@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks for the substrate hot paths: hashing,
+//! signatures, compression, differencing, flash slot operations, and the
+//! full pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use upkit_compress::{compress, decompress, Params};
+use upkit_core::image::FIRMWARE_OFFSET;
+use upkit_core::pipeline::Pipeline;
+use upkit_crypto::ecdsa::SigningKey;
+use upkit_crypto::sha256::sha256;
+use upkit_delta::{diff, patch};
+use upkit_flash::{configuration_a, standard, FlashGeometry, MemoryLayout, SimFlash};
+use upkit_sim::FirmwareGenerator;
+
+fn fast_geometry() -> FlashGeometry {
+    FlashGeometry {
+        size: 4096 * 256,
+        sector_size: 4096,
+        read_micros_per_byte: 0,
+        write_micros_per_byte: 0,
+        erase_micros_per_sector: 0,
+    }
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let data = FirmwareGenerator::new(1).base(100_000);
+    let mut group = c.benchmark_group("sha256");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("digest_100kB", |b| b.iter(|| sha256(&data)));
+    group.finish();
+}
+
+fn bench_ecdsa(c: &mut Criterion) {
+    let key = SigningKey::generate(&mut StdRng::seed_from_u64(2));
+    let digest = sha256(b"manifest");
+    let sig = key.sign_prehashed(&digest);
+    let vk = key.verifying_key();
+    c.bench_function("ecdsa_p256_sign", |b| b.iter(|| key.sign_prehashed(&digest)));
+    c.bench_function("ecdsa_p256_verify", |b| {
+        b.iter(|| vk.verify_prehashed(&digest, &sig).unwrap())
+    });
+}
+
+fn bench_lzss(c: &mut Criterion) {
+    let data = FirmwareGenerator::new(3).base(100_000);
+    let packed = compress(&data, Params::default());
+    let mut group = c.benchmark_group("lzss");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress_100kB", |b| {
+        b.iter(|| compress(&data, Params::default()))
+    });
+    group.bench_function("decompress_100kB", |b| b.iter(|| decompress(&packed).unwrap()));
+    group.finish();
+}
+
+fn bench_bsdiff(c: &mut Criterion) {
+    let generator = FirmwareGenerator::new(4);
+    let old = generator.base(100_000);
+    let new = generator.app_change(&old, 1000);
+    let delta = diff(&old, &new);
+    let mut group = c.benchmark_group("bsdiff");
+    group.sample_size(10);
+    group.bench_function("diff_100kB_app_change", |b| b.iter(|| diff(&old, &new)));
+    group.bench_function("patch_100kB", |b| b.iter(|| patch(&old, &delta).unwrap()));
+    group.finish();
+}
+
+fn bench_flash(c: &mut Criterion) {
+    fn layout() -> MemoryLayout {
+        configuration_a(Box::new(SimFlash::new(fast_geometry())), 4096 * 32).unwrap()
+    }
+    c.bench_function("flash_slot_swap_128kB", |b| {
+        b.iter_batched(
+            || {
+                let mut l = layout();
+                l.erase_slot(standard::SLOT_A).unwrap();
+                l.erase_slot(standard::SLOT_B).unwrap();
+                l
+            },
+            |mut l| l.swap_slots(standard::SLOT_A, standard::SLOT_B).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let generator = FirmwareGenerator::new(5);
+    let old = generator.base(100_000);
+    let new = generator.os_version_change(&old);
+    let wire = compress(&diff(&old, &new), Params::default());
+
+    c.bench_function("pipeline_differential_100kB", |b| {
+        b.iter_batched(
+            || {
+                let mut layout =
+                    configuration_a(Box::new(SimFlash::new(fast_geometry())), 4096 * 40).unwrap();
+                layout.erase_slot(standard::SLOT_A).unwrap();
+                layout
+                    .write_slot(standard::SLOT_A, FIRMWARE_OFFSET, &old)
+                    .unwrap();
+                layout.erase_slot(standard::SLOT_B).unwrap();
+                layout
+            },
+            |mut layout| {
+                let mut pipeline = Pipeline::new_differential(
+                    &mut layout,
+                    standard::SLOT_B,
+                    standard::SLOT_A,
+                    old.len() as u32,
+                    new.len() as u32,
+                )
+                .unwrap();
+                for chunk in wire.chunks(244) {
+                    pipeline.push(&mut layout, chunk).unwrap();
+                }
+                pipeline.finish(&mut layout).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_ecdsa,
+    bench_lzss,
+    bench_bsdiff,
+    bench_flash,
+    bench_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Design-choice experiment: bsdiff + LZSS versus an rsync-style block
+//! diff, over the paper's two differential workloads.
+//!
+//! UpKit adopts `bsdiff` + `lzss` citing Stolikj et al.; this reproduces
+//! the comparison on our synthetic firmware. Reported: wire bytes after
+//! compression (what propagation pays) for each algorithm and workload.
+//!
+//! ```text
+//! cargo run --release -p upkit-bench --bin delta_algorithms
+//! ```
+
+use upkit_bench::print_table;
+use upkit_compress::{compress, Params};
+use upkit_delta::{blockdiff, diff};
+use upkit_sim::FirmwareGenerator;
+
+fn wire_len(delta: &[u8]) -> usize {
+    // Both algorithms feed the same LZSS stage in the pipeline; compare at
+    // the best window, as the update server does.
+    let default = compress(delta, Params::default());
+    let sparse = compress(delta, Params::new(8).expect("valid window"));
+    default.len().min(sparse.len())
+}
+
+fn main() {
+    let generator = FirmwareGenerator::new(0xDE17A);
+    let v1 = generator.base(100_000);
+    let workloads = [
+        ("OS version change", generator.os_version_change(&v1)),
+        ("App change ~1000 B", generator.app_change(&v1, 1000)),
+        (
+            "Scattered 1-byte edits",
+            {
+                let mut fw = v1.clone();
+                for i in (128..fw.len()).step_by(512) {
+                    fw[i] ^= 1;
+                }
+                fw
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, v2) in &workloads {
+        let bsdiff_wire = wire_len(&diff(&v1, v2));
+        let block_wire = wire_len(&blockdiff::diff(&v1, v2));
+        // Correctness cross-check before quoting numbers.
+        assert_eq!(&upkit_delta::patch(&v1, &diff(&v1, v2)).unwrap(), v2);
+        assert_eq!(&blockdiff::patch(&v1, &blockdiff::diff(&v1, v2)).unwrap(), v2);
+        rows.push(vec![
+            (*name).to_string(),
+            v2.len().to_string(),
+            bsdiff_wire.to_string(),
+            block_wire.to_string(),
+            format!("{:.1}×", block_wire as f64 / bsdiff_wire as f64),
+        ]);
+    }
+
+    print_table(
+        "Design choice: bsdiff+LZSS vs rsync-style block diff (wire bytes)",
+        &[
+            "Workload",
+            "Image size",
+            "bsdiff+LZSS",
+            "blockdiff+LZSS",
+            "bsdiff advantage",
+        ],
+        &rows,
+    );
+    println!(
+        "\nbsdiff's byte-wise deltas dominate on firmware-style workloads —\n\
+         the basis of the paper's pipeline design (Sect. IV-C, citing\n\
+         Stolikj et al.). Block diffs only compete when edits are\n\
+         block-aligned, which linker output almost never is."
+    );
+}

@@ -1,0 +1,61 @@
+//! Extension experiment: propagation time under frame loss.
+//!
+//! Smart objects "operate in harsh environmental conditions for several
+//! years" (paper, Sect. I); this sweep quantifies how 802.15.4 frame loss
+//! inflates the pull propagation phase for full versus differential
+//! updates — the differential update's advantage *grows* with loss,
+//! because retransmission cost scales with bytes on the wire.
+//!
+//! ```text
+//! cargo run --release -p upkit-bench --bin loss_sweep
+//! ```
+
+use upkit_bench::print_table;
+use upkit_net::{LinkProfile, LossyLink, TransferAccounting};
+
+fn propagation_secs(link: LossyLink, payload_bytes: u64) -> f64 {
+    let mut acc = TransferAccounting::default();
+    link.charge_to_device(&mut acc, payload_bytes);
+    // Each confirmed blockwise GET costs a round trip (as in the pull
+    // driver).
+    for _ in 0..link.link.chunks_for(payload_bytes) {
+        acc.charge_round_trip(&link.link);
+    }
+    acc.elapsed_micros as f64 / 1e6
+}
+
+fn main() {
+    let base = LinkProfile::ieee802154_6lowpan();
+    let full_bytes = 100_000u64; // Fig. 8a's image
+    let delta_bytes = 24_600u64; // Fig. 8b's OS-change delta
+
+    let mut rows = Vec::new();
+    for (label, drop_every) in [
+        ("0 %", 0u64),
+        ("1 %", 100),
+        ("5 %", 20),
+        ("10 %", 10),
+        ("20 %", 5),
+    ] {
+        let link = LossyLink::with_loss(base, drop_every);
+        let full = propagation_secs(link, full_bytes);
+        let delta = propagation_secs(link, delta_bytes);
+        rows.push(vec![
+            label.to_string(),
+            format!("{full:.1}"),
+            format!("{delta:.1}"),
+            format!("{:.1}×", full / delta),
+        ]);
+    }
+
+    print_table(
+        "Extension: pull propagation time vs frame loss (seconds)",
+        &["Loss rate", "Full 100 kB", "Delta 24.6 kB", "Delta advantage"],
+        &rows,
+    );
+    println!(
+        "\nLoss inflates both transfers proportionally, so the differential\n\
+         update's absolute saving grows with link quality degradation —\n\
+         harsh environments benefit most from UpKit's delta support."
+    );
+}

@@ -1,0 +1,92 @@
+//! Shared reporting helpers for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it and prints the paper's number next to
+//! the reproduced one. These helpers keep the output format uniform so
+//! `EXPERIMENTS.md` can quote it directly.
+
+#![warn(missing_docs)]
+
+/// Prints a table with a title, header row, and aligned columns.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a paper-vs-measured pair with the relative deviation.
+#[must_use]
+pub fn compare(paper: f64, measured: f64) -> String {
+    if paper == 0.0 {
+        return format!("{measured:.1}");
+    }
+    let pct = (measured - paper) / paper * 100.0;
+    format!("{measured:.1} ({pct:+.1}%)")
+}
+
+/// Formats seconds from microseconds.
+#[must_use]
+pub fn secs(micros: u64) -> f64 {
+    micros as f64 / 1e6
+}
+
+/// Formats a byte count with a thousands separator.
+#[must_use]
+pub fn bytes(n: u32) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_reports_deviation() {
+        assert_eq!(compare(100.0, 110.0), "110.0 (+10.0%)");
+        assert_eq!(compare(0.0, 5.0), "5.0");
+    }
+
+    #[test]
+    fn bytes_groups_thousands() {
+        assert_eq!(bytes(0), "0");
+        assert_eq!(bytes(999), "999");
+        assert_eq!(bytes(1000), "1,000");
+        assert_eq!(bytes(218_472), "218,472");
+    }
+
+    #[test]
+    fn secs_converts() {
+        assert!((secs(61_500_000) - 61.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,591 @@
+//! LZSS compression for UpKit differential updates.
+//!
+//! UpKit's pipeline decompresses incoming patches with LZSS, following
+//! Stolikj et al.'s finding that `bsdiff` + `lzss` offer the best trade-off
+//! between patch size and the RAM/flash cost of the on-device routines. The
+//! update *server* compresses (one-shot [`compress`]); the *device*
+//! decompresses incrementally with bounded memory ([`Decompressor`]), since
+//! the pipeline receives the patch in radio-MTU-sized chunks and must write
+//! flash on the fly.
+//!
+//! # Format
+//!
+//! A small header (`magic ‖ params ‖ original length`) followed by groups of
+//! eight items, each group preceded by a flag byte (LSB first; `1` = literal
+//! byte, `0` = 16-bit match token of `window_bits` offset and
+//! `16 - window_bits` length bits, lengths starting at
+//! [`Params::min_match`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use upkit_compress::{compress, decompress, Params};
+//!
+//! let data = b"abcabcabcabcabc-abcabcabcabcabc";
+//! let packed = compress(data, Params::default());
+//! assert_eq!(decompress(&packed).unwrap(), data);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Magic bytes identifying an LZSS stream produced by this crate.
+pub const MAGIC: [u8; 4] = *b"LZS1";
+
+/// Size in bytes of the stream header.
+pub const HEADER_LEN: usize = 4 + 1 + 4;
+
+/// LZSS window/length configuration.
+///
+/// `window_bits + length_bits == 16` so a match always packs into two bytes,
+/// the encoding used by the small embedded implementations the paper builds
+/// on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    window_bits: u8,
+}
+
+impl Default for Params {
+    /// 4 KiB window, 4 length bits: the configuration whose decoder fits the
+    /// ~2 kB RAM budget Table II attributes to UpKit's pipeline module.
+    fn default() -> Self {
+        Self { window_bits: 12 }
+    }
+}
+
+impl Params {
+    /// Creates a configuration with a `2^window_bits`-byte window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LzssError::BadParams`] unless `8 <= window_bits <= 13`
+    /// (below 8 the window is useless; above 13 fewer than 3 length bits
+    /// remain).
+    pub fn new(window_bits: u8) -> Result<Self, LzssError> {
+        if (8..=13).contains(&window_bits) {
+            Ok(Self { window_bits })
+        } else {
+            Err(LzssError::BadParams)
+        }
+    }
+
+    /// Window size in bytes.
+    #[must_use]
+    pub fn window_size(&self) -> usize {
+        1 << self.window_bits
+    }
+
+    /// Number of bits used for the match offset.
+    #[must_use]
+    pub fn window_bits(&self) -> u8 {
+        self.window_bits
+    }
+
+    /// Number of bits used for the match length.
+    #[must_use]
+    pub fn length_bits(&self) -> u8 {
+        16 - self.window_bits
+    }
+
+    /// Shortest encodable match (shorter runs are cheaper as literals).
+    #[must_use]
+    pub fn min_match(&self) -> usize {
+        3
+    }
+
+    /// Longest encodable match.
+    #[must_use]
+    pub fn max_match(&self) -> usize {
+        self.min_match() + (1 << self.length_bits()) - 1
+    }
+}
+
+/// Errors produced while decoding an LZSS stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LzssError {
+    /// The stream does not begin with the expected magic bytes.
+    BadMagic,
+    /// The header's parameter byte is out of range.
+    BadParams,
+    /// A match token referenced data before the start of the output.
+    InvalidBackreference,
+    /// The stream ended before the declared original length was produced.
+    Truncated,
+    /// The stream produced more data than the declared original length.
+    TrailingData,
+}
+
+impl core::fmt::Display for LzssError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BadMagic => f.write_str("missing LZSS magic bytes"),
+            Self::BadParams => f.write_str("LZSS parameter byte out of range"),
+            Self::InvalidBackreference => {
+                f.write_str("LZSS match references data before stream start")
+            }
+            Self::Truncated => f.write_str("LZSS stream truncated"),
+            Self::TrailingData => f.write_str("LZSS stream longer than declared"),
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+/// Compresses `data` in one shot (server-side operation).
+#[must_use]
+pub fn compress(data: &[u8], params: Params) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + data.len() / 2 + 16);
+    out.extend_from_slice(&MAGIC);
+    out.push(params.window_bits);
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+
+    let window = params.window_size();
+    let min_match = params.min_match();
+    let max_match = params.max_match();
+
+    // Hash chains over 3-byte prefixes for match search.
+    const HASH_BITS: usize = 15;
+    const HASH_SIZE: usize = 1 << HASH_BITS;
+    let hash = |bytes: &[u8]| -> usize {
+        let v = (u32::from(bytes[0]) << 16) | (u32::from(bytes[1]) << 8) | u32::from(bytes[2]);
+        (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+    };
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+
+    // The flag byte is created lazily so an empty input emits no items.
+    let mut flag_pos = 0usize;
+    let mut flag_bit = 8u8;
+    let push_item =
+        |out: &mut Vec<u8>, flag_pos: &mut usize, flag_bit: &mut u8, literal: bool, bytes: &[u8]| {
+            if *flag_bit == 8 {
+                *flag_pos = out.len();
+                out.push(0);
+                *flag_bit = 0;
+            }
+            if literal {
+                out[*flag_pos] |= 1 << *flag_bit;
+            }
+            *flag_bit += 1;
+            out.extend_from_slice(bytes);
+        };
+
+    let mut i = 0;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + min_match <= data.len() {
+            let mut candidate = head[hash(&data[i..])];
+            let limit = i.saturating_sub(window);
+            let mut tries = 64;
+            while candidate != usize::MAX && candidate >= limit && tries > 0 {
+                let max_here = max_match.min(data.len() - i);
+                let mut len = 0;
+                while len < max_here && data[candidate + len] == data[i + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = i - candidate;
+                    if len == max_here {
+                        break;
+                    }
+                }
+                candidate = prev[candidate];
+                tries -= 1;
+            }
+        }
+
+        if best_len >= min_match {
+            // Match token: offset-1 in the low window_bits, length-min in
+            // the high bits of a 16-bit little-endian word.
+            let token =
+                ((best_dist - 1) as u16) | ((best_len - min_match) as u16) << params.window_bits;
+            push_item(&mut out, &mut flag_pos, &mut flag_bit, false, &token.to_le_bytes());
+            // Index every position covered by the match.
+            let end = i + best_len;
+            while i < end {
+                if i + min_match <= data.len() {
+                    let h = hash(&data[i..]);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            push_item(&mut out, &mut flag_pos, &mut flag_bit, true, &data[i..=i]);
+            if i + min_match <= data.len() {
+                let h = hash(&data[i..]);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses a complete LZSS stream in one call.
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, LzssError> {
+    let mut decoder = Decompressor::new();
+    let mut out = Vec::new();
+    decoder.push(stream, &mut out)?;
+    decoder.finish()?;
+    Ok(out)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DecodeState {
+    Header { filled: usize },
+    Flags,
+    Literal,
+    MatchLow,
+    MatchHigh { low: u8 },
+    Done,
+}
+
+/// Incremental LZSS decoder with memory bounded by the window size.
+///
+/// Accepts input in arbitrary chunk sizes — radio MTUs in UpKit's pipeline —
+/// and appends decoded bytes to a caller-supplied buffer. The decoder keeps
+/// only the sliding window (≤ 8 KiB) plus a fixed-size state machine,
+/// matching the constrained-device RAM budget.
+#[derive(Clone, Debug)]
+pub struct Decompressor {
+    state: DecodeState,
+    header: [u8; HEADER_LEN],
+    params: Params,
+    expected_len: u64,
+    produced: u64,
+    window: Vec<u8>,
+    window_pos: usize,
+    window_filled: usize,
+    flags: u8,
+    flags_left: u8,
+}
+
+impl Default for Decompressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Decompressor {
+    /// Creates a decoder expecting a full stream starting with the header.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: DecodeState::Header { filled: 0 },
+            header: [0; HEADER_LEN],
+            params: Params::default(),
+            expected_len: 0,
+            produced: 0,
+            window: Vec::new(),
+            window_pos: 0,
+            window_filled: 0,
+            flags: 0,
+            flags_left: 0,
+        }
+    }
+
+    /// Total bytes produced so far.
+    #[must_use]
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Declared original length (0 until the header has been parsed).
+    #[must_use]
+    pub fn expected_len(&self) -> u64 {
+        self.expected_len
+    }
+
+    /// Returns `true` once the declared original length has been produced.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == DecodeState::Done
+    }
+
+    /// Feeds `input` to the decoder, appending decoded bytes to `out`.
+    pub fn push(&mut self, input: &[u8], out: &mut Vec<u8>) -> Result<(), LzssError> {
+        for &byte in input {
+            self.push_byte(byte, out)?;
+        }
+        Ok(())
+    }
+
+    /// Declares end of input; fails if the stream was incomplete.
+    pub fn finish(&self) -> Result<(), LzssError> {
+        if self.state == DecodeState::Done {
+            Ok(())
+        } else {
+            Err(LzssError::Truncated)
+        }
+    }
+
+    fn push_byte(&mut self, byte: u8, out: &mut Vec<u8>) -> Result<(), LzssError> {
+        match self.state {
+            DecodeState::Header { filled } => {
+                self.header[filled] = byte;
+                let filled = filled + 1;
+                if filled == HEADER_LEN {
+                    if self.header[..4] != MAGIC {
+                        return Err(LzssError::BadMagic);
+                    }
+                    self.params = Params::new(self.header[4])?;
+                    self.expected_len = u64::from(u32::from_le_bytes(
+                        self.header[5..9].try_into().expect("4 bytes"),
+                    ));
+                    self.window = vec![0; self.params.window_size()];
+                    self.state = if self.expected_len == 0 {
+                        DecodeState::Done
+                    } else {
+                        DecodeState::Flags
+                    };
+                } else {
+                    self.state = DecodeState::Header { filled };
+                }
+                Ok(())
+            }
+            DecodeState::Flags => {
+                self.flags = byte;
+                self.flags_left = 8;
+                self.state = if self.flags & 1 == 1 {
+                    DecodeState::Literal
+                } else {
+                    DecodeState::MatchLow
+                };
+                self.consume_flag();
+                Ok(())
+            }
+            DecodeState::Literal => {
+                self.emit(byte, out);
+                self.advance()
+            }
+            DecodeState::MatchLow => {
+                self.state = DecodeState::MatchHigh { low: byte };
+                Ok(())
+            }
+            DecodeState::MatchHigh { low } => {
+                let token = u16::from_le_bytes([low, byte]);
+                let dist = usize::from(token & ((1 << self.params.window_bits) - 1)) + 1;
+                let len = usize::from(token >> self.params.window_bits) + self.params.min_match();
+                if dist > self.window_filled {
+                    return Err(LzssError::InvalidBackreference);
+                }
+                for _ in 0..len {
+                    if self.produced >= self.expected_len {
+                        return Err(LzssError::TrailingData);
+                    }
+                    let idx = (self.window_pos + self.window.len() - dist) % self.window.len();
+                    let value = self.window[idx];
+                    self.emit(value, out);
+                }
+                self.advance()
+            }
+            DecodeState::Done => Err(LzssError::TrailingData),
+        }
+    }
+
+    fn emit(&mut self, byte: u8, out: &mut Vec<u8>) {
+        out.push(byte);
+        self.window[self.window_pos] = byte;
+        self.window_pos = (self.window_pos + 1) % self.window.len();
+        self.window_filled = (self.window_filled + 1).min(self.window.len());
+        self.produced += 1;
+    }
+
+    fn consume_flag(&mut self) {
+        self.flags >>= 1;
+        self.flags_left -= 1;
+    }
+
+    fn advance(&mut self) -> Result<(), LzssError> {
+        if self.produced > self.expected_len {
+            return Err(LzssError::TrailingData);
+        }
+        if self.produced == self.expected_len {
+            self.state = DecodeState::Done;
+            return Ok(());
+        }
+        if self.flags_left == 0 {
+            self.state = DecodeState::Flags;
+        } else {
+            self.state = if self.flags & 1 == 1 {
+                DecodeState::Literal
+            } else {
+                DecodeState::MatchLow
+            };
+            self.consume_flag();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let packed = compress(data, Params::default());
+        assert_eq!(decompress(&packed).unwrap(), data, "len {}", data.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        round_trip(b"");
+    }
+
+    #[test]
+    fn single_byte() {
+        round_trip(b"x");
+    }
+
+    #[test]
+    fn short_literals() {
+        round_trip(b"ab");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data = b"firmware".repeat(500);
+        let packed = compress(&data, Params::default());
+        assert!(packed.len() < data.len() / 4, "{} vs {}", packed.len(), data.len());
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_round_trips() {
+        // Pseudo-random bytes: little repetition, stream grows slightly.
+        let mut state = 0x1234_5678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (state >> 24) as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn run_longer_than_max_match() {
+        let data = vec![0xaa; 10_000];
+        round_trip(&data);
+    }
+
+    #[test]
+    fn all_window_sizes_round_trip() {
+        let data = b"the quick brown fox jumps over the lazy dog ".repeat(200);
+        for bits in 8..=13 {
+            let params = Params::new(bits).unwrap();
+            let packed = compress(&data, params);
+            assert_eq!(decompress(&packed).unwrap(), data, "window_bits {bits}");
+        }
+    }
+
+    #[test]
+    fn params_reject_out_of_range() {
+        assert_eq!(Params::new(7), Err(LzssError::BadParams));
+        assert_eq!(Params::new(14), Err(LzssError::BadParams));
+        assert!(Params::new(8).is_ok());
+        assert!(Params::new(13).is_ok());
+    }
+
+    #[test]
+    fn params_accessors() {
+        let p = Params::new(12).unwrap();
+        assert_eq!(p.window_size(), 4096);
+        assert_eq!(p.length_bits(), 4);
+        assert_eq!(p.min_match(), 3);
+        assert_eq!(p.max_match(), 18);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_for_any_chunking() {
+        let data = b"streaming chunked decode ".repeat(300);
+        let packed = compress(&data, Params::default());
+        for chunk_size in [1usize, 2, 3, 7, 20, 64, 1000] {
+            let mut decoder = Decompressor::new();
+            let mut out = Vec::new();
+            for chunk in packed.chunks(chunk_size) {
+                decoder.push(chunk, &mut out).unwrap();
+            }
+            decoder.finish().unwrap();
+            assert_eq!(out, data, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut packed = compress(b"hello world", Params::default());
+        packed[0] = b'X';
+        assert_eq!(decompress(&packed), Err(LzssError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_params_byte() {
+        let mut packed = compress(b"hello world", Params::default());
+        packed[4] = 200;
+        assert_eq!(decompress(&packed), Err(LzssError::BadParams));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let packed = compress(&b"hello world, hello world".repeat(10), Params::default());
+        let truncated = &packed[..packed.len() - 3];
+        let mut decoder = Decompressor::new();
+        let mut out = Vec::new();
+        decoder.push(truncated, &mut out).unwrap();
+        assert_eq!(decoder.finish(), Err(LzssError::Truncated));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut packed = compress(b"payload payload payload", Params::default());
+        packed.push(0xff);
+        assert_eq!(decompress(&packed), Err(LzssError::TrailingData));
+    }
+
+    #[test]
+    fn rejects_invalid_backreference() {
+        // Hand-craft a stream whose first item is a match (flag bit 0):
+        // nothing is in the window yet, so any match is invalid.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&MAGIC);
+        stream.push(12);
+        stream.extend_from_slice(&8u32.to_le_bytes());
+        stream.push(0b0000_0000); // all matches
+        stream.extend_from_slice(&0u16.to_le_bytes()); // dist 1, len 3
+        assert_eq!(decompress(&stream), Err(LzssError::InvalidBackreference));
+    }
+
+    #[test]
+    fn decoder_reports_progress() {
+        let data = b"progress".repeat(100);
+        let packed = compress(&data, Params::default());
+        let mut decoder = Decompressor::new();
+        let mut out = Vec::new();
+        decoder.push(&packed[..packed.len() / 2], &mut out).unwrap();
+        assert!(decoder.produced() > 0);
+        assert_eq!(decoder.expected_len(), data.len() as u64);
+        assert!(!decoder.is_done());
+        decoder.push(&packed[packed.len() / 2..], &mut out).unwrap();
+        assert!(decoder.is_done());
+        assert_eq!(decoder.produced(), data.len() as u64);
+    }
+
+    #[test]
+    fn window_limits_match_distance() {
+        // Two identical blocks separated by more than the window size must
+        // still round-trip (the second block simply re-encodes).
+        let params = Params::new(8).unwrap(); // 256-byte window
+        let block = b"unique-block-content-123".to_vec();
+        let mut data = block.clone();
+        data.extend(std::iter::repeat(b'.').take(1000));
+        data.extend_from_slice(&block);
+        let packed = compress(&data, params);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+}

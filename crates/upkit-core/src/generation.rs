@@ -1,0 +1,465 @@
+//! Server-side components: the vendor server (generation phase) and the
+//! update server (propagation phase).
+//!
+//! The division of labour mirrors Fig. 2 of the paper:
+//!
+//! * The **vendor server** holds the vendor private key. It receives a raw
+//!   firmware binary and produces a *release*: the manifest core plus the
+//!   vendor signature over it. This happens once per firmware version.
+//! * The **update server** holds its own private key and the published
+//!   releases. Per device request it receives a [`DeviceToken`], decides
+//!   between a full and a differential payload, fills in the token fields,
+//!   and signs the complete manifest — binding the image to that one
+//!   device and request, which is what grants freshness without
+//!   transport-layer security.
+
+use std::collections::BTreeMap;
+
+use upkit_compress::{compress, Params as LzssParams};
+use upkit_crypto::chacha20::{chacha20_xor, KEY_LEN as CONTENT_KEY_LEN, NONCE_LEN};
+use upkit_crypto::ecdsa::{Signature, SigningKey};
+use upkit_crypto::sha256::sha256;
+use upkit_delta::diff;
+use upkit_manifest::{
+    server_sign, vendor_sign, DeviceToken, Manifest, SignedManifest, UpdateImage, Version,
+};
+
+/// A firmware release: the vendor-signed, request-independent part of an
+/// update.
+#[derive(Clone, Debug)]
+pub struct Release {
+    /// Version of this firmware.
+    pub version: Version,
+    /// The firmware binary.
+    pub firmware: Vec<u8>,
+    /// SHA-256 of `firmware`.
+    pub digest: [u8; 32],
+    /// Link offset the binary was built for.
+    pub link_offset: u32,
+    /// Application/hardware identifier.
+    pub app_id: u32,
+    /// Vendor signature over the manifest core.
+    pub vendor_signature: Signature,
+}
+
+/// The vendor server: embeds the vendor private key and turns firmware
+/// binaries into signed releases.
+pub struct VendorServer {
+    key: SigningKey,
+}
+
+impl core::fmt::Debug for VendorServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("VendorServer").finish_non_exhaustive()
+    }
+}
+
+impl VendorServer {
+    /// Creates a vendor server around its signing key.
+    #[must_use]
+    pub fn new(key: SigningKey) -> Self {
+        Self { key }
+    }
+
+    /// The public half of the vendor key (provisioned to devices).
+    #[must_use]
+    pub fn verifying_key(&self) -> upkit_crypto::ecdsa::VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Signs an arbitrary manifest's core fields (factory provisioning of
+    /// the image a device ships with).
+    #[must_use]
+    pub fn sign_manifest_core(&self, manifest: &Manifest) -> upkit_crypto::Signature {
+        vendor_sign(manifest, &self.key)
+    }
+
+    /// Generation phase: builds and vendor-signs a release.
+    #[must_use]
+    pub fn release(
+        &self,
+        firmware: Vec<u8>,
+        version: Version,
+        link_offset: u32,
+        app_id: u32,
+    ) -> Release {
+        let digest = sha256(&firmware);
+        // The vendor signature covers the manifest core only; token fields
+        // are zero here and ignored by `vendor_signed_bytes`.
+        let core_manifest = Manifest {
+            device_id: 0,
+            nonce: 0,
+            old_version: Version(0),
+            version,
+            size: firmware.len() as u32,
+            payload_size: firmware.len() as u32,
+            digest,
+            link_offset,
+            app_id,
+        };
+        let vendor_signature = vendor_sign(&core_manifest, &self.key);
+        Release {
+            version,
+            firmware,
+            digest,
+            link_offset,
+            app_id,
+            vendor_signature,
+        }
+    }
+}
+
+/// Derives the ChaCha20 nonce binding an encrypted payload to one device,
+/// request, and version — reusing the freshness fields the double
+/// signature already authenticates.
+#[must_use]
+pub fn content_nonce(device_id: u32, request_nonce: u32, version: Version) -> [u8; NONCE_LEN] {
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce[0..4].copy_from_slice(&device_id.to_le_bytes());
+    nonce[4..8].copy_from_slice(&request_nonce.to_le_bytes());
+    nonce[8..10].copy_from_slice(&version.0.to_le_bytes());
+    nonce
+}
+
+/// Compresses `patch` with the configured parameters and, additionally,
+/// with a small-window/long-match configuration that excels on the long
+/// zero runs bsdiff emits; returns the smaller stream. The decoder reads
+/// the parameters from the stream header, so the device side needs no
+/// configuration.
+fn best_compression(patch: &[u8], configured: LzssParams) -> Vec<u8> {
+    let mut best = compress(patch, configured);
+    if let Ok(sparse) = LzssParams::new(8) {
+        let alt = compress(patch, sparse);
+        if alt.len() < best.len() {
+            best = alt;
+        }
+    }
+    best
+}
+
+/// How the update server answered a request (for tests and experiment
+/// accounting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServedKind {
+    /// A full firmware image was served.
+    Full,
+    /// An LZSS-compressed bsdiff patch was served.
+    Differential {
+        /// The base version the patch applies to.
+        from: Version,
+    },
+}
+
+/// A prepared response to one device token.
+#[derive(Clone, Debug)]
+pub struct PreparedUpdate {
+    /// The update image to transmit (manifest first, then payload).
+    pub image: UpdateImage,
+    /// Whether the payload is full or differential.
+    pub kind: ServedKind,
+}
+
+/// The update server: publishes releases and answers device tokens with
+/// double-signed update images.
+pub struct UpdateServer {
+    key: SigningKey,
+    releases: BTreeMap<u16, Release>,
+    lzss: LzssParams,
+    content_key: Option<[u8; CONTENT_KEY_LEN]>,
+}
+
+impl core::fmt::Debug for UpdateServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("UpdateServer")
+            .field("releases", &self.releases.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl UpdateServer {
+    /// Creates an update server around its signing key.
+    #[must_use]
+    pub fn new(key: SigningKey) -> Self {
+        Self {
+            key,
+            releases: BTreeMap::new(),
+            lzss: LzssParams::default(),
+            content_key: None,
+        }
+    }
+
+    /// The public half of the server key (provisioned to devices).
+    #[must_use]
+    pub fn verifying_key(&self) -> upkit_crypto::ecdsa::VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Signs an arbitrary full manifest (factory provisioning of the image
+    /// a device ships with).
+    #[must_use]
+    pub fn sign_manifest(&self, manifest: &Manifest) -> upkit_crypto::Signature {
+        server_sign(manifest, &self.key)
+    }
+
+    /// Enables payload confidentiality: every prepared update's wire
+    /// payload is ChaCha20-encrypted under `key`, with a nonce derived from
+    /// the device token (device ID ‖ request nonce ‖ version). Devices must
+    /// be provisioned with the same key. Implements the paper's future-work
+    /// decryption-stage extension; integrity still comes from the signed
+    /// manifest digest over the *plaintext* firmware (encrypt-then-sign at
+    /// the image level).
+    pub fn set_content_key(&mut self, key: [u8; CONTENT_KEY_LEN]) {
+        self.content_key = Some(key);
+    }
+
+    /// Publishes a release received from the vendor server.
+    pub fn publish(&mut self, release: Release) {
+        self.releases.insert(release.version.0, release);
+    }
+
+    /// The newest published version, if any.
+    #[must_use]
+    pub fn latest_version(&self) -> Option<Version> {
+        self.releases.keys().next_back().map(|&v| Version(v))
+    }
+
+    /// Propagation phase: answers a device token with an update image for
+    /// the newest release, choosing a differential payload when the device
+    /// supports it and the base release is still on hand.
+    ///
+    /// Returns `None` when no release is newer than the device's current
+    /// version (nothing to update).
+    #[must_use]
+    pub fn prepare_update(&self, token: &DeviceToken) -> Option<PreparedUpdate> {
+        let latest = self.releases.values().next_back()?;
+        if latest.version <= token.current_version && token.current_version.0 != 0 {
+            return None;
+        }
+
+        let base = if token.supports_differential() {
+            self.releases.get(&token.current_version.0)
+        } else {
+            None
+        };
+
+        let (payload, old_version, kind) = match base {
+            Some(base_release) if base_release.version < latest.version => {
+                let patch = diff(&base_release.firmware, &latest.firmware);
+                let compressed = best_compression(&patch, self.lzss);
+                // Serve the delta only when it actually saves transfer.
+                if compressed.len() < latest.firmware.len() {
+                    (
+                        compressed,
+                        base_release.version,
+                        ServedKind::Differential {
+                            from: base_release.version,
+                        },
+                    )
+                } else {
+                    (latest.firmware.clone(), Version(0), ServedKind::Full)
+                }
+            }
+            _ => (latest.firmware.clone(), Version(0), ServedKind::Full),
+        };
+
+        let payload = match &self.content_key {
+            Some(key) => {
+                let nonce = content_nonce(token.device_id, token.nonce, latest.version);
+                chacha20_xor(key, &nonce, &payload)
+            }
+            None => payload,
+        };
+
+        let manifest = Manifest {
+            device_id: token.device_id,
+            nonce: token.nonce,
+            old_version,
+            version: latest.version,
+            size: latest.firmware.len() as u32,
+            payload_size: payload.len() as u32,
+            digest: latest.digest,
+            link_offset: latest.link_offset,
+            app_id: latest.app_id,
+        };
+        let signed_manifest = SignedManifest {
+            manifest,
+            vendor_signature: latest.vendor_signature,
+            server_signature: server_sign(&manifest, &self.key),
+        };
+        Some(PreparedUpdate {
+            image: UpdateImage {
+                signed_manifest,
+                payload,
+            },
+            kind,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn servers(seed: u64) -> (VendorServer, UpdateServer) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            VendorServer::new(SigningKey::generate(&mut rng)),
+            UpdateServer::new(SigningKey::generate(&mut rng)),
+        )
+    }
+
+    fn firmware(seed: u32, len: usize) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (state >> 24) as u8
+            })
+            .collect()
+    }
+
+    fn token(nonce: u32, current: u16) -> DeviceToken {
+        DeviceToken {
+            device_id: 0xD1,
+            nonce,
+            current_version: Version(current),
+        }
+    }
+
+    #[test]
+    fn release_carries_valid_vendor_signature() {
+        let (vendor, _) = servers(130);
+        let fw = firmware(1, 2000);
+        let release = vendor.release(fw.clone(), Version(2), 0x100, 0xA);
+        let manifest = Manifest {
+            device_id: 9,
+            nonce: 9,
+            old_version: Version(0),
+            version: Version(2),
+            size: fw.len() as u32,
+            payload_size: fw.len() as u32,
+            digest: sha256(&fw),
+            link_offset: 0x100,
+            app_id: 0xA,
+        };
+        vendor
+            .verifying_key()
+            .verify_prehashed(
+                &sha256(&manifest.vendor_signed_bytes()),
+                &release.vendor_signature,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn serves_full_update_to_non_differential_device() {
+        let (vendor, mut server) = servers(131);
+        let fw = firmware(2, 3000);
+        server.publish(vendor.release(fw.clone(), Version(2), 0, 0xA));
+        let prepared = server.prepare_update(&token(1, 0)).unwrap();
+        assert_eq!(prepared.kind, ServedKind::Full);
+        assert_eq!(prepared.image.payload, fw);
+        assert_eq!(prepared.image.signed_manifest.manifest.old_version, Version(0));
+        assert_eq!(prepared.image.signed_manifest.manifest.nonce, 1);
+    }
+
+    #[test]
+    fn serves_differential_to_supporting_device() {
+        let (vendor, mut server) = servers(132);
+        let v1 = firmware(3, 20_000);
+        let mut v2 = v1.clone();
+        v2[100..110].copy_from_slice(b"new-bytes!");
+        server.publish(vendor.release(v1, Version(1), 0, 0xA));
+        server.publish(vendor.release(v2.clone(), Version(2), 0, 0xA));
+        let prepared = server.prepare_update(&token(5, 1)).unwrap();
+        assert_eq!(prepared.kind, ServedKind::Differential { from: Version(1) });
+        let m = prepared.image.signed_manifest.manifest;
+        assert_eq!(m.old_version, Version(1));
+        assert_eq!(m.version, Version(2));
+        assert_eq!(m.size, v2.len() as u32);
+        assert!(m.payload_size < m.size / 4, "delta should be much smaller");
+    }
+
+    #[test]
+    fn no_update_when_device_is_current() {
+        let (vendor, mut server) = servers(133);
+        server.publish(vendor.release(firmware(4, 1000), Version(3), 0, 0xA));
+        assert!(server.prepare_update(&token(1, 3)).is_none());
+        // Newer-on-device (clock skew / rollback on server) also no-ops.
+        assert!(server.prepare_update(&token(1, 4)).is_none());
+    }
+
+    #[test]
+    fn empty_server_has_nothing_to_serve() {
+        let (_, server) = servers(134);
+        assert!(server.prepare_update(&token(1, 0)).is_none());
+        assert!(server.latest_version().is_none());
+    }
+
+    #[test]
+    fn double_signature_verifies_end_to_end() {
+        let (vendor, mut server) = servers(135);
+        let fw = firmware(5, 5000);
+        server.publish(vendor.release(fw, Version(2), 0, 0xA));
+        let prepared = server.prepare_update(&token(77, 0)).unwrap();
+        prepared
+            .image
+            .signed_manifest
+            .verify_with_keys(&vendor.verifying_key(), &server.verifying_key())
+            .unwrap();
+    }
+
+    #[test]
+    fn two_requests_get_distinct_server_signatures() {
+        // Same release, different nonces ⇒ different signed manifests:
+        // the binding that makes replaying the first response to the
+        // second request detectable.
+        let (vendor, mut server) = servers(136);
+        server.publish(vendor.release(firmware(6, 1000), Version(2), 0, 0xA));
+        let a = server.prepare_update(&token(1, 0)).unwrap();
+        let b = server.prepare_update(&token(2, 0)).unwrap();
+        assert_ne!(
+            a.image.signed_manifest.server_signature.to_bytes().to_vec(),
+            b.image.signed_manifest.server_signature.to_bytes().to_vec()
+        );
+        // Vendor signature is request-independent and shared.
+        assert_eq!(
+            a.image.signed_manifest.vendor_signature.to_bytes().to_vec(),
+            b.image.signed_manifest.vendor_signature.to_bytes().to_vec()
+        );
+    }
+
+    #[test]
+    fn missing_base_release_falls_back_to_full() {
+        let (vendor, mut server) = servers(137);
+        // Only v3 is published; device runs v2.
+        server.publish(vendor.release(firmware(7, 2000), Version(3), 0, 0xA));
+        let prepared = server.prepare_update(&token(1, 2)).unwrap();
+        assert_eq!(prepared.kind, ServedKind::Full);
+    }
+
+    #[test]
+    fn incompressible_delta_falls_back_to_full() {
+        let (vendor, mut server) = servers(138);
+        // Completely unrelated firmwares: the patch would be larger than
+        // the image itself.
+        server.publish(vendor.release(firmware(8, 1500), Version(1), 0, 0xA));
+        server.publish(vendor.release(firmware(999, 1500), Version(2), 0, 0xA));
+        let prepared = server.prepare_update(&token(1, 1)).unwrap();
+        assert_eq!(prepared.kind, ServedKind::Full);
+        assert_eq!(prepared.image.signed_manifest.manifest.old_version, Version(0));
+    }
+
+    #[test]
+    fn latest_version_tracks_publications() {
+        let (vendor, mut server) = servers(139);
+        server.publish(vendor.release(firmware(9, 100), Version(1), 0, 0xA));
+        assert_eq!(server.latest_version(), Some(Version(1)));
+        server.publish(vendor.release(firmware(10, 100), Version(5), 0, 0xA));
+        assert_eq!(server.latest_version(), Some(Version(5)));
+        server.publish(vendor.release(firmware(11, 100), Version(3), 0, 0xA));
+        assert_eq!(server.latest_version(), Some(Version(5)));
+    }
+}

@@ -1,0 +1,431 @@
+//! Generic 4-limb Montgomery arithmetic over a prime modulus.
+//!
+//! Both P-256 fields (the coordinate field `p` and the scalar field `n`) are
+//! instances of [`Fe`] parameterized by a [`FieldParams`] marker type. The
+//! Montgomery constants `R = 2^256 mod m` and `R² mod m` are derived at first
+//! use from the modulus alone, so the only trusted inputs are the modulus
+//! limbs themselves (which the test suite cross-checks against the curve's
+//! published test vectors).
+
+use core::marker::PhantomData;
+
+use crate::u256::{adc, mac, U256};
+
+/// Parameters of a prime field used in Montgomery form.
+///
+/// Implementors must guarantee `MODULUS` is an odd prime larger than `2^255`
+/// (true for both P-256 moduli); [`Fe`] relies on this for its reduction
+/// bounds.
+pub trait FieldParams: Copy + Eq + core::fmt::Debug + 'static {
+    /// The prime modulus.
+    const MODULUS: U256;
+    /// `-MODULUS⁻¹ mod 2^64`, used by the Montgomery reduction step.
+    const N0: u64 = neg_inv_u64(Self::MODULUS.0[0]);
+    /// Returns the cached Montgomery constant `R = 2^256 mod MODULUS`.
+    fn r() -> U256;
+    /// Returns the cached Montgomery constant `R² mod MODULUS`.
+    fn r2() -> U256;
+}
+
+/// Computes `-m⁻¹ mod 2^64` for odd `m` by Newton iteration.
+#[must_use]
+pub const fn neg_inv_u64(m: u64) -> u64 {
+    // x_{k+1} = x_k * (2 - m * x_k) doubles correct low bits each step.
+    let mut x = 1u64;
+    let mut i = 0;
+    while i < 6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(x)));
+        i += 1;
+    }
+    x.wrapping_neg()
+}
+
+/// Computes `2^256 mod m` by modular doubling, for `m > 2^255`.
+#[must_use]
+pub fn compute_r(m: &U256) -> U256 {
+    // Start from 2^255 mod m = 2^255 - ... — simpler: 1 doubled 256 times.
+    let mut v = U256::ONE;
+    for _ in 0..256 {
+        v = double_mod(&v, m);
+    }
+    v
+}
+
+/// Computes `2^512 mod m` (the Montgomery `R²`), for `m > 2^255`.
+#[must_use]
+pub fn compute_r2(m: &U256) -> U256 {
+    let mut v = compute_r(m);
+    for _ in 0..256 {
+        v = double_mod(&v, m);
+    }
+    v
+}
+
+/// Doubles `v < m` modulo `m` where `m > 2^255` (so a single conditional
+/// subtraction suffices even when the doubling carries out of 256 bits).
+fn double_mod(v: &U256, m: &U256) -> U256 {
+    let (sum, carry) = v.adc(v);
+    if carry == 1 || sum.cmp_raw(m) != core::cmp::Ordering::Less {
+        let (reduced, _) = sum.sbb(m);
+        reduced
+    } else {
+        sum
+    }
+}
+
+/// A field element in Montgomery representation.
+///
+/// All arithmetic stays in Montgomery form; conversion happens only at the
+/// byte-serialization boundary. This is *not* a constant-time
+/// implementation — the repository models the functional behaviour of
+/// UpKit's crypto libraries, not their side-channel properties.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Fe<P: FieldParams> {
+    mont: U256,
+    _params: PhantomData<P>,
+}
+
+impl<P: FieldParams> core::fmt::Debug for Fe<P> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fe({})", self.to_u256())
+    }
+}
+
+impl<P: FieldParams> Fe<P> {
+    /// The additive identity.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self {
+            mont: U256::ZERO,
+            _params: PhantomData,
+        }
+    }
+
+    /// The multiplicative identity.
+    #[must_use]
+    pub fn one() -> Self {
+        Self {
+            mont: P::r(),
+            _params: PhantomData,
+        }
+    }
+
+    /// Converts a canonical integer into the field, reducing modulo the
+    /// modulus first.
+    #[must_use]
+    pub fn from_u256(v: &U256) -> Self {
+        let reduced = if v.cmp_raw(&P::MODULUS) == core::cmp::Ordering::Less {
+            *v
+        } else {
+            v.reduce_mod(&P::MODULUS)
+        };
+        Self {
+            mont: mont_mul::<P>(&reduced, &P::r2()),
+            _params: PhantomData,
+        }
+    }
+
+    /// Converts a small integer into the field.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        Self::from_u256(&U256::from_u64(v))
+    }
+
+    /// Returns the canonical (non-Montgomery) integer value.
+    #[must_use]
+    pub fn to_u256(self) -> U256 {
+        mont_mul::<P>(&self.mont, &U256::ONE)
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.mont.is_zero()
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
+        let (sum, carry) = self.mont.adc(&rhs.mont);
+        let reduced = if carry == 1 || sum.cmp_raw(&P::MODULUS) != core::cmp::Ordering::Less {
+            let (r, _) = sum.sbb(&P::MODULUS);
+            r
+        } else {
+            sum
+        };
+        Self {
+            mont: reduced,
+            _params: PhantomData,
+        }
+    }
+
+    /// Field subtraction.
+    #[must_use]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        let (diff, borrow) = self.mont.sbb(&rhs.mont);
+        let reduced = if borrow == 1 {
+            let (r, _) = diff.adc(&P::MODULUS);
+            r
+        } else {
+            diff
+        };
+        Self {
+            mont: reduced,
+            _params: PhantomData,
+        }
+    }
+
+    /// Additive inverse.
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        Self::zero().sub(self)
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Self {
+            mont: mont_mul::<P>(&self.mont, &rhs.mont),
+            _params: PhantomData,
+        }
+    }
+
+    /// Field squaring.
+    #[must_use]
+    pub fn square(&self) -> Self {
+        self.mul(self)
+    }
+
+    /// Doubles the element.
+    #[must_use]
+    pub fn double(&self) -> Self {
+        self.add(self)
+    }
+
+    /// Multiplies by a small constant.
+    #[must_use]
+    pub fn mul_u64(&self, k: u64) -> Self {
+        let mut acc = Self::zero();
+        let mut base = *self;
+        let mut k = k;
+        while k != 0 {
+            if k & 1 == 1 {
+                acc = acc.add(&base);
+            }
+            base = base.double();
+            k >>= 1;
+        }
+        acc
+    }
+
+    /// Raises to the power `e` (square-and-multiply, MSB first).
+    #[must_use]
+    pub fn pow(&self, e: &U256) -> Self {
+        let mut acc = Self::one();
+        let bits = e.bits();
+        for i in (0..bits).rev() {
+            acc = acc.square();
+            if e.bit(i) {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`self^(m-2)`).
+    ///
+    /// Returns `None` for zero, which has no inverse.
+    #[must_use]
+    pub fn invert(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        let (exp, _) = P::MODULUS.sbb(&U256::from_u64(2));
+        Some(self.pow(&exp))
+    }
+
+    /// Square root for moduli where `m ≡ 3 (mod 4)` (true for the P-256
+    /// coordinate field): `sqrt(a) = a^((m+1)/4)`. Returns `None` when the
+    /// element is a quadratic non-residue.
+    #[must_use]
+    pub fn sqrt(&self) -> Option<Self> {
+        debug_assert_eq!(P::MODULUS.0[0] & 3, 3, "sqrt requires m ≡ 3 (mod 4)");
+        let (m_plus_1, carry) = P::MODULUS.adc(&U256::ONE);
+        // m < 2^256 - 1 for both P-256 moduli, so no carry.
+        debug_assert_eq!(carry, 0);
+        let exp = m_plus_1.shr1().shr1();
+        let candidate = self.pow(&exp);
+        if candidate.square() == *self {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+}
+
+/// Montgomery product `a * b * R⁻¹ mod m` (CIOS method, 4 limbs).
+fn mont_mul<P: FieldParams>(a: &U256, b: &U256) -> U256 {
+    let m = P::MODULUS.0;
+    let n0 = P::N0;
+    let mut t = [0u64; 6];
+
+    for i in 0..4 {
+        // t += a[i] * b
+        let mut carry = 0u64;
+        for j in 0..4 {
+            let (lo, hi) = mac(t[j], a.0[i], b.0[j], carry);
+            t[j] = lo;
+            carry = hi;
+        }
+        let (t4, c) = adc(t[4], carry, 0);
+        t[4] = t4;
+        t[5] += c;
+
+        // Reduction step: add u * m so the low limb becomes zero, then shift.
+        let u = t[0].wrapping_mul(n0);
+        let (_, mut carry) = mac(t[0], u, m[0], 0);
+        for j in 1..4 {
+            let (lo, hi) = mac(t[j], u, m[j], carry);
+            t[j - 1] = lo;
+            carry = hi;
+        }
+        let (t3, c) = adc(t[4], carry, 0);
+        t[3] = t3;
+        t[4] = t[5] + c;
+        t[5] = 0;
+    }
+
+    let result = U256::from_limbs([t[0], t[1], t[2], t[3]]);
+    if t[4] == 1 || result.cmp_raw(&P::MODULUS) != core::cmp::Ordering::Less {
+        let (reduced, _) = result.sbb(&P::MODULUS);
+        reduced
+    } else {
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// A small-ish test field: 2^255 - 19 is prime and > 2^255... it is not
+    /// (> 2^254). Use the P-256 coordinate prime's structure-free cousin:
+    /// m = 2^256 - 189 (a known prime) keeps the `m > 2^255` invariant.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    struct TestField;
+
+    impl FieldParams for TestField {
+        const MODULUS: U256 = U256::from_limbs([
+            u64::MAX - 188,
+            u64::MAX,
+            u64::MAX,
+            u64::MAX,
+        ]);
+        fn r() -> U256 {
+            static R: OnceLock<U256> = OnceLock::new();
+            *R.get_or_init(|| compute_r(&Self::MODULUS))
+        }
+        fn r2() -> U256 {
+            static R2: OnceLock<U256> = OnceLock::new();
+            *R2.get_or_init(|| compute_r2(&Self::MODULUS))
+        }
+    }
+
+    type F = Fe<TestField>;
+
+    #[test]
+    fn neg_inv_is_inverse() {
+        for m in [1u64, 3, 0xf3b9_cac2_fc63_2551, u64::MAX, u64::MAX - 188] {
+            let n0 = neg_inv_u64(m);
+            assert_eq!(m.wrapping_mul(n0.wrapping_neg()), 1, "m = {m:#x}");
+        }
+    }
+
+    #[test]
+    fn r_constants_match_definition() {
+        // R ≡ 2^256 (mod m): verify R + 189 overflows to exactly 2^256 ...
+        // simpler: R = 2^256 - m for m > 2^255.
+        let (expected_r, borrow) = U256::ZERO.sbb(&TestField::MODULUS);
+        assert_eq!(borrow, 1); // 2^256 - m computed as wrap-around
+        assert_eq!(TestField::r(), expected_r);
+    }
+
+    #[test]
+    fn round_trip_via_montgomery() {
+        for v in [0u64, 1, 2, 188, 189, 190, 12345, u64::MAX] {
+            let fe = F::from_u64(v);
+            assert_eq!(fe.to_u256(), U256::from_u64(v));
+        }
+    }
+
+    #[test]
+    fn add_commutes_and_wraps() {
+        let a = F::from_u256(&TestField::MODULUS.sbb(&U256::ONE).0); // m - 1
+        let b = F::from_u64(5);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).to_u256(), U256::from_u64(4));
+    }
+
+    #[test]
+    fn sub_is_inverse_of_add() {
+        let a = F::from_u64(123);
+        let b = F::from_u64(100_000);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&b).add(&b), a);
+    }
+
+    #[test]
+    fn neg_adds_to_zero() {
+        let a = F::from_u64(77);
+        assert!(a.add(&a.neg()).is_zero());
+        assert!(F::zero().neg().is_zero());
+    }
+
+    #[test]
+    fn mul_matches_small_values() {
+        let a = F::from_u64(1 << 40);
+        let b = F::from_u64(1 << 30);
+        assert_eq!(a.mul(&b).to_u256(), U256::from_limbs([0, 1 << 6, 0, 0]));
+    }
+
+    #[test]
+    fn mul_wraps_modulus() {
+        // (m - 1)² ≡ 1 (mod m)
+        let m_minus_1 = F::from_u256(&TestField::MODULUS.sbb(&U256::ONE).0);
+        assert_eq!(m_minus_1.square().to_u256(), U256::ONE);
+    }
+
+    #[test]
+    fn pow_and_invert() {
+        let a = F::from_u64(987_654_321);
+        let inv = a.invert().expect("non-zero invertible");
+        assert_eq!(a.mul(&inv).to_u256(), U256::ONE);
+        assert!(F::zero().invert().is_none());
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(m-1) = 1 for a != 0.
+        let a = F::from_u64(2);
+        let (exp, _) = TestField::MODULUS.sbb(&U256::ONE);
+        assert_eq!(a.pow(&exp).to_u256(), U256::ONE);
+    }
+
+    #[test]
+    fn mul_u64_matches_mul() {
+        let a = F::from_u64(0xdead_beef);
+        assert_eq!(a.mul_u64(8), a.mul(&F::from_u64(8)));
+        assert_eq!(a.mul_u64(0), F::zero());
+        assert_eq!(a.mul_u64(1), a);
+    }
+
+    #[test]
+    fn sqrt_round_trip() {
+        // m = 2^256 - 189 ≡ 3 (mod 4): (2^256 - 189) mod 4 = (0 - 1) mod 4 = 3.
+        let a = F::from_u64(1234);
+        let square = a.square();
+        let root = square.sqrt().expect("squares have roots");
+        assert!(root == a || root == a.neg());
+    }
+}

@@ -1,0 +1,614 @@
+//! The NIST P-256 (secp256r1) elliptic-curve group.
+//!
+//! UpKit's double-signature scheme uses ECDSA over secp256r1 with SHA-256,
+//! the combination the paper selects because every evaluated crypto library
+//! (TinyDTLS, tinycrypt, CryptoAuthLib) supports it. This module provides
+//! the group arithmetic; [`crate::ecdsa`] builds signatures on top.
+
+use std::sync::OnceLock;
+
+use crate::mont::{compute_r, compute_r2, Fe, FieldParams};
+use crate::u256::U256;
+
+/// Marker for the P-256 coordinate field `GF(p)`,
+/// `p = 2^256 - 2^224 + 2^192 + 2^96 - 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct P256FieldParams;
+
+impl FieldParams for P256FieldParams {
+    const MODULUS: U256 = U256::from_limbs([
+        0xffff_ffff_ffff_ffff,
+        0x0000_0000_ffff_ffff,
+        0x0000_0000_0000_0000,
+        0xffff_ffff_0000_0001,
+    ]);
+    fn r() -> U256 {
+        static R: OnceLock<U256> = OnceLock::new();
+        *R.get_or_init(|| compute_r(&Self::MODULUS))
+    }
+    fn r2() -> U256 {
+        static R2: OnceLock<U256> = OnceLock::new();
+        *R2.get_or_init(|| compute_r2(&Self::MODULUS))
+    }
+}
+
+/// Marker for the P-256 scalar field `GF(n)` where `n` is the group order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct P256ScalarParams;
+
+impl FieldParams for P256ScalarParams {
+    const MODULUS: U256 = U256::from_limbs([
+        0xf3b9_cac2_fc63_2551,
+        0xbce6_faad_a717_9e84,
+        0xffff_ffff_ffff_ffff,
+        0xffff_ffff_0000_0000,
+    ]);
+    fn r() -> U256 {
+        static R: OnceLock<U256> = OnceLock::new();
+        *R.get_or_init(|| compute_r(&Self::MODULUS))
+    }
+    fn r2() -> U256 {
+        static R2: OnceLock<U256> = OnceLock::new();
+        *R2.get_or_init(|| compute_r2(&Self::MODULUS))
+    }
+}
+
+/// An element of the coordinate field.
+pub type FieldElement = Fe<P256FieldParams>;
+/// An element of the scalar field (integers modulo the group order).
+pub type Scalar = Fe<P256ScalarParams>;
+
+/// The group order `n`.
+#[must_use]
+pub fn order() -> U256 {
+    P256ScalarParams::MODULUS
+}
+
+/// The coordinate-field prime `p`.
+#[must_use]
+pub fn field_prime() -> U256 {
+    P256FieldParams::MODULUS
+}
+
+fn curve_b() -> FieldElement {
+    static B: OnceLock<U256> = OnceLock::new();
+    let raw = B.get_or_init(|| {
+        U256::from_be_bytes(&hex_32(
+            "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b",
+        ))
+    });
+    FieldElement::from_u256(raw)
+}
+
+fn hex_32(s: &str) -> [u8; 32] {
+    debug_assert_eq!(s.len(), 64);
+    let mut out = [0u8; 32];
+    for (i, byte) in out.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).expect("valid hex literal");
+    }
+    out
+}
+
+/// A point on P-256 in affine coordinates, or the point at infinity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AffinePoint {
+    /// The group identity.
+    Identity,
+    /// A finite curve point.
+    Point {
+        /// x-coordinate.
+        x: FieldElement,
+        /// y-coordinate.
+        y: FieldElement,
+    },
+}
+
+impl AffinePoint {
+    /// The group generator `G`.
+    #[must_use]
+    pub fn generator() -> Self {
+        static G: OnceLock<(U256, U256)> = OnceLock::new();
+        let (gx, gy) = G.get_or_init(|| {
+            (
+                U256::from_be_bytes(&hex_32(
+                    "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
+                )),
+                U256::from_be_bytes(&hex_32(
+                    "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
+                )),
+            )
+        });
+        Self::Point {
+            x: FieldElement::from_u256(gx),
+            y: FieldElement::from_u256(gy),
+        }
+    }
+
+    /// Returns `true` if the point satisfies the curve equation
+    /// `y² = x³ - 3x + b` (the identity is considered on-curve).
+    #[must_use]
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Self::Identity => true,
+            Self::Point { x, y } => {
+                let lhs = y.square();
+                let rhs = x
+                    .square()
+                    .mul(x)
+                    .sub(&x.mul_u64(3))
+                    .add(&curve_b());
+                lhs == rhs
+            }
+        }
+    }
+
+    /// Serializes to the SEC1 uncompressed form `04 ‖ X ‖ Y` (65 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the identity, which has no SEC1 uncompressed
+    /// encoding.
+    #[must_use]
+    pub fn to_sec1_bytes(&self) -> [u8; 65] {
+        match self {
+            Self::Identity => panic!("the identity has no uncompressed SEC1 encoding"),
+            Self::Point { x, y } => {
+                let mut out = [0u8; 65];
+                out[0] = 0x04;
+                out[1..33].copy_from_slice(&x.to_u256().to_be_bytes());
+                out[33..65].copy_from_slice(&y.to_u256().to_be_bytes());
+                out
+            }
+        }
+    }
+
+    /// Serializes to the SEC1 compressed form `02/03 ‖ X` (33 bytes) —
+    /// half the flash cost of the uncompressed form, which matters when
+    /// public keys live in a constrained device's trust store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the identity, which has no SEC1 encoding.
+    #[must_use]
+    pub fn to_sec1_compressed(&self) -> [u8; 33] {
+        match self {
+            Self::Identity => panic!("the identity has no compressed SEC1 encoding"),
+            Self::Point { x, y } => {
+                let mut out = [0u8; 33];
+                out[0] = 2 + (y.to_u256().0[0] & 1) as u8;
+                out[1..].copy_from_slice(&x.to_u256().to_be_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses a SEC1 compressed point, recovering `y` via the curve
+    /// equation (`p ≡ 3 (mod 4)` square root).
+    pub fn from_sec1_compressed(bytes: &[u8]) -> Result<Self, PointError> {
+        if bytes.len() != 33 || (bytes[0] != 0x02 && bytes[0] != 0x03) {
+            return Err(PointError::Encoding);
+        }
+        let mut xb = [0u8; 32];
+        xb.copy_from_slice(&bytes[1..]);
+        let x_raw = U256::from_be_bytes(&xb);
+        if x_raw.cmp_raw(&field_prime()) != core::cmp::Ordering::Less {
+            return Err(PointError::Encoding);
+        }
+        let x = FieldElement::from_u256(&x_raw);
+        // y² = x³ - 3x + b
+        let rhs = x.square().mul(&x).sub(&x.mul_u64(3)).add(&curve_b());
+        let y = rhs.sqrt().ok_or(PointError::NotOnCurve)?;
+        let y_is_odd = y.to_u256().0[0] & 1 == 1;
+        let want_odd = bytes[0] == 0x03;
+        let y = if y_is_odd == want_odd { y } else { y.neg() };
+        Ok(Self::Point { x, y })
+    }
+
+    /// Parses a SEC1 uncompressed point, validating that it lies on the
+    /// curve.
+    pub fn from_sec1_bytes(bytes: &[u8]) -> Result<Self, PointError> {
+        if bytes.len() != 65 || bytes[0] != 0x04 {
+            return Err(PointError::Encoding);
+        }
+        let mut xb = [0u8; 32];
+        let mut yb = [0u8; 32];
+        xb.copy_from_slice(&bytes[1..33]);
+        yb.copy_from_slice(&bytes[33..65]);
+        let x_raw = U256::from_be_bytes(&xb);
+        let y_raw = U256::from_be_bytes(&yb);
+        if x_raw.cmp_raw(&field_prime()) != core::cmp::Ordering::Less
+            || y_raw.cmp_raw(&field_prime()) != core::cmp::Ordering::Less
+        {
+            return Err(PointError::Encoding);
+        }
+        let point = Self::Point {
+            x: FieldElement::from_u256(&x_raw),
+            y: FieldElement::from_u256(&y_raw),
+        };
+        if point.is_on_curve() {
+            Ok(point)
+        } else {
+            Err(PointError::NotOnCurve)
+        }
+    }
+
+    /// Converts to Jacobian coordinates.
+    #[must_use]
+    pub fn to_jacobian(&self) -> JacobianPoint {
+        match self {
+            Self::Identity => JacobianPoint::identity(),
+            Self::Point { x, y } => JacobianPoint {
+                x: *x,
+                y: *y,
+                z: FieldElement::one(),
+            },
+        }
+    }
+}
+
+/// Errors arising from point decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PointError {
+    /// The byte encoding was malformed.
+    Encoding,
+    /// The coordinates do not satisfy the curve equation.
+    NotOnCurve,
+}
+
+impl core::fmt::Display for PointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Encoding => f.write_str("malformed SEC1 point encoding"),
+            Self::NotOnCurve => f.write_str("coordinates do not lie on P-256"),
+        }
+    }
+}
+
+impl std::error::Error for PointError {}
+
+/// A point in Jacobian projective coordinates `(X : Y : Z)` with
+/// `x = X/Z²`, `y = Y/Z³`; the identity has `Z = 0`.
+#[derive(Clone, Copy, Debug)]
+pub struct JacobianPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+}
+
+impl JacobianPoint {
+    /// The group identity.
+    #[must_use]
+    pub fn identity() -> Self {
+        Self {
+            x: FieldElement::one(),
+            y: FieldElement::one(),
+            z: FieldElement::zero(),
+        }
+    }
+
+    /// Returns `true` for the identity.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Point doubling (formulas for `a = -3` short Weierstrass curves).
+    #[must_use]
+    pub fn double(&self) -> Self {
+        if self.is_identity() || self.y.is_zero() {
+            return Self::identity();
+        }
+        let delta = self.z.square();
+        let gamma = self.y.square();
+        let beta = self.x.mul(&gamma);
+        let alpha = self.x.sub(&delta).mul(&self.x.add(&delta)).mul_u64(3);
+        let x3 = alpha.square().sub(&beta.mul_u64(8));
+        let z3 = self
+            .y
+            .add(&self.z)
+            .square()
+            .sub(&gamma)
+            .sub(&delta);
+        let y3 = alpha
+            .mul(&beta.mul_u64(4).sub(&x3))
+            .sub(&gamma.square().mul_u64(8));
+        Self { x: x3, y: y3, z: z3 }
+    }
+
+    /// General Jacobian point addition.
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
+        if self.is_identity() {
+            return *rhs;
+        }
+        if rhs.is_identity() {
+            return *self;
+        }
+
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = rhs.x.mul(&z1z1);
+        let s1 = self.y.mul(&z2z2).mul(&rhs.z);
+        let s2 = rhs.y.mul(&z1z1).mul(&self.z);
+
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+
+        let h = u2.sub(&u1);
+        let i = h.double().square();
+        let j = h.mul(&i);
+        let r = s2.sub(&s1).double();
+        let v = u1.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.double());
+        let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
+        let z3 = self
+            .z
+            .add(&rhs.z)
+            .square()
+            .sub(&z1z1)
+            .sub(&z2z2)
+            .mul(&h);
+        Self { x: x3, y: y3, z: z3 }
+    }
+
+    /// Scalar multiplication `k · self` (left-to-right double-and-add).
+    #[must_use]
+    pub fn mul_scalar(&self, k: &U256) -> Self {
+        let mut acc = Self::identity();
+        for i in (0..k.bits()).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Converts back to affine coordinates.
+    #[must_use]
+    pub fn to_affine(&self) -> AffinePoint {
+        if self.is_identity() {
+            return AffinePoint::Identity;
+        }
+        let z_inv = self.z.invert().expect("non-identity implies z != 0");
+        let z_inv2 = z_inv.square();
+        let z_inv3 = z_inv2.mul(&z_inv);
+        AffinePoint::Point {
+            x: self.x.mul(&z_inv2),
+            y: self.y.mul(&z_inv3),
+        }
+    }
+}
+
+/// Computes `a·G + b·Q`, the linear combination at the heart of ECDSA
+/// verification.
+#[must_use]
+pub fn double_scalar_mul(a: &U256, b: &U256, q: &AffinePoint) -> JacobianPoint {
+    let g = AffinePoint::generator().to_jacobian();
+    let q = q.to_jacobian();
+    // Shamir's trick: one shared doubling chain for both scalars.
+    let table = [
+        None,                  // 00
+        Some(g),               // 01
+        Some(q),               // 10
+        Some(g.add(&q)),       // 11
+    ];
+    let bits = a.bits().max(b.bits());
+    let mut acc = JacobianPoint::identity();
+    for i in (0..bits).rev() {
+        acc = acc.double();
+        let idx = (usize::from(b.bit(i)) << 1) | usize::from(a.bit(i));
+        if let Some(addend) = &table[idx] {
+            acc = acc.add(addend);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gx_times(k: u64) -> AffinePoint {
+        AffinePoint::generator()
+            .to_jacobian()
+            .mul_scalar(&U256::from_u64(k))
+            .to_affine()
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(AffinePoint::generator().is_on_curve());
+    }
+
+    #[test]
+    fn small_multiples_are_on_curve() {
+        for k in 1..=20u64 {
+            assert!(gx_times(k).is_on_curve(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn two_g_known_value() {
+        // 2G, published test vector for P-256.
+        let p2 = gx_times(2);
+        let AffinePoint::Point { x, .. } = p2 else {
+            panic!("2G is not the identity");
+        };
+        assert_eq!(
+            x.to_u256().to_be_bytes().to_vec(),
+            hex_32("7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978").to_vec()
+        );
+    }
+
+    #[test]
+    fn order_times_generator_is_identity() {
+        let ng = AffinePoint::generator().to_jacobian().mul_scalar(&order());
+        assert!(ng.is_identity());
+    }
+
+    #[test]
+    fn n_minus_1_g_is_minus_g() {
+        let (n_minus_1, _) = order().sbb(&U256::ONE);
+        let p = AffinePoint::generator()
+            .to_jacobian()
+            .mul_scalar(&n_minus_1)
+            .to_affine();
+        let AffinePoint::Point { x, y } = p else {
+            panic!("(n-1)G is finite");
+        };
+        let AffinePoint::Point { x: gx, y: gy } = AffinePoint::generator() else {
+            unreachable!()
+        };
+        assert_eq!(x, gx);
+        assert_eq!(y, gy.neg());
+    }
+
+    #[test]
+    fn addition_agrees_with_doubling() {
+        let g = AffinePoint::generator().to_jacobian();
+        let sum = g.add(&g).to_affine();
+        let dbl = g.double().to_affine();
+        assert_eq!(sum, dbl);
+    }
+
+    #[test]
+    fn addition_is_associative_on_samples() {
+        let g = AffinePoint::generator().to_jacobian();
+        let a = g.mul_scalar(&U256::from_u64(3));
+        let b = g.mul_scalar(&U256::from_u64(5));
+        let c = g.mul_scalar(&U256::from_u64(11));
+        let left = a.add(&b).add(&c).to_affine();
+        let right = a.add(&b.add(&c)).to_affine();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        // (a + b)G == aG + bG
+        let g = AffinePoint::generator().to_jacobian();
+        let a = U256::from_u64(123_456);
+        let b = U256::from_u64(654_321);
+        let (sum, _) = a.adc(&b);
+        let lhs = g.mul_scalar(&sum).to_affine();
+        let rhs = g.mul_scalar(&a).add(&g.mul_scalar(&b)).to_affine();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn identity_is_absorbing() {
+        let g = AffinePoint::generator().to_jacobian();
+        let id = JacobianPoint::identity();
+        assert_eq!(g.add(&id).to_affine(), g.to_affine());
+        assert_eq!(id.add(&g).to_affine(), g.to_affine());
+        assert!(id.double().is_identity());
+        assert!(id.mul_scalar(&U256::from_u64(42)).is_identity());
+    }
+
+    #[test]
+    fn inverse_points_cancel() {
+        let g = AffinePoint::generator().to_jacobian();
+        let AffinePoint::Point { x, y } = g.to_affine() else {
+            unreachable!()
+        };
+        let neg_g = AffinePoint::Point { x, y: y.neg() }.to_jacobian();
+        assert!(g.add(&neg_g).is_identity());
+    }
+
+    #[test]
+    fn sec1_round_trip() {
+        let p = gx_times(7);
+        let bytes = p.to_sec1_bytes();
+        assert_eq!(AffinePoint::from_sec1_bytes(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn sec1_rejects_garbage() {
+        assert_eq!(
+            AffinePoint::from_sec1_bytes(&[0u8; 65]),
+            Err(PointError::Encoding)
+        );
+        let mut bytes = gx_times(3).to_sec1_bytes();
+        bytes[40] ^= 1; // corrupt y
+        assert_eq!(
+            AffinePoint::from_sec1_bytes(&bytes),
+            Err(PointError::NotOnCurve)
+        );
+        assert_eq!(
+            AffinePoint::from_sec1_bytes(&bytes[..64]),
+            Err(PointError::Encoding)
+        );
+    }
+
+    #[test]
+    fn compressed_sec1_round_trip() {
+        for k in [1u64, 2, 3, 7, 99, 1234] {
+            let p = gx_times(k);
+            let compressed = p.to_sec1_compressed();
+            let parsed = AffinePoint::from_sec1_compressed(&compressed).unwrap();
+            assert_eq!(parsed, p, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn compressed_prefix_selects_y_parity() {
+        let p = gx_times(5);
+        let mut bytes = p.to_sec1_compressed();
+        bytes[0] ^= 0x01; // flip parity: the *other* root
+        let flipped = AffinePoint::from_sec1_compressed(&bytes).unwrap();
+        let AffinePoint::Point { x, y } = p else { unreachable!() };
+        let AffinePoint::Point { x: fx, y: fy } = flipped else {
+            unreachable!()
+        };
+        assert_eq!(x, fx);
+        assert_eq!(fy, y.neg());
+        assert!(flipped.is_on_curve());
+    }
+
+    #[test]
+    fn compressed_rejects_invalid_input() {
+        assert_eq!(
+            AffinePoint::from_sec1_compressed(&[0x04; 33]),
+            Err(PointError::Encoding)
+        );
+        assert_eq!(
+            AffinePoint::from_sec1_compressed(&[0x02; 32]),
+            Err(PointError::Encoding)
+        );
+        // x with no point on the curve (x = 0 ⇒ y² = b, b is a QR? test
+        // dynamically: try a few x until one fails).
+        let mut rejected = false;
+        for x0 in 0u8..8 {
+            let mut bytes = [0u8; 33];
+            bytes[0] = 0x02;
+            bytes[32] = x0;
+            if AffinePoint::from_sec1_compressed(&bytes)
+                == Err(PointError::NotOnCurve)
+            {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "some small x must be a non-residue");
+    }
+
+    #[test]
+    fn double_scalar_mul_matches_separate() {
+        let q = gx_times(99);
+        let a = U256::from_u64(7777);
+        let b = U256::from_u64(3333);
+        let fused = double_scalar_mul(&a, &b, &q).to_affine();
+        let g = AffinePoint::generator().to_jacobian();
+        let separate = g
+            .mul_scalar(&a)
+            .add(&q.to_jacobian().mul_scalar(&b))
+            .to_affine();
+        assert_eq!(fused, separate);
+    }
+}

@@ -1,0 +1,664 @@
+//! Binary differencing (`bsdiff`) and streaming patching (`bspatch`) for
+//! UpKit differential updates.
+//!
+//! The update server computes a delta between the device's current firmware
+//! and the new image ([`diff`]); the device reconstructs the new image by
+//! running the patch through its pipeline, where the *patching stage*
+//! ([`StreamPatcher`]) consumes patch bytes incrementally — in radio-MTU
+//! chunks — while reading the old image from a flash slot and emitting new
+//! bytes straight to the writer stage. No extra slot is ever allocated for
+//! the patch itself, which is the paper's key storage optimization
+//! (Sect. IV-C).
+//!
+//! # Patch format
+//!
+//! `magic ‖ old_len u32 ‖ new_len u32`, then a sequence of entries:
+//! `diff_len u32 ‖ extra_len u32 ‖ seek i32`, followed by `diff_len` bytes
+//! to add to the old image at the current cursor and `extra_len` literal
+//! bytes; `seek` then adjusts the old-image cursor. This is the classic
+//! bsdiff structure with the three blocks interleaved so it can be applied
+//! in a single pass. Compression is applied *outside* this crate (UpKit's
+//! pipeline runs the patch through LZSS first).
+//!
+//! A fixed-block baseline ([`blockdiff`]) is included so the bsdiff choice
+//! can be evaluated rather than assumed (see the `delta_algorithms`
+//! experiment).
+//!
+//! # Examples
+//!
+//! ```
+//! use upkit_delta::{diff, patch};
+//!
+//! let old = b"firmware version 1.0 with features A and B".to_vec();
+//! let new = b"firmware version 2.0 with features A, B and C".to_vec();
+//! let delta = diff(&old, &new);
+//! assert_eq!(patch(&old, &delta).unwrap(), new);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blockdiff;
+pub mod suffix;
+
+use suffix::SuffixArray;
+
+/// Magic bytes identifying a patch produced by this crate.
+pub const MAGIC: [u8; 4] = *b"BSD1";
+
+/// Size in bytes of the patch header.
+pub const HEADER_LEN: usize = 4 + 4 + 4;
+
+/// Size in bytes of a control entry.
+pub const CONTROL_LEN: usize = 4 + 4 + 4;
+
+/// Errors produced while applying a patch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PatchError {
+    /// The patch does not begin with the expected magic bytes.
+    BadMagic,
+    /// The patch was computed against an old image of a different length.
+    OldLengthMismatch,
+    /// A control entry walked outside the old image.
+    OldRangeOutOfBounds,
+    /// The patch produced more output than its header declared.
+    OutputOverrun,
+    /// The patch ended before producing the declared output length.
+    Truncated,
+    /// Reading the old image failed.
+    OldReadFailed,
+}
+
+impl core::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BadMagic => f.write_str("missing bsdiff magic bytes"),
+            Self::OldLengthMismatch => f.write_str("patch targets an old image of different size"),
+            Self::OldRangeOutOfBounds => f.write_str("patch control walked outside the old image"),
+            Self::OutputOverrun => f.write_str("patch produced more data than declared"),
+            Self::Truncated => f.write_str("patch stream truncated"),
+            Self::OldReadFailed => f.write_str("reading the old image failed"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// Random-access source for the old firmware image during patching.
+///
+/// On the device this is backed by a flash slot (internal flash is
+/// memory-mapped on the paper's platforms); in tests it is a byte slice.
+pub trait OldImage {
+    /// Total length of the old image in bytes.
+    fn len(&self) -> u64;
+
+    /// Returns `true` if the image is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchError::OldReadFailed`] if the range cannot be read.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), PatchError>;
+}
+
+impl OldImage for [u8] {
+    fn len(&self) -> u64 {
+        <[u8]>::len(self) as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), PatchError> {
+        let start = usize::try_from(offset).map_err(|_| PatchError::OldReadFailed)?;
+        let end = start.checked_add(buf.len()).ok_or(PatchError::OldReadFailed)?;
+        if end > <[u8]>::len(self) {
+            return Err(PatchError::OldReadFailed);
+        }
+        buf.copy_from_slice(&self[start..end]);
+        Ok(())
+    }
+}
+
+impl OldImage for &[u8] {
+    fn len(&self) -> u64 {
+        <[u8]>::len(self) as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), PatchError> {
+        (**self).read_at(offset, buf)
+    }
+}
+
+impl OldImage for Vec<u8> {
+    fn len(&self) -> u64 {
+        self.as_slice().len() as u64
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), PatchError> {
+        self.as_slice().read_at(offset, buf)
+    }
+}
+
+/// Computes a patch transforming `old` into `new` (server-side operation).
+///
+/// Follows Colin Percival's bsdiff matching strategy: approximate matches
+/// are extended with a mismatch budget so that byte-wise deltas of similar
+/// regions compress well downstream.
+#[must_use]
+pub fn diff(old: &[u8], new: &[u8]) -> Vec<u8> {
+    let sa = SuffixArray::build(old);
+
+    let mut out = Vec::with_capacity(HEADER_LEN + new.len() / 4 + 64);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(old.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(new.len() as u32).to_le_bytes());
+
+    let mut scan = 0usize; // cursor in new
+    let mut len = 0usize; // length of current match
+    let mut pos = 0usize; // match position in old
+    let mut lastscan = 0usize;
+    let mut lastpos = 0usize;
+    let mut lastoffset = 0isize;
+
+    while scan < new.len() {
+        let mut oldscore = 0usize;
+        scan += len;
+        let mut scsc = scan;
+
+        while scan < new.len() {
+            let (l, p) = sa.longest_match(old, &new[scan..]);
+            len = l;
+            pos = p;
+
+            while scsc < scan + len {
+                let off = scsc as isize + lastoffset;
+                if off >= 0 && (off as usize) < old.len() && old[off as usize] == new[scsc] {
+                    oldscore += 1;
+                }
+                scsc += 1;
+            }
+
+            if (len == oldscore && len != 0) || len > oldscore + 8 {
+                break;
+            }
+
+            let off = scan as isize + lastoffset;
+            if off >= 0 && (off as usize) < old.len() && old[off as usize] == new[scan] {
+                oldscore = oldscore.saturating_sub(1);
+            }
+            scan += 1;
+        }
+
+        if len != oldscore || scan == new.len() {
+            // Extend the previous match region forward (lenf) while at
+            // least half the bytes agree.
+            let mut lenf = 0usize;
+            {
+                let mut s = 0usize;
+                let mut sf = 0usize;
+                let mut i = 0usize;
+                while lastscan + i < scan && lastpos + i < old.len() {
+                    if old[lastpos + i] == new[lastscan + i] {
+                        s += 1;
+                    }
+                    i += 1;
+                    if s * 2 + lenf >= sf * 2 + i {
+                        sf = s;
+                        lenf = i;
+                    }
+                }
+            }
+
+            // Extend the new match region backward (lenb).
+            let mut lenb = 0usize;
+            if scan < new.len() {
+                let mut s = 0usize;
+                let mut sb = 0usize;
+                let mut i = 1usize;
+                while scan >= lastscan + i && pos >= i {
+                    if old[pos - i] == new[scan - i] {
+                        s += 1;
+                    }
+                    if s * 2 + lenb >= sb * 2 + i {
+                        sb = s;
+                        lenb = i;
+                    }
+                    i += 1;
+                }
+            }
+
+            // Resolve overlap between the forward and backward extensions.
+            if lastscan + lenf > scan - lenb {
+                let overlap = (lastscan + lenf) - (scan - lenb);
+                let mut s = 0isize;
+                let mut best_s = 0isize;
+                let mut lens = 0usize;
+                for i in 0..overlap {
+                    if new[lastscan + lenf - overlap + i] == old[lastpos + lenf - overlap + i] {
+                        s += 1;
+                    }
+                    if new[scan - lenb + i] == old[pos - lenb + i] {
+                        s -= 1;
+                    }
+                    if s > best_s {
+                        best_s = s;
+                        lens = i + 1;
+                    }
+                }
+                lenf += lens;
+                lenf -= overlap;
+                lenb -= lens;
+            }
+
+            let extra_start = lastscan + lenf;
+            let extra_len = (scan - lenb) - extra_start;
+            let seek = (pos as i64 - lenb as i64) - (lastpos as i64 + lenf as i64);
+
+            out.extend_from_slice(&(lenf as u32).to_le_bytes());
+            out.extend_from_slice(&(extra_len as u32).to_le_bytes());
+            out.extend_from_slice(&(seek as i32).to_le_bytes());
+            for i in 0..lenf {
+                out.push(new[lastscan + i].wrapping_sub(old[lastpos + i]));
+            }
+            out.extend_from_slice(&new[extra_start..extra_start + extra_len]);
+
+            lastscan = scan - lenb;
+            lastpos = pos - lenb;
+            lastoffset = pos as isize - scan as isize;
+        }
+    }
+
+    out
+}
+
+/// Applies `patch_bytes` to `old` in one call.
+pub fn patch(old: &[u8], patch_bytes: &[u8]) -> Result<Vec<u8>, PatchError> {
+    let mut patcher = StreamPatcher::new(old);
+    let mut out = Vec::new();
+    patcher.push(patch_bytes, &mut out)?;
+    patcher.finish()?;
+    Ok(out)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PatchState {
+    Header { filled: usize },
+    Control { filled: usize },
+    Diff { remaining: u32 },
+    Extra { remaining: u32 },
+    Done,
+}
+
+/// Incremental bspatch: accepts patch bytes in arbitrary chunks, reads the
+/// old image on demand, and appends reconstructed bytes to a caller buffer.
+///
+/// This is the *patching stage* of UpKit's pipeline. RAM usage is constant:
+/// a 12-byte header/control scratch buffer plus the old-image cursor.
+#[derive(Debug)]
+pub struct StreamPatcher<O> {
+    old: O,
+    state: PatchState,
+    scratch: [u8; HEADER_LEN],
+    new_len: u64,
+    produced: u64,
+    old_pos: i64,
+    extra_after_diff: u32,
+    seek_after_extra: i32,
+}
+
+impl<O: OldImage> StreamPatcher<O> {
+    /// Creates a patcher that reads the previous firmware from `old`.
+    #[must_use]
+    pub fn new(old: O) -> Self {
+        Self {
+            old,
+            state: PatchState::Header { filled: 0 },
+            scratch: [0; HEADER_LEN],
+            new_len: 0,
+            produced: 0,
+            old_pos: 0,
+            extra_after_diff: 0,
+            seek_after_extra: 0,
+        }
+    }
+
+    /// Declared output length (0 until the header is parsed).
+    #[must_use]
+    pub fn new_len(&self) -> u64 {
+        self.new_len
+    }
+
+    /// Bytes produced so far.
+    #[must_use]
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Returns `true` once the full new image has been produced.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.state == PatchState::Done
+    }
+
+    /// Feeds patch bytes, appending reconstructed output to `out`.
+    pub fn push(&mut self, input: &[u8], out: &mut Vec<u8>) -> Result<(), PatchError> {
+        let mut input = input;
+        while !input.is_empty() {
+            match self.state {
+                PatchState::Header { filled } => {
+                    let take = (HEADER_LEN - filled).min(input.len());
+                    self.scratch[filled..filled + take].copy_from_slice(&input[..take]);
+                    input = &input[take..];
+                    let filled = filled + take;
+                    if filled == HEADER_LEN {
+                        if self.scratch[..4] != MAGIC {
+                            return Err(PatchError::BadMagic);
+                        }
+                        let old_len =
+                            u32::from_le_bytes(self.scratch[4..8].try_into().expect("4 bytes"));
+                        if u64::from(old_len) != self.old.len() {
+                            return Err(PatchError::OldLengthMismatch);
+                        }
+                        self.new_len = u64::from(u32::from_le_bytes(
+                            self.scratch[8..12].try_into().expect("4 bytes"),
+                        ));
+                        self.state = if self.new_len == 0 {
+                            PatchState::Done
+                        } else {
+                            PatchState::Control { filled: 0 }
+                        };
+                    } else {
+                        self.state = PatchState::Header { filled };
+                    }
+                }
+                PatchState::Control { filled } => {
+                    let take = (CONTROL_LEN - filled).min(input.len());
+                    self.scratch[filled..filled + take].copy_from_slice(&input[..take]);
+                    input = &input[take..];
+                    let filled = filled + take;
+                    if filled == CONTROL_LEN {
+                        let diff_len =
+                            u32::from_le_bytes(self.scratch[0..4].try_into().expect("4 bytes"));
+                        self.extra_after_diff =
+                            u32::from_le_bytes(self.scratch[4..8].try_into().expect("4 bytes"));
+                        self.seek_after_extra =
+                            i32::from_le_bytes(self.scratch[8..12].try_into().expect("4 bytes"));
+                        self.state = PatchState::Diff { remaining: diff_len };
+                        self.advance_through_empty_blocks();
+                    } else {
+                        self.state = PatchState::Control { filled };
+                    }
+                }
+                PatchState::Diff { remaining } => {
+                    let take = (remaining as usize).min(input.len());
+                    // Bounds: old bytes [old_pos, old_pos + take).
+                    if self.old_pos < 0
+                        || (self.old_pos as u64).saturating_add(take as u64) > self.old.len()
+                    {
+                        return Err(PatchError::OldRangeOutOfBounds);
+                    }
+                    let mut old_buf = vec![0u8; take];
+                    self.old.read_at(self.old_pos as u64, &mut old_buf)?;
+                    for (delta, old_byte) in input[..take].iter().zip(old_buf.iter()) {
+                        out.push(delta.wrapping_add(*old_byte));
+                    }
+                    self.produced += take as u64;
+                    if self.produced > self.new_len {
+                        return Err(PatchError::OutputOverrun);
+                    }
+                    self.old_pos += take as i64;
+                    input = &input[take..];
+                    self.state = PatchState::Diff { remaining: remaining - take as u32 };
+                    self.advance_through_empty_blocks();
+                }
+                PatchState::Extra { remaining } => {
+                    let take = (remaining as usize).min(input.len());
+                    out.extend_from_slice(&input[..take]);
+                    self.produced += take as u64;
+                    if self.produced > self.new_len {
+                        return Err(PatchError::OutputOverrun);
+                    }
+                    input = &input[take..];
+                    self.state = PatchState::Extra { remaining: remaining - take as u32 };
+                    self.advance_through_empty_blocks();
+                }
+                PatchState::Done => {
+                    return Err(PatchError::OutputOverrun);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares end of patch input; fails if output is incomplete.
+    pub fn finish(&self) -> Result<(), PatchError> {
+        if self.state == PatchState::Done {
+            Ok(())
+        } else {
+            Err(PatchError::Truncated)
+        }
+    }
+
+    /// Moves past exhausted diff/extra blocks and applies the seek at the
+    /// end of an entry, deciding whether the patch is complete.
+    fn advance_through_empty_blocks(&mut self) {
+        if let PatchState::Diff { remaining: 0 } = self.state {
+            self.state = PatchState::Extra { remaining: self.extra_after_diff };
+        }
+        if let PatchState::Extra { remaining: 0 } = self.state {
+            self.old_pos += i64::from(self.seek_after_extra);
+            self.state = if self.produced == self.new_len {
+                PatchState::Done
+            } else {
+                PatchState::Control { filled: 0 }
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_bytes(seed: u32, len: usize) -> Vec<u8> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (state >> 24) as u8
+            })
+            .collect()
+    }
+
+    fn round_trip(old: &[u8], new: &[u8]) -> usize {
+        let delta = diff(old, new);
+        assert_eq!(patch(old, &delta).unwrap(), new);
+        // Like classic bsdiff, patches carry long zero runs for unchanged
+        // regions; the pipeline's LZSS stage removes them. The effective
+        // transfer cost is therefore approximated by non-zero bytes.
+        delta.iter().filter(|&&b| b != 0).count()
+    }
+
+    #[test]
+    fn identical_images() {
+        let data = lcg_bytes(1, 5000);
+        let size = round_trip(&data, &data);
+        assert!(size < 100, "identical images should yield a near-zero effective patch, got {size}");
+    }
+
+    #[test]
+    fn empty_to_empty() {
+        round_trip(b"", b"");
+    }
+
+    #[test]
+    fn empty_old() {
+        round_trip(b"", b"brand new firmware image");
+    }
+
+    #[test]
+    fn empty_new() {
+        round_trip(b"old firmware", b"");
+    }
+
+    #[test]
+    fn small_edit_produces_small_patch() {
+        let old = lcg_bytes(2, 20_000);
+        let mut new = old.clone();
+        // Simulate an application change: flip a small region.
+        for byte in &mut new[7000..7050] {
+            *byte = byte.wrapping_add(13);
+        }
+        let size = round_trip(&old, &new);
+        assert!(size < 2000, "50-byte change should not need {size} effective patch bytes");
+    }
+
+    #[test]
+    fn insertion_in_the_middle() {
+        let old = lcg_bytes(3, 8000);
+        let mut new = old[..4000].to_vec();
+        new.extend_from_slice(b"inserted-code-section");
+        new.extend_from_slice(&old[4000..]);
+        round_trip(&old, &new);
+    }
+
+    #[test]
+    fn deletion_in_the_middle() {
+        let old = lcg_bytes(4, 8000);
+        let mut new = old[..3000].to_vec();
+        new.extend_from_slice(&old[5000..]);
+        round_trip(&old, &new);
+    }
+
+    #[test]
+    fn completely_different_images() {
+        let old = lcg_bytes(5, 3000);
+        let new = lcg_bytes(99, 3500);
+        round_trip(&old, &new);
+    }
+
+    #[test]
+    fn new_shorter_than_old() {
+        let old = lcg_bytes(6, 10_000);
+        let new = old[2000..6000].to_vec();
+        round_trip(&old, &new);
+    }
+
+    #[test]
+    fn repeated_structure() {
+        let old: Vec<u8> = b"function_block_A".repeat(100);
+        let mut new: Vec<u8> = b"function_block_A".repeat(60);
+        new.extend_from_slice(&b"function_block_B".repeat(45));
+        round_trip(&old, &new);
+    }
+
+    #[test]
+    fn streaming_any_chunk_size() {
+        let old = lcg_bytes(7, 6000);
+        let mut new = old.clone();
+        new[100..130].copy_from_slice(b"...thirty.bytes.of.change.....");
+        new.extend_from_slice(b"appendix");
+        let delta = diff(&old, &new);
+        for chunk_size in [1usize, 3, 11, 64, 500, 10_000] {
+            let mut patcher = StreamPatcher::new(old.as_slice());
+            let mut out = Vec::new();
+            for chunk in delta.chunks(chunk_size) {
+                patcher.push(chunk, &mut out).unwrap();
+            }
+            patcher.finish().unwrap();
+            assert_eq!(out, new, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut delta = diff(b"old", b"new");
+        delta[0] = b'X';
+        assert_eq!(patch(b"old", &delta), Err(PatchError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_wrong_old_image() {
+        let old = lcg_bytes(8, 1000);
+        let new = lcg_bytes(9, 1000);
+        let delta = diff(&old, &new);
+        let wrong_old = lcg_bytes(10, 999);
+        assert_eq!(patch(&wrong_old, &delta), Err(PatchError::OldLengthMismatch));
+    }
+
+    #[test]
+    fn rejects_truncated_patch() {
+        let old = lcg_bytes(11, 2000);
+        let new = lcg_bytes(12, 2000);
+        let delta = diff(&old, &new);
+        let mut patcher = StreamPatcher::new(old.as_slice());
+        let mut out = Vec::new();
+        patcher.push(&delta[..delta.len() - 5], &mut out).unwrap();
+        assert_eq!(patcher.finish(), Err(PatchError::Truncated));
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let old = b"abcdef".to_vec();
+        let new = b"abcdxx".to_vec();
+        let mut delta = diff(&old, &new);
+        delta.push(0);
+        assert_eq!(patch(&old, &delta), Err(PatchError::OutputOverrun));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_seek() {
+        // Hand-craft: control entry seeking far outside old, then a diff.
+        let mut delta = Vec::new();
+        delta.extend_from_slice(&MAGIC);
+        delta.extend_from_slice(&4u32.to_le_bytes()); // old len
+        delta.extend_from_slice(&4u32.to_le_bytes()); // new len
+        delta.extend_from_slice(&0u32.to_le_bytes()); // diff 0
+        delta.extend_from_slice(&0u32.to_le_bytes()); // extra 0
+        delta.extend_from_slice(&1000i32.to_le_bytes()); // seek way out
+        delta.extend_from_slice(&4u32.to_le_bytes()); // diff 4
+        delta.extend_from_slice(&0u32.to_le_bytes());
+        delta.extend_from_slice(&0i32.to_le_bytes());
+        delta.extend_from_slice(&[0, 0, 0, 0]);
+        assert_eq!(patch(b"abcd", &delta), Err(PatchError::OldRangeOutOfBounds));
+    }
+
+    #[test]
+    fn patcher_reports_progress() {
+        let old = lcg_bytes(13, 4000);
+        let new = lcg_bytes(14, 4000);
+        let delta = diff(&old, &new);
+        let mut patcher = StreamPatcher::new(old.as_slice());
+        let mut out = Vec::new();
+        patcher.push(&delta[..delta.len() / 2], &mut out).unwrap();
+        assert_eq!(patcher.new_len(), new.len() as u64);
+        assert!(!patcher.is_done());
+        patcher.push(&delta[delta.len() / 2..], &mut out).unwrap();
+        assert!(patcher.is_done());
+        assert_eq!(patcher.produced(), new.len() as u64);
+    }
+
+    #[test]
+    fn os_version_bump_patch_is_fraction_of_image() {
+        // Model an OS version change: long shared runs with scattered edits.
+        let old = lcg_bytes(15, 50_000);
+        let mut new = old.clone();
+        for start in (0..new.len()).step_by(5000) {
+            let end = (start + 120).min(new.len());
+            for byte in &mut new[start..end] {
+                *byte = byte.wrapping_add(7);
+            }
+        }
+        let delta = diff(&old, &new);
+        let effective = delta.iter().filter(|&&b| b != 0).count();
+        assert!(
+            effective < old.len() / 5,
+            "scattered edits: effective patch {} vs image {}",
+            effective,
+            old.len()
+        );
+        assert_eq!(patch(&old, &delta).unwrap(), new);
+    }
+}

@@ -1,0 +1,36 @@
+//! Flash-memory substrate for the UpKit reproduction.
+//!
+//! UpKit's *memory module* organizes persistent storage into slots and
+//! reaches the hardware through a narrow *memory interface* modeled on
+//! POSIX IO. The paper runs on real NOR flash (nRF52840, CC2650, CC2538
+//! internal flash plus external SPI NOR); this crate substitutes a
+//! simulator that enforces the same invariants — sector erase,
+//! bit-clearing writes, wear — so every byte the update agent, pipeline,
+//! and bootloader move passes through realistic flash semantics.
+//!
+//! * [`device`] — the [`FlashDevice`] trait, geometry, and stats.
+//! * [`sim`] — [`SimFlash`], the in-memory NOR simulator with power-loss
+//!   injection.
+//! * [`mod@file`] — [`FileFlash`], file-backed slots (the paper's "assign a
+//!   Linux file to each slot" testing aid).
+//! * [`layout`] — slot tables and the Fig. 6 configurations
+//!   ([`configuration_a`], [`configuration_b`]).
+//! * [`io`] — POSIX-like slot IO with `READ_ONLY`, `WRITE_ALL`, and
+//!   `SEQUENTIAL_REWRITE` open modes.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod file;
+pub mod io;
+pub mod layout;
+pub mod sim;
+
+pub use device::{FlashDevice, FlashError, FlashGeometry, FlashStats};
+pub use file::FileFlash;
+pub use io::{OpenMode, SlotHandle};
+pub use layout::{
+    configuration_a, configuration_b, standard, LayoutError, MemoryLayout, SlotId, SlotKind,
+    SlotSpec,
+};
+pub use sim::SimFlash;

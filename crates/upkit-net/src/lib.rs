@@ -1,0 +1,32 @@
+//! Simulated transports for the UpKit reproduction.
+//!
+//! UpKit is agnostic to how update images reach the device: the paper
+//! demonstrates a **push** configuration (a smartphone forwarding images
+//! over BLE GATT) and a **pull** configuration (the device fetching blocks
+//! over CoAP/6LoWPAN through a border router). This crate provides both as
+//! byte-accurate simulations:
+//!
+//! * [`profiles`] — link timing models ([`LinkProfile`]) and radio
+//!   accounting ([`TransferAccounting`]).
+//! * [`proxy`] — the passive forwarders ([`Smartphone`], [`BorderRouter`]);
+//!   per the paper's threat model they forward bytes but hold no keys.
+//! * [`tamper`] — the attacks a compromised proxy can mount
+//!   (corrupt/truncate/replay).
+//! * [`drivers`] — [`run_push_session`] and [`run_pull_session`], which
+//!   execute the complete Fig. 2 message sequence against a real update
+//!   agent and report byte/time accounting.
+//! * [`lossy`] — retransmission cost model for harsh-environment links.
+
+#![warn(missing_docs)]
+
+pub mod drivers;
+pub mod lossy;
+pub mod profiles;
+pub mod proxy;
+pub mod tamper;
+
+pub use drivers::{run_pull_session, run_push_session, SessionOutcome, SessionReport};
+pub use lossy::LossyLink;
+pub use profiles::{LinkProfile, TransferAccounting};
+pub use proxy::{BorderRouter, Smartphone};
+pub use tamper::Tamper;

@@ -1,0 +1,130 @@
+//! Lossy-link modeling: retransmissions under frame loss.
+//!
+//! The paper's motivation names smart objects that "operate in harsh
+//! environmental conditions for several years" — where 802.15.4 frame
+//! loss is routine. Both of UpKit's transports are reliable at the link
+//! layer (BLE retransmits inside the connection event; CoAP confirmable
+//! messages retransmit end-to-end), so loss costs *time and energy*, never
+//! correctness. [`LossyLink`] charges that cost deterministically: every
+//! `n`-th chunk is lost once and retransmitted.
+
+use crate::profiles::{LinkProfile, TransferAccounting};
+
+/// A link that loses every `drop_every_nth` chunk once.
+///
+/// Deterministic by design: experiments stay reproducible, and a loss rate
+/// of `1/n` is expressed exactly rather than sampled.
+#[derive(Clone, Copy, Debug)]
+pub struct LossyLink {
+    /// The underlying link timing.
+    pub link: LinkProfile,
+    /// Every n-th chunk is lost once (`0` disables loss).
+    pub drop_every_nth: u64,
+}
+
+impl LossyLink {
+    /// A perfectly reliable link.
+    #[must_use]
+    pub fn reliable(link: LinkProfile) -> Self {
+        Self {
+            link,
+            drop_every_nth: 0,
+        }
+    }
+
+    /// A link with loss rate `1/n`.
+    #[must_use]
+    pub fn with_loss(link: LinkProfile, drop_every_nth: u64) -> Self {
+        Self {
+            link,
+            drop_every_nth,
+        }
+    }
+
+    /// Effective loss rate.
+    #[must_use]
+    pub fn loss_rate(&self) -> f64 {
+        if self.drop_every_nth == 0 {
+            0.0
+        } else {
+            1.0 / self.drop_every_nth as f64
+        }
+    }
+
+    /// Charges a transfer toward the device including retransmissions:
+    /// lost chunks are sent twice and each loss costs one retransmission
+    /// timeout (modeled as one RTT).
+    pub fn charge_to_device(&self, acc: &mut TransferAccounting, bytes: u64) {
+        acc.charge_to_device(&self.link, bytes);
+        if self.drop_every_nth == 0 {
+            return;
+        }
+        let chunks = self.link.chunks_for(bytes);
+        let lost = chunks / self.drop_every_nth;
+        if lost == 0 {
+            return;
+        }
+        // Retransmitted payload: `lost` full chunks.
+        acc.charge_to_device(&self.link, lost * self.link.mtu as u64);
+        // Plus a timeout per loss before the sender retries.
+        for _ in 0..lost {
+            acc.charge_round_trip(&self.link);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_link_charges_exactly_the_base_cost() {
+        let lossy = LossyLink::reliable(LinkProfile::ble_gatt());
+        let mut with = TransferAccounting::default();
+        lossy.charge_to_device(&mut with, 10_000);
+        let mut without = TransferAccounting::default();
+        without.charge_to_device(&LinkProfile::ble_gatt(), 10_000);
+        assert_eq!(with, without);
+        assert_eq!(lossy.loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn loss_inflates_time_proportionally() {
+        let link = LinkProfile::ieee802154_6lowpan();
+        let bytes = 100_000u64;
+        let mut baseline = TransferAccounting::default();
+        LossyLink::reliable(link).charge_to_device(&mut baseline, bytes);
+
+        let mut mild = TransferAccounting::default();
+        LossyLink::with_loss(link, 20).charge_to_device(&mut mild, bytes); // 5 %
+        let mut harsh = TransferAccounting::default();
+        LossyLink::with_loss(link, 5).charge_to_device(&mut harsh, bytes); // 20 %
+
+        assert!(mild.elapsed_micros > baseline.elapsed_micros);
+        assert!(harsh.elapsed_micros > mild.elapsed_micros);
+        // 20 % loss costs roughly 4× the overhead of 5 % loss.
+        let mild_overhead = mild.elapsed_micros - baseline.elapsed_micros;
+        let harsh_overhead = harsh.elapsed_micros - baseline.elapsed_micros;
+        let ratio = harsh_overhead as f64 / mild_overhead as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn retransmitted_bytes_are_accounted() {
+        let link = LinkProfile::ieee802154_6lowpan();
+        let mut acc = TransferAccounting::default();
+        LossyLink::with_loss(link, 10).charge_to_device(&mut acc, 6400); // 100 chunks
+        // 100 chunks + 10 retransmissions.
+        assert_eq!(acc.chunks, 110);
+        assert_eq!(acc.round_trips, 10);
+    }
+
+    #[test]
+    fn tiny_transfers_may_see_no_loss() {
+        let link = LinkProfile::ieee802154_6lowpan();
+        let mut acc = TransferAccounting::default();
+        LossyLink::with_loss(link, 100).charge_to_device(&mut acc, 64); // 1 chunk
+        assert_eq!(acc.chunks, 1);
+        assert_eq!(acc.round_trips, 0);
+    }
+}

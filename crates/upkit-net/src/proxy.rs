@@ -1,0 +1,217 @@
+//! Passive forwarders: the smartphone (push) and border router (pull).
+//!
+//! In UpKit's architecture neither proxy is an active component: each only
+//! forwards bytes between update server and device. A compromised proxy
+//! can therefore mount denial-of-service or corruption attacks (modeled by
+//! [`Tamper`]) but cannot defeat integrity, authenticity, or freshness —
+//! the property the integration tests demonstrate.
+
+use upkit_core::generation::{PreparedUpdate, UpdateServer};
+use upkit_manifest::DeviceToken;
+
+use crate::tamper::Tamper;
+
+/// The smartphone of the push flow (Fig. 2): fetches the update image from
+/// the server on the device's behalf, stores it locally, then forwards it
+/// over the local BLE connection.
+#[derive(Debug)]
+pub struct Smartphone {
+    stored: Option<PreparedUpdate>,
+    tamper: Tamper,
+}
+
+impl Default for Smartphone {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Smartphone {
+    /// An honest smartphone.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            stored: None,
+            tamper: Tamper::None,
+        }
+    }
+
+    /// A compromised smartphone applying `tamper` to everything forwarded.
+    #[must_use]
+    pub fn compromised(tamper: Tamper) -> Self {
+        Self {
+            stored: None,
+            tamper,
+        }
+    }
+
+    /// Steps 4–7 of Fig. 2: forwards the device token to the update server
+    /// and stores the prepared image. Returns `false` when the server has
+    /// nothing newer.
+    pub fn fetch_update(&mut self, server: &UpdateServer, token: &DeviceToken) -> bool {
+        self.stored = server.prepare_update(token);
+        self.stored.is_some()
+    }
+
+    /// The update stored on the phone, untampered (what an honest phone
+    /// holds after the fetch).
+    #[must_use]
+    pub fn stored(&self) -> Option<&PreparedUpdate> {
+        self.stored.as_ref()
+    }
+
+    /// The manifest bytes the phone will forward first (step 8), after any
+    /// tampering.
+    #[must_use]
+    pub fn outgoing_manifest(&self) -> Option<Vec<u8>> {
+        let image = &self.stored.as_ref()?.image;
+        let manifest_bytes = image.signed_manifest.to_bytes().to_vec();
+        // Tampering offsets address the whole image stream.
+        let whole = self.tampered_image_bytes()?;
+        let take = manifest_bytes.len().min(whole.len());
+        Some(whole[..take].to_vec())
+    }
+
+    /// The payload bytes the phone forwards after the agent's go-ahead
+    /// (step 12), after any tampering.
+    #[must_use]
+    pub fn outgoing_payload(&self) -> Option<Vec<u8>> {
+        let manifest_len = upkit_manifest::SIGNED_MANIFEST_LEN;
+        let whole = self.tampered_image_bytes()?;
+        if whole.len() <= manifest_len {
+            return Some(Vec::new());
+        }
+        Some(whole[manifest_len..].to_vec())
+    }
+
+    fn tampered_image_bytes(&self) -> Option<Vec<u8>> {
+        let image = &self.stored.as_ref()?.image;
+        Some(self.tamper.apply(&image.image_bytes()))
+    }
+}
+
+/// Extension: serialized form of a prepared update's image.
+trait ImageBytes {
+    fn image_bytes(&self) -> Vec<u8>;
+}
+
+impl ImageBytes for upkit_manifest::UpdateImage {
+    fn image_bytes(&self) -> Vec<u8> {
+        self.to_bytes()
+    }
+}
+
+/// The border router of the pull flow: forwards CoAP exchanges between the
+/// 6LoWPAN network and the IPv6 update server, optionally tampering.
+#[derive(Debug)]
+pub struct BorderRouter {
+    tamper: Tamper,
+}
+
+impl Default for BorderRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BorderRouter {
+    /// An honest border router.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            tamper: Tamper::None,
+        }
+    }
+
+    /// A compromised border router.
+    #[must_use]
+    pub fn compromised(tamper: Tamper) -> Self {
+        Self { tamper }
+    }
+
+    /// Forwards a server response toward the device, applying any tamper
+    /// to the end-to-end byte stream.
+    #[must_use]
+    pub fn forward(&self, data: &[u8]) -> Vec<u8> {
+        self.tamper.apply(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use upkit_core::generation::VendorServer;
+    use upkit_crypto::ecdsa::SigningKey;
+    use upkit_manifest::{Version, SIGNED_MANIFEST_LEN};
+
+    fn server_with_release(seed: u64, fw: Vec<u8>) -> (VendorServer, UpdateServer) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+        let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+        server.publish(vendor.release(fw, Version(2), 0, 0xA));
+        (vendor, server)
+    }
+
+    fn token() -> DeviceToken {
+        DeviceToken {
+            device_id: 1,
+            nonce: 5,
+            current_version: Version(0),
+        }
+    }
+
+    #[test]
+    fn honest_phone_forwards_faithfully() {
+        let (_, server) = server_with_release(140, vec![0x11; 500]);
+        let mut phone = Smartphone::new();
+        assert!(phone.fetch_update(&server, &token()));
+        let manifest = phone.outgoing_manifest().unwrap();
+        let payload = phone.outgoing_payload().unwrap();
+        let original = phone.stored().unwrap().image.to_bytes();
+        assert_eq!(manifest, original[..SIGNED_MANIFEST_LEN]);
+        assert_eq!(payload, original[SIGNED_MANIFEST_LEN..]);
+    }
+
+    #[test]
+    fn phone_reports_no_update_when_current() {
+        let (_, server) = server_with_release(141, vec![0x22; 100]);
+        let mut phone = Smartphone::new();
+        let current = DeviceToken {
+            current_version: Version(2),
+            ..token()
+        };
+        assert!(!phone.fetch_update(&server, &current));
+        assert!(phone.stored().is_none());
+        assert!(phone.outgoing_manifest().is_none());
+    }
+
+    #[test]
+    fn compromised_phone_corrupts_stream() {
+        let (_, server) = server_with_release(142, vec![0x33; 500]);
+        let mut phone = Smartphone::compromised(Tamper::FlipBit { offset: 10 });
+        phone.fetch_update(&server, &token());
+        let manifest = phone.outgoing_manifest().unwrap();
+        let original = phone.stored().unwrap().image.to_bytes();
+        assert_ne!(manifest, original[..SIGNED_MANIFEST_LEN]);
+    }
+
+    #[test]
+    fn truncating_phone_cuts_payload() {
+        let (_, server) = server_with_release(143, vec![0x44; 500]);
+        let mut phone = Smartphone::compromised(Tamper::Truncate {
+            keep: SIGNED_MANIFEST_LEN + 100,
+        });
+        phone.fetch_update(&server, &token());
+        assert_eq!(phone.outgoing_payload().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn border_router_forwarding() {
+        let honest = BorderRouter::new();
+        assert_eq!(honest.forward(b"blk"), b"blk");
+        let evil = BorderRouter::compromised(Tamper::FlipBit { offset: 0 });
+        assert_ne!(evil.forward(b"blk"), b"blk");
+    }
+}

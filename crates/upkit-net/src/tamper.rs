@@ -1,0 +1,84 @@
+//! Attack/fault injection on in-transit update images.
+//!
+//! UpKit's threat model (Sect. III) assumes the smartphone or gateway may
+//! be compromised: it can drop, corrupt, truncate, or replay data, but —
+//! because it holds no signing keys — it can never *forge* an acceptable
+//! update. These injectors implement exactly those capabilities so the test
+//! suite and the security experiments can exercise them.
+
+/// A transformation a compromised proxy can apply to the bytes it forwards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Tamper {
+    /// Forward faithfully (an honest proxy).
+    None,
+    /// Flip one bit at `offset` (transmission corruption or malice).
+    FlipBit {
+        /// Byte offset whose lowest bit is flipped.
+        offset: usize,
+    },
+    /// Forward only the first `keep` bytes, then stop (drop attack).
+    Truncate {
+        /// Number of leading bytes to forward.
+        keep: usize,
+    },
+    /// Replace the entire stream with previously captured bytes (replay
+    /// of an old, once-valid update image).
+    Replay(Vec<u8>),
+}
+
+impl Tamper {
+    /// Applies the tamper to a full message, returning what the device
+    /// actually receives.
+    #[must_use]
+    pub fn apply(&self, data: &[u8]) -> Vec<u8> {
+        match self {
+            Self::None => data.to_vec(),
+            Self::FlipBit { offset } => {
+                let mut out = data.to_vec();
+                if let Some(byte) = out.get_mut(*offset) {
+                    *byte ^= 1;
+                }
+                out
+            }
+            Self::Truncate { keep } => data[..(*keep).min(data.len())].to_vec(),
+            Self::Replay(old) => old.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        assert_eq!(Tamper::None.apply(b"payload"), b"payload");
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let out = Tamper::FlipBit { offset: 2 }.apply(b"abc");
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], b'a');
+        assert_eq!(out[1], b'b');
+        assert_eq!(out[2], b'c' ^ 1);
+    }
+
+    #[test]
+    fn flip_bit_out_of_range_is_noop() {
+        assert_eq!(Tamper::FlipBit { offset: 99 }.apply(b"ab"), b"ab");
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        assert_eq!(Tamper::Truncate { keep: 2 }.apply(b"abcdef"), b"ab");
+        assert_eq!(Tamper::Truncate { keep: 100 }.apply(b"ab"), b"ab");
+    }
+
+    #[test]
+    fn replay_substitutes_captured_bytes() {
+        let captured = b"old image".to_vec();
+        assert_eq!(Tamper::Replay(captured.clone()).apply(b"new image"), captured);
+    }
+}

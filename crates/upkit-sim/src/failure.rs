@@ -1,0 +1,211 @@
+//! Failure injection: power loss at arbitrary points of an update.
+//!
+//! The paper's verification design is motivated by exactly these cases:
+//! "the IoT device may reboot in the middle of the propagation phase,
+//! which would leave the new update image stored on the device
+//! incomplete. Similarly, the device may lose power before the update
+//! agent can verify the firmware." The bootloader's re-verification must
+//! keep the device bootable regardless of where the cut lands — the
+//! property these scenarios exercise.
+
+use std::sync::Arc;
+
+use upkit_core::agent::{AgentConfig, UpdateAgent, UpdatePlan};
+use upkit_core::bootloader::{BootConfig, BootMode, Bootloader};
+use upkit_core::image::FIRMWARE_OFFSET;
+use upkit_core::keys::TrustAnchors;
+use upkit_crypto::backend::TinyCryptBackend;
+use upkit_crypto::ecdsa::SigningKey;
+use upkit_flash::{configuration_a, standard, MemoryLayout, SimFlash};
+use upkit_manifest::Version;
+use upkit_net::{run_push_session, LinkProfile, SessionOutcome, Smartphone};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::firmware::FirmwareGenerator;
+use crate::scenario::{APP_ID, DEVICE_ID, LINK_OFFSET};
+
+/// Outcome of a power-loss scenario.
+#[derive(Debug)]
+pub struct PowerLossReport {
+    /// Whether the propagation session was interrupted by the cut.
+    pub session_interrupted: bool,
+    /// Version running after the post-cut reboot (`None` = bricked, which
+    /// must never happen).
+    pub booted_version: Option<Version>,
+    /// Flash bytes written before the cut.
+    pub bytes_written_before_cut: u64,
+}
+
+/// Runs a push update on an A/B device, cutting power after
+/// `cut_after_flash_bytes` bytes of flash programming, then reboots and
+/// reports what the bootloader managed to boot.
+#[must_use]
+pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLossReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vendor = upkit_core::generation::VendorServer::new(SigningKey::generate(&mut rng));
+    let mut server = upkit_core::generation::UpdateServer::new(SigningKey::generate(&mut rng));
+    let anchors = TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key());
+    let backend = Arc::new(TinyCryptBackend);
+
+    let generator = FirmwareGenerator::new(seed);
+    let v1 = generator.base(40_000);
+    let v2 = generator.os_version_change(&v1);
+
+    let slot_size = 4096 * 16;
+    let mut layout = configuration_a(
+        Box::new(SimFlash::new(upkit_flash::FlashGeometry {
+            size: 1024 * 1024,
+            sector_size: 4096,
+            read_micros_per_byte: 0,
+            write_micros_per_byte: 0,
+            erase_micros_per_sector: 0,
+        })),
+        slot_size,
+    )
+    .expect("valid layout");
+
+    // Install v1 (signed) in slot A.
+    install_v1(&mut layout, &vendor, &server, &v1);
+    server.publish(vendor.release(v1.clone(), Version(1), LINK_OFFSET, APP_ID));
+    server.publish(vendor.release(v2, Version(2), LINK_OFFSET, APP_ID));
+
+    let mut agent = UpdateAgent::new(
+        backend.clone(),
+        anchors,
+        AgentConfig {
+            device_id: DEVICE_ID,
+            app_id: APP_ID,
+            supports_differential: false,
+            content_key: None,
+        },
+    );
+    let plan = UpdatePlan {
+        target_slot: standard::SLOT_B,
+        current_slot: standard::SLOT_A,
+        installed_version: Version(1),
+        installed_size: v1.len() as u32,
+        allowed_link_offsets: vec![LINK_OFFSET],
+        max_firmware_size: slot_size - FIRMWARE_OFFSET,
+    };
+
+    // Arm the cut *before* the session: erases and writes both consume the
+    // budget, so the cut can land in StartUpdate, the header write, or the
+    // pipeline.
+    layout
+        .device_mut(0)
+        .expect("internal flash")
+        .arm_power_cut_after(cut_after_flash_bytes);
+
+    let mut phone = Smartphone::new();
+    let report = run_push_session(
+        &server,
+        &mut phone,
+        &mut agent,
+        &mut layout,
+        plan,
+        seed as u32 | 1,
+        &LinkProfile::ble_gatt(),
+    );
+    let session_interrupted = !matches!(report.outcome, SessionOutcome::Complete);
+    let bytes_written_before_cut = layout.total_stats().bytes_written;
+
+    // Reboot: power restored.
+    layout.device_mut(0).expect("internal flash").disarm_power_cut();
+    let bootloader = Bootloader::new(
+        backend,
+        anchors,
+        BootConfig {
+            device_id: DEVICE_ID,
+            app_id: APP_ID,
+            allowed_link_offsets: vec![LINK_OFFSET],
+            max_firmware_size: slot_size - FIRMWARE_OFFSET,
+            mode: BootMode::AB {
+                slots: vec![standard::SLOT_A, standard::SLOT_B],
+            },
+            recovery_slot: None,
+        },
+    );
+    let booted_version = bootloader.boot(&mut layout).ok().map(|o| o.version);
+
+    PowerLossReport {
+        session_interrupted,
+        booted_version,
+        bytes_written_before_cut,
+    }
+}
+
+fn install_v1(
+    layout: &mut MemoryLayout,
+    vendor: &upkit_core::generation::VendorServer,
+    server: &upkit_core::generation::UpdateServer,
+    firmware: &[u8],
+) {
+    use upkit_crypto::sha256::sha256;
+    use upkit_manifest::{Manifest, SignedManifest};
+    let manifest = Manifest {
+        device_id: DEVICE_ID,
+        nonce: 0,
+        old_version: Version(0),
+        version: Version(1),
+        size: firmware.len() as u32,
+        payload_size: firmware.len() as u32,
+        digest: sha256(firmware),
+        link_offset: LINK_OFFSET,
+        app_id: APP_ID,
+    };
+    let signed = SignedManifest {
+        manifest,
+        vendor_signature: vendor.sign_manifest_core(&manifest),
+        server_signature: server.sign_manifest(&manifest),
+    };
+    layout.erase_slot(standard::SLOT_A).expect("fresh flash");
+    upkit_core::image::write_manifest(layout, standard::SLOT_A, &signed).expect("fresh flash");
+    layout
+        .write_slot(standard::SLOT_A, FIRMWARE_OFFSET, firmware)
+        .expect("slot fits");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_during_slot_erase_keeps_device_bootable() {
+        // StartUpdate erases slot B; the budget dies inside the erase.
+        let report = run_power_loss_scenario(1_000, 200);
+        assert!(report.session_interrupted);
+        assert_eq!(report.booted_version, Some(Version(1)));
+    }
+
+    #[test]
+    fn cut_during_firmware_write_keeps_device_bootable() {
+        // Slot B erase = 16 sectors * 4096 = 65536 budget; manifest header
+        // write + some firmware, then cut.
+        let report = run_power_loss_scenario(66_000 + 5_000, 201);
+        assert!(report.session_interrupted);
+        assert_eq!(report.booted_version, Some(Version(1)));
+    }
+
+    #[test]
+    fn generous_budget_lets_update_complete() {
+        let report = run_power_loss_scenario(100_000_000, 202);
+        assert!(!report.session_interrupted);
+        assert_eq!(report.booted_version, Some(Version(2)));
+    }
+
+    #[test]
+    fn sweep_of_cut_points_never_bricks() {
+        // Property-style sweep across the whole write timeline: whatever
+        // the cut point, the device boots v1 or v2 — never nothing.
+        for cut in [0u64, 1, 100, 4_000, 50_000, 66_000, 80_000, 100_000, 105_000] {
+            let report = run_power_loss_scenario(cut, 300 + cut);
+            assert!(
+                matches!(report.booted_version, Some(Version(1)) | Some(Version(2))),
+                "cut at {cut}: {:?}",
+                report.booted_version
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Synthetic firmware generation.
+//!
+//! The paper's differential-update experiments (Fig. 8b) diff real build
+//! artifacts: consecutive OS versions (Zephyr v1.2 → v1.3) and an
+//! application change of ~1000 bytes. Real builds are not available here,
+//! so this module generates *structured* binaries whose similarity under
+//! `bsdiff` matches those two cases: firmware is a sequence of
+//! function-sized blocks drawn from a seeded pool (code), plus a string
+//! table (rodata). An OS version change rewrites a fraction of the blocks
+//! and shifts the layout; an application change edits a small contiguous
+//! region.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Size of one synthetic "function" block.
+const BLOCK: usize = 256;
+
+/// A generator for related firmware images.
+#[derive(Debug, Clone)]
+pub struct FirmwareGenerator {
+    seed: u64,
+}
+
+impl FirmwareGenerator {
+    /// Creates a generator; equal seeds produce identical firmware.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Generates the base firmware of `size` bytes.
+    #[must_use]
+    pub fn base(&self, size: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(size);
+        // String table: repetitive, highly compressible rodata (~10 %).
+        let strings = b"assertion failed: %s:%d | fw=%u build=%s | ";
+        while out.len() < size / 10 {
+            out.extend_from_slice(strings);
+        }
+        // Code blocks: pseudo-random but drawn from a reusable pool so
+        // different regions share byte patterns, as real code does.
+        let pool: Vec<[u8; BLOCK]> = (0..64)
+            .map(|_| {
+                let mut block = [0u8; BLOCK];
+                rng.fill_bytes(&mut block);
+                block
+            })
+            .collect();
+        while out.len() < size {
+            let template = pool[rng.random_range(0..pool.len())];
+            let mut block = template;
+            // Per-instance relocation-like tweaks.
+            for i in (0..BLOCK).step_by(32) {
+                block[i] = block[i].wrapping_add(rng.random_range(0..4));
+            }
+            let take = BLOCK.min(size - out.len());
+            out.extend_from_slice(&block[..take]);
+        }
+        out
+    }
+
+    /// Derives an **OS-version-change** successor: a sizeable fraction of
+    /// blocks rewritten and the tail shifted, as a kernel upgrade does.
+    #[must_use]
+    pub fn os_version_change(&self, base: &[u8]) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x05_0C_11_AE);
+        let mut out = base.to_vec();
+        // Rewrite ~20 % of the blocks in place.
+        let blocks = out.len() / BLOCK;
+        for b in 0..blocks {
+            if rng.random_range(0..100) < 20 {
+                let start = b * BLOCK;
+                rng.fill_bytes(&mut out[start..start + BLOCK]);
+            }
+        }
+        // Insert a new subsystem (layout shift for everything after it).
+        let insert_at = out.len() / 3;
+        let mut new_code = vec![0u8; 6 * BLOCK];
+        rng.fill_bytes(&mut new_code);
+        out.splice(insert_at..insert_at, new_code);
+        out
+    }
+
+    /// Derives an **application-functionality change**: roughly
+    /// `change_bytes` of difference (the paper uses 1000 bytes).
+    #[must_use]
+    pub fn app_change(&self, base: &[u8], change_bytes: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA9_9C_4A_06);
+        let mut out = base.to_vec();
+        let start = out.len() / 2;
+        let end = (start + change_bytes).min(out.len());
+        rng.fill_bytes(&mut out[start..end]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upkit_compress::{compress, Params};
+    use upkit_delta::{diff, patch};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = FirmwareGenerator::new(9).base(10_000);
+        let b = FirmwareGenerator::new(9).base(10_000);
+        assert_eq!(a, b);
+        let c = FirmwareGenerator::new(10).base(10_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn requested_sizes_are_exact() {
+        for size in [100usize, 4096, 100_000, 12_345] {
+            assert_eq!(FirmwareGenerator::new(1).base(size).len(), size);
+        }
+    }
+
+    #[test]
+    fn os_change_delta_is_substantial_but_far_below_full() {
+        let generator = FirmwareGenerator::new(2);
+        let v1 = generator.base(100_000);
+        let v2 = generator.os_version_change(&v1);
+        let wire = compress(&diff(&v1, &v2), Params::default());
+        let ratio = wire.len() as f64 / v2.len() as f64;
+        // Fig. 8b: an OS version change transfers ~1/3 of the full image.
+        assert!((0.05..0.60).contains(&ratio), "delta ratio {ratio:.3}");
+        assert_eq!(patch(&v1, &diff(&v1, &v2)).unwrap(), v2);
+    }
+
+    #[test]
+    fn app_change_delta_is_tiny() {
+        let generator = FirmwareGenerator::new(3);
+        let v1 = generator.base(100_000);
+        let v2 = generator.app_change(&v1, 1000);
+        assert_eq!(v1.len(), v2.len());
+        let wire = compress(&diff(&v1, &v2), Params::default());
+        let ratio = wire.len() as f64 / v2.len() as f64;
+        // Fig. 8b: ~1000 B of change transfers a small fraction.
+        assert!(ratio < 0.15, "delta ratio {ratio:.3}");
+        assert_eq!(patch(&v1, &diff(&v1, &v2)).unwrap(), v2);
+    }
+
+    #[test]
+    fn app_change_is_smaller_than_os_change() {
+        let generator = FirmwareGenerator::new(4);
+        let v1 = generator.base(80_000);
+        let os = compress(&diff(&v1, &generator.os_version_change(&v1)), Params::default());
+        let app = compress(&diff(&v1, &generator.app_change(&v1, 1000)), Params::default());
+        assert!(app.len() < os.len());
+    }
+
+    #[test]
+    fn firmware_is_partially_compressible() {
+        // Structured, like real firmware: compresses somewhat, far from
+        // fully.
+        let fw = FirmwareGenerator::new(5).base(50_000);
+        let packed = compress(&fw, Params::default());
+        let ratio = packed.len() as f64 / fw.len() as f64;
+        assert!((0.3..1.0).contains(&ratio), "compression ratio {ratio:.3}");
+    }
+}

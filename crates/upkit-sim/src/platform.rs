@@ -1,0 +1,188 @@
+//! Platform and energy profiles for the three evaluated boards.
+
+use upkit_flash::FlashGeometry;
+use upkit_net::LinkProfile;
+
+/// Power draw of the major device components, in milliwatts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Radio active (RX/TX averaged).
+    pub radio_mw: f64,
+    /// CPU active.
+    pub cpu_active_mw: f64,
+    /// Flash programming/erasing.
+    pub flash_mw: f64,
+    /// Sleep floor.
+    pub sleep_mw: f64,
+}
+
+impl EnergyModel {
+    /// Microjoules consumed by `micros` of activity at `mw` milliwatts.
+    #[must_use]
+    pub fn energy_uj(mw: f64, micros: u64) -> f64 {
+        mw * micros as f64 / 1000.0
+    }
+}
+
+/// A hardware platform profile.
+#[derive(Clone, Debug)]
+pub struct PlatformProfile {
+    /// Board name.
+    pub name: &'static str,
+    /// CPU clock in Hz (converts cycle counts to time).
+    pub cpu_hz: u64,
+    /// Internal flash geometry, with timing calibrated so the Fig. 8
+    /// loading-phase shapes reproduce (see crate docs).
+    pub internal_flash: FlashGeometry,
+    /// External SPI NOR flash, when the board carries one (the CC2650
+    /// stores its non-bootable slot there).
+    pub external_flash: Option<FlashGeometry>,
+    /// Time from reset to the bootloader's first instruction plus OS
+    /// handoff (excluded: slot verification/moves, modeled separately).
+    pub reboot_micros: u64,
+    /// Default radio link for the push approach.
+    pub push_link: LinkProfile,
+    /// Default radio link for the pull approach.
+    pub pull_link: LinkProfile,
+    /// Power model.
+    pub energy: EnergyModel,
+}
+
+impl PlatformProfile {
+    /// Nordic nRF52840 (Cortex-M4 @ 64 MHz, 1 MB internal flash).
+    ///
+    /// Flash timing is calibrated so a static-mode slot swap costs
+    /// ≈ 0.48 s per 4 kB sector, reproducing Fig. 8a's loading times
+    /// (12.7 s / 26.2 s for the push / pull build sizes).
+    #[must_use]
+    pub fn nrf52840() -> Self {
+        Self {
+            name: "nRF52840",
+            cpu_hz: 64_000_000,
+            internal_flash: FlashGeometry {
+                size: 1024 * 1024,
+                sector_size: 4096,
+                read_micros_per_byte: 1,
+                write_micros_per_byte: 30,
+                erase_micros_per_sector: 85_000,
+            },
+            external_flash: None,
+            reboot_micros: 1_200_000,
+            push_link: LinkProfile::ble_gatt(),
+            pull_link: LinkProfile::ieee802154_6lowpan(),
+            energy: EnergyModel {
+                radio_mw: 20.0,
+                cpu_active_mw: 10.0,
+                flash_mw: 12.0,
+                sleep_mw: 0.01,
+            },
+        }
+    }
+
+    /// TI CC2650 (Cortex-M3 @ 48 MHz, 128 kB internal flash + external
+    /// SPI NOR for the staging slot, optionally paired with an ATECC508).
+    #[must_use]
+    pub fn cc2650() -> Self {
+        Self {
+            name: "CC2650",
+            cpu_hz: 48_000_000,
+            internal_flash: FlashGeometry {
+                size: 128 * 1024,
+                sector_size: 4096,
+                read_micros_per_byte: 1,
+                write_micros_per_byte: 18,
+                erase_micros_per_sector: 160_000,
+            },
+            external_flash: Some(FlashGeometry {
+                size: 1024 * 1024,
+                sector_size: 4096,
+                read_micros_per_byte: 4,
+                write_micros_per_byte: 25,
+                erase_micros_per_sector: 200_000,
+            }),
+            reboot_micros: 1_000_000,
+            push_link: LinkProfile::ble_gatt(),
+            pull_link: LinkProfile::ieee802154_6lowpan(),
+            energy: EnergyModel {
+                radio_mw: 18.0,
+                cpu_active_mw: 8.0,
+                flash_mw: 10.0,
+                sleep_mw: 0.005,
+            },
+        }
+    }
+
+    /// TI CC2538 (Cortex-M3 @ 32 MHz, 512 kB internal flash).
+    #[must_use]
+    pub fn cc2538() -> Self {
+        Self {
+            name: "CC2538",
+            cpu_hz: 32_000_000,
+            internal_flash: FlashGeometry {
+                size: 512 * 1024,
+                sector_size: 2048,
+                read_micros_per_byte: 1,
+                write_micros_per_byte: 20,
+                erase_micros_per_sector: 90_000,
+            },
+            external_flash: None,
+            reboot_micros: 1_100_000,
+            push_link: LinkProfile::ble_gatt(),
+            pull_link: LinkProfile::ieee802154_6lowpan(),
+            energy: EnergyModel {
+                radio_mw: 24.0,
+                cpu_active_mw: 7.0,
+                flash_mw: 11.0,
+                sleep_mw: 0.01,
+            },
+        }
+    }
+
+    /// All platform profiles evaluated by the paper.
+    #[must_use]
+    pub fn all() -> Vec<Self> {
+        vec![Self::nrf52840(), Self::cc2650(), Self::cc2538()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_well_formed() {
+        for p in PlatformProfile::all() {
+            assert!(p.cpu_hz > 0);
+            assert!(p.internal_flash.size % p.internal_flash.sector_size == 0);
+            if let Some(ext) = p.external_flash {
+                assert!(ext.size % ext.sector_size == 0);
+            }
+            assert!(p.reboot_micros > 0);
+        }
+    }
+
+    #[test]
+    fn only_cc2650_has_external_flash() {
+        assert!(PlatformProfile::nrf52840().external_flash.is_none());
+        assert!(PlatformProfile::cc2650().external_flash.is_some());
+        assert!(PlatformProfile::cc2538().external_flash.is_none());
+    }
+
+    #[test]
+    fn swap_cost_calibration_for_fig8a() {
+        // One 4 kB sector swap on the nRF52840: 2 erases + 2 writes +
+        // 2 reads ≈ 0.48 s, the constant behind Fig. 8a's loading bars.
+        let g = PlatformProfile::nrf52840().internal_flash;
+        let per_sector = 2 * g.erase_micros_per_sector
+            + 2 * 4096 * g.write_micros_per_byte
+            + 2 * 4096 * g.read_micros_per_byte;
+        let secs = per_sector as f64 / 1e6;
+        assert!((0.35..0.50).contains(&secs), "{secs:.3} s per sector");
+    }
+
+    #[test]
+    fn energy_unit_conversion() {
+        // 1 W for 1 s = 1 J = 1e6 µJ.
+        assert!((EnergyModel::energy_uj(1000.0, 1_000_000) - 1e6).abs() < 1e-9);
+    }
+}

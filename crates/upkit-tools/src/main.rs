@@ -1,0 +1,241 @@
+//! `upkit-tools`: the operator command line for the UpKit reproduction.
+//!
+//! ```text
+//! upkit-tools keygen  --prefix vendor
+//! upkit-tools release --firmware fw.bin --version 2 --link-offset 0x100 \
+//!                     --app-id 0xA --vendor-key vendor.key --out release.bin
+//! upkit-tools prepare --release release.bin --server-key server.key \
+//!                     --device-id 0xD1 --nonce 0x42 [--base old-release.bin] \
+//!                     --out update.img
+//! upkit-tools inspect --image update.img
+//! upkit-tools verify  --image update.img --vendor-pub vendor.pub \
+//!                     --server-pub server.pub [--base old-fw.bin]
+//! upkit-tools suit-export --image update.img --out manifest.suit
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use upkit_tools::{
+    inspect_image, keygen, make_release, prepare_update, suit_export, verify_image, ToolError,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            if !output.is_empty() {
+                println!("{output}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  upkit-tools keygen  --prefix <path>
+  upkit-tools release --firmware <bin> --version <u16> --link-offset <u32> \\
+                      --app-id <u32> --vendor-key <key> --out <release>
+  upkit-tools prepare --release <release> --server-key <key> \\
+                      --device-id <u32> --nonce <u32> [--base <release>] --out <img>
+  upkit-tools inspect --image <img>
+  upkit-tools verify  --image <img> --vendor-pub <pub> --server-pub <pub> [--base <fw>]
+  upkit-tools suit-export --image <img> --out <cbor>";
+
+fn run(args: &[String]) -> Result<String, String> {
+    let (command, rest) = args.split_first().ok_or("missing command")?;
+    let opts = parse_options(rest)?;
+    match command.as_str() {
+        "keygen" => {
+            let prefix = opts.path("prefix")?;
+            let public = keygen(&prefix).map_err(stringify)?;
+            Ok(format!(
+                "wrote {}.key and {}.pub\npublic key: {public}",
+                prefix.display(),
+                prefix.display()
+            ))
+        }
+        "release" => {
+            make_release(
+                &opts.path("firmware")?,
+                opts.number("version")? as u16,
+                opts.number("link-offset")? as u32,
+                opts.number("app-id")? as u32,
+                &opts.path("vendor-key")?,
+                &opts.path("out")?,
+            )
+            .map_err(stringify)?;
+            Ok(format!("wrote release to {}", opts.path("out")?.display()))
+        }
+        "prepare" => {
+            let base = opts.optional_path("base");
+            let kind = prepare_update(
+                &opts.path("release")?,
+                &opts.path("server-key")?,
+                opts.number("device-id")? as u32,
+                opts.number("nonce")? as u32,
+                base.as_deref(),
+                &opts.path("out")?,
+            )
+            .map_err(stringify)?;
+            Ok(format!(
+                "wrote {kind} update image to {}",
+                opts.path("out")?.display()
+            ))
+        }
+        "inspect" => inspect_image(&opts.path("image")?).map_err(stringify),
+        "verify" => {
+            let base = opts.optional_path("base");
+            verify_image(
+                &opts.path("image")?,
+                &opts.path("vendor-pub")?,
+                &opts.path("server-pub")?,
+                base.as_deref(),
+            )
+            .map_err(stringify)
+        }
+        "suit-export" => {
+            let size = suit_export(&opts.path("image")?, &opts.path("out")?).map_err(stringify)?;
+            Ok(format!(
+                "wrote {size}-byte SUIT envelope to {}",
+                opts.path("out")?.display()
+            ))
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn stringify(e: ToolError) -> String {
+    e.to_string()
+}
+
+struct Options(HashMap<String, String>);
+
+impl Options {
+    fn path(&self, name: &str) -> Result<PathBuf, String> {
+        self.0
+            .get(name)
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn optional_path(&self, name: &str) -> Option<PathBuf> {
+        self.0.get(name).map(PathBuf::from)
+    }
+
+    fn number(&self, name: &str) -> Result<u64, String> {
+        let raw = self
+            .0
+            .get(name)
+            .ok_or_else(|| format!("missing --{name}"))?;
+        parse_number(raw).ok_or_else(|| format!("--{name}: `{raw}` is not a number"))
+    }
+}
+
+fn parse_number(raw: &str) -> Option<u64> {
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut map = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        map.insert(name.to_string(), value.to_string());
+    }
+    Ok(Options(map))
+}
+
+// These tests pin the argument grammar and drive the command interface
+// end-to-end against temp files.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_numbers() {
+        let args: Vec<String> = ["--device-id", "0xD1", "--nonce", "66"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let opts = parse_options(&args).unwrap();
+        assert_eq!(opts.number("device-id").unwrap(), 0xD1);
+        assert_eq!(opts.number("nonce").unwrap(), 66);
+        assert!(opts.number("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(parse_options(&["device-id".into()]).is_err());
+        assert!(parse_options(&["--flag".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&["frobnicate".into()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    fn path_of(p: &std::path::Path) -> String {
+        p.display().to_string()
+    }
+
+    #[test]
+    fn end_to_end_through_the_command_interface() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("upkit-tools-main-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        std::fs::write(dir.join("fw.bin"), vec![7u8; 2000]).unwrap();
+        run(&["keygen".into(), "--prefix".into(), path_of(&dir.join("vendor"))]).unwrap();
+        run(&["keygen".into(), "--prefix".into(), path_of(&dir.join("server"))]).unwrap();
+        run(&[
+            "release".into(),
+            "--firmware".into(), path_of(&dir.join("fw.bin")),
+            "--version".into(), "2".into(),
+            "--link-offset".into(), "0x100".into(),
+            "--app-id".into(), "0xA".into(),
+            "--vendor-key".into(), path_of(&dir.join("vendor.key")),
+            "--out".into(), path_of(&dir.join("release.bin")),
+        ])
+        .unwrap();
+        run(&[
+            "prepare".into(),
+            "--release".into(), path_of(&dir.join("release.bin")),
+            "--server-key".into(), path_of(&dir.join("server.key")),
+            "--device-id".into(), "0xD1".into(),
+            "--nonce".into(), "42".into(),
+            "--out".into(), path_of(&dir.join("update.img")),
+        ])
+        .unwrap();
+        let verdict = run(&[
+            "verify".into(),
+            "--image".into(), path_of(&dir.join("update.img")),
+            "--vendor-pub".into(), path_of(&dir.join("vendor.pub")),
+            "--server-pub".into(), path_of(&dir.join("server.pub")),
+        ])
+        .unwrap();
+        assert!(verdict.contains("digest OK"), "{verdict}");
+        let dump = run(&["inspect".into(), "--image".into(), path_of(&dir.join("update.img"))]).unwrap();
+        assert!(dump.contains("full image"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,52 @@
+//! Failure injection: power cuts mid-update, and a side-by-side of what
+//! the baselines accept versus what UpKit rejects.
+//!
+//! ```text
+//! cargo run --example failure_injection
+//! ```
+
+use upkit::baselines::sparrow::{encode_image, SparrowAgent};
+use upkit::flash::{configuration_b, standard, FlashGeometry, SimFlash};
+use upkit::manifest::Version;
+use upkit::sim::run_power_loss_scenario;
+
+fn main() {
+    // --- Power loss sweep ---------------------------------------------------
+    println!("power-loss sweep (push update onto an A/B device):");
+    for cut in [500u64, 30_000, 66_000, 90_000, 200_000] {
+        let report = run_power_loss_scenario(cut, 7_000 + cut);
+        let state = match report.booted_version {
+            Some(Version(1)) => "rolled back to v1",
+            Some(Version(2)) => "update completed, running v2",
+            Some(v) => panic!("unexpected version {v:?}"),
+            None => "BRICKED (must never happen)",
+        };
+        println!(
+            "  cut after {cut:>7} flash bytes: session {} → {state}",
+            if report.session_interrupted { "interrupted" } else { "finished" },
+        );
+        assert!(report.booted_version.is_some(), "device must never brick");
+    }
+
+    // --- What a CRC-only updater accepts --------------------------------------
+    println!("\nCRC-only baseline (Sparrow-style) vs tampering:");
+    let mut layout = configuration_b(
+        Box::new(SimFlash::new(FlashGeometry::internal_nrf52840())),
+        None,
+        4096 * 8,
+    )
+    .expect("valid layout");
+    let forged = encode_image(b"attacker firmware with recomputed checksum");
+    let mut agent = SparrowAgent::new(standard::SLOT_B);
+    agent.begin(&mut layout).expect("fresh");
+    let mut accepted = false;
+    for chunk in forged.chunks(64) {
+        accepted = agent.push_data(&mut layout, chunk).expect("CRC matches");
+    }
+    println!(
+        "  forged image with recomputed CRC: {}",
+        if accepted { "ACCEPTED (the hole UpKit closes)" } else { "rejected" }
+    );
+    assert!(accepted);
+    println!("  the same image fails UpKit's double-signature check in the agent");
+}

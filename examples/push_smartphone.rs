@@ -1,0 +1,128 @@
+//! The paper's Fig. 2 push flow: a smartphone fetches the update from the
+//! Internet and forwards it to the device over a BLE-like link — first
+//! honestly, then as a compromised proxy whose tampering UpKit's
+//! agent-side verification rejects before the firmware transfer even
+//! starts.
+//!
+//! ```text
+//! cargo run --example push_smartphone
+//! ```
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use upkit::core::agent::{AgentConfig, UpdateAgent, UpdatePlan};
+use upkit::core::generation::{UpdateServer, VendorServer};
+use upkit::core::image::FIRMWARE_OFFSET;
+use upkit::core::keys::TrustAnchors;
+use upkit::crypto::backend::TinyCryptBackend;
+use upkit::crypto::ecdsa::SigningKey;
+use upkit::flash::{configuration_a, standard, FlashGeometry, MemoryLayout, SimFlash};
+use upkit::manifest::Version;
+use upkit::net::{run_push_session, LinkProfile, SessionOutcome, Smartphone, Tamper};
+
+const SLOT_SIZE: u32 = 4096 * 24;
+
+struct Device {
+    layout: MemoryLayout,
+    agent: UpdateAgent,
+}
+
+fn device(anchors: TrustAnchors) -> Device {
+    Device {
+        layout: configuration_a(
+            Box::new(SimFlash::new(FlashGeometry::internal_nrf52840())),
+            SLOT_SIZE,
+        )
+        .expect("valid layout"),
+        agent: UpdateAgent::new(
+            Arc::new(TinyCryptBackend),
+            anchors,
+            AgentConfig {
+                device_id: 0x51,
+                app_id: 0xA,
+                supports_differential: false,
+                content_key: None,
+            },
+        ),
+    }
+}
+
+fn plan() -> UpdatePlan {
+    UpdatePlan {
+        target_slot: standard::SLOT_B,
+        current_slot: standard::SLOT_A,
+        installed_version: Version(1),
+        installed_size: 0,
+        allowed_link_offsets: vec![0],
+        max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
+    }
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+    let anchors = TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key());
+    server.publish(vendor.release(vec![0xF1; 60_000], Version(2), 0, 0xA));
+    let link = LinkProfile::ble_gatt();
+
+    // --- Honest smartphone ------------------------------------------------
+    let mut dev = device(anchors);
+    let mut phone = Smartphone::new();
+    let report = run_push_session(
+        &server, &mut phone, &mut dev.agent, &mut dev.layout, plan(), 100, &link,
+    );
+    println!(
+        "honest phone: {:?}, {} bytes over BLE in {:.1} s of radio time",
+        describe(&report.outcome),
+        report.accounting.bytes_to_device,
+        report.accounting.elapsed_micros as f64 / 1e6
+    );
+    assert!(report.outcome.is_complete());
+
+    // --- Compromised smartphone: corrupts the image in transit -------------
+    let mut dev = device(anchors);
+    let mut evil_phone = Smartphone::compromised(Tamper::FlipBit { offset: 25 });
+    let report = run_push_session(
+        &server, &mut evil_phone, &mut dev.agent, &mut dev.layout, plan(), 101, &link,
+    );
+    println!(
+        "tampering phone: {:?} after only {} bytes — the firmware never left the phone",
+        describe(&report.outcome),
+        report.accounting.bytes_to_device
+    );
+    assert!(matches!(report.outcome, SessionOutcome::RejectedAtManifest(_)));
+
+    // --- Replaying smartphone: old image for a new request ------------------
+    let mut dev = device(anchors);
+    let mut honest = Smartphone::new();
+    let first = run_push_session(
+        &server, &mut honest, &mut dev.agent, &mut dev.layout, plan(), 102, &link,
+    );
+    assert!(first.outcome.is_complete());
+    let captured = honest.stored().expect("fetched").image.to_bytes();
+
+    let mut dev = device(anchors);
+    let mut replayer = Smartphone::compromised(Tamper::Replay(captured));
+    let report = run_push_session(
+        &server, &mut replayer, &mut dev.agent, &mut dev.layout, plan(), 103, &link,
+    );
+    println!(
+        "replaying phone: {:?} — the update server's signature binds the nonce",
+        describe(&report.outcome)
+    );
+    assert!(matches!(report.outcome, SessionOutcome::RejectedAtManifest(_)));
+
+    println!("\nthe proxy is passive: it can disturb, but never forge, an update");
+}
+
+fn describe(outcome: &SessionOutcome) -> &'static str {
+    match outcome {
+        SessionOutcome::Complete => "update verified and stored",
+        SessionOutcome::NoUpdateAvailable => "no update available",
+        SessionOutcome::RejectedAtManifest(_) => "REJECTED at manifest (early)",
+        SessionOutcome::RejectedAtFirmware(_) => "REJECTED at firmware (before reboot)",
+        SessionOutcome::Incomplete => "stream incomplete",
+    }
+}

@@ -1,0 +1,105 @@
+//! Quickstart: one complete over-the-air update, end to end.
+//!
+//! Walks the paper's four phases on a simulated nRF52840 with two bootable
+//! slots: the vendor releases firmware v2, the update server double-signs
+//! it for this device's request, the update agent verifies and stores it,
+//! and the bootloader verifies again and boots it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use upkit::core::agent::{AgentConfig, AgentPhase, UpdateAgent, UpdatePlan};
+use upkit::core::bootloader::{BootConfig, BootMode, Bootloader};
+use upkit::core::generation::{UpdateServer, VendorServer};
+use upkit::core::image::FIRMWARE_OFFSET;
+use upkit::core::keys::TrustAnchors;
+use upkit::crypto::backend::TinyCryptBackend;
+use upkit::crypto::ecdsa::SigningKey;
+use upkit::flash::{configuration_a, standard, FlashGeometry, SimFlash};
+use upkit::manifest::Version;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+
+    // --- Generation phase: the vendor signs a release -----------------
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+    let firmware_v2 = vec![0xC0; 24 * 1024];
+    server.publish(vendor.release(firmware_v2.clone(), Version(2), 0x100, 0xA));
+    println!("vendor released firmware v2 ({} bytes), published to update server", firmware_v2.len());
+
+    // --- Device: flash, agent, bootloader ------------------------------
+    let slot_size = 4096 * 16;
+    let mut layout = configuration_a(
+        Box::new(SimFlash::new(FlashGeometry::internal_nrf52840())),
+        slot_size,
+    )
+    .expect("valid layout");
+    let backend = Arc::new(TinyCryptBackend);
+    let anchors = TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key());
+    let mut agent = UpdateAgent::new(
+        backend.clone(),
+        anchors,
+        AgentConfig {
+            device_id: 0xD0D0,
+            app_id: 0xA,
+            supports_differential: true,
+            content_key: None,
+        },
+    );
+
+    // --- Propagation phase: token → double-signed image → agent --------
+    let plan = UpdatePlan {
+        target_slot: standard::SLOT_B,
+        current_slot: standard::SLOT_A,
+        installed_version: Version(0),
+        installed_size: 0,
+        allowed_link_offsets: vec![0x100],
+        max_firmware_size: slot_size - FIRMWARE_OFFSET,
+    };
+    let token = agent
+        .request_device_token(&mut layout, plan, 0xBEEF)
+        .expect("agent was idle");
+    println!("device token: id={:#x} nonce={:#x}", token.device_id, token.nonce);
+
+    let prepared = server.prepare_update(&token).expect("newer release exists");
+    println!(
+        "server prepared a {:?} update, {} wire bytes",
+        prepared.kind,
+        prepared.image.payload.len()
+    );
+
+    let mut phase = AgentPhase::NeedMore;
+    for chunk in prepared.image.to_bytes().chunks(244) {
+        phase = agent.push_data(&mut layout, chunk).expect("valid update");
+    }
+    assert_eq!(phase, AgentPhase::Complete);
+    println!("agent verified the manifest (double signature) and the stored firmware digest");
+
+    // --- Verification + loading phases: reboot into the bootloader -----
+    let bootloader = Bootloader::new(
+        backend,
+        anchors,
+        BootConfig {
+            device_id: 0xD0D0,
+            app_id: 0xA,
+            allowed_link_offsets: vec![0x100],
+            max_firmware_size: slot_size - FIRMWARE_OFFSET,
+            mode: BootMode::AB {
+                slots: vec![standard::SLOT_A, standard::SLOT_B],
+            },
+            recovery_slot: None,
+        },
+    );
+    let outcome = bootloader.boot(&mut layout).expect("bootable image");
+    println!(
+        "bootloader verified and booted {} from {} ({:?})",
+        outcome.version, outcome.booted_slot, outcome.action
+    );
+    assert_eq!(outcome.version, Version(2));
+    println!("update complete: device is running v2");
+}

@@ -1,0 +1,206 @@
+//! Tests for the pipeline decryption stage — the paper's future-work
+//! extension making payload confidentiality independent of transport
+//! security.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use upkit::core::agent::{AgentConfig, AgentPhase, UpdateAgent, UpdatePlan};
+use upkit::core::generation::{UpdateServer, VendorServer};
+use upkit::core::image::FIRMWARE_OFFSET;
+use upkit::core::keys::TrustAnchors;
+use upkit::crypto::backend::TinyCryptBackend;
+use upkit::crypto::ecdsa::SigningKey;
+use upkit::flash::{configuration_a, standard, FlashGeometry, MemoryLayout, SimFlash};
+use upkit::manifest::{DeviceToken, Version};
+
+const SLOT_SIZE: u32 = 4096 * 12;
+const DEV: u32 = 0xE0C0;
+const KEY: [u8; 32] = [0x42; 32];
+
+struct World {
+    server: UpdateServer,
+    anchors: TrustAnchors,
+    firmware: Vec<u8>,
+}
+
+fn world(seed: u64, encrypt: bool) -> World {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+    if encrypt {
+        server.set_content_key(KEY);
+    }
+    let firmware: Vec<u8> = (0..20_000u32).map(|i| (i % 249) as u8).collect();
+    server.publish(vendor.release(firmware.clone(), Version(2), 0, 1));
+    World {
+        anchors: TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key()),
+        server,
+        firmware,
+    }
+}
+
+fn device(w: &World, key: Option<[u8; 32]>) -> (MemoryLayout, UpdateAgent) {
+    let layout = configuration_a(
+        Box::new(SimFlash::new(FlashGeometry::internal_nrf52840())),
+        SLOT_SIZE,
+    )
+    .unwrap();
+    let agent = UpdateAgent::new(
+        Arc::new(TinyCryptBackend),
+        w.anchors,
+        AgentConfig {
+            device_id: DEV,
+            app_id: 1,
+            supports_differential: true,
+            content_key: key,
+        },
+    );
+    (layout, agent)
+}
+
+fn run_update(w: &World, layout: &mut MemoryLayout, agent: &mut UpdateAgent, nonce: u32) -> Result<AgentPhase, upkit::core::agent::AgentError> {
+    let plan = UpdatePlan {
+        target_slot: standard::SLOT_B,
+        current_slot: standard::SLOT_A,
+        installed_version: Version(1),
+        installed_size: 0,
+        allowed_link_offsets: vec![0],
+        max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
+    };
+    let token = agent.request_device_token(layout, plan, nonce).unwrap();
+    let prepared = w.server.prepare_update(&token).unwrap();
+    let mut last = AgentPhase::NeedMore;
+    for chunk in prepared.image.to_bytes().chunks(244) {
+        last = agent.push_data(layout, chunk)?;
+    }
+    Ok(last)
+}
+
+#[test]
+fn encrypted_update_round_trips() {
+    let w = world(1, true);
+    let (mut layout, mut agent) = device(&w, Some(KEY));
+    assert_eq!(run_update(&w, &mut layout, &mut agent, 10).unwrap(), AgentPhase::Complete);
+    let mut stored = vec![0u8; w.firmware.len()];
+    layout.read_slot(standard::SLOT_B, FIRMWARE_OFFSET, &mut stored).unwrap();
+    assert_eq!(stored, w.firmware, "decrypted firmware matches the release");
+}
+
+#[test]
+fn wire_payload_is_ciphertext() {
+    let w = world(2, true);
+    let prepared = w
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV,
+            nonce: 5,
+            current_version: Version(0),
+        })
+        .unwrap();
+    // Same length (stream cipher), different bytes everywhere that matters.
+    assert_eq!(prepared.image.payload.len(), w.firmware.len());
+    assert_ne!(prepared.image.payload, w.firmware);
+    let matching = prepared
+        .image
+        .payload
+        .iter()
+        .zip(w.firmware.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    // Statistically ~1/256 of bytes collide; anything near the plaintext
+    // would indicate a broken keystream.
+    assert!(matching < w.firmware.len() / 64, "{matching} matching bytes");
+}
+
+#[test]
+fn two_requests_use_distinct_keystreams() {
+    // The nonce-derived cipher nonce must differ per request, or two
+    // captures XOR to plaintext relations.
+    let w = world(3, true);
+    let image = |nonce: u32| {
+        w.server
+            .prepare_update(&DeviceToken {
+                device_id: DEV,
+                nonce,
+                current_version: Version(0),
+            })
+            .unwrap()
+            .image
+            .payload
+    };
+    assert_ne!(image(1), image(2));
+}
+
+#[test]
+fn wrong_content_key_rejected_before_reboot() {
+    let w = world(4, true);
+    let (mut layout, mut agent) = device(&w, Some([0x43; 32]));
+    let err = run_update(&w, &mut layout, &mut agent, 11).unwrap_err();
+    assert!(matches!(
+        err,
+        upkit::core::agent::AgentError::Verify(
+            upkit::core::verifier::VerifyError::DigestMismatch
+        )
+    ));
+}
+
+#[test]
+fn plaintext_update_to_encrypting_device_rejected() {
+    // Server without a content key, device expecting encryption: the
+    // "decrypted" plaintext is garbage and fails the digest check.
+    let w = world(5, false);
+    let (mut layout, mut agent) = device(&w, Some(KEY));
+    let err = run_update(&w, &mut layout, &mut agent, 12).unwrap_err();
+    assert!(matches!(
+        err,
+        upkit::core::agent::AgentError::Verify(
+            upkit::core::verifier::VerifyError::DigestMismatch
+        )
+    ));
+}
+
+#[test]
+fn encrypted_differential_update_round_trips() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+    server.set_content_key(KEY);
+    let v1: Vec<u8> = (0..15_000u32).map(|i| (i % 241) as u8).collect();
+    let mut v2 = v1.clone();
+    v2[400..440].fill(0x77);
+    server.publish(vendor.release(v1.clone(), Version(1), 0, 1));
+    server.publish(vendor.release(v2.clone(), Version(2), 0, 1));
+    let w = World {
+        anchors: TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key()),
+        server,
+        firmware: v2.clone(),
+    };
+    let (mut layout, mut agent) = device(&w, Some(KEY));
+    // Install v1 as the patch base.
+    layout.erase_slot(standard::SLOT_A).unwrap();
+    layout.write_slot(standard::SLOT_A, FIRMWARE_OFFSET, &v1).unwrap();
+
+    let plan = UpdatePlan {
+        target_slot: standard::SLOT_B,
+        current_slot: standard::SLOT_A,
+        installed_version: Version(1),
+        installed_size: v1.len() as u32,
+        allowed_link_offsets: vec![0],
+        max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
+    };
+    let token = agent.request_device_token(&mut layout, plan, 13).unwrap();
+    let prepared = w.server.prepare_update(&token).unwrap();
+    assert!(
+        matches!(prepared.kind, upkit::core::generation::ServedKind::Differential { .. }),
+        "expected a delta"
+    );
+    let mut last = AgentPhase::NeedMore;
+    for chunk in prepared.image.to_bytes().chunks(64) {
+        last = agent.push_data(&mut layout, chunk).unwrap();
+    }
+    assert_eq!(last, AgentPhase::Complete);
+    let mut stored = vec![0u8; v2.len()];
+    layout.read_slot(standard::SLOT_B, FIRMWARE_OFFSET, &mut stored).unwrap();
+    assert_eq!(stored, v2);
+}

@@ -1,0 +1,180 @@
+//! Recovery-slot tests: Fig. 6's non-bootable recovery image on external
+//! flash, used only when every regular slot fails verification.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use upkit::core::bootloader::{BootAction, BootConfig, BootError, BootMode, Bootloader};
+use upkit::core::generation::{UpdateServer, VendorServer};
+use upkit::core::image::{write_manifest, FIRMWARE_OFFSET};
+use upkit::core::keys::TrustAnchors;
+use upkit::crypto::backend::TinyCryptBackend;
+use upkit::crypto::ecdsa::SigningKey;
+use upkit::crypto::sha256::sha256;
+use upkit::flash::layout::configuration_a_with_recovery;
+use upkit::flash::{standard, FlashGeometry, MemoryLayout, SimFlash, SlotId};
+use upkit::manifest::{Manifest, SignedManifest, Version};
+
+const SLOT_SIZE: u32 = 4096 * 8;
+const DEV: u32 = 0x5EC0;
+
+struct World {
+    vendor: VendorServer,
+    server: UpdateServer,
+    anchors: TrustAnchors,
+    layout: MemoryLayout,
+}
+
+fn world(seed: u64) -> World {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let server = UpdateServer::new(SigningKey::generate(&mut rng));
+    let anchors = TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key());
+    let layout = configuration_a_with_recovery(
+        Box::new(SimFlash::new(FlashGeometry::internal_nrf52840())),
+        Box::new(SimFlash::new(FlashGeometry::external_spi_nor())),
+        SLOT_SIZE,
+    )
+    .unwrap();
+    World {
+        vendor,
+        server,
+        anchors,
+        layout,
+    }
+}
+
+fn install(w: &mut World, slot: SlotId, version: u16, fw: &[u8]) {
+    let manifest = Manifest {
+        device_id: DEV,
+        nonce: 0,
+        old_version: Version(0),
+        version: Version(version),
+        size: fw.len() as u32,
+        payload_size: fw.len() as u32,
+        digest: sha256(fw),
+        link_offset: 0,
+        app_id: 1,
+    };
+    let signed = SignedManifest {
+        manifest,
+        vendor_signature: w.vendor.sign_manifest_core(&manifest),
+        server_signature: w.server.sign_manifest(&manifest),
+    };
+    w.layout.erase_slot(slot).unwrap();
+    write_manifest(&mut w.layout, slot, &signed).unwrap();
+    w.layout.write_slot(slot, FIRMWARE_OFFSET, fw).unwrap();
+}
+
+fn bootloader(w: &World) -> Bootloader {
+    Bootloader::new(
+        Arc::new(TinyCryptBackend),
+        w.anchors,
+        BootConfig {
+            device_id: DEV,
+            app_id: 1,
+            allowed_link_offsets: vec![0],
+            max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
+            mode: BootMode::AB {
+                slots: vec![standard::SLOT_A, standard::SLOT_B],
+            },
+            recovery_slot: Some(standard::RECOVERY),
+        },
+    )
+}
+
+fn corrupt_firmware(w: &mut World, slot: SlotId) {
+    // Clearing a bit is always a legal flash write and breaks the digest.
+    w.layout
+        .write_slot(slot, FIRMWARE_OFFSET + 5, &[0x00])
+        .unwrap();
+}
+
+#[test]
+fn recovery_unused_while_a_regular_slot_is_valid() {
+    let mut w = world(1);
+    install(&mut w, standard::SLOT_A, 3, b"running v3");
+    install(&mut w, standard::RECOVERY, 1, b"factory v1");
+    let outcome = bootloader(&w).boot(&mut w.layout).unwrap();
+    assert_eq!(outcome.version, Version(3));
+    assert_eq!(outcome.action, BootAction::JumpedInPlace);
+}
+
+#[test]
+fn recovery_restores_when_both_slots_corrupt() {
+    let mut w = world(2);
+    install(&mut w, standard::SLOT_A, 3, b"running v3");
+    install(&mut w, standard::SLOT_B, 4, b"update  v4");
+    install(&mut w, standard::RECOVERY, 1, b"factory v1");
+    corrupt_firmware(&mut w, standard::SLOT_A);
+    corrupt_firmware(&mut w, standard::SLOT_B);
+
+    let outcome = bootloader(&w).boot(&mut w.layout).unwrap();
+    assert_eq!(outcome.action, BootAction::RestoredFromRecovery);
+    assert_eq!(outcome.version, Version(1));
+    assert_eq!(outcome.booted_slot, standard::SLOT_A);
+    assert_eq!(outcome.rejected_slots.len(), 2);
+
+    // The factory image now physically occupies the bootable slot.
+    let mut buf = [0u8; 10];
+    w.layout
+        .read_slot(standard::SLOT_A, FIRMWARE_OFFSET, &mut buf)
+        .unwrap();
+    assert_eq!(&buf, b"factory v1");
+
+    // And the next boot verifies it like any regular image.
+    let outcome = bootloader(&w).boot(&mut w.layout).unwrap();
+    assert_eq!(outcome.action, BootAction::JumpedInPlace);
+    assert_eq!(outcome.version, Version(1));
+}
+
+#[test]
+fn corrupt_recovery_cannot_save_the_device() {
+    let mut w = world(3);
+    install(&mut w, standard::SLOT_A, 3, b"running v3");
+    install(&mut w, standard::RECOVERY, 1, b"factory v1");
+    corrupt_firmware(&mut w, standard::SLOT_A);
+    corrupt_firmware(&mut w, standard::RECOVERY);
+    match bootloader(&w).boot(&mut w.layout) {
+        Err(BootError::NoValidImage(rejected)) => {
+            // Slot A, slot B (empty), and recovery all rejected.
+            assert_eq!(rejected.len(), 3);
+        }
+        other => panic!("expected NoValidImage, got {other:?}"),
+    }
+}
+
+#[test]
+fn forged_recovery_image_rejected() {
+    let mut w = world(4);
+    let attacker = world(99);
+    install(&mut w, standard::SLOT_A, 3, b"running v3");
+    corrupt_firmware(&mut w, standard::SLOT_A);
+    // Attacker plants their own "recovery" image (wrong keys).
+    let fw = b"evil recovery";
+    let manifest = Manifest {
+        device_id: DEV,
+        nonce: 0,
+        old_version: Version(0),
+        version: Version(1),
+        size: fw.len() as u32,
+        payload_size: fw.len() as u32,
+        digest: sha256(fw),
+        link_offset: 0,
+        app_id: 1,
+    };
+    let signed = SignedManifest {
+        manifest,
+        vendor_signature: attacker.vendor.sign_manifest_core(&manifest),
+        server_signature: attacker.server.sign_manifest(&manifest),
+    };
+    w.layout.erase_slot(standard::RECOVERY).unwrap();
+    write_manifest(&mut w.layout, standard::RECOVERY, &signed).unwrap();
+    w.layout
+        .write_slot(standard::RECOVERY, FIRMWARE_OFFSET, fw)
+        .unwrap();
+    assert!(matches!(
+        bootloader(&w).boot(&mut w.layout),
+        Err(BootError::NoValidImage(_))
+    ));
+}

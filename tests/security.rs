@@ -1,0 +1,368 @@
+//! Security integration tests: the attack matrix the paper's design
+//! motivates, run against both UpKit and the baselines so the comparison
+//! is explicit — the same attack bytes, different outcomes.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use upkit::baselines::{McubootBootloader, McubootConfig, McubootOutcome, McumgrAgent};
+use upkit::core::agent::{AgentConfig, AgentError, AgentPhase, UpdateAgent, UpdatePlan};
+use upkit::core::generation::{UpdateServer, VendorServer};
+use upkit::core::image::FIRMWARE_OFFSET;
+use upkit::core::keys::{KeyAnchor, TrustAnchors};
+use upkit::core::verifier::VerifyError;
+use upkit::crypto::backend::TinyCryptBackend;
+use upkit::crypto::ecdsa::SigningKey;
+use upkit::flash::{configuration_a, configuration_b, standard, FlashGeometry, MemoryLayout, SimFlash};
+use upkit::manifest::{DeviceToken, Version};
+
+const SLOT_SIZE: u32 = 4096 * 12;
+const DEV: u32 = 0xD00D;
+const APP: u32 = 0xA;
+
+struct World {
+    vendor: VendorServer,
+    server: UpdateServer,
+    anchors: TrustAnchors,
+}
+
+fn world(seed: u64, firmware: Vec<u8>, version: u16) -> World {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+    let anchors = TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key());
+    server.publish(vendor.release(firmware, Version(version), 0, APP));
+    World {
+        vendor,
+        server,
+        anchors,
+    }
+}
+
+fn fresh_device(w: &World) -> (MemoryLayout, UpdateAgent) {
+    let layout = configuration_a(
+        Box::new(SimFlash::new(FlashGeometry::internal_nrf52840())),
+        SLOT_SIZE,
+    )
+    .unwrap();
+    let agent = UpdateAgent::new(
+        Arc::new(TinyCryptBackend),
+        w.anchors,
+        AgentConfig {
+            device_id: DEV,
+            app_id: APP,
+            supports_differential: true,
+            content_key: None,
+        },
+    );
+    (layout, agent)
+}
+
+fn plan(installed: u16) -> UpdatePlan {
+    UpdatePlan {
+        target_slot: standard::SLOT_B,
+        current_slot: standard::SLOT_A,
+        installed_version: Version(installed),
+        installed_size: 0,
+        allowed_link_offsets: vec![0],
+        max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
+    }
+}
+
+fn feed(agent: &mut UpdateAgent, layout: &mut MemoryLayout, bytes: &[u8]) -> Result<AgentPhase, AgentError> {
+    let mut last = AgentPhase::NeedMore;
+    for chunk in bytes.chunks(244) {
+        last = agent.push_data(layout, chunk)?;
+    }
+    Ok(last)
+}
+
+#[test]
+fn replay_rejected_by_upkit_accepted_by_mcumgr() {
+    let w = world(1, vec![0x11; 8_000], 2);
+    // Capture a legitimately-signed image for nonce 100.
+    let captured = w
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV,
+            nonce: 100,
+            current_version: Version(0),
+        })
+        .unwrap()
+        .image
+        .to_bytes();
+
+    // UpKit: a new request (nonce 200) rejects the captured image.
+    let (mut layout, mut agent) = fresh_device(&w);
+    agent.request_device_token(&mut layout, plan(1), 200).unwrap();
+    let err = feed(&mut agent, &mut layout, &captured).unwrap_err();
+    assert!(matches!(err, AgentError::Verify(VerifyError::WrongNonce)));
+
+    // mcumgr: stores the replay happily.
+    let mut layout = configuration_a(
+        Box::new(SimFlash::new(FlashGeometry::internal_nrf52840())),
+        SLOT_SIZE,
+    )
+    .unwrap();
+    let mut mcumgr = McumgrAgent::new(standard::SLOT_B);
+    mcumgr.begin(&mut layout).unwrap();
+    let mut done = false;
+    for chunk in captured.chunks(244) {
+        done = mcumgr.push_data(&mut layout, chunk).unwrap();
+    }
+    assert!(done, "mcumgr accepted the replayed image");
+}
+
+#[test]
+fn downgrade_rejected_by_upkit_accepted_by_mcuboot() {
+    // Server only has v2; device runs v5 — v2 is a downgrade.
+    let w = world(2, vec![0x22; 8_000], 2);
+    let image = w
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV,
+            nonce: 7,
+            current_version: Version(0),
+        })
+        .unwrap()
+        .image;
+
+    // UpKit agent at v5 rejects v2.
+    let (mut layout, mut agent) = fresh_device(&w);
+    agent.request_device_token(&mut layout, plan(5), 7).unwrap();
+    let err = feed(&mut agent, &mut layout, &image.to_bytes()).unwrap_err();
+    assert!(matches!(err, AgentError::Verify(VerifyError::StaleVersion)));
+
+    // mcuboot (default config): swaps the valid-but-old image in.
+    let mut layout = configuration_b(
+        Box::new(SimFlash::new(FlashGeometry::internal_nrf52840())),
+        None,
+        SLOT_SIZE,
+    )
+    .unwrap();
+    // Install "v5" in primary, stage the v2 image.
+    install_raw(&mut layout, standard::SLOT_A, &w, 5, &vec![0x55; 4_000]);
+    layout.erase_slot(standard::SLOT_B).unwrap();
+    upkit::core::image::write_manifest(&mut layout, standard::SLOT_B, &image.signed_manifest)
+        .unwrap();
+    layout
+        .write_slot(standard::SLOT_B, FIRMWARE_OFFSET, &image.payload)
+        .unwrap();
+    let mcuboot = McubootBootloader::new(
+        Arc::new(TinyCryptBackend),
+        McubootConfig {
+            primary: standard::SLOT_A,
+            staging: standard::SLOT_B,
+            vendor_key: KeyAnchor::inline(&w.vendor.verifying_key()),
+            downgrade_prevention: false,
+        },
+    );
+    assert_eq!(
+        mcuboot.boot(&mut layout).unwrap(),
+        McubootOutcome::SwappedNewImage { version: Version(2) },
+        "mcuboot installed the downgrade"
+    );
+}
+
+#[test]
+fn cross_device_image_rejected() {
+    let w = world(3, vec![0x33; 6_000], 2);
+    // Image prepared for a *different* device id.
+    let foreign = w
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV + 1,
+            nonce: 50,
+            current_version: Version(0),
+        })
+        .unwrap()
+        .image
+        .to_bytes();
+    let (mut layout, mut agent) = fresh_device(&w);
+    agent.request_device_token(&mut layout, plan(1), 50).unwrap();
+    let err = feed(&mut agent, &mut layout, &foreign).unwrap_err();
+    assert!(matches!(err, AgentError::Verify(VerifyError::WrongDevice)));
+}
+
+#[test]
+fn wrong_app_image_rejected() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+    // Release built for a different product (app id APP+1).
+    server.publish(vendor.release(vec![0x44; 6_000], Version(2), 0, APP + 1));
+    let w = World {
+        anchors: TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key()),
+        vendor,
+        server,
+    };
+    let image = w
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV,
+            nonce: 9,
+            current_version: Version(0),
+        })
+        .unwrap()
+        .image
+        .to_bytes();
+    let (mut layout, mut agent) = fresh_device(&w);
+    agent.request_device_token(&mut layout, plan(1), 9).unwrap();
+    let err = feed(&mut agent, &mut layout, &image).unwrap_err();
+    assert!(matches!(err, AgentError::Verify(VerifyError::WrongAppId)));
+}
+
+#[test]
+fn fully_forged_image_rejected_even_with_valid_structure() {
+    // Attacker builds a structurally perfect image signed with their own
+    // keys: rejected on the vendor signature.
+    let legit = world(5, vec![0x55; 6_000], 2);
+    let attacker = world(6, vec![0x66; 6_000], 3);
+    let forged = attacker
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV,
+            nonce: 77,
+            current_version: Version(0),
+        })
+        .unwrap()
+        .image
+        .to_bytes();
+    let (mut layout, mut agent) = fresh_device(&legit);
+    agent.request_device_token(&mut layout, plan(1), 77).unwrap();
+    let err = feed(&mut agent, &mut layout, &forged).unwrap_err();
+    assert!(matches!(
+        err,
+        AgentError::Verify(VerifyError::VendorSignature | VerifyError::ServerSignature)
+    ));
+}
+
+#[test]
+fn compromised_update_server_cannot_forge_firmware() {
+    // Double-signature property (i): even with the update-server key, an
+    // attacker cannot produce acceptable firmware — the vendor signature
+    // covers the digest.
+    let w = world(7, vec![0x77; 6_000], 2);
+    let legit = w
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV,
+            nonce: 11,
+            current_version: Version(0),
+        })
+        .unwrap()
+        .image;
+
+    // "Stolen server key": re-sign a manifest whose digest points at
+    // attacker firmware, keeping the legit vendor signature.
+    let mut evil_manifest = legit.signed_manifest.manifest;
+    let evil_payload = vec![0xEE; evil_manifest.size as usize];
+    evil_manifest.digest = upkit::crypto::sha256::sha256(&evil_payload);
+    let evil = upkit::manifest::UpdateImage {
+        signed_manifest: upkit::manifest::SignedManifest {
+            manifest: evil_manifest,
+            vendor_signature: legit.signed_manifest.vendor_signature,
+            server_signature: w.server.sign_manifest(&evil_manifest),
+        },
+        payload: evil_payload,
+    };
+
+    let (mut layout, mut agent) = fresh_device(&w);
+    agent.request_device_token(&mut layout, plan(1), 11).unwrap();
+    let err = feed(&mut agent, &mut layout, &evil.to_bytes()).unwrap_err();
+    assert!(matches!(
+        err,
+        AgentError::Verify(VerifyError::VendorSignature)
+    ));
+}
+
+#[test]
+fn compromised_vendor_key_alone_cannot_satisfy_freshness() {
+    // Double-signature property (ii): the vendor key alone cannot bind a
+    // fresh nonce — the server signature fails.
+    let w = world(8, vec![0x88; 6_000], 2);
+    let legit = w
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV,
+            nonce: 500,
+            current_version: Version(0),
+        })
+        .unwrap()
+        .image;
+
+    // "Stolen vendor key": attacker re-targets the manifest to nonce 501
+    // and re-signs the core; but they cannot produce the server signature.
+    let mut evil_manifest = legit.signed_manifest.manifest;
+    evil_manifest.nonce = 501;
+    let evil = upkit::manifest::UpdateImage {
+        signed_manifest: upkit::manifest::SignedManifest {
+            manifest: evil_manifest,
+            vendor_signature: w.vendor.sign_manifest_core(&evil_manifest),
+            // Best the attacker can do: replay the old server signature.
+            server_signature: legit.signed_manifest.server_signature,
+        },
+        payload: legit.payload.clone(),
+    };
+
+    let (mut layout, mut agent) = fresh_device(&w);
+    agent.request_device_token(&mut layout, plan(1), 501).unwrap();
+    let err = feed(&mut agent, &mut layout, &evil.to_bytes()).unwrap_err();
+    assert!(matches!(
+        err,
+        AgentError::Verify(VerifyError::ServerSignature)
+    ));
+}
+
+#[test]
+fn bit_flip_anywhere_in_stream_is_caught() {
+    let w = world(9, vec![0x99; 4_000], 2);
+    let image = w
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV,
+            nonce: 31,
+            current_version: Version(0),
+        })
+        .unwrap()
+        .image
+        .to_bytes();
+
+    // Flip one bit at a spread of offsets covering manifest, signatures,
+    // and payload; every single one must be rejected.
+    for offset in [0usize, 10, 59, 60, 130, 188, 500, 2_000, image.len() - 1] {
+        let mut tampered = image.clone();
+        tampered[offset] ^= 0x01;
+        let (mut layout, mut agent) = fresh_device(&w);
+        agent.request_device_token(&mut layout, plan(1), 31).unwrap();
+        let result = feed(&mut agent, &mut layout, &tampered);
+        assert!(
+            result.is_err(),
+            "bit flip at offset {offset} was accepted"
+        );
+    }
+}
+
+fn install_raw(layout: &mut MemoryLayout, slot: upkit::flash::SlotId, w: &World, version: u16, fw: &[u8]) {
+    use upkit::crypto::sha256::sha256;
+    use upkit::manifest::{Manifest, SignedManifest};
+    let manifest = Manifest {
+        device_id: DEV,
+        nonce: 0,
+        old_version: Version(0),
+        version: Version(version),
+        size: fw.len() as u32,
+        payload_size: fw.len() as u32,
+        digest: sha256(fw),
+        link_offset: 0,
+        app_id: APP,
+    };
+    let signed = SignedManifest {
+        manifest,
+        vendor_signature: w.vendor.sign_manifest_core(&manifest),
+        server_signature: w.server.sign_manifest(&manifest),
+    };
+    layout.erase_slot(slot).unwrap();
+    upkit::core::image::write_manifest(layout, slot, &signed).unwrap();
+    layout.write_slot(slot, FIRMWARE_OFFSET, fw).unwrap();
+}

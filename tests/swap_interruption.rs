@@ -1,0 +1,196 @@
+//! Power loss during the boot-time slot swap: the static-configuration
+//! hazard that A/B updates and the recovery slot exist to mitigate.
+//!
+//! The paper's loading phase for Configuration B swaps the staging slot
+//! into the bootable slot sector by sector. A power cut mid-swap leaves
+//! *both* slots partially written — unlike a cut during propagation, which
+//! the agent/bootloader double verification always survives. These tests
+//! demonstrate the full risk ladder:
+//!
+//! 1. static swap + mid-swap cut + no recovery → the device can brick;
+//! 2. the same cut with a recovery slot → restored to the factory image;
+//! 3. A/B mode has no swap at all, so no cut during loading can brick it.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use upkit::core::bootloader::{BootAction, BootConfig, BootError, BootMode, Bootloader};
+use upkit::core::generation::{UpdateServer, VendorServer};
+use upkit::core::image::{write_manifest, FIRMWARE_OFFSET};
+use upkit::core::keys::TrustAnchors;
+use upkit::crypto::backend::TinyCryptBackend;
+use upkit::crypto::ecdsa::SigningKey;
+use upkit::crypto::sha256::sha256;
+use upkit::flash::layout::configuration_a_with_recovery;
+use upkit::flash::{
+    configuration_b, standard, FlashGeometry, MemoryLayout, SimFlash, SlotId,
+};
+use upkit::manifest::{Manifest, SignedManifest, Version};
+
+const SLOT_SIZE: u32 = 4096 * 4;
+const DEV: u32 = 0x5A5A;
+
+struct World {
+    vendor: VendorServer,
+    server: UpdateServer,
+    anchors: TrustAnchors,
+}
+
+fn world(seed: u64) -> World {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let server = UpdateServer::new(SigningKey::generate(&mut rng));
+    let anchors = TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key());
+    World {
+        vendor,
+        server,
+        anchors,
+    }
+}
+
+fn install(w: &World, layout: &mut MemoryLayout, slot: SlotId, version: u16, fill: u8) {
+    let fw = vec![fill; 6_000];
+    let manifest = Manifest {
+        device_id: DEV,
+        nonce: 0,
+        old_version: Version(0),
+        version: Version(version),
+        size: fw.len() as u32,
+        payload_size: fw.len() as u32,
+        digest: sha256(&fw),
+        link_offset: 0,
+        app_id: 1,
+    };
+    let signed = SignedManifest {
+        manifest,
+        vendor_signature: w.vendor.sign_manifest_core(&manifest),
+        server_signature: w.server.sign_manifest(&manifest),
+    };
+    layout.erase_slot(slot).unwrap();
+    write_manifest(layout, slot, &signed).unwrap();
+    layout.write_slot(slot, FIRMWARE_OFFSET, &fw).unwrap();
+}
+
+fn bootloader(w: &World, mode: BootMode, recovery: Option<SlotId>) -> Bootloader {
+    Bootloader::new(
+        Arc::new(TinyCryptBackend),
+        w.anchors,
+        BootConfig {
+            device_id: DEV,
+            app_id: 1,
+            allowed_link_offsets: vec![0],
+            max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
+            mode,
+            recovery_slot: recovery,
+        },
+    )
+}
+
+fn static_mode() -> BootMode {
+    BootMode::Static {
+        bootable: standard::SLOT_A,
+        staging: standard::SLOT_B,
+        swap: true,
+    }
+}
+
+#[test]
+fn mid_swap_power_cut_can_brick_a_static_device_without_recovery() {
+    let w = world(1);
+    let mut layout = configuration_b(
+        Box::new(SimFlash::new(FlashGeometry {
+            size: 4096 * 16,
+            sector_size: 4096,
+            read_micros_per_byte: 0,
+            write_micros_per_byte: 0,
+            erase_micros_per_sector: 0,
+        })),
+        None,
+        SLOT_SIZE,
+    )
+    .unwrap();
+    install(&w, &mut layout, standard::SLOT_A, 1, 0xAA);
+    install(&w, &mut layout, standard::SLOT_B, 2, 0xBB);
+
+    // Cut power after ~1.5 swapped sectors: both slots now hold a mix.
+    layout
+        .device_mut(0)
+        .unwrap()
+        .arm_power_cut_after(16384 + 2048); // mid-erase of the second sector
+    let boot = bootloader(&w, static_mode(), None);
+    assert!(matches!(boot.boot(&mut layout), Err(BootError::Layout(_))));
+
+    // Power restored; the next boot finds no intact image anywhere.
+    layout.device_mut(0).unwrap().disarm_power_cut();
+    assert!(
+        matches!(boot.boot(&mut layout), Err(BootError::NoValidImage(_))),
+        "mid-swap corruption must be visible (not silently booted)"
+    );
+}
+
+#[test]
+fn recovery_slot_saves_the_interrupted_swap() {
+    let w = world(2);
+    // Configuration A layout gives us a third (recovery) slot; drive it in
+    // static mode over slots A/B with recovery fallback.
+    let mut layout = configuration_a_with_recovery(
+        Box::new(SimFlash::new(FlashGeometry {
+            size: 4096 * 16,
+            sector_size: 4096,
+            read_micros_per_byte: 0,
+            write_micros_per_byte: 0,
+            erase_micros_per_sector: 0,
+        })),
+        Box::new(SimFlash::new(FlashGeometry::external_spi_nor())),
+        SLOT_SIZE,
+    )
+    .unwrap();
+    install(&w, &mut layout, standard::SLOT_A, 1, 0xAA);
+    install(&w, &mut layout, standard::SLOT_B, 2, 0xBB);
+    install(&w, &mut layout, standard::RECOVERY, 1, 0xCC);
+
+    layout
+        .device_mut(0)
+        .unwrap()
+        .arm_power_cut_after(16384 + 2048); // mid-erase of the second sector
+    let boot = bootloader(&w, static_mode(), Some(standard::RECOVERY));
+    let _ = boot.boot(&mut layout); // interrupted mid-swap
+
+    layout.device_mut(0).unwrap().disarm_power_cut();
+    let outcome = boot.boot(&mut layout).expect("recovery must save the device");
+    assert_eq!(outcome.action, BootAction::RestoredFromRecovery);
+    assert_eq!(outcome.version, Version(1));
+}
+
+#[test]
+fn ab_mode_loading_has_no_swap_to_interrupt() {
+    let w = world(3);
+    let mut layout = configuration_a_with_recovery(
+        Box::new(SimFlash::new(FlashGeometry {
+            size: 4096 * 16,
+            sector_size: 4096,
+            read_micros_per_byte: 0,
+            write_micros_per_byte: 0,
+            erase_micros_per_sector: 0,
+        })),
+        Box::new(SimFlash::new(FlashGeometry::external_spi_nor())),
+        SLOT_SIZE,
+    )
+    .unwrap();
+    install(&w, &mut layout, standard::SLOT_A, 1, 0xAA);
+    install(&w, &mut layout, standard::SLOT_B, 2, 0xBB);
+
+    // Arm an aggressive cut: A/B loading performs no writes or erases, so
+    // it never trips.
+    layout.device_mut(0).unwrap().arm_power_cut_after(0);
+    let boot = bootloader(
+        &w,
+        BootMode::AB {
+            slots: vec![standard::SLOT_A, standard::SLOT_B],
+        },
+        None,
+    );
+    let outcome = boot.boot(&mut layout).expect("A/B boot needs no flash writes");
+    assert_eq!(outcome.version, Version(2));
+    assert_eq!(outcome.action, BootAction::JumpedInPlace);
+}

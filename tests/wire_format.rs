@@ -1,0 +1,128 @@
+//! Golden wire-format tests: freeze the byte layouts so accidental format
+//! changes fail loudly. A real deployment has devices in the field that
+//! parse these exact bytes; changing them is a compatibility break that
+//! must be deliberate.
+
+use upkit::crypto::sha256::sha256;
+use upkit::manifest::{
+    DeviceToken, Manifest, Version, DEVICE_TOKEN_LEN, MANIFEST_LEN, SIGNED_MANIFEST_LEN,
+};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn format_lengths_are_frozen() {
+    assert_eq!(MANIFEST_LEN, 60);
+    assert_eq!(SIGNED_MANIFEST_LEN, 188);
+    assert_eq!(DEVICE_TOKEN_LEN, 10);
+    assert_eq!(upkit::core::image::FIRMWARE_OFFSET, 256);
+    assert_eq!(upkit::compress::HEADER_LEN, 9);
+    assert_eq!(upkit::delta::HEADER_LEN, 12);
+    assert_eq!(upkit::delta::CONTROL_LEN, 12);
+}
+
+#[test]
+fn manifest_golden_bytes() {
+    let manifest = Manifest {
+        device_id: 0x04030201,
+        nonce: 0x08070605,
+        old_version: Version(0x0A09),
+        version: Version(0x0C0B),
+        size: 0x100F0E0D,
+        payload_size: 0x14131211,
+        digest: [0xD5; 32],
+        link_offset: 0x18171615,
+        app_id: 0x1C1B1A19,
+    };
+    let expected = format!(
+        "{}{}{}{}{}{}{}{}{}",
+        "01020304",                 // device_id LE
+        "05060708",                 // nonce LE
+        "090a",                     // old_version LE
+        "0b0c",                     // version LE
+        "0d0e0f10",                 // size LE
+        "11121314",                 // payload_size LE
+        "d5".repeat(32),            // digest
+        "15161718",                 // link_offset LE
+        "191a1b1c",                 // app_id LE
+    );
+    assert_eq!(hex(&manifest.to_bytes()), expected);
+}
+
+#[test]
+fn device_token_golden_bytes() {
+    let token = DeviceToken {
+        device_id: 0x44332211,
+        nonce: 0x88776655,
+        current_version: Version(0xBBAA),
+    };
+    assert_eq!(hex(&token.to_bytes()), "11223344556677".to_owned() + "88aabb");
+}
+
+#[test]
+fn lzss_stream_golden_bytes() {
+    // "aaaaaa": one literal 'a', then a match (dist 1, len 5) with the
+    // default 12-bit window. Flags LSB-first: literal, match.
+    let packed = upkit::compress::compress(b"aaaaaa", upkit::compress::Params::default());
+    assert_eq!(
+        hex(&packed),
+        concat!(
+            "4c5a5331", // "LZS1"
+            "0c",       // window bits
+            "06000000", // original length 6, LE
+            "01",       // flag byte: 0b01 → literal, match
+            "61",       // 'a'
+            "0020",     // token 0x2000 LE: dist-1 = 0, len-3 = 2
+        )
+    );
+}
+
+#[test]
+fn bsdiff_patch_golden_bytes() {
+    // Identical 4-byte images: header + one control entry (diff 4, extra
+    // 0, seek -4) + four zero delta bytes.
+    let delta = upkit::delta::diff(b"abcd", b"abcd");
+    assert_eq!(
+        hex(&delta),
+        format!(
+            "{}{}{}{}{}{}",
+            "42534431",   // "BSD1"
+            "04000000",   // old len
+            "04000000",   // new len
+            "04000000",   // diff len
+            "00000000",   // extra len
+            "fcffffff" .to_owned() + "00000000" // seek -4 LE + 4 zero deltas
+        )
+    );
+}
+
+#[test]
+fn sha256_binding_to_fips_vector() {
+    // Anchor the digest algorithm itself (already covered in unit tests;
+    // re-asserted here as part of the frozen format surface because the
+    // manifest digest field depends on it).
+    assert_eq!(
+        hex(&sha256(b"abc")),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    );
+}
+
+#[test]
+fn suit_envelope_prefix_is_stable() {
+    let manifest = Manifest {
+        device_id: 1,
+        nonce: 2,
+        old_version: Version(0),
+        version: Version(3),
+        size: 4,
+        payload_size: 4,
+        digest: [0; 32],
+        link_offset: 5,
+        app_id: 6,
+    };
+    let envelope = upkit::manifest::suit::to_suit_envelope(&manifest);
+    // Map(5) ‖ key 1 ‖ uint 1 (manifest version) ‖ key 2 ‖ uint 3 (sequence).
+    assert_eq!(hex(&envelope[..5]), "a501010203");
+}
