@@ -41,9 +41,7 @@ impl core::fmt::Display for Lwm2mError {
             Self::Framing(e) => write!(f, "framing error: {e}"),
             Self::TooMuchData => f.write_str("download exceeded declared length"),
             Self::WrongState => f.write_str("operation invalid in current state"),
-            Self::TransportReplayDetected => {
-                f.write_str("DTLS session rejected replayed traffic")
-            }
+            Self::TransportReplayDetected => f.write_str("DTLS session rejected replayed traffic"),
         }
     }
 }

@@ -113,8 +113,13 @@ impl McumgrAgent {
                     }
                 }
                 UploadState::Body => {
-                    let expected =
-                        u64::from(self.manifest.as_ref().expect("header parsed").manifest.payload_size);
+                    let expected = u64::from(
+                        self.manifest
+                            .as_ref()
+                            .expect("header parsed")
+                            .manifest
+                            .payload_size,
+                    );
                     let remaining = expected - self.body_received;
                     if remaining == 0 {
                         return Err(McumgrError::TooMuchData);

@@ -38,7 +38,9 @@ fn bench_ecdsa(c: &mut Criterion) {
     let digest = sha256(b"manifest");
     let sig = key.sign_prehashed(&digest);
     let vk = key.verifying_key();
-    c.bench_function("ecdsa_p256_sign", |b| b.iter(|| key.sign_prehashed(&digest)));
+    c.bench_function("ecdsa_p256_sign", |b| {
+        b.iter(|| key.sign_prehashed(&digest))
+    });
     c.bench_function("ecdsa_p256_verify", |b| {
         b.iter(|| vk.verify_prehashed(&digest, &sig).unwrap())
     });
@@ -52,7 +54,9 @@ fn bench_lzss(c: &mut Criterion) {
     group.bench_function("compress_100kB", |b| {
         b.iter(|| compress(&data, Params::default()))
     });
-    group.bench_function("decompress_100kB", |b| b.iter(|| decompress(&packed).unwrap()));
+    group.bench_function("decompress_100kB", |b| {
+        b.iter(|| decompress(&packed).unwrap())
+    });
     group.finish();
 }
 

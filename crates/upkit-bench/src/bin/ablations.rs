@@ -63,11 +63,41 @@ fn attack_matrix() {
         "Ablation 2: attack matrix (✓ = attack stopped)",
         &["Attack", "CRC only", "mcuboot", "LwM2M+proxy", "UpKit"],
         &[
-            vec!["Random corruption".into(), "yes".into(), "yes".into(), "no (agent) / yes (boot)".into(), "yes (in agent)".into()],
-            vec!["Forged firmware".into(), "no".into(), "yes".into(), "yes (at boot)".into(), "yes (in agent)".into()],
-            vec!["Replay old image".into(), "no".into(), "no".into(), "no".into(), "yes (nonce)".into()],
-            vec!["Downgrade".into(), "no".into(), "no (default)".into(), "no".into(), "yes (version)".into()],
-            vec!["Cross-device replay".into(), "no".into(), "no".into(), "no".into(), "yes (device ID)".into()],
+            vec![
+                "Random corruption".into(),
+                "yes".into(),
+                "yes".into(),
+                "no (agent) / yes (boot)".into(),
+                "yes (in agent)".into(),
+            ],
+            vec![
+                "Forged firmware".into(),
+                "no".into(),
+                "yes".into(),
+                "yes (at boot)".into(),
+                "yes (in agent)".into(),
+            ],
+            vec![
+                "Replay old image".into(),
+                "no".into(),
+                "no".into(),
+                "no".into(),
+                "yes (nonce)".into(),
+            ],
+            vec![
+                "Downgrade".into(),
+                "no".into(),
+                "no (default)".into(),
+                "no".into(),
+                "yes (version)".into(),
+            ],
+            vec![
+                "Cross-device replay".into(),
+                "no".into(),
+                "no".into(),
+                "no".into(),
+                "yes (device ID)".into(),
+            ],
         ],
     );
 }

@@ -28,16 +28,13 @@ fn main() {
     let workloads = [
         ("OS version change", generator.os_version_change(&v1)),
         ("App change ~1000 B", generator.app_change(&v1, 1000)),
-        (
-            "Scattered 1-byte edits",
-            {
-                let mut fw = v1.clone();
-                for i in (128..fw.len()).step_by(512) {
-                    fw[i] ^= 1;
-                }
-                fw
-            },
-        ),
+        ("Scattered 1-byte edits", {
+            let mut fw = v1.clone();
+            for i in (128..fw.len()).step_by(512) {
+                fw[i] ^= 1;
+            }
+            fw
+        }),
     ];
 
     let mut rows = Vec::new();
@@ -46,7 +43,10 @@ fn main() {
         let block_wire = wire_len(&blockdiff::diff(&v1, v2));
         // Correctness cross-check before quoting numbers.
         assert_eq!(&upkit_delta::patch(&v1, &diff(&v1, v2)).unwrap(), v2);
-        assert_eq!(&blockdiff::patch(&v1, &blockdiff::diff(&v1, v2)).unwrap(), v2);
+        assert_eq!(
+            &blockdiff::patch(&v1, &blockdiff::diff(&v1, v2)).unwrap(),
+            v2
+        );
         rows.push(vec![
             (*name).to_string(),
             v2.len().to_string(),

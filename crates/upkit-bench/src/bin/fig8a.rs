@@ -37,7 +37,13 @@ fn main() {
 
     print_table(
         "Fig. 8a: Full 100 kB update, push vs pull (seconds, paper / repro)",
-        &["Approach", "Total", "Propagation", "Verification", "Loading"],
+        &[
+            "Approach",
+            "Total",
+            "Propagation",
+            "Verification",
+            "Loading",
+        ],
         &rows,
     );
     println!(

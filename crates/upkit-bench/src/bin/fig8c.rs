@@ -13,7 +13,10 @@ fn main() {
     let mut static_loading = 0.0f64;
     let mut ab_loading = 0.0f64;
     for (name, mode) in [
-        ("Static boot (Configuration B)", SlotMode::Static { swap: true }),
+        (
+            "Static boot (Configuration B)",
+            SlotMode::Static { swap: true },
+        ),
         ("A/B boot (Configuration A)", SlotMode::AB),
     ] {
         let mut cfg = ScenarioConfig::fig8a(Approach::Push);

@@ -1,0 +1,112 @@
+//! Performance benchmark: sharded fleet rollout at 100k devices.
+//!
+//! Runs the v1→v2 campaign over a large fleet of protocol-faithful lite
+//! devices (full double-signature verification, decompression, and
+//! patching per update), sharded with per-shard RNG streams. The same
+//! configuration is executed with one worker thread and with all
+//! available cores; the reports must be identical — sharded execution is
+//! deterministic in everything but wall-clock time. Results go to
+//! `BENCH_fleet.json`.
+//!
+//! ```text
+//! cargo run --release -p upkit-bench --bin fleet_scale [-- --smoke]
+//! ```
+
+use std::time::Instant;
+
+use upkit_bench::{print_table, Json};
+use upkit_sim::{run_rollout_sharded, DeviceModel, FleetConfig, ShardedFleetConfig};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (devices, shards) = if smoke {
+        (2_000u32, 8u32)
+    } else {
+        (100_000, 64)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let base = ShardedFleetConfig {
+        fleet: FleetConfig {
+            devices,
+            poll_fraction: 0.25,
+            firmware_size: 20_000,
+            differential: true,
+            seed: 0xF1EE7_5CA1E,
+        },
+        shards,
+        threads: 1,
+        device_model: DeviceModel::Lite,
+        verify_signatures: true,
+    };
+
+    let start = Instant::now();
+    let sequential = run_rollout_sharded(&base);
+    let sequential_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = run_rollout_sharded(&ShardedFleetConfig {
+        threads: cores,
+        ..base
+    });
+    let parallel_s = start.elapsed().as_secs_f64();
+
+    let identical = sequential == parallel;
+    assert!(identical, "thread count changed the rollout outcome");
+
+    let rounds = parallel.rounds_to_converge();
+    let rounds_per_sec = rounds as f64 / parallel_s;
+    let updates_per_sec = f64::from(devices) / parallel_s;
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("fleet_scale".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("cores", Json::Int(cores as u64)),
+        ("devices", Json::Int(u64::from(devices))),
+        ("shards", Json::Int(u64::from(shards))),
+        ("device_model", Json::Str("lite".into())),
+        ("verify_signatures", Json::Bool(true)),
+        ("rounds_to_converge", Json::Int(rounds as u64)),
+        ("total_wire_bytes", Json::Int(parallel.total_wire_bytes)),
+        (
+            "wall_s",
+            Json::obj(vec![
+                ("threads_1", Json::Num(sequential_s)),
+                ("threads_all_cores", Json::Num(parallel_s)),
+            ]),
+        ),
+        ("rounds_per_sec", Json::Num(rounds_per_sec)),
+        ("device_updates_per_sec", Json::Num(updates_per_sec)),
+        ("identical_across_thread_counts", Json::Bool(identical)),
+    ]);
+
+    print_table(
+        &format!("Sharded rollout: {devices} lite devices, {shards} shards"),
+        &["Threads", "Wall s", "Rounds", "Wire bytes"],
+        &[
+            vec![
+                "1".into(),
+                format!("{sequential_s:.2}"),
+                sequential.rounds_to_converge().to_string(),
+                sequential.total_wire_bytes.to_string(),
+            ],
+            vec![
+                cores.to_string(),
+                format!("{parallel_s:.2}"),
+                rounds.to_string(),
+                parallel.total_wire_bytes.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\n{updates_per_sec:.0} device updates/s, {rounds_per_sec:.2} rounds/s, \
+         reports identical across thread counts: {identical}"
+    );
+
+    if smoke {
+        println!("\n{}", json.render());
+    } else {
+        std::fs::write("BENCH_fleet.json", json.render()).expect("write BENCH_fleet.json");
+        println!("wrote BENCH_fleet.json");
+    }
+}

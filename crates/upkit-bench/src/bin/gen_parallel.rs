@@ -1,0 +1,278 @@
+//! Performance benchmark: multi-target update generation.
+//!
+//! Prepares double-signed updates for a batch of device requests spread
+//! over several target platforms (one base release per platform, one new
+//! release), three ways:
+//!
+//! 1. **baseline_sequential** — the pre-optimization path: every request
+//!    rebuilds the old image's suffix array with prefix doubling, re-diffs,
+//!    re-compresses, and signs, exactly like the seed's `prepare_update`.
+//! 2. **optimized_sequential** — `UpdateServer::prepare_update` with the
+//!    SA-IS delta engine and the per-base `DeltaContext`/payload caches.
+//! 3. **optimized_parallel** — the same server driven by
+//!    `ParallelGenerator` across all available cores.
+//!
+//! All three produce byte-identical wire images (asserted), so the timings
+//! compare equal work. Results go to `BENCH_generation.json`.
+//!
+//! ```text
+//! cargo run --release -p upkit-bench --bin gen_parallel [-- --smoke]
+//! ```
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use upkit_bench::{print_table, Json};
+use upkit_compress::{compress, Params as LzssParams};
+use upkit_core::generation::{Release, UpdateServer, VendorServer};
+use upkit_core::parallel::ParallelGenerator;
+use upkit_crypto::ecdsa::SigningKey;
+use upkit_delta::{DeltaContext, SuffixAlgorithm};
+use upkit_manifest::{server_sign, DeviceToken, Manifest, SignedManifest, UpdateImage, Version};
+use upkit_sim::FirmwareGenerator;
+
+const APP_ID: u32 = 0xF1;
+const LINK_OFFSET: u32 = 0;
+
+/// The seed's per-request generation path: prefix-doubling suffix array
+/// rebuilt per call, no context or payload reuse. Kept here as the
+/// measured "before"; its output must stay byte-identical to the
+/// optimized server's.
+fn prepare_baseline(
+    server_key: &SigningKey,
+    base: &Release,
+    latest: &Release,
+    token: &DeviceToken,
+) -> UpdateImage {
+    let context = DeltaContext::with_algorithm(&base.firmware, SuffixAlgorithm::PrefixDoubling);
+    let patch = context.diff(&base.firmware, &latest.firmware);
+    let mut payload = compress(&patch, LzssParams::default());
+    if let Ok(sparse) = LzssParams::new(8) {
+        let alt = compress(&patch, sparse);
+        if alt.len() < payload.len() {
+            payload = alt;
+        }
+    }
+    let old_version = if payload.len() < latest.firmware.len() {
+        base.version
+    } else {
+        payload = latest.firmware.clone();
+        Version(0)
+    };
+    let manifest = Manifest {
+        device_id: token.device_id,
+        nonce: token.nonce,
+        old_version,
+        version: latest.version,
+        size: latest.firmware.len() as u32,
+        payload_size: payload.len() as u32,
+        digest: latest.digest,
+        link_offset: latest.link_offset,
+        app_id: latest.app_id,
+    };
+    UpdateImage {
+        signed_manifest: SignedManifest {
+            manifest,
+            vendor_signature: latest.vendor_signature,
+            server_signature: server_sign(&manifest, server_key),
+        },
+        payload,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (image_size, platforms, requests_per_platform) = if smoke {
+        (32 * 1024, 2u16, 1u32)
+    } else {
+        (256 * 1024, 4u16, 4u32)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut rng = StdRng::seed_from_u64(0x6E5);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let server_key = SigningKey::generate(&mut rng);
+    let mut server = UpdateServer::new(server_key.clone());
+
+    // One base release per target platform (firmware variants of a shared
+    // image, like per-board builds of one codebase), plus the new release.
+    let generator = FirmwareGenerator::new(0xBE7C);
+    let shared = generator.base(image_size);
+    let mut releases = Vec::new();
+    for platform in 1..=platforms {
+        let firmware = generator.app_change(&shared, 2048 + 512 * usize::from(platform));
+        let release = vendor.release(firmware, Version(platform), LINK_OFFSET, APP_ID);
+        server.publish(release.clone());
+        releases.push(release);
+    }
+    let latest_version = platforms + 1;
+    let latest = vendor.release(
+        generator.os_version_change(&shared),
+        Version(latest_version),
+        LINK_OFFSET,
+        APP_ID,
+    );
+    server.publish(latest.clone());
+
+    let tokens: Vec<DeviceToken> = (0..platforms)
+        .flat_map(|platform| {
+            (0..requests_per_platform).map(move |device| DeviceToken {
+                device_id: 0x3000 + u32::from(platform) * 100 + device,
+                nonce: (u32::from(platform) << 16 | device).wrapping_mul(0x9E37_79B9) | 1,
+                current_version: Version(platform + 1),
+            })
+        })
+        .collect();
+
+    // Suffix-array construction cost on one platform image.
+    let start = Instant::now();
+    let doubling_ctx =
+        DeltaContext::with_algorithm(&releases[0].firmware, SuffixAlgorithm::PrefixDoubling);
+    let sa_doubling_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let sais_ctx = DeltaContext::with_algorithm(&releases[0].firmware, SuffixAlgorithm::SaIs);
+    let sa_sais_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        doubling_ctx.diff(&releases[0].firmware, &latest.firmware),
+        sais_ctx.diff(&releases[0].firmware, &latest.firmware),
+        "constructions must yield identical patches"
+    );
+
+    // Single-diff cost: fresh build per call vs reused context.
+    let start = Instant::now();
+    let fresh_patch = upkit_delta::diff(&releases[0].firmware, &latest.firmware);
+    let diff_fresh_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let reused_patch = sais_ctx.diff(&releases[0].firmware, &latest.firmware);
+    let diff_context_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(fresh_patch, reused_patch);
+
+    // Multi-target batch, three ways.
+    let start = Instant::now();
+    let baseline: Vec<UpdateImage> = tokens
+        .iter()
+        .map(|token| {
+            let base = &releases[usize::from(token.current_version.0 - 1)];
+            prepare_baseline(&server_key, base, &latest, token)
+        })
+        .collect();
+    let baseline_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let sequential: Vec<UpdateImage> = tokens
+        .iter()
+        .map(|token| {
+            server
+                .prepare_update(token)
+                .expect("campaign serves all")
+                .image
+        })
+        .collect();
+    let sequential_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Fresh server so the parallel run starts with cold caches too.
+    let mut parallel_server = UpdateServer::new(server_key.clone());
+    for release in &releases {
+        parallel_server.publish(release.clone());
+    }
+    parallel_server.publish(latest.clone());
+    let workers = ParallelGenerator::new(&parallel_server);
+    let start = Instant::now();
+    let parallel: Vec<UpdateImage> = workers
+        .prepare_updates(&tokens)
+        .into_iter()
+        .map(|p| p.expect("campaign serves all").image)
+        .collect();
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let byte_identical = baseline
+        .iter()
+        .zip(&sequential)
+        .zip(&parallel)
+        .all(|((b, s), p)| {
+            let b = b.to_bytes();
+            b == s.to_bytes() && b == p.to_bytes()
+        });
+    assert!(
+        byte_identical,
+        "all three paths must emit identical wire images"
+    );
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("gen_parallel".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("cores", Json::Int(cores as u64)),
+        ("worker_threads", Json::Int(workers.threads() as u64)),
+        ("platforms", Json::Int(u64::from(platforms))),
+        ("requests", Json::Int(tokens.len() as u64)),
+        ("image_bytes", Json::Int(image_size as u64)),
+        (
+            "suffix_build_ms",
+            Json::obj(vec![
+                ("prefix_doubling", Json::Num(sa_doubling_ms)),
+                ("sais", Json::Num(sa_sais_ms)),
+            ]),
+        ),
+        (
+            "single_diff_ms",
+            Json::obj(vec![
+                ("fresh_build", Json::Num(diff_fresh_ms)),
+                ("context_reuse", Json::Num(diff_context_ms)),
+            ]),
+        ),
+        (
+            "multi_target_wall_ms",
+            Json::obj(vec![
+                ("baseline_sequential", Json::Num(baseline_ms)),
+                ("optimized_sequential", Json::Num(sequential_ms)),
+                ("optimized_parallel", Json::Num(parallel_ms)),
+            ]),
+        ),
+        (
+            "speedup_vs_baseline",
+            Json::obj(vec![
+                (
+                    "optimized_sequential",
+                    Json::Num(baseline_ms / sequential_ms),
+                ),
+                ("optimized_parallel", Json::Num(baseline_ms / parallel_ms)),
+            ]),
+        ),
+        ("byte_identical", Json::Bool(byte_identical)),
+    ]);
+
+    print_table(
+        &format!(
+            "Multi-target generation: {} requests, {platforms} platforms, {} KiB images",
+            tokens.len(),
+            image_size / 1024
+        ),
+        &["Variant", "Wall ms", "Speedup"],
+        &[
+            vec![
+                "baseline (prefix-doubling, no reuse)".into(),
+                format!("{baseline_ms:.1}"),
+                "1.0x".into(),
+            ],
+            vec![
+                "optimized sequential (SA-IS + caches)".into(),
+                format!("{sequential_ms:.1}"),
+                format!("{:.1}x", baseline_ms / sequential_ms),
+            ],
+            vec![
+                format!("optimized parallel ({} threads)", workers.threads()),
+                format!("{parallel_ms:.1}"),
+                format!("{:.1}x", baseline_ms / parallel_ms),
+            ],
+        ],
+    );
+
+    if smoke {
+        println!("\n{}", json.render());
+    } else {
+        std::fs::write("BENCH_generation.json", json.render())
+            .expect("write BENCH_generation.json");
+        println!("\nwrote BENCH_generation.json");
+    }
+}

@@ -50,7 +50,12 @@ fn main() {
 
     print_table(
         "Extension: pull propagation time vs frame loss (seconds)",
-        &["Loss rate", "Full 100 kB", "Delta 24.6 kB", "Delta advantage"],
+        &[
+            "Loss rate",
+            "Full 100 kB",
+            "Delta 24.6 kB",
+            "Delta advantage",
+        ],
         &rows,
     );
     println!(

@@ -32,11 +32,7 @@ fn main() {
                 .get(round)
                 .map_or_else(|| "done".into(), |r| format!("{}/60", r.updated))
         };
-        rows.push(vec![
-            format!("{}", round + 1),
-            cell(&diff),
-            cell(&full),
-        ]);
+        rows.push(vec![format!("{}", round + 1), cell(&diff), cell(&full)]);
     }
     print_table(
         "Extension: rollout adoption per polling round (60 devices, 25 %/round)",

@@ -19,8 +19,8 @@ fn main() {
     let rows: Vec<Vec<String>> = paper
         .iter()
         .map(|&(approach, os, flash_paper, ram_paper)| {
-            let fp = upkit_agent(os, approach, AgentOptions::default())
-                .expect("measured configuration");
+            let fp =
+                upkit_agent(os, approach, AgentOptions::default()).expect("measured configuration");
             let approach_name = match approach {
                 Approach::Pull => "Pull (6LoWPAN)",
                 Approach::Push => "Push (BLE)",

@@ -26,12 +26,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", out.trim_end());
     };
     line(&headers.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
@@ -59,7 +54,7 @@ pub fn bytes(n: u32) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);
@@ -67,9 +62,116 @@ pub fn bytes(n: u32) -> String {
     out
 }
 
+/// A minimal JSON value for the machine-readable `BENCH_*.json` artifacts
+/// the perf benches emit (no external serialization dependency).
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// A float, rendered with three decimals.
+    Num(f64),
+    /// An integer.
+    Int(u64),
+    /// A boolean.
+    Bool(bool),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// Convenience constructor for object fields.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Self {
+        Self::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            Self::Num(v) => out.push_str(&format!("{v:.3}")),
+            Self::Int(v) => out.push_str(&v.to_string()),
+            Self::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Self::Str(v) => {
+                out.push('"');
+                for c in v.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Self::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str(&format!("\"{key}\": "));
+                    value.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+            Self::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_renders_nested_objects() {
+        let json = Json::obj(vec![
+            ("bench", Json::Str("gen".into())),
+            ("ok", Json::Bool(true)),
+            ("wall_ms", Json::obj(vec![("seq", Json::Num(1.5))])),
+            ("counts", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        let rendered = json.render();
+        assert!(rendered.contains("\"bench\": \"gen\""));
+        assert!(rendered.contains("\"seq\": 1.500"));
+        assert!(rendered.contains("\"counts\": [\n"));
+        assert!(rendered.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).render(),
+            "\"a\\\"b\\\\c\\nd\"\n"
+        );
+    }
 
     #[test]
     fn compare_reports_deviation() {

@@ -156,19 +156,22 @@ pub fn compress(data: &[u8], params: Params) -> Vec<u8> {
     // The flag byte is created lazily so an empty input emits no items.
     let mut flag_pos = 0usize;
     let mut flag_bit = 8u8;
-    let push_item =
-        |out: &mut Vec<u8>, flag_pos: &mut usize, flag_bit: &mut u8, literal: bool, bytes: &[u8]| {
-            if *flag_bit == 8 {
-                *flag_pos = out.len();
-                out.push(0);
-                *flag_bit = 0;
-            }
-            if literal {
-                out[*flag_pos] |= 1 << *flag_bit;
-            }
-            *flag_bit += 1;
-            out.extend_from_slice(bytes);
-        };
+    let push_item = |out: &mut Vec<u8>,
+                     flag_pos: &mut usize,
+                     flag_bit: &mut u8,
+                     literal: bool,
+                     bytes: &[u8]| {
+        if *flag_bit == 8 {
+            *flag_pos = out.len();
+            out.push(0);
+            *flag_bit = 0;
+        }
+        if literal {
+            out[*flag_pos] |= 1 << *flag_bit;
+        }
+        *flag_bit += 1;
+        out.extend_from_slice(bytes);
+    };
 
     let mut i = 0;
     while i < data.len() {
@@ -201,7 +204,13 @@ pub fn compress(data: &[u8], params: Params) -> Vec<u8> {
             // the high bits of a 16-bit little-endian word.
             let token =
                 ((best_dist - 1) as u16) | ((best_len - min_match) as u16) << params.window_bits;
-            push_item(&mut out, &mut flag_pos, &mut flag_bit, false, &token.to_le_bytes());
+            push_item(
+                &mut out,
+                &mut flag_pos,
+                &mut flag_bit,
+                false,
+                &token.to_le_bytes(),
+            );
             // Index every position covered by the match.
             let end = i + best_len;
             while i < end {
@@ -452,7 +461,12 @@ mod tests {
     fn repetitive_data_compresses() {
         let data = b"firmware".repeat(500);
         let packed = compress(&data, Params::default());
-        assert!(packed.len() < data.len() / 4, "{} vs {}", packed.len(), data.len());
+        assert!(
+            packed.len() < data.len() / 4,
+            "{} vs {}",
+            packed.len(),
+            data.len()
+        );
         assert_eq!(decompress(&packed).unwrap(), data);
     }
 
@@ -583,7 +597,7 @@ mod tests {
         let params = Params::new(8).unwrap(); // 256-byte window
         let block = b"unique-block-content-123".to_vec();
         let mut data = block.clone();
-        data.extend(std::iter::repeat(b'.').take(1000));
+        data.extend(std::iter::repeat_n(b'.', 1000));
         data.extend_from_slice(&block);
         let packed = compress(&data, params);
         assert_eq!(decompress(&packed).unwrap(), data);

@@ -300,9 +300,12 @@ impl UpdateAgent {
                 }
                 AgentState::ReceiveFirmware => {
                     let session = self.session.as_mut().expect("session in ReceiveFirmware");
-                    let manifest = session.accepted.as_ref().expect("accepted manifest").manifest;
-                    let remaining =
-                        u64::from(manifest.payload_size) - session.payload_received;
+                    let manifest = session
+                        .accepted
+                        .as_ref()
+                        .expect("accepted manifest")
+                        .manifest;
+                    let remaining = u64::from(manifest.payload_size) - session.payload_received;
                     if remaining == 0 {
                         return Err(AgentError::TooMuchData);
                     }
@@ -382,7 +385,11 @@ impl UpdateAgent {
     /// firmware's digest with the manifest's.
     fn verify_firmware(&mut self, layout: &mut MemoryLayout) -> Result<(), AgentError> {
         let session = self.session.as_mut().expect("session in VerifyFirmware");
-        let manifest = session.accepted.as_ref().expect("accepted manifest").manifest;
+        let manifest = session
+            .accepted
+            .as_ref()
+            .expect("accepted manifest")
+            .manifest;
         session
             .pipeline
             .as_mut()
@@ -450,8 +457,8 @@ mod tests {
         agent: UpdateAgent,
     }
 
-    use upkit_flash::MemoryLayout;
     use crate::image::FIRMWARE_OFFSET;
+    use upkit_flash::MemoryLayout;
 
     fn fixture(seed: u64) -> Fixture {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -602,7 +609,10 @@ mod tests {
             .request_device_token(&mut fix.layout, plan(), 1234)
             .unwrap();
         let fw = firmware(3, 5_000);
-        let stale_token = DeviceToken { nonce: 999, ..token };
+        let stale_token = DeviceToken {
+            nonce: 999,
+            ..token
+        };
         let image = make_image(&fix, &stale_token, &fw, Version(2));
         let err = fix
             .agent
@@ -695,7 +705,10 @@ mod tests {
     #[test]
     fn data_in_waiting_state_is_rejected() {
         let mut fix = fixture(96);
-        let err = fix.agent.push_data(&mut fix.layout, &[0u8; 10]).unwrap_err();
+        let err = fix
+            .agent
+            .push_data(&mut fix.layout, &[0u8; 10])
+            .unwrap_err();
         assert!(matches!(err, AgentError::WrongState(AgentState::Waiting)));
     }
 

@@ -108,7 +108,11 @@ impl core::fmt::Display for BootError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::NoValidImage(rejected) => {
-                write!(f, "no valid image in any slot ({} rejected)", rejected.len())
+                write!(
+                    f,
+                    "no valid image in any slot ({} rejected)",
+                    rejected.len()
+                )
             }
             Self::Layout(e) => write!(f, "flash error during loading: {e}"),
         }
@@ -249,7 +253,7 @@ impl Bootloader {
             match self.verify_slot(layout, slot) {
                 Ok(signed) => {
                     let version = signed.manifest.version;
-                    if best.map_or(true, |(_, v)| version > v) {
+                    if best.is_none_or(|(_, v)| version > v) {
                         best = Some((slot, version));
                     }
                 }
@@ -292,7 +296,7 @@ impl Bootloader {
 
         match (current, staged) {
             // A strictly newer valid image is staged: load it.
-            (cur, Some(staged_version)) if cur.map_or(true, |c| staged_version > c) => {
+            (cur, Some(staged_version)) if cur.is_none_or(|c| staged_version > c) => {
                 let action = if swap {
                     layout.swap_slots(bootable, staging)?;
                     BootAction::SwappedAndBooted

@@ -14,12 +14,13 @@
 //!   transport-layer security.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
 
 use upkit_compress::{compress, Params as LzssParams};
 use upkit_crypto::chacha20::{chacha20_xor, KEY_LEN as CONTENT_KEY_LEN, NONCE_LEN};
 use upkit_crypto::ecdsa::{Signature, SigningKey};
 use upkit_crypto::sha256::sha256;
-use upkit_delta::diff;
+use upkit_delta::DeltaContext;
 use upkit_manifest::{
     server_sign, vendor_sign, DeviceToken, Manifest, SignedManifest, UpdateImage, Version,
 };
@@ -166,6 +167,23 @@ pub struct UpdateServer {
     releases: BTreeMap<u16, Release>,
     lzss: LzssParams,
     content_key: Option<[u8; CONTENT_KEY_LEN]>,
+    /// One [`DeltaContext`] per base release, built lazily on the first
+    /// differential request against that base and shared by every later
+    /// request (and every worker thread): the suffix array dominates diff
+    /// cost and depends only on the old image.
+    delta_contexts: RwLock<BTreeMap<u16, Arc<DeltaContext>>>,
+    /// Finished pre-encryption payloads keyed by `(base, latest)` version
+    /// pair. Diff + compression are deterministic and request-independent;
+    /// only the manifest (device ID, nonce) and its signature are
+    /// per-request work.
+    payloads: RwLock<BTreeMap<(u16, u16), Arc<CachedPayload>>>,
+}
+
+/// A cached differential-or-full payload decision for a version pair.
+struct CachedPayload {
+    payload: Vec<u8>,
+    old_version: Version,
+    kind: ServedKind,
 }
 
 impl core::fmt::Debug for UpdateServer {
@@ -185,6 +203,8 @@ impl UpdateServer {
             releases: BTreeMap::new(),
             lzss: LzssParams::default(),
             content_key: None,
+            delta_contexts: RwLock::new(BTreeMap::new()),
+            payloads: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -214,6 +234,16 @@ impl UpdateServer {
 
     /// Publishes a release received from the vendor server.
     pub fn publish(&mut self, release: Release) {
+        // Any cached state may reference a superseded latest release or a
+        // re-published base image; drop it all (publishes are rare).
+        self.delta_contexts
+            .get_mut()
+            .expect("no poisoned lock: caches are written outside panics")
+            .clear();
+        self.payloads
+            .get_mut()
+            .expect("no poisoned lock: caches are written outside panics")
+            .clear();
         self.releases.insert(release.version.0, release);
     }
 
@@ -221,6 +251,70 @@ impl UpdateServer {
     #[must_use]
     pub fn latest_version(&self) -> Option<Version> {
         self.releases.keys().next_back().map(|&v| Version(v))
+    }
+
+    /// Returns the cached delta context for a base release, building it on
+    /// first use. Concurrent first requests may build twice; the first
+    /// insert wins and the duplicate is dropped.
+    fn delta_context(&self, base: &Release) -> Arc<DeltaContext> {
+        if let Some(ctx) = self
+            .delta_contexts
+            .read()
+            .expect("no poisoned lock: caches are written outside panics")
+            .get(&base.version.0)
+        {
+            return Arc::clone(ctx);
+        }
+        let ctx = Arc::new(DeltaContext::new(&base.firmware));
+        Arc::clone(
+            self.delta_contexts
+                .write()
+                .expect("no poisoned lock: caches are written outside panics")
+                .entry(base.version.0)
+                .or_insert(ctx),
+        )
+    }
+
+    /// Diffs `base` against `latest`, compresses, and decides differential
+    /// vs full — all request-independent and therefore cached per version
+    /// pair. The result is byte-identical to computing it fresh: diff and
+    /// LZSS are deterministic functions of the two images.
+    fn differential_payload(&self, base: &Release, latest: &Release) -> Arc<CachedPayload> {
+        let pair = (base.version.0, latest.version.0);
+        if let Some(cached) = self
+            .payloads
+            .read()
+            .expect("no poisoned lock: caches are written outside panics")
+            .get(&pair)
+        {
+            return Arc::clone(cached);
+        }
+
+        let patch = self
+            .delta_context(base)
+            .diff(&base.firmware, &latest.firmware);
+        let compressed = best_compression(&patch, self.lzss);
+        // Serve the delta only when it actually saves transfer.
+        let cached = Arc::new(if compressed.len() < latest.firmware.len() {
+            CachedPayload {
+                payload: compressed,
+                old_version: base.version,
+                kind: ServedKind::Differential { from: base.version },
+            }
+        } else {
+            CachedPayload {
+                payload: latest.firmware.clone(),
+                old_version: Version(0),
+                kind: ServedKind::Full,
+            }
+        });
+        Arc::clone(
+            self.payloads
+                .write()
+                .expect("no poisoned lock: caches are written outside panics")
+                .entry(pair)
+                .or_insert(cached),
+        )
     }
 
     /// Propagation phase: answers a device token with an update image for
@@ -242,32 +336,24 @@ impl UpdateServer {
             None
         };
 
-        let (payload, old_version, kind) = match base {
+        let cached = match base {
             Some(base_release) if base_release.version < latest.version => {
-                let patch = diff(&base_release.firmware, &latest.firmware);
-                let compressed = best_compression(&patch, self.lzss);
-                // Serve the delta only when it actually saves transfer.
-                if compressed.len() < latest.firmware.len() {
-                    (
-                        compressed,
-                        base_release.version,
-                        ServedKind::Differential {
-                            from: base_release.version,
-                        },
-                    )
-                } else {
-                    (latest.firmware.clone(), Version(0), ServedKind::Full)
-                }
+                self.differential_payload(base_release, latest)
             }
-            _ => (latest.firmware.clone(), Version(0), ServedKind::Full),
+            _ => Arc::new(CachedPayload {
+                payload: latest.firmware.clone(),
+                old_version: Version(0),
+                kind: ServedKind::Full,
+            }),
         };
+        let (old_version, kind) = (cached.old_version, cached.kind);
 
         let payload = match &self.content_key {
             Some(key) => {
                 let nonce = content_nonce(token.device_id, token.nonce, latest.version);
-                chacha20_xor(key, &nonce, &payload)
+                chacha20_xor(key, &nonce, &cached.payload)
             }
-            None => payload,
+            None => cached.payload.clone(),
         };
 
         let manifest = Manifest {
@@ -361,7 +447,10 @@ mod tests {
         let prepared = server.prepare_update(&token(1, 0)).unwrap();
         assert_eq!(prepared.kind, ServedKind::Full);
         assert_eq!(prepared.image.payload, fw);
-        assert_eq!(prepared.image.signed_manifest.manifest.old_version, Version(0));
+        assert_eq!(
+            prepared.image.signed_manifest.manifest.old_version,
+            Version(0)
+        );
         assert_eq!(prepared.image.signed_manifest.manifest.nonce, 1);
     }
 
@@ -449,7 +538,54 @@ mod tests {
         server.publish(vendor.release(firmware(999, 1500), Version(2), 0, 0xA));
         let prepared = server.prepare_update(&token(1, 1)).unwrap();
         assert_eq!(prepared.kind, ServedKind::Full);
-        assert_eq!(prepared.image.signed_manifest.manifest.old_version, Version(0));
+        assert_eq!(
+            prepared.image.signed_manifest.manifest.old_version,
+            Version(0)
+        );
+    }
+
+    #[test]
+    fn cached_payloads_are_byte_identical_to_fresh_computation() {
+        // Two identically-seeded servers: one answers twice (the second
+        // response is served from the delta/payload caches), the other
+        // computes from scratch. RFC 6979 signatures are deterministic, so
+        // the full wire images must be byte-identical.
+        let (vendor_a, mut server_a) = servers(140);
+        let (vendor_b, mut server_b) = servers(140);
+        let v1 = firmware(12, 30_000);
+        let mut v2 = v1.clone();
+        v2[500..540].copy_from_slice(&firmware(13, 40));
+        for (vendor, server) in [(&vendor_a, &mut server_a), (&vendor_b, &mut server_b)] {
+            server.publish(vendor.release(v1.clone(), Version(1), 0, 0xA));
+            server.publish(vendor.release(v2.clone(), Version(2), 0, 0xA));
+        }
+        let first = server_a.prepare_update(&token(9, 1)).unwrap();
+        let cached = server_a.prepare_update(&token(9, 1)).unwrap();
+        let fresh = server_b.prepare_update(&token(9, 1)).unwrap();
+        assert_eq!(first.image.to_bytes(), cached.image.to_bytes());
+        assert_eq!(cached.image.to_bytes(), fresh.image.to_bytes());
+        assert_eq!(cached.kind, ServedKind::Differential { from: Version(1) });
+    }
+
+    #[test]
+    fn publish_invalidates_cached_payloads() {
+        let (vendor, mut server) = servers(141);
+        let v1 = firmware(14, 10_000);
+        let mut v2 = v1.clone();
+        v2[100..120].copy_from_slice(&firmware(15, 20));
+        server.publish(vendor.release(v1.clone(), Version(1), 0, 0xA));
+        server.publish(vendor.release(v2, Version(2), 0, 0xA));
+        let before = server.prepare_update(&token(3, 1)).unwrap();
+        assert_eq!(before.image.signed_manifest.manifest.version, Version(2));
+
+        // A v3 publish must retarget the (cached) differential path.
+        let mut v3 = v1.clone();
+        v3[200..230].copy_from_slice(&firmware(16, 30));
+        server.publish(vendor.release(v3.clone(), Version(3), 0, 0xA));
+        let after = server.prepare_update(&token(4, 1)).unwrap();
+        let m = after.image.signed_manifest.manifest;
+        assert_eq!(m.version, Version(3));
+        assert_eq!(m.digest, sha256(&v3));
     }
 
     #[test]

@@ -98,6 +98,7 @@ pub mod freshness;
 pub mod generation;
 pub mod image;
 pub mod keys;
+pub mod parallel;
 pub mod pipeline;
 pub mod verifier;
 
@@ -105,5 +106,6 @@ pub use agent::{AgentConfig, AgentError, AgentPhase, AgentState, UpdateAgent, Up
 pub use bootloader::{BootAction, BootConfig, BootError, BootMode, BootOutcome, Bootloader};
 pub use generation::{PreparedUpdate, Release, ServedKind, UpdateServer, VendorServer};
 pub use keys::{KeyAnchor, TrustAnchors};
+pub use parallel::ParallelGenerator;
 pub use pipeline::{Pipeline, PipelineError};
 pub use verifier::{FirmwareDigester, Verifier, VerifyContext, VerifyError};

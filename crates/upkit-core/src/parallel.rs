@@ -1,0 +1,293 @@
+//! Parallel multi-target update generation.
+//!
+//! The server-side hot path — diff → compress → hash → double-sign, once
+//! per device token — is embarrassingly parallel across tokens: every job
+//! reads the shared [`UpdateServer`] immutably (its delta/payload caches
+//! are internally synchronized) and touches nothing owned by another job.
+//! [`ParallelGenerator`] fans a batch of tokens out over a small pool of
+//! scoped worker threads fed from a bounded job queue, and writes each
+//! result into the slot matching its input index, so the output order is
+//! deterministic regardless of worker scheduling.
+//!
+//! Output is *byte-identical* to running [`UpdateServer::prepare_update`]
+//! sequentially over the same batch: manifests are pure functions of token
+//! and release, signatures use deterministic RFC 6979 nonces, and the
+//! cached diff/compression results are deterministic functions of the two
+//! images. Tests assert this identity end to end.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use upkit_manifest::DeviceToken;
+
+use crate::generation::{PreparedUpdate, UpdateServer};
+
+/// A fixed-capacity multi-producer/multi-consumer queue of job indices.
+///
+/// The bound keeps the producer from racing arbitrarily far ahead of the
+/// workers when batches are huge (a fleet-scale poll burst): `push` blocks
+/// once `capacity` jobs are waiting, `pop` blocks until a job or close
+/// arrives.
+struct JobQueue {
+    state: Mutex<JobQueueState>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+struct JobQueueState {
+    jobs: VecDeque<usize>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(JobQueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: usize) {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.jobs.len() >= self.capacity {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Returns `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<usize> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// Fans [`UpdateServer::prepare_update`] calls for a batch of device
+/// tokens out across worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use upkit_core::generation::{UpdateServer, VendorServer};
+/// use upkit_core::parallel::ParallelGenerator;
+/// use upkit_crypto::ecdsa::SigningKey;
+/// use upkit_manifest::{DeviceToken, Version};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+/// let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+/// server.publish(vendor.release(vec![0xAB; 4096], Version(1), 0, 0xF1));
+///
+/// let tokens: Vec<DeviceToken> = (0..8)
+///     .map(|i| DeviceToken { device_id: i, nonce: i + 1, current_version: Version(0) })
+///     .collect();
+/// let prepared = ParallelGenerator::with_threads(&server, 4).prepare_updates(&tokens);
+/// assert!(prepared.iter().all(|p| p.is_some()));
+/// ```
+pub struct ParallelGenerator<'s> {
+    server: &'s UpdateServer,
+    threads: usize,
+}
+
+impl<'s> ParallelGenerator<'s> {
+    /// Creates a generator sized to the host's available parallelism.
+    #[must_use]
+    pub fn new(server: &'s UpdateServer) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::with_threads(server, threads)
+    }
+
+    /// Creates a generator with an explicit worker count (min 1).
+    #[must_use]
+    pub fn with_threads(server: &'s UpdateServer, threads: usize) -> Self {
+        Self {
+            server,
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads this generator spawns.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Prepares one update per token, in parallel.
+    ///
+    /// `result[i]` corresponds to `tokens[i]` and equals — byte for byte —
+    /// what `server.prepare_update(&tokens[i])` returns.
+    #[must_use]
+    pub fn prepare_updates(&self, tokens: &[DeviceToken]) -> Vec<Option<PreparedUpdate>> {
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        if self.threads == 1 || tokens.len() == 1 {
+            return tokens
+                .iter()
+                .map(|t| self.server.prepare_update(t))
+                .collect();
+        }
+
+        // One result slot per token: workers write disjoint indices, so
+        // ordering is fixed by the input no matter who finishes first.
+        let results: Vec<Mutex<Option<PreparedUpdate>>> =
+            tokens.iter().map(|_| Mutex::new(None)).collect();
+        let queue = JobQueue::new(self.threads * 2);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.min(tokens.len()) {
+                scope.spawn(|_| {
+                    while let Some(index) = queue.pop() {
+                        let prepared = self.server.prepare_update(&tokens[index]);
+                        *results[index].lock().expect("result lock") = prepared;
+                    }
+                });
+            }
+            for index in 0..tokens.len() {
+                queue.push(index);
+            }
+            queue.close();
+        })
+        .expect("generation workers do not panic");
+
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("result lock"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generation::VendorServer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use upkit_crypto::ecdsa::SigningKey;
+    use upkit_manifest::Version;
+
+    fn campaign_server(seed: u64, versions: u16, size: usize) -> (VendorServer, UpdateServer) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+        let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+        let mut state = seed as u32 | 1;
+        let base: Vec<u8> = (0..size)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (state >> 24) as u8
+            })
+            .collect();
+        for v in 1..=versions {
+            let mut firmware = base.clone();
+            let at = (usize::from(v) * 131) % (size - 64);
+            for byte in &mut firmware[at..at + 64] {
+                *byte = byte.wrapping_add(v as u8);
+            }
+            server.publish(vendor.release(firmware, Version(v), 0, 0xF1));
+        }
+        (vendor, server)
+    }
+
+    fn tokens(count: u32, max_base: u16) -> Vec<DeviceToken> {
+        (0..count)
+            .map(|i| DeviceToken {
+                device_id: 0x2000 + i,
+                nonce: i.wrapping_mul(0x9E37_79B9) | 1,
+                current_version: Version((i as u16) % (max_base + 1)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_output_is_byte_identical_to_sequential() {
+        let (_, server) = campaign_server(900, 4, 6_000);
+        let batch = tokens(12, 3);
+        let sequential: Vec<_> = batch.iter().map(|t| server.prepare_update(t)).collect();
+        let parallel = ParallelGenerator::with_threads(&server, 4).prepare_updates(&batch);
+        assert_eq!(sequential.len(), parallel.len());
+        for (i, (s, p)) in sequential.iter().zip(parallel.iter()).enumerate() {
+            match (s, p) {
+                (Some(s), Some(p)) => {
+                    assert_eq!(s.image.to_bytes(), p.image.to_bytes(), "token {i}");
+                    assert_eq!(s.kind, p.kind, "token {i}");
+                }
+                (None, None) => {}
+                _ => panic!("token {i}: sequential and parallel disagree on Some/None"),
+            }
+        }
+    }
+
+    #[test]
+    fn result_order_matches_token_order() {
+        let (_, server) = campaign_server(901, 2, 3_000);
+        let batch = tokens(9, 1);
+        let prepared = ParallelGenerator::with_threads(&server, 3).prepare_updates(&batch);
+        for (token, update) in batch.iter().zip(prepared.iter()) {
+            let update = update.as_ref().expect("campaign serves everyone");
+            let manifest = update.image.signed_manifest.manifest;
+            assert_eq!(manifest.device_id, token.device_id);
+            assert_eq!(manifest.nonce, token.nonce);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let (_, server) = campaign_server(902, 3, 4_000);
+        let batch = tokens(10, 2);
+        let reference: Vec<_> = ParallelGenerator::with_threads(&server, 1)
+            .prepare_updates(&batch)
+            .into_iter()
+            .map(|p| p.map(|p| p.image.to_bytes()))
+            .collect();
+        for threads in [2usize, 5, 16] {
+            let out: Vec<_> = ParallelGenerator::with_threads(&server, threads)
+                .prepare_updates(&batch)
+                .into_iter()
+                .map(|p| p.map(|p| p.image.to_bytes()))
+                .collect();
+            assert_eq!(reference, out, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (_, server) = campaign_server(903, 1, 1_000);
+        assert!(ParallelGenerator::new(&server)
+            .prepare_updates(&[])
+            .is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_tokens_is_fine() {
+        let (_, server) = campaign_server(904, 1, 1_000);
+        let batch = tokens(2, 0);
+        let prepared = ParallelGenerator::with_threads(&server, 64).prepare_updates(&batch);
+        assert_eq!(prepared.len(), 2);
+        assert!(prepared.iter().all(Option::is_some));
+    }
+}

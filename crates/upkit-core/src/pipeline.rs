@@ -319,8 +319,7 @@ mod tests {
         let mut layout = layout();
         layout.erase_slot(standard::SLOT_B).unwrap();
         let fw = firmware(1, 20_000);
-        let mut pipeline =
-            Pipeline::new_full(&layout, standard::SLOT_B, fw.len() as u32).unwrap();
+        let mut pipeline = Pipeline::new_full(&layout, standard::SLOT_B, fw.len() as u32).unwrap();
         for chunk in fw.chunks(200) {
             pipeline.push(&mut layout, chunk).unwrap();
         }
@@ -360,7 +359,10 @@ mod tests {
             pipeline.push(&mut layout, chunk).unwrap();
         }
         assert_eq!(pipeline.finish(&mut layout).unwrap(), new_fw.len() as u64);
-        assert_eq!(read_firmware(&layout, standard::SLOT_B, new_fw.len()), new_fw);
+        assert_eq!(
+            read_firmware(&layout, standard::SLOT_B, new_fw.len()),
+            new_fw
+        );
     }
 
     #[test]
@@ -400,8 +402,7 @@ mod tests {
         let mut layout = layout();
         layout.erase_slot(standard::SLOT_B).unwrap();
         let fw = firmware(7, 4096 * 2 + 100);
-        let mut pipeline =
-            Pipeline::new_full(&layout, standard::SLOT_B, fw.len() as u32).unwrap();
+        let mut pipeline = Pipeline::new_full(&layout, standard::SLOT_B, fw.len() as u32).unwrap();
         // Push in tiny chunks; writes should still be sector-granular.
         for chunk in fw.chunks(13) {
             pipeline.push(&mut layout, chunk).unwrap();

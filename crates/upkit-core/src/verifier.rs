@@ -321,7 +321,9 @@ mod tests {
         let fix = fixture(70);
         let backend = TinyCryptBackend;
         let verifier = Verifier::new(&backend, &fix.anchors);
-        verifier.verify_manifest(&signed(&fix, manifest()), &ctx()).unwrap();
+        verifier
+            .verify_manifest(&signed(&fix, manifest()), &ctx())
+            .unwrap();
     }
 
     #[test]
@@ -331,22 +333,73 @@ mod tests {
         let verifier = Verifier::new(&backend, &fix.anchors);
         let base = manifest();
         let cases: Vec<(Manifest, VerifyError)> = vec![
-            (Manifest { device_id: 8, ..base }, VerifyError::WrongDevice),
-            (Manifest { nonce: 1, ..base }, VerifyError::WrongNonce),
-            (Manifest { version: Version(1), ..base }, VerifyError::StaleVersion),
-            (Manifest { version: Version(0), ..base }, VerifyError::StaleVersion),
             (
-                Manifest { old_version: Version(2), version: Version(3), ..base },
+                Manifest {
+                    device_id: 8,
+                    ..base
+                },
+                VerifyError::WrongDevice,
+            ),
+            (Manifest { nonce: 1, ..base }, VerifyError::WrongNonce),
+            (
+                Manifest {
+                    version: Version(1),
+                    ..base
+                },
+                VerifyError::StaleVersion,
+            ),
+            (
+                Manifest {
+                    version: Version(0),
+                    ..base
+                },
+                VerifyError::StaleVersion,
+            ),
+            (
+                Manifest {
+                    old_version: Version(2),
+                    version: Version(3),
+                    ..base
+                },
                 VerifyError::WrongOldVersion,
             ),
-            (Manifest { size: 0, payload_size: 0, ..base }, VerifyError::BadSize),
             (
-                Manifest { size: 200_000, payload_size: 200_000, ..base },
+                Manifest {
+                    size: 0,
+                    payload_size: 0,
+                    ..base
+                },
                 VerifyError::BadSize,
             ),
-            (Manifest { payload_size: 100, ..base }, VerifyError::BadPayloadSize),
-            (Manifest { app_id: 0xB, ..base }, VerifyError::WrongAppId),
-            (Manifest { link_offset: 0x300, ..base }, VerifyError::WrongLinkOffset),
+            (
+                Manifest {
+                    size: 200_000,
+                    payload_size: 200_000,
+                    ..base
+                },
+                VerifyError::BadSize,
+            ),
+            (
+                Manifest {
+                    payload_size: 100,
+                    ..base
+                },
+                VerifyError::BadPayloadSize,
+            ),
+            (
+                Manifest {
+                    app_id: 0xB,
+                    ..base
+                },
+                VerifyError::WrongAppId,
+            ),
+            (
+                Manifest {
+                    link_offset: 0x300,
+                    ..base
+                },
+                VerifyError::WrongLinkOffset,
+            ),
         ];
         for (m, expected) in cases {
             assert_eq!(
@@ -385,7 +438,10 @@ mod tests {
         let verifier = Verifier::new(&backend, &fix.anchors);
         let mut context = ctx();
         context.expected_nonce = None;
-        let m = Manifest { nonce: 999_999, ..manifest() };
+        let m = Manifest {
+            nonce: 999_999,
+            ..manifest()
+        };
         verifier
             .verify_manifest(&signed(&fix, m), &context)
             .unwrap();

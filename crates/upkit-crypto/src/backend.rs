@@ -108,7 +108,11 @@ pub trait SecurityBackend: core::fmt::Debug + Send + Sync {
     fn profile(&self) -> BackendProfile;
 }
 
-fn verify_inline(key: KeyRef<'_>, digest: &[u8; 32], signature: &Signature) -> Result<(), SecurityError> {
+fn verify_inline(
+    key: KeyRef<'_>,
+    digest: &[u8; 32],
+    signature: &Signature,
+) -> Result<(), SecurityError> {
     match key {
         KeyRef::Sec1(bytes) => {
             let vk = VerifyingKey::from_sec1_bytes(bytes).map_err(|_| SecurityError::BadKey)?;

@@ -148,15 +148,15 @@ mod tests {
         assert_eq!(
             &out[..16],
             &[
-                0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3,
-                0x20, 0x71, 0xc4
+                0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+                0x71, 0xc4
             ]
         );
         assert_eq!(
             &out[48..],
             &[
-                0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2,
-                0x50, 0x3c, 0x4e
+                0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50,
+                0x3c, 0x4e
             ]
         );
     }
@@ -171,8 +171,8 @@ mod tests {
         assert_eq!(
             &ciphertext[..16],
             &[
-                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd,
-                0x0d, 0x69, 0x81
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+                0x69, 0x81
             ]
         );
         assert_eq!(ciphertext.len(), 114);

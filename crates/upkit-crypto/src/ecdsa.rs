@@ -175,7 +175,10 @@ impl SigningKey {
         if d.is_zero() || d.cmp_raw(&order()) != core::cmp::Ordering::Less {
             return Err(EcdsaError::InvalidPrivateKey);
         }
-        let point = AffinePoint::generator().to_jacobian().mul_scalar(&d).to_affine();
+        let point = AffinePoint::generator()
+            .to_jacobian()
+            .mul_scalar(&d)
+            .to_affine();
         Ok(Self {
             d,
             public: VerifyingKey { point },

@@ -87,13 +87,19 @@ impl SimulatedHsm {
 
     /// Irreversibly locks the data zone (no further key writes).
     pub fn lock_data_zone(&self) {
-        self.state.lock().expect("HSM mutex poisoned").data_zone_locked = true;
+        self.state
+            .lock()
+            .expect("HSM mutex poisoned")
+            .data_zone_locked = true;
     }
 
     /// Returns whether the data zone has been locked.
     #[must_use]
     pub fn is_locked(&self) -> bool {
-        self.state.lock().expect("HSM mutex poisoned").data_zone_locked
+        self.state
+            .lock()
+            .expect("HSM mutex poisoned")
+            .data_zone_locked
     }
 
     /// Number of hardware verifications performed (for energy accounting).

@@ -264,6 +264,7 @@ impl<P: FieldParams> Fe<P> {
 }
 
 /// Montgomery product `a * b * R⁻¹ mod m` (CIOS method, 4 limbs).
+#[allow(clippy::needless_range_loop)] // limb indices mirror the CIOS paper
 fn mont_mul<P: FieldParams>(a: &U256, b: &U256) -> U256 {
     let m = P::MODULUS.0;
     let n0 = P::N0;
@@ -316,12 +317,7 @@ mod tests {
     struct TestField;
 
     impl FieldParams for TestField {
-        const MODULUS: U256 = U256::from_limbs([
-            u64::MAX - 188,
-            u64::MAX,
-            u64::MAX,
-            u64::MAX,
-        ]);
+        const MODULUS: U256 = U256::from_limbs([u64::MAX - 188, u64::MAX, u64::MAX, u64::MAX]);
         fn r() -> U256 {
             static R: OnceLock<U256> = OnceLock::new();
             *R.get_or_init(|| compute_r(&Self::MODULUS))

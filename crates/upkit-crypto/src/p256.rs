@@ -132,11 +132,7 @@ impl AffinePoint {
             Self::Identity => true,
             Self::Point { x, y } => {
                 let lhs = y.square();
-                let rhs = x
-                    .square()
-                    .mul(x)
-                    .sub(&x.mul_u64(3))
-                    .add(&curve_b());
+                let rhs = x.square().mul(x).sub(&x.mul_u64(3)).add(&curve_b());
                 lhs == rhs
             }
         }
@@ -304,16 +300,15 @@ impl JacobianPoint {
         let beta = self.x.mul(&gamma);
         let alpha = self.x.sub(&delta).mul(&self.x.add(&delta)).mul_u64(3);
         let x3 = alpha.square().sub(&beta.mul_u64(8));
-        let z3 = self
-            .y
-            .add(&self.z)
-            .square()
-            .sub(&gamma)
-            .sub(&delta);
+        let z3 = self.y.add(&self.z).square().sub(&gamma).sub(&delta);
         let y3 = alpha
             .mul(&beta.mul_u64(4).sub(&x3))
             .sub(&gamma.square().mul_u64(8));
-        Self { x: x3, y: y3, z: z3 }
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian point addition.
@@ -347,14 +342,12 @@ impl JacobianPoint {
         let v = u1.mul(&i);
         let x3 = r.square().sub(&j).sub(&v.double());
         let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).double());
-        let z3 = self
-            .z
-            .add(&rhs.z)
-            .square()
-            .sub(&z1z1)
-            .sub(&z2z2)
-            .mul(&h);
-        Self { x: x3, y: y3, z: z3 }
+        let z3 = self.z.add(&rhs.z).square().sub(&z1z1).sub(&z2z2).mul(&h);
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Scalar multiplication `k · self` (left-to-right double-and-add).
@@ -394,10 +387,10 @@ pub fn double_scalar_mul(a: &U256, b: &U256, q: &AffinePoint) -> JacobianPoint {
     let q = q.to_jacobian();
     // Shamir's trick: one shared doubling chain for both scalars.
     let table = [
-        None,                  // 00
-        Some(g),               // 01
-        Some(q),               // 10
-        Some(g.add(&q)),       // 11
+        None,            // 00
+        Some(g),         // 01
+        Some(q),         // 10
+        Some(g.add(&q)), // 11
     ];
     let bits = a.bits().max(b.bits());
     let mut acc = JacobianPoint::identity();
@@ -562,7 +555,9 @@ mod tests {
         let mut bytes = p.to_sec1_compressed();
         bytes[0] ^= 0x01; // flip parity: the *other* root
         let flipped = AffinePoint::from_sec1_compressed(&bytes).unwrap();
-        let AffinePoint::Point { x, y } = p else { unreachable!() };
+        let AffinePoint::Point { x, y } = p else {
+            unreachable!()
+        };
         let AffinePoint::Point { x: fx, y: fy } = flipped else {
             unreachable!()
         };
@@ -588,9 +583,7 @@ mod tests {
             let mut bytes = [0u8; 33];
             bytes[0] = 0x02;
             bytes[32] = x0;
-            if AffinePoint::from_sec1_compressed(&bytes)
-                == Err(PointError::NotOnCurve)
-            {
+            if AffinePoint::from_sec1_compressed(&bytes) == Err(PointError::NotOnCurve) {
                 rejected = true;
                 break;
             }

@@ -302,7 +302,10 @@ mod tests {
     #[test]
     fn reduce_mod_basics() {
         let m = U256::from_u64(97);
-        assert_eq!(U256::from_u64(1000).reduce_mod(&m), U256::from_u64(1000 % 97));
+        assert_eq!(
+            U256::from_u64(1000).reduce_mod(&m),
+            U256::from_u64(1000 % 97)
+        );
         assert_eq!(U256::from_u64(96).reduce_mod(&m), U256::from_u64(96));
         assert_eq!(U256::from_u64(97).reduce_mod(&m), U256::ZERO);
         assert_eq!(U256::MAX.reduce_mod(&U256::ONE), U256::ZERO);

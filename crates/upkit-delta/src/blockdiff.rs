@@ -111,8 +111,7 @@ pub fn patch(old: &[u8], delta: &[u8]) -> Result<Vec<u8>, BlockDiffError> {
     if delta.len() < 8 || delta[..4] != MAGIC {
         return Err(BlockDiffError::BadMagic);
     }
-    let new_len =
-        u32::from_le_bytes(delta[4..8].try_into().expect("4 bytes")) as usize;
+    let new_len = u32::from_le_bytes(delta[4..8].try_into().expect("4 bytes")) as usize;
     let mut out = Vec::with_capacity(new_len);
     let mut pos = 8usize;
     while pos < delta.len() {
@@ -121,8 +120,7 @@ pub fn patch(old: &[u8], delta: &[u8]) -> Result<Vec<u8>, BlockDiffError> {
                 let bytes = delta
                     .get(pos + 1..pos + 5)
                     .ok_or(BlockDiffError::Truncated)?;
-                let block =
-                    u32::from_le_bytes(bytes.try_into().expect("4 bytes")) as usize;
+                let block = u32::from_le_bytes(bytes.try_into().expect("4 bytes")) as usize;
                 let start = block
                     .checked_mul(BLOCK_SIZE)
                     .ok_or(BlockDiffError::OutOfBounds)?;
@@ -228,10 +226,7 @@ mod tests {
         }
         let block_delta = diff(&old, &new);
         assert_eq!(patch(&old, &block_delta).unwrap(), new);
-        let bsdiff_effective = crate::diff(&old, &new)
-            .iter()
-            .filter(|&&b| b != 0)
-            .count();
+        let bsdiff_effective = crate::diff(&old, &new).iter().filter(|&&b| b != 0).count();
         assert!(
             block_delta.len() > old.len() * 3 / 4,
             "block diff degenerates: {} of {}",

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod blockdiff;
+pub mod sais;
 pub mod suffix;
 
 use suffix::SuffixArray;
@@ -112,7 +113,9 @@ impl OldImage for [u8] {
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), PatchError> {
         let start = usize::try_from(offset).map_err(|_| PatchError::OldReadFailed)?;
-        let end = start.checked_add(buf.len()).ok_or(PatchError::OldReadFailed)?;
+        let end = start
+            .checked_add(buf.len())
+            .ok_or(PatchError::OldReadFailed)?;
         if end > <[u8]>::len(self) {
             return Err(PatchError::OldReadFailed);
         }
@@ -141,15 +144,113 @@ impl OldImage for Vec<u8> {
     }
 }
 
+/// Which suffix-array construction a [`DeltaContext`] uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SuffixAlgorithm {
+    /// Linear-time SA-IS (the default).
+    #[default]
+    SaIs,
+    /// Manber–Myers prefix doubling, `O(n log² n)` (the fallback).
+    PrefixDoubling,
+}
+
+/// Reusable per-old-image state for differencing.
+///
+/// Building the suffix array dominates [`diff`]; when one old image is
+/// diffed against many new images — per-platform builds, per-version
+/// campaigns, many device requests sharing a base release — the array
+/// should be built once and shared. `DeltaContext` bundles the suffix
+/// array with a SHA-256 of the old image so every later
+/// [`DeltaContext::diff`] call can cheaply reject a mismatched old image
+/// instead of silently producing a patch against the wrong base.
+///
+/// # Examples
+///
+/// ```
+/// use upkit_delta::{patch, DeltaContext};
+///
+/// let old = b"shared base firmware image".to_vec();
+/// let ctx = DeltaContext::new(&old);
+/// for new in [b"shared base firmware image v2".to_vec(), b"rebuilt image".to_vec()] {
+///     let delta = ctx.diff(&old, &new);
+///     assert_eq!(patch(&old, &delta).unwrap(), new);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeltaContext {
+    suffix_array: SuffixArray,
+    old_image_hash: [u8; 32],
+}
+
+impl DeltaContext {
+    /// Builds the context for `old` with the default suffix-array
+    /// construction.
+    #[must_use]
+    pub fn new(old: &[u8]) -> Self {
+        Self {
+            suffix_array: SuffixArray::build(old),
+            old_image_hash: upkit_crypto::sha256::sha256(old),
+        }
+    }
+
+    /// Builds the context with an explicit suffix-array construction
+    /// (benchmarks compare the two; production uses [`DeltaContext::new`]).
+    #[must_use]
+    pub fn with_algorithm(old: &[u8], algorithm: SuffixAlgorithm) -> Self {
+        let suffix_array = match algorithm {
+            SuffixAlgorithm::SaIs => SuffixArray::build_sais(old),
+            SuffixAlgorithm::PrefixDoubling => SuffixArray::build_prefix_doubling(old),
+        };
+        Self {
+            suffix_array,
+            old_image_hash: upkit_crypto::sha256::sha256(old),
+        }
+    }
+
+    /// SHA-256 of the old image this context was built for.
+    #[must_use]
+    pub fn old_image_hash(&self) -> &[u8; 32] {
+        &self.old_image_hash
+    }
+
+    /// The suffix array over the old image.
+    #[must_use]
+    pub fn suffix_array(&self) -> &SuffixArray {
+        &self.suffix_array
+    }
+
+    /// Computes a patch transforming `old` into `new`, reusing this
+    /// context's suffix array. Byte-identical to [`diff`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is not the image the context was built for (the
+    /// patch would corrupt every device applying it).
+    #[must_use]
+    pub fn diff(&self, old: &[u8], new: &[u8]) -> Vec<u8> {
+        assert_eq!(
+            upkit_crypto::sha256::sha256(old),
+            self.old_image_hash,
+            "DeltaContext used with a different old image than it was built for"
+        );
+        diff_with_suffix_array(&self.suffix_array, old, new)
+    }
+}
+
 /// Computes a patch transforming `old` into `new` (server-side operation).
 ///
 /// Follows Colin Percival's bsdiff matching strategy: approximate matches
 /// are extended with a mismatch budget so that byte-wise deltas of similar
 /// regions compress well downstream.
+///
+/// Builds a fresh suffix array per call; use [`DeltaContext`] to amortize
+/// that cost across several diffs against the same old image.
 #[must_use]
 pub fn diff(old: &[u8], new: &[u8]) -> Vec<u8> {
-    let sa = SuffixArray::build(old);
+    diff_with_suffix_array(&SuffixArray::build(old), old, new)
+}
 
+fn diff_with_suffix_array(sa: &SuffixArray, old: &[u8], new: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + new.len() / 4 + 64);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&(old.len() as u32).to_le_bytes());
@@ -385,7 +486,9 @@ impl<O: OldImage> StreamPatcher<O> {
                             u32::from_le_bytes(self.scratch[4..8].try_into().expect("4 bytes"));
                         self.seek_after_extra =
                             i32::from_le_bytes(self.scratch[8..12].try_into().expect("4 bytes"));
-                        self.state = PatchState::Diff { remaining: diff_len };
+                        self.state = PatchState::Diff {
+                            remaining: diff_len,
+                        };
                         self.advance_through_empty_blocks();
                     } else {
                         self.state = PatchState::Control { filled };
@@ -410,7 +513,9 @@ impl<O: OldImage> StreamPatcher<O> {
                     }
                     self.old_pos += take as i64;
                     input = &input[take..];
-                    self.state = PatchState::Diff { remaining: remaining - take as u32 };
+                    self.state = PatchState::Diff {
+                        remaining: remaining - take as u32,
+                    };
                     self.advance_through_empty_blocks();
                 }
                 PatchState::Extra { remaining } => {
@@ -421,7 +526,9 @@ impl<O: OldImage> StreamPatcher<O> {
                         return Err(PatchError::OutputOverrun);
                     }
                     input = &input[take..];
-                    self.state = PatchState::Extra { remaining: remaining - take as u32 };
+                    self.state = PatchState::Extra {
+                        remaining: remaining - take as u32,
+                    };
                     self.advance_through_empty_blocks();
                 }
                 PatchState::Done => {
@@ -445,7 +552,9 @@ impl<O: OldImage> StreamPatcher<O> {
     /// end of an entry, deciding whether the patch is complete.
     fn advance_through_empty_blocks(&mut self) {
         if let PatchState::Diff { remaining: 0 } = self.state {
-            self.state = PatchState::Extra { remaining: self.extra_after_diff };
+            self.state = PatchState::Extra {
+                remaining: self.extra_after_diff,
+            };
         }
         if let PatchState::Extra { remaining: 0 } = self.state {
             self.old_pos += i64::from(self.seek_after_extra);
@@ -485,7 +594,10 @@ mod tests {
     fn identical_images() {
         let data = lcg_bytes(1, 5000);
         let size = round_trip(&data, &data);
-        assert!(size < 100, "identical images should yield a near-zero effective patch, got {size}");
+        assert!(
+            size < 100,
+            "identical images should yield a near-zero effective patch, got {size}"
+        );
     }
 
     #[test]
@@ -512,7 +624,10 @@ mod tests {
             *byte = byte.wrapping_add(13);
         }
         let size = round_trip(&old, &new);
-        assert!(size < 2000, "50-byte change should not need {size} effective patch bytes");
+        assert!(
+            size < 2000,
+            "50-byte change should not need {size} effective patch bytes"
+        );
     }
 
     #[test]
@@ -585,7 +700,10 @@ mod tests {
         let new = lcg_bytes(9, 1000);
         let delta = diff(&old, &new);
         let wrong_old = lcg_bytes(10, 999);
-        assert_eq!(patch(&wrong_old, &delta), Err(PatchError::OldLengthMismatch));
+        assert_eq!(
+            patch(&wrong_old, &delta),
+            Err(PatchError::OldLengthMismatch)
+        );
     }
 
     #[test]
@@ -638,6 +756,40 @@ mod tests {
         patcher.push(&delta[delta.len() / 2..], &mut out).unwrap();
         assert!(patcher.is_done());
         assert_eq!(patcher.produced(), new.len() as u64);
+    }
+
+    #[test]
+    fn context_diff_is_byte_identical_to_diff() {
+        let old = lcg_bytes(21, 30_000);
+        let ctx = DeltaContext::new(&old);
+        for seed in [22u32, 23, 24, 25] {
+            let mut new = old.clone();
+            let edit = lcg_bytes(seed, 200);
+            let at = (seed as usize * 997) % (new.len() - edit.len());
+            new[at..at + edit.len()].copy_from_slice(&edit);
+            assert_eq!(ctx.diff(&old, &new), diff(&old, &new), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn context_algorithms_produce_identical_patches() {
+        let old = lcg_bytes(26, 12_000);
+        let mut new = old.clone();
+        new[4000..4100].copy_from_slice(&lcg_bytes(27, 100));
+        let sais = DeltaContext::with_algorithm(&old, SuffixAlgorithm::SaIs);
+        let doubling = DeltaContext::with_algorithm(&old, SuffixAlgorithm::PrefixDoubling);
+        let patch_bytes = sais.diff(&old, &new);
+        assert_eq!(patch_bytes, doubling.diff(&old, &new));
+        assert_eq!(patch(&old, &patch_bytes).unwrap(), new);
+    }
+
+    #[test]
+    #[should_panic(expected = "different old image")]
+    fn context_rejects_mismatched_old_image() {
+        let old = lcg_bytes(28, 1000);
+        let ctx = DeltaContext::new(&old);
+        let wrong = lcg_bytes(29, 1000);
+        let _ = ctx.diff(&wrong, &old);
     }
 
     #[test]

@@ -1,22 +1,51 @@
-//! Suffix-array construction (prefix-doubling) and longest-match search.
+//! Suffix-array construction and longest-match search.
 //!
 //! `bsdiff` finds, for every position of the new firmware, the longest
 //! match anywhere in the old firmware. The classic implementation does this
-//! with a suffix array over the old image; we use the Manber–Myers
-//! prefix-doubling construction (`O(n log² n)`), which is compact and fast
-//! enough for firmware-sized inputs (tens to hundreds of kilobytes).
+//! with a suffix array over the old image. Construction defaults to the
+//! linear-time SA-IS algorithm ([`crate::sais`]); the Manber–Myers
+//! prefix-doubling construction (`O(n log² n)`) is kept as a cross-checked
+//! fallback, selectable crate-wide with the `prefix-doubling` feature.
 
 /// A suffix array over a byte string.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SuffixArray {
     /// `sa[i]` = start offset of the i-th smallest suffix.
     sa: Vec<u32>,
 }
 
 impl SuffixArray {
-    /// Builds the suffix array of `data`.
+    /// Builds the suffix array of `data` with the default construction:
+    /// SA-IS, or prefix-doubling when the `prefix-doubling` feature is on.
     #[must_use]
     pub fn build(data: &[u8]) -> Self {
+        #[cfg(feature = "prefix-doubling")]
+        {
+            Self::build_prefix_doubling(data)
+        }
+        #[cfg(not(feature = "prefix-doubling"))]
+        {
+            Self::build_sais(data)
+        }
+    }
+
+    /// Builds the suffix array with the linear-time SA-IS construction.
+    #[must_use]
+    pub fn build_sais(data: &[u8]) -> Self {
+        Self {
+            sa: crate::sais::suffix_array(data),
+        }
+    }
+
+    /// Builds the suffix array with Manber–Myers prefix doubling
+    /// (`O(n log² n)`), the fallback construction.
+    ///
+    /// Each round sorts by a precomputed per-suffix key packing
+    /// `(rank[i], rank[i + k] + 1)` into one `u64` — recomputing the pair
+    /// inside the sort comparator would evaluate it `O(n log n)` times per
+    /// round — and the loop exits as soon as every rank is distinct.
+    #[must_use]
+    pub fn build_prefix_doubling(data: &[u8]) -> Self {
         let n = data.len();
         if n == 0 {
             return Self { sa: Vec::new() };
@@ -25,21 +54,25 @@ impl SuffixArray {
         let mut sa: Vec<u32> = (0..n as u32).collect();
         let mut rank: Vec<u32> = data.iter().map(|&b| u32::from(b)).collect();
         let mut tmp = vec![0u32; n];
+        let mut keys = vec![0u64; n];
 
         let mut k = 1usize;
         while k < n {
-            let key = |i: u32| -> (u32, u32) {
-                let i = i as usize;
-                let second = if i + k < n { rank[i + k] + 1 } else { 0 };
-                (rank[i], second)
-            };
-            sa.sort_unstable_by_key(|&i| key(i));
+            for i in 0..n {
+                let second = if i + k < n {
+                    u64::from(rank[i + k]) + 1
+                } else {
+                    0
+                };
+                keys[i] = (u64::from(rank[i]) << 32) | second;
+            }
+            sa.sort_unstable_by_key(|&i| keys[i as usize]);
 
             tmp[sa[0] as usize] = 0;
             for w in 1..n {
-                let prev = sa[w - 1];
-                let cur = sa[w];
-                tmp[cur as usize] = tmp[prev as usize] + u32::from(key(prev) != key(cur));
+                let prev = sa[w - 1] as usize;
+                let cur = sa[w] as usize;
+                tmp[cur] = tmp[prev] + u32::from(keys[prev] != keys[cur]);
             }
             std::mem::swap(&mut rank, &mut tmp);
             if rank[sa[n - 1] as usize] as usize == n - 1 {
@@ -49,6 +82,13 @@ impl SuffixArray {
         }
 
         Self { sa }
+    }
+
+    /// The sorted suffix offsets: `offsets()[i]` is the start position of
+    /// the i-th lexicographically smallest suffix.
+    #[must_use]
+    pub fn offsets(&self) -> &[u32] {
+        &self.sa
     }
 
     /// Number of suffixes (= input length).
@@ -127,7 +167,11 @@ mod tests {
             b"abababababab".to_vec(),
         ] {
             let sa = SuffixArray::build(&data);
-            assert_eq!(sa.sa, naive_sa(&data), "input {data:?}");
+            assert_eq!(sa.sa, naive_sa(&data), "default, input {data:?}");
+            let sais = SuffixArray::build_sais(&data);
+            assert_eq!(sais.sa, naive_sa(&data), "SA-IS, input {data:?}");
+            let doubling = SuffixArray::build_prefix_doubling(&data);
+            assert_eq!(doubling.sa, naive_sa(&data), "doubling, input {data:?}");
         }
     }
 
@@ -142,6 +186,24 @@ mod tests {
             .collect();
         let sa = SuffixArray::build(&data);
         assert_eq!(sa.sa, naive_sa(&data));
+    }
+
+    #[test]
+    fn constructions_agree_on_pseudorandom_inputs() {
+        let mut state = 0x5EED_u32;
+        for len in [1usize, 2, 17, 256, 3000, 10_000] {
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    (state >> 26) as u8
+                })
+                .collect();
+            assert_eq!(
+                SuffixArray::build_sais(&data).sa,
+                SuffixArray::build_prefix_doubling(&data).sa,
+                "len {len}"
+            );
+        }
     }
 
     #[test]

@@ -117,7 +117,10 @@ mod tests {
 
     fn temp_path(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
-        p.push(format!("upkit-flash-test-{}-{name}.bin", std::process::id()));
+        p.push(format!(
+            "upkit-flash-test-{}-{name}.bin",
+            std::process::id()
+        ));
         p
     }
 

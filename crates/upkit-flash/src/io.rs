@@ -75,7 +75,6 @@ impl MemoryLayout {
             sector_size,
         })
     }
-
 }
 
 impl SlotHandle<'_> {
@@ -271,7 +270,12 @@ mod tests {
         slot.close();
         // Raw write_slot bypasses the erase policy, so setting bits fails —
         // the invariant a real NOR controller enforces.
-        let err = layout.write_slot(standard::SLOT_A, 0, &[0xFF; 4]).unwrap_err();
-        assert!(matches!(err, LayoutError::Flash(FlashError::WriteWithoutErase)));
+        let err = layout
+            .write_slot(standard::SLOT_A, 0, &[0xFF; 4])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LayoutError::Flash(FlashError::WriteWithoutErase)
+        ));
     }
 }

@@ -130,10 +130,14 @@ impl MemoryLayout {
     /// Registers a slot after validating alignment, bounds, uniqueness, and
     /// non-overlap with existing slots on the same device.
     pub fn add_slot(&mut self, spec: SlotSpec) -> Result<(), LayoutError> {
-        let device = self.devices.get(spec.device).ok_or(LayoutError::InvalidSpec)?;
+        let device = self
+            .devices
+            .get(spec.device)
+            .ok_or(LayoutError::InvalidSpec)?;
         let geometry = device.geometry();
         let sector = geometry.sector_size;
-        let aligned = spec.offset % sector == 0 && spec.size % sector == 0 && spec.size > 0;
+        let aligned =
+            spec.offset.is_multiple_of(sector) && spec.size.is_multiple_of(sector) && spec.size > 0;
         let in_bounds = u64::from(spec.offset) + u64::from(spec.size) <= u64::from(geometry.size);
         if !aligned || !in_bounds {
             return Err(LayoutError::InvalidSpec);
@@ -295,7 +299,11 @@ impl MemoryLayout {
     /// Highest per-sector erase count across all devices (endurance).
     #[must_use]
     pub fn max_sector_wear(&self) -> u32 {
-        self.devices.iter().map(|d| d.max_sector_wear()).max().unwrap_or(0)
+        self.devices
+            .iter()
+            .map(|d| d.max_sector_wear())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Aggregated flash statistics across all devices, plus layout-level
@@ -442,8 +450,7 @@ mod tests {
 
     #[test]
     fn configuration_b_internal_staging() {
-        let layout =
-            configuration_b(Box::new(SimFlash::new(geometry())), None, 4096 * 2).unwrap();
+        let layout = configuration_b(Box::new(SimFlash::new(geometry())), None, 4096 * 2).unwrap();
         assert_eq!(layout.slots_of_kind(SlotKind::Bootable).count(), 1);
         let staging = layout.slot(standard::SLOT_B).unwrap();
         assert_eq!(staging.device, 0);
@@ -516,7 +523,10 @@ mod tests {
             offset: 4096,
             ..spec
         };
-        assert_eq!(layout.add_slot(same_id_elsewhere), Err(LayoutError::InvalidSpec));
+        assert_eq!(
+            layout.add_slot(same_id_elsewhere),
+            Err(LayoutError::InvalidSpec)
+        );
     }
 
     #[test]
@@ -537,7 +547,9 @@ mod tests {
     fn slot_read_write_round_trip() {
         let mut layout = layout_ab();
         layout.erase_slot(standard::SLOT_A).unwrap();
-        layout.write_slot(standard::SLOT_A, 16, b"image-bytes").unwrap();
+        layout
+            .write_slot(standard::SLOT_A, 16, b"image-bytes")
+            .unwrap();
         let mut buf = [0u8; 11];
         layout.read_slot(standard::SLOT_A, 16, &mut buf).unwrap();
         assert_eq!(&buf, b"image-bytes");
@@ -565,8 +577,12 @@ mod tests {
     fn copy_slot_moves_image() {
         let mut layout = layout_ab();
         layout.erase_slot(standard::SLOT_A).unwrap();
-        layout.write_slot(standard::SLOT_A, 0, b"firmware-v2").unwrap();
-        layout.copy_slot(standard::SLOT_A, standard::SLOT_B).unwrap();
+        layout
+            .write_slot(standard::SLOT_A, 0, b"firmware-v2")
+            .unwrap();
+        layout
+            .copy_slot(standard::SLOT_A, standard::SLOT_B)
+            .unwrap();
         let mut buf = [0u8; 11];
         layout.read_slot(standard::SLOT_B, 0, &mut buf).unwrap();
         assert_eq!(&buf, b"firmware-v2");
@@ -579,7 +595,9 @@ mod tests {
         layout.erase_slot(standard::SLOT_B).unwrap();
         layout.write_slot(standard::SLOT_A, 0, b"AAAA").unwrap();
         layout.write_slot(standard::SLOT_B, 0, b"BBBB").unwrap();
-        layout.swap_slots(standard::SLOT_A, standard::SLOT_B).unwrap();
+        layout
+            .swap_slots(standard::SLOT_A, standard::SLOT_B)
+            .unwrap();
         let mut buf = [0u8; 4];
         layout.read_slot(standard::SLOT_A, 0, &mut buf).unwrap();
         assert_eq!(&buf, b"BBBB");
@@ -593,7 +611,9 @@ mod tests {
         layout.erase_slot(standard::SLOT_A).unwrap();
         layout.erase_slot(standard::SLOT_B).unwrap();
         layout.reset_stats();
-        layout.swap_slots(standard::SLOT_A, standard::SLOT_B).unwrap();
+        layout
+            .swap_slots(standard::SLOT_A, standard::SLOT_B)
+            .unwrap();
         let stats = layout.total_stats();
         // 3 sectors per slot: 6 erases, 6 sector-writes, 6 sector-reads.
         assert_eq!(stats.sectors_erased, 6);

@@ -45,7 +45,7 @@ impl SimFlash {
     #[must_use]
     pub fn new(geometry: FlashGeometry) -> Self {
         assert!(
-            geometry.sector_size > 0 && geometry.size % geometry.sector_size == 0,
+            geometry.sector_size > 0 && geometry.size.is_multiple_of(geometry.sector_size),
             "flash size must be a positive multiple of the sector size"
         );
         Self {
@@ -240,7 +240,10 @@ mod tests {
     fn out_of_bounds_rejected() {
         let mut flash = small();
         let mut buf = [0u8; 8];
-        assert_eq!(flash.read(4096 * 4 - 4, &mut buf), Err(FlashError::OutOfBounds));
+        assert_eq!(
+            flash.read(4096 * 4 - 4, &mut buf),
+            Err(FlashError::OutOfBounds)
+        );
         assert_eq!(flash.write(4096 * 4, &[1]), Err(FlashError::OutOfBounds));
         assert_eq!(flash.erase_sector(4096 * 4), Err(FlashError::OutOfBounds));
     }
@@ -253,10 +256,7 @@ mod tests {
         let stats = flash.stats();
         assert_eq!(stats.bytes_written, 64);
         assert_eq!(stats.sectors_erased, 1);
-        assert_eq!(
-            stats.elapsed_micros(&flash.geometry()),
-            64 * 8 + 1000
-        );
+        assert_eq!(stats.elapsed_micros(&flash.geometry()), 64 * 8 + 1000);
         flash.reset_stats();
         assert_eq!(flash.stats(), FlashStats::default());
     }

@@ -94,8 +94,11 @@ pub enum CryptoLib {
 
 impl CryptoLib {
     /// All evaluated libraries.
-    pub const ALL: [CryptoLib; 3] =
-        [CryptoLib::TinyDtls, CryptoLib::TinyCrypt, CryptoLib::CryptoAuthLib];
+    pub const ALL: [CryptoLib; 3] = [
+        CryptoLib::TinyDtls,
+        CryptoLib::TinyCrypt,
+        CryptoLib::CryptoAuthLib,
+    ];
 
     /// Display name.
     #[must_use]
@@ -125,31 +128,55 @@ pub mod modules {
 
     /// Pipeline module (Sect. VI-A: 1632 B flash, 2137 B RAM — "mostly due
     /// to the differential patcher (bspatch) and the decompression (lzss)").
-    pub const PIPELINE: Footprint = Footprint { flash: 1632, ram: 2137 };
+    pub const PIPELINE: Footprint = Footprint {
+        flash: 1632,
+        ram: 2137,
+    };
 
     /// Pipeline with the differential stages compiled out (buffer + writer
     /// only) — the ablation configuration for non-differential devices.
-    pub const PIPELINE_NO_DIFF: Footprint = Footprint { flash: 300, ram: 96 };
+    pub const PIPELINE_NO_DIFF: Footprint = Footprint {
+        flash: 300,
+        ram: 96,
+    };
 
     /// Memory module (Sect. VI-A: 2024 B flash — slot copy/swap routines).
-    pub const MEMORY: Footprint = Footprint { flash: 2024, ram: 128 };
+    pub const MEMORY: Footprint = Footprint {
+        flash: 2024,
+        ram: 128,
+    };
 
     /// Verifier module (field checks + signature orchestration).
-    pub const VERIFIER: Footprint = Footprint { flash: 1180, ram: 350 };
+    pub const VERIFIER: Footprint = Footprint {
+        flash: 1180,
+        ram: 350,
+    };
 
     /// Agent FSM module.
-    pub const FSM: Footprint = Footprint { flash: 700, ram: 256 };
+    pub const FSM: Footprint = Footprint {
+        flash: 700,
+        ram: 256,
+    };
 
     /// TinyDTLS crypto routines (ECDSA verify + SHA-256).
-    pub const CRYPTO_TINYDTLS: Footprint = Footprint { flash: 9500, ram: 1200 };
+    pub const CRYPTO_TINYDTLS: Footprint = Footprint {
+        flash: 9500,
+        ram: 1200,
+    };
 
     /// tinycrypt crypto routines — ~1.1 kB more flash than TinyDTLS
     /// (Table I's consistent per-OS delta).
-    pub const CRYPTO_TINYCRYPT: Footprint = Footprint { flash: 10612, ram: 1200 };
+    pub const CRYPTO_TINYCRYPT: Footprint = Footprint {
+        flash: 10612,
+        ram: 1200,
+    };
 
     /// CryptoAuthLib driver — ECC math moves to the ATECC508, cutting
     /// ~10 % of bootloader flash (Table I, Contiki row).
-    pub const CRYPTO_CRYPTOAUTHLIB: Footprint = Footprint { flash: 8124, ram: 1116 };
+    pub const CRYPTO_CRYPTOAUTHLIB: Footprint = Footprint {
+        flash: 8124,
+        ram: 1116,
+    };
 
     /// Crypto cost by library.
     #[must_use]
@@ -172,9 +199,18 @@ pub mod platform {
         match os {
             // Zephyr links the leanest bootloader (~15 % less flash,
             // Table I) but its larger run-time stack costs ~20 % more RAM.
-            Os::Zephyr => Footprint { flash: 336, ram: 6502 },
-            Os::Riot => Footprint { flash: 2716, ram: 4834 },
-            Os::Contiki => Footprint { flash: 2750, ram: 4959 },
+            Os::Zephyr => Footprint {
+                flash: 336,
+                ram: 6502,
+            },
+            Os::Riot => Footprint {
+                flash: 2716,
+                ram: 4834,
+            },
+            Os::Contiki => Footprint {
+                flash: 2750,
+                ram: 4959,
+            },
         }
     }
 
@@ -182,9 +218,18 @@ pub mod platform {
     #[must_use]
     pub fn app_base(os: Os) -> Footprint {
         match os {
-            Os::Zephyr => Footprint { flash: 28_000, ram: 9_000 },
-            Os::Riot => Footprint { flash: 18_000, ram: 6_000 },
-            Os::Contiki => Footprint { flash: 12_000, ram: 4_500 },
+            Os::Zephyr => Footprint {
+                flash: 28_000,
+                ram: 9_000,
+            },
+            Os::Riot => Footprint {
+                flash: 18_000,
+                ram: 6_000,
+            },
+            Os::Contiki => Footprint {
+                flash: 12_000,
+                ram: 4_500,
+            },
         }
     }
 
@@ -197,13 +242,25 @@ pub mod platform {
     pub fn net_stack(os: Os, approach: Approach) -> Option<Footprint> {
         match (os, approach) {
             // Zephyr pull: full IPv6/6LoWPAN + Zoap — by far the largest.
-            (Os::Zephyr, Approach::Pull) => Some(Footprint { flash: 175_436, ram: 62_133 }),
+            (Os::Zephyr, Approach::Pull) => Some(Footprint {
+                flash: 175_436,
+                ram: 62_133,
+            }),
             // RIOT pull: gnrc 6LoWPAN + libcoap.
-            (Os::Riot, Approach::Pull) => Some(Footprint { flash: 62_744, ram: 21_173 }),
+            (Os::Riot, Approach::Pull) => Some(Footprint {
+                flash: 62_744,
+                ram: 21_173,
+            }),
             // Contiki pull: uIPv6 + er-coap — the smallest build.
-            (Os::Contiki, Approach::Pull) => Some(Footprint { flash: 52_409, ram: 11_363 }),
+            (Os::Contiki, Approach::Pull) => Some(Footprint {
+                flash: 52_409,
+                ram: 11_363,
+            }),
             // Zephyr push: BLE controller + GATT.
-            (Os::Zephyr, Approach::Push) => Some(Footprint { flash: 38_882, ram: 8_785 }),
+            (Os::Zephyr, Approach::Push) => Some(Footprint {
+                flash: 38_882,
+                ram: 8_785,
+            }),
             _ => None,
         }
     }
@@ -252,12 +309,12 @@ impl Default for AgentOptions {
 /// UpKit bootloader footprint for an OS/crypto-library pair (Table I).
 #[must_use]
 pub fn upkit_bootloader(os: Os, lib: CryptoLib) -> Footprint {
-    let base = platform::boot_base(os)
-        + modules::crypto(lib)
-        + modules::VERIFIER
-        + modules::MEMORY;
+    let base = platform::boot_base(os) + modules::crypto(lib) + modules::VERIFIER + modules::MEMORY;
     let flash = (base.flash as i64 + i64::from(residuals::bootloader_flash(os, lib))) as u32;
-    Footprint { flash, ram: base.ram }
+    Footprint {
+        flash,
+        ram: base.ram,
+    }
 }
 
 /// UpKit update-agent footprint (Table II rows use
@@ -430,7 +487,10 @@ mod tests {
         let vs_riot_flash = 1.0 - f64::from(c.flash) / f64::from(r.flash);
         let vs_zephyr_ram = 1.0 - f64::from(c.ram) / f64::from(z.ram);
         let vs_riot_ram = 1.0 - f64::from(c.ram) / f64::from(r.ram);
-        assert!((0.60..0.68).contains(&vs_zephyr_flash), "{vs_zephyr_flash:.3}");
+        assert!(
+            (0.60..0.68).contains(&vs_zephyr_flash),
+            "{vs_zephyr_flash:.3}"
+        );
         assert!((0.14..0.20).contains(&vs_riot_flash), "{vs_riot_flash:.3}");
         assert!((0.70..0.76).contains(&vs_zephyr_ram), "{vs_zephyr_ram:.3}");
         assert!((0.33..0.40).contains(&vs_riot_ram), "{vs_riot_ram:.3}");
@@ -450,17 +510,29 @@ mod tests {
         let with = upkit_agent(
             Os::Contiki,
             Approach::Pull,
-            AgentOptions { differential: true, shared_crypto: true },
+            AgentOptions {
+                differential: true,
+                shared_crypto: true,
+            },
         )
         .unwrap();
         let without = upkit_agent(
             Os::Contiki,
             Approach::Pull,
-            AgentOptions { differential: false, shared_crypto: true },
+            AgentOptions {
+                differential: false,
+                shared_crypto: true,
+            },
         )
         .unwrap();
-        assert_eq!(with.flash - without.flash, modules::PIPELINE.flash - modules::PIPELINE_NO_DIFF.flash);
-        assert_eq!(with.ram - without.ram, modules::PIPELINE.ram - modules::PIPELINE_NO_DIFF.ram);
+        assert_eq!(
+            with.flash - without.flash,
+            modules::PIPELINE.flash - modules::PIPELINE_NO_DIFF.flash
+        );
+        assert_eq!(
+            with.ram - without.ram,
+            modules::PIPELINE.ram - modules::PIPELINE_NO_DIFF.ram
+        );
     }
 
     #[test]
@@ -468,13 +540,19 @@ mod tests {
         let shared = upkit_agent(
             Os::Zephyr,
             Approach::Push,
-            AgentOptions { differential: true, shared_crypto: true },
+            AgentOptions {
+                differential: true,
+                shared_crypto: true,
+            },
         )
         .unwrap();
         let unshared = upkit_agent(
             Os::Zephyr,
             Approach::Push,
-            AgentOptions { differential: true, shared_crypto: false },
+            AgentOptions {
+                differential: true,
+                shared_crypto: false,
+            },
         )
         .unwrap();
         assert_eq!(

@@ -138,10 +138,7 @@ fn decode_head(input: &[u8]) -> Result<(u8, u64, usize), CborError> {
         }
         27 => {
             let bytes = input.get(1..9).ok_or(CborError::Truncated)?;
-            (
-                u64::from_be_bytes(bytes.try_into().expect("8 bytes")),
-                9,
-            )
+            (u64::from_be_bytes(bytes.try_into().expect("8 bytes")), 9)
         }
         _ => return Err(CborError::Unsupported), // indefinite lengths
     };

@@ -156,9 +156,7 @@ pub fn from_suit_envelope(bytes: &[u8]) -> Result<Manifest, SuitError> {
     let digest_bytes = require(payload_info, key::DIGEST)?
         .as_bytes()
         .ok_or(SuitError::MissingField(key::DIGEST))?;
-    let digest: [u8; 32] = digest_bytes
-        .try_into()
-        .map_err(|_| SuitError::FieldRange)?;
+    let digest: [u8; 32] = digest_bytes.try_into().map_err(|_| SuitError::FieldRange)?;
     let size: u32 = uint_field(payload_info, key::SIZE)?;
 
     let ext = require(&envelope, key::UPKIT_EXTENSION)?;

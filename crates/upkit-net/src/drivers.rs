@@ -382,9 +382,8 @@ mod tests {
             &link,
         );
         match report.outcome {
-            SessionOutcome::RejectedAtFirmware(AgentError::Verify(
-                VerifyError::DigestMismatch,
-            )) => {}
+            SessionOutcome::RejectedAtFirmware(AgentError::Verify(VerifyError::DigestMismatch)) => {
+            }
             other => panic!("expected firmware digest rejection, got {other:?}"),
         }
     }

@@ -114,7 +114,7 @@ mod tests {
         let link = LinkProfile::ieee802154_6lowpan();
         let mut acc = TransferAccounting::default();
         LossyLink::with_loss(link, 10).charge_to_device(&mut acc, 6400); // 100 chunks
-        // 100 chunks + 10 retransmissions.
+                                                                         // 100 chunks + 10 retransmissions.
         assert_eq!(acc.chunks, 110);
         assert_eq!(acc.round_trips, 10);
     }

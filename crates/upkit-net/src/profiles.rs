@@ -191,6 +191,9 @@ mod tests {
         let pull_secs = pull.elapsed_micros as f64 / 1e6;
         assert!((40.0..55.0).contains(&push_secs), "push {push_secs:.1}s");
         assert!((35.0..48.0).contains(&pull_secs), "pull {pull_secs:.1}s");
-        assert!(pull_secs < push_secs, "pull propagation is faster on the wire");
+        assert!(
+            pull_secs < push_secs,
+            "pull propagation is faster on the wire"
+        );
     }
 }

@@ -79,6 +79,9 @@ mod tests {
     #[test]
     fn replay_substitutes_captured_bytes() {
         let captured = b"old image".to_vec();
-        assert_eq!(Tamper::Replay(captured.clone()).apply(b"new image"), captured);
+        assert_eq!(
+            Tamper::Replay(captured.clone()).apply(b"new image"),
+            captured
+        );
     }
 }

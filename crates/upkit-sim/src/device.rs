@@ -164,7 +164,7 @@ impl SimDevice {
             installed_version: Version(1),
             installed_size: firmware.len() as u32,
             slot_size,
-        nonce_counter: device_id.wrapping_mul(2_654_435_761),
+            nonce_counter: device_id.wrapping_mul(2_654_435_761),
         }
     }
 
@@ -283,9 +283,15 @@ mod tests {
 
         let mut a = SimDevice::provision(0xA, &v1, &vendor, &server);
         let mut b = SimDevice::provision(0xB, &v1, &vendor, &server);
-        assert!(matches!(a.poll(&server).unwrap(), PollOutcome::Updated { .. }));
+        assert!(matches!(
+            a.poll(&server).unwrap(),
+            PollOutcome::Updated { .. }
+        ));
         // Device B is unaffected by A's update until it polls itself.
         assert_eq!(b.installed_version(), Version(1));
-        assert!(matches!(b.poll(&server).unwrap(), PollOutcome::Updated { .. }));
+        assert!(matches!(
+            b.poll(&server).unwrap(),
+            PollOutcome::Updated { .. }
+        ));
     }
 }

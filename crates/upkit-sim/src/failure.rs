@@ -112,7 +112,10 @@ pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLo
     let bytes_written_before_cut = layout.total_stats().bytes_written;
 
     // Reboot: power restored.
-    layout.device_mut(0).expect("internal flash").disarm_power_cut();
+    layout
+        .device_mut(0)
+        .expect("internal flash")
+        .disarm_power_cut();
     let bootloader = Bootloader::new(
         backend,
         anchors,
@@ -199,7 +202,9 @@ mod tests {
     fn sweep_of_cut_points_never_bricks() {
         // Property-style sweep across the whole write timeline: whatever
         // the cut point, the device boots v1 or v2 — never nothing.
-        for cut in [0u64, 1, 100, 4_000, 50_000, 66_000, 80_000, 100_000, 105_000] {
+        for cut in [
+            0u64, 1, 100, 4_000, 50_000, 66_000, 80_000, 100_000, 105_000,
+        ] {
             let report = run_power_loss_scenario(cut, 300 + cut);
             assert!(
                 matches!(report.booted_version, Some(Version(1)) | Some(Version(2))),

@@ -147,8 +147,14 @@ mod tests {
     fn app_change_is_smaller_than_os_change() {
         let generator = FirmwareGenerator::new(4);
         let v1 = generator.base(80_000);
-        let os = compress(&diff(&v1, &generator.os_version_change(&v1)), Params::default());
-        let app = compress(&diff(&v1, &generator.app_change(&v1, 1000)), Params::default());
+        let os = compress(
+            &diff(&v1, &generator.os_version_change(&v1)),
+            Params::default(),
+        );
+        let app = compress(
+            &diff(&v1, &generator.app_change(&v1, 1000)),
+            Params::default(),
+        );
         assert!(app.len() < os.len());
     }
 

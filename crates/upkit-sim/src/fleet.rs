@@ -6,12 +6,25 @@
 //! through the fleet over several rounds. The experiment reports the
 //! adoption curve and the total bytes served — where differential updates
 //! shrink the server's egress by an order of magnitude.
+//!
+//! Two entry points:
+//!
+//! * [`run_rollout`] — the sequential simulator over full [`SimDevice`]s
+//!   (flash + agent + bootloader each).
+//! * [`run_rollout_sharded`] — the fleet split into shards, each with its
+//!   own RNG stream derived from the fleet seed, executed across worker
+//!   threads. Results depend only on the configuration, never on the
+//!   thread count, and a single-shard run reproduces [`run_rollout`]
+//!   byte for byte. With [`DeviceModel::Lite`] devices (protocol-faithful
+//!   but without per-device flash), campaigns scale to 100k–1M devices.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use upkit_compress::decompress;
 use upkit_core::generation::{UpdateServer, VendorServer};
-use upkit_crypto::ecdsa::SigningKey;
-use upkit_manifest::Version;
+use upkit_crypto::ecdsa::{SigningKey, VerifyingKey};
+use upkit_crypto::sha256::sha256;
+use upkit_manifest::{DeviceToken, Version};
 
 use crate::device::{PollOutcome, SimDevice, APP_ID, LINK_OFFSET};
 use crate::firmware::FirmwareGenerator;
@@ -44,7 +57,7 @@ impl Default for FleetConfig {
 }
 
 /// Per-round adoption snapshot.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RoundStats {
     /// Devices running the new version after this round.
     pub updated: u32,
@@ -53,7 +66,7 @@ pub struct RoundStats {
 }
 
 /// Result of a rollout campaign.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FleetReport {
     /// Adoption per round, until the fleet converged.
     pub rounds: Vec<RoundStats>,
@@ -154,6 +167,384 @@ pub fn run_rollout(config: &FleetConfig) -> FleetReport {
     }
 }
 
+/// Which device implementation a sharded rollout simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceModel {
+    /// Full [`SimDevice`]s: per-device flash, agent FSM, and bootloader.
+    /// Highest fidelity, ≥64 KiB of simulated flash per device.
+    Faithful,
+    /// Protocol-faithful lightweight devices: same token sequence,
+    /// signature/digest verification, decompression, and patching as the
+    /// full device, but no per-device flash or boot simulation — a few
+    /// dozen bytes per device, enabling 100k–1M-device campaigns.
+    Lite,
+}
+
+/// Parameters of a sharded rollout campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedFleetConfig {
+    /// The campaign itself.
+    pub fleet: FleetConfig,
+    /// Number of independent shards the fleet is split into. Results
+    /// depend on this value (each shard has its own RNG stream), but not
+    /// on how shards are scheduled onto threads.
+    pub shards: u32,
+    /// Worker threads to spread the shards over. Any value produces
+    /// identical results; only wall-clock time changes.
+    pub threads: usize,
+    /// Device implementation to simulate.
+    pub device_model: DeviceModel,
+    /// Whether lite devices check both manifest signatures on every
+    /// update (full devices always do). Keep `true` for fidelity; `false`
+    /// isolates server-side cost in benchmarks.
+    pub verify_signatures: bool,
+}
+
+impl Default for ShardedFleetConfig {
+    fn default() -> Self {
+        Self {
+            fleet: FleetConfig::default(),
+            shards: 4,
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            device_model: DeviceModel::Faithful,
+            verify_signatures: true,
+        }
+    }
+}
+
+/// Everything a polling device reads, shared by all shards and threads.
+struct FleetEnv<'a> {
+    server: &'a UpdateServer,
+    vendor_key: VerifyingKey,
+    server_key: VerifyingKey,
+    /// The v1 image every device was provisioned with (the old image for
+    /// differential patching on lite devices).
+    base_image: &'a [u8],
+    verify_signatures: bool,
+}
+
+/// A protocol-faithful device without per-device flash state.
+struct LiteDevice {
+    device_id: u32,
+    nonce_counter: u32,
+    installed_version: Version,
+    supports_differential: bool,
+}
+
+impl LiteDevice {
+    fn provision(device_id: u32, supports_differential: bool) -> Self {
+        Self {
+            device_id,
+            // Same per-device nonce schedule as `SimDevice`.
+            nonce_counter: device_id.wrapping_mul(2_654_435_761),
+            installed_version: Version(1),
+            supports_differential,
+        }
+    }
+
+    /// One poll: token → server → verify → (decompress → patch) → digest
+    /// check. Mirrors `SimDevice::poll` outcomes exactly for an honest
+    /// server in the v1→v2 campaign.
+    fn poll(&mut self, env: &FleetEnv<'_>) -> PollOutcome {
+        self.nonce_counter = self.nonce_counter.wrapping_add(0x9E37_79B9) | 1;
+        let token = DeviceToken {
+            device_id: self.device_id,
+            nonce: self.nonce_counter,
+            current_version: if self.supports_differential {
+                self.installed_version
+            } else {
+                Version(0)
+            },
+        };
+        let Some(prepared) = env.server.prepare_update(&token) else {
+            return PollOutcome::AlreadyCurrent;
+        };
+        let wire_bytes = prepared.image.to_bytes().len() as u64;
+        let signed = &prepared.image.signed_manifest;
+        let manifest = signed.manifest;
+
+        // Freshness: a re-offer of a version we already run is stale
+        // (non-differential devices advertise version 0 and see these).
+        if manifest.version <= self.installed_version {
+            return PollOutcome::Rejected;
+        }
+        if env.verify_signatures
+            && signed
+                .verify_with_keys(&env.vendor_key, &env.server_key)
+                .is_err()
+        {
+            return PollOutcome::Rejected;
+        }
+
+        let firmware = if manifest.old_version.0 == 0 {
+            prepared.image.payload.clone()
+        } else {
+            // Only v1 is ever a differential base in this campaign.
+            assert_eq!(manifest.old_version, Version(1), "unexpected patch base");
+            let Ok(patch_stream) = decompress(&prepared.image.payload) else {
+                return PollOutcome::Rejected;
+            };
+            let Ok(firmware) = upkit_delta::patch(env.base_image, &patch_stream) else {
+                return PollOutcome::Rejected;
+            };
+            firmware
+        };
+        if sha256(&firmware) != manifest.digest || firmware.len() as u32 != manifest.size {
+            return PollOutcome::Rejected;
+        }
+
+        self.installed_version = manifest.version;
+        PollOutcome::Updated {
+            to: manifest.version,
+            wire_bytes,
+        }
+    }
+}
+
+/// One device of a sharded fleet.
+enum FleetDevice {
+    Faithful(Box<SimDevice>),
+    Lite(LiteDevice),
+}
+
+impl FleetDevice {
+    fn installed_version(&self) -> Version {
+        match self {
+            Self::Faithful(device) => device.installed_version(),
+            Self::Lite(device) => device.installed_version,
+        }
+    }
+
+    fn poll(&mut self, env: &FleetEnv<'_>) -> PollOutcome {
+        match self {
+            Self::Faithful(device) => device.poll(env.server).expect("healthy fleet"),
+            Self::Lite(device) => device.poll(env),
+        }
+    }
+}
+
+/// An independent slice of the fleet with its own RNG stream.
+struct Shard {
+    rng: StdRng,
+    devices: Vec<FleetDevice>,
+    per_round: usize,
+}
+
+impl Shard {
+    fn converged(&self) -> bool {
+        self.devices
+            .iter()
+            .all(|d| d.installed_version() >= Version(2))
+    }
+
+    /// One polling round over this shard — the same sampling-without-
+    /// replacement loop as the sequential simulator, restricted to the
+    /// shard's devices and driven by the shard's own RNG.
+    fn run_round(&mut self, env: &FleetEnv<'_>) -> RoundStats {
+        let mut wire_bytes = 0u64;
+        let mut indices: Vec<usize> = (0..self.devices.len()).collect();
+        for _ in 0..self.per_round {
+            if indices.is_empty() {
+                break;
+            }
+            let pick = self.rng.random_range(0..indices.len());
+            let device = &mut self.devices[indices.swap_remove(pick)];
+            match device.poll(env) {
+                PollOutcome::Updated { wire_bytes: b, .. } => wire_bytes += b,
+                PollOutcome::AlreadyCurrent => {}
+                PollOutcome::Rejected => {
+                    assert!(
+                        device.installed_version() >= Version(2),
+                        "pending device rejected an honest update"
+                    );
+                }
+            }
+        }
+        RoundStats {
+            updated: self
+                .devices
+                .iter()
+                .filter(|d| d.installed_version() >= Version(2))
+                .count() as u32,
+            wire_bytes,
+        }
+    }
+}
+
+/// Runs a v1→v2 rollout split into shards executed across threads.
+///
+/// Determinism: each shard's RNG stream is fixed by `(seed, shard index)`
+/// alone, shards never share mutable state, and per-round statistics are
+/// aggregated by order-independent sums — so the report is a pure function
+/// of the configuration, whatever `threads` is. A single-shard run draws
+/// from the same stream as [`run_rollout`] and reproduces its report
+/// exactly (covered by tests).
+///
+/// # Panics
+///
+/// Panics if the campaign fails to converge within 10× the expected
+/// rounds, like [`run_rollout`].
+#[must_use]
+pub fn run_rollout_sharded(config: &ShardedFleetConfig) -> FleetReport {
+    let fleet = &config.fleet;
+    let mut rng = StdRng::seed_from_u64(fleet.seed);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+
+    let generator = FirmwareGenerator::new(fleet.seed ^ 0xF00D);
+    let v1 = generator.base(fleet.firmware_size);
+    let v2 = generator.os_version_change(&v1);
+    server.publish(vendor.release(v1.clone(), Version(1), LINK_OFFSET, APP_ID));
+
+    let device_count = fleet.devices as usize;
+    let shard_count = (config.shards.max(1) as usize).min(device_count.max(1));
+    let threads = config.threads.max(1).min(shard_count);
+
+    // Contiguous device ranges per shard; device IDs match the sequential
+    // simulator's (0x1000 + global index).
+    let base_len = device_count / shard_count;
+    let remainder = device_count % shard_count;
+    let mut starts = Vec::with_capacity(shard_count + 1);
+    let mut cursor = 0usize;
+    for index in 0..shard_count {
+        starts.push(cursor);
+        cursor += base_len + usize::from(index < remainder);
+    }
+    starts.push(device_count);
+
+    // Per-shard RNG streams. A single shard *is* the sequential fleet, so
+    // it continues the master stream (key generation already consumed
+    // from it) and reproduces `run_rollout` exactly; multiple shards get
+    // independent streams derived from the fleet seed and the shard index.
+    let mut shard_rngs: Vec<StdRng> = if shard_count == 1 {
+        vec![rng]
+    } else {
+        (0..shard_count)
+            .map(|index| {
+                StdRng::seed_from_u64(
+                    fleet
+                        .seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1)),
+                )
+            })
+            .collect()
+    };
+
+    // Provision shard by shard, in parallel: provisioning is per-device
+    // deterministic (no RNG), so threading cannot change the outcome.
+    let mut shards: Vec<Shard> = crossbeam::thread::scope(|scope| {
+        let server = &server;
+        let vendor = &vendor;
+        let v1 = &v1;
+        let mut handles = Vec::with_capacity(shard_count);
+        for index in 0..shard_count {
+            let rng = shard_rngs.pop().expect("one rng per shard");
+            // `shard_rngs` is drained back-to-front; build back-to-front
+            // too so shard `index` keeps its own stream.
+            let index = shard_count - 1 - index;
+            let (start, end) = (starts[index], starts[index + 1]);
+            let model = config.device_model;
+            let differential = fleet.differential;
+            let poll_fraction = fleet.poll_fraction;
+            handles.push(scope.spawn(move |_| {
+                let devices: Vec<FleetDevice> = (start..end)
+                    .map(|i| {
+                        let device_id = 0x1000 + i as u32;
+                        match model {
+                            DeviceModel::Faithful => {
+                                FleetDevice::Faithful(Box::new(SimDevice::provision_with_options(
+                                    device_id,
+                                    v1,
+                                    vendor,
+                                    server,
+                                    differential,
+                                )))
+                            }
+                            DeviceModel::Lite => {
+                                FleetDevice::Lite(LiteDevice::provision(device_id, differential))
+                            }
+                        }
+                    })
+                    .collect();
+                let per_round = (((end - start) as f64 * poll_fraction).ceil() as usize).max(1);
+                (
+                    index,
+                    Shard {
+                        rng,
+                        devices,
+                        per_round,
+                    },
+                )
+            }));
+        }
+        let mut shards: Vec<(usize, Shard)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("provisioning worker"))
+            .collect();
+        shards.sort_by_key(|(index, _)| *index);
+        shards.into_iter().map(|(_, shard)| shard).collect()
+    })
+    .expect("provisioning workers do not panic");
+
+    server.publish(vendor.release(v2, Version(2), LINK_OFFSET, APP_ID));
+
+    let env = FleetEnv {
+        server: &server,
+        vendor_key: vendor.verifying_key(),
+        server_key: server.verifying_key(),
+        base_image: &v1,
+        verify_signatures: config.verify_signatures,
+    };
+
+    let max_rounds = shards
+        .iter()
+        .map(|s| (s.devices.len() / s.per_round + 2) * 10)
+        .max()
+        .unwrap_or(10);
+    let chunk = shard_count.div_ceil(threads);
+    let mut rounds = Vec::new();
+    let mut total_wire_bytes = 0u64;
+
+    while shards.iter().any(|s| !s.converged()) {
+        assert!(
+            rounds.len() < max_rounds,
+            "rollout failed to converge after {} rounds",
+            rounds.len()
+        );
+        let stats: Vec<RoundStats> = crossbeam::thread::scope(|scope| {
+            let env = &env;
+            let handles: Vec<_> = shards
+                .chunks_mut(chunk)
+                .map(|group| {
+                    scope.spawn(move |_| {
+                        group
+                            .iter_mut()
+                            .map(|shard| shard.run_round(env))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard worker"))
+                .collect()
+        })
+        .expect("shard workers do not panic");
+
+        let wire_bytes: u64 = stats.iter().map(|s| s.wire_bytes).sum();
+        total_wire_bytes += wire_bytes;
+        rounds.push(RoundStats {
+            updated: stats.iter().map(|s| s.updated).sum(),
+            wire_bytes,
+        });
+    }
+
+    FleetReport {
+        rounds,
+        total_wire_bytes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,5 +598,94 @@ mod tests {
         let b = run_rollout(&config);
         assert_eq!(a.total_wire_bytes, b.total_wire_bytes);
         assert_eq!(a.rounds_to_converge(), b.rounds_to_converge());
+    }
+
+    #[test]
+    fn single_shard_reproduces_sequential_rollout_exactly() {
+        let fleet = FleetConfig {
+            devices: 12,
+            poll_fraction: 0.4,
+            firmware_size: 6_000,
+            differential: true,
+            seed: 702,
+        };
+        let sequential = run_rollout(&fleet);
+        let sharded = run_rollout_sharded(&ShardedFleetConfig {
+            fleet,
+            shards: 1,
+            threads: 1,
+            device_model: DeviceModel::Faithful,
+            verify_signatures: true,
+        });
+        assert_eq!(sequential, sharded);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_sharded_results() {
+        let base = ShardedFleetConfig {
+            fleet: FleetConfig {
+                devices: 18,
+                poll_fraction: 0.5,
+                firmware_size: 5_000,
+                differential: true,
+                seed: 703,
+            },
+            shards: 3,
+            threads: 1,
+            device_model: DeviceModel::Lite,
+            verify_signatures: true,
+        };
+        let reference = run_rollout_sharded(&base);
+        for threads in [2usize, 3, 8] {
+            let report = run_rollout_sharded(&ShardedFleetConfig { threads, ..base });
+            assert_eq!(reference, report, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn lite_devices_match_faithful_devices() {
+        // Same shards, same RNG streams: only the device implementation
+        // differs, and the reports must still agree — the lite model
+        // follows the identical token/verify/patch protocol.
+        let base = ShardedFleetConfig {
+            fleet: FleetConfig {
+                devices: 10,
+                poll_fraction: 0.5,
+                firmware_size: 6_000,
+                differential: true,
+                seed: 704,
+            },
+            shards: 2,
+            threads: 2,
+            device_model: DeviceModel::Faithful,
+            verify_signatures: true,
+        };
+        let faithful = run_rollout_sharded(&base);
+        let lite = run_rollout_sharded(&ShardedFleetConfig {
+            device_model: DeviceModel::Lite,
+            ..base
+        });
+        assert_eq!(faithful, lite);
+    }
+
+    #[test]
+    fn lite_non_differential_fleet_converges() {
+        let report = run_rollout_sharded(&ShardedFleetConfig {
+            fleet: FleetConfig {
+                devices: 30,
+                poll_fraction: 0.3,
+                firmware_size: 4_000,
+                differential: false,
+                seed: 705,
+            },
+            shards: 4,
+            threads: 2,
+            device_model: DeviceModel::Lite,
+            verify_signatures: true,
+        });
+        assert_eq!(report.rounds.last().unwrap().updated, 30);
+        for pair in report.rounds.windows(2) {
+            assert!(pair[1].updated >= pair[0].updated, "adoption regressed");
+        }
     }
 }

@@ -25,21 +25,23 @@
 
 pub mod device;
 pub mod failure;
+pub mod firmware;
 pub mod fleet;
 pub mod lifetime;
-pub mod firmware;
 pub mod platform;
 pub mod scenario;
 
 pub use device::{PollOutcome, SimDevice};
 pub use failure::{run_power_loss_scenario, PowerLossReport};
-pub use fleet::{run_rollout, FleetConfig, FleetReport};
-pub use lifetime::{run_lifetime, LifetimeMode, LifetimeReport};
 pub use firmware::FirmwareGenerator;
+pub use fleet::{
+    run_rollout, run_rollout_sharded, DeviceModel, FleetConfig, FleetReport, ShardedFleetConfig,
+};
+pub use lifetime::{run_lifetime, LifetimeMode, LifetimeReport};
 pub use platform::{EnergyModel, PlatformProfile};
 pub use scenario::{
-    run_scenario, Approach, CryptoChoice, PhaseBreakdown, ScenarioConfig, ScenarioResult,
-    SlotMode, UpdateKind,
+    run_scenario, Approach, CryptoChoice, PhaseBreakdown, ScenarioConfig, ScenarioResult, SlotMode,
+    UpdateKind,
 };
 
 #[cfg(test)]
@@ -58,7 +60,10 @@ mod tests {
         assert!(p.propagation_micros > p.loading_micros);
         assert!(p.loading_micros > p.verification_micros);
         let verif_frac = p.verification_micros as f64 / p.total_micros() as f64;
-        assert!((0.002..0.05).contains(&verif_frac), "verification {verif_frac:.4}");
+        assert!(
+            (0.002..0.05).contains(&verif_frac),
+            "verification {verif_frac:.4}"
+        );
     }
 
     #[test]
@@ -102,9 +107,12 @@ mod tests {
         cfg.slot_mode = SlotMode::AB;
         let ab_run = run_scenario(&cfg);
         // Fig. 8c: ~92 % loading reduction.
-        let reduction = 1.0
-            - ab_run.phases.loading_micros as f64 / static_run.phases.loading_micros as f64;
-        assert!((0.80..0.99).contains(&reduction), "reduction {reduction:.3}");
+        let reduction =
+            1.0 - ab_run.phases.loading_micros as f64 / static_run.phases.loading_micros as f64;
+        assert!(
+            (0.80..0.99).contains(&reduction),
+            "reduction {reduction:.3}"
+        );
     }
 
     #[test]
@@ -148,7 +156,11 @@ mod tests {
             seed: 0xCC26,
         };
         let result = run_scenario(&cfg);
-        assert!(matches!(result.outcome, SessionOutcome::Complete), "{:?}", result.outcome);
+        assert!(
+            matches!(result.outcome, SessionOutcome::Complete),
+            "{:?}",
+            result.outcome
+        );
         assert_eq!(result.running_version, Some(upkit_manifest::Version(2)));
         // Loading copies the image from external staging to internal.
         assert!(matches!(
@@ -170,7 +182,11 @@ mod tests {
             seed: 0x2538,
         };
         let result = run_scenario(&cfg);
-        assert!(matches!(result.outcome, SessionOutcome::Complete), "{:?}", result.outcome);
+        assert!(
+            matches!(result.outcome, SessionOutcome::Complete),
+            "{:?}",
+            result.outcome
+        );
     }
 
     #[test]

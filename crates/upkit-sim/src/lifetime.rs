@@ -84,7 +84,14 @@ pub fn run_lifetime(mode: LifetimeMode, updates: u32, seed: u64) -> LifetimeRepo
 
     let generator = FirmwareGenerator::new(seed ^ 0x11FE);
     let mut current_fw = generator.base(6_000);
-    install(&mut layout, &vendor, &server, &current_fw, 1, standard::SLOT_A);
+    install(
+        &mut layout,
+        &vendor,
+        &server,
+        &current_fw,
+        1,
+        standard::SLOT_A,
+    );
 
     let mut agent = UpdateAgent::new(
         backend.clone(),
@@ -124,12 +131,7 @@ pub fn run_lifetime(mode: LifetimeMode, updates: u32, seed: u64) -> LifetimeRepo
     for version in 2..=updates + 1 {
         let version = version as u16;
         let new_fw = generator.app_change(&current_fw, 200 + usize::from(version % 7));
-        server.publish(vendor.release(
-            new_fw.clone(),
-            Version(version),
-            LINK_OFFSET,
-            APP_ID,
-        ));
+        server.publish(vendor.release(new_fw.clone(), Version(version), LINK_OFFSET, APP_ID));
 
         let target: SlotId = match mode {
             LifetimeMode::AB => {

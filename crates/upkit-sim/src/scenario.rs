@@ -179,10 +179,7 @@ fn flash_micros(layout: &mut MemoryLayout) -> u64 {
     let mut total = 0u64;
     let mut i = 0;
     while let Some(geometry) = layout.device_geometry(i) {
-        let stats = layout
-            .device_mut(i)
-            .expect("device exists")
-            .stats();
+        let stats = layout.device_mut(i).expect("device exists").stats();
         total += stats.bytes_written * geometry.write_micros_per_byte
             + stats.sectors_erased * geometry.erase_micros_per_sector;
         i += 1;
@@ -295,7 +292,15 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
                 None => Smartphone::new(),
             };
             (
-                run_push_session(&server, &mut phone, &mut agent, &mut layout, plan, nonce, &link),
+                run_push_session(
+                    &server,
+                    &mut phone,
+                    &mut agent,
+                    &mut layout,
+                    plan,
+                    nonce,
+                    &link,
+                ),
                 link,
             )
         }
@@ -306,7 +311,15 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
                 None => BorderRouter::new(),
             };
             (
-                run_pull_session(&server, &router, &mut agent, &mut layout, plan, nonce, &link),
+                run_pull_session(
+                    &server,
+                    &router,
+                    &mut agent,
+                    &mut layout,
+                    plan,
+                    nonce,
+                    &link,
+                ),
                 link,
             )
         }

@@ -83,7 +83,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// Decodes lowercase/uppercase hex (whitespace tolerated at the ends).
 pub fn from_hex(text: &str) -> Result<Vec<u8>, ToolError> {
     let text = text.trim();
-    if text.len() % 2 != 0 {
+    if !text.len().is_multiple_of(2) {
         return Err(ToolError::BadFormat("odd-length hex string".into()));
     }
     (0..text.len() / 2)
@@ -240,11 +240,19 @@ pub fn inspect_image(image_path: &Path) -> Result<String, ToolError> {
     let _ = writeln!(out, "update image: {} bytes", bytes.len());
     let _ = writeln!(out, "  device id:    {:#010x}", m.device_id);
     let _ = writeln!(out, "  nonce:        {:#010x}", m.nonce);
-    let _ = writeln!(out, "  version:      {} (old: {})", m.version, m.old_version);
+    let _ = writeln!(
+        out,
+        "  version:      {} (old: {})",
+        m.version, m.old_version
+    );
     let _ = writeln!(
         out,
         "  kind:         {}",
-        if m.is_differential() { "differential" } else { "full image" }
+        if m.is_differential() {
+            "differential"
+        } else {
+            "full image"
+        }
     );
     let _ = writeln!(out, "  firmware:     {} bytes", m.size);
     let _ = writeln!(out, "  payload:      {} bytes", m.payload_size);
@@ -277,8 +285,9 @@ pub fn verify_image(
     let m = image.signed_manifest.manifest;
     let firmware = if m.is_differential() {
         let Some(base_path) = base_firmware_path else {
-            return Ok("signatures OK (differential payload: supply --base to check the digest)"
-                .into());
+            return Ok(
+                "signatures OK (differential payload: supply --base to check the digest)".into(),
+            );
         };
         let base = read(base_path)?;
         let raw_patch = decompress(&image.payload)
@@ -332,7 +341,10 @@ mod tests {
 
     #[test]
     fn hex_round_trip() {
-        assert_eq!(from_hex(&to_hex(&[0, 1, 0xAB, 0xFF])).unwrap(), vec![0, 1, 0xAB, 0xFF]);
+        assert_eq!(
+            from_hex(&to_hex(&[0, 1, 0xAB, 0xFF])).unwrap(),
+            vec![0, 1, 0xAB, 0xFF]
+        );
         assert!(from_hex("abc").is_err());
         assert!(from_hex("zz").is_err());
         assert_eq!(from_hex("  0a0b \n").unwrap(), vec![0x0A, 0x0B]);
@@ -401,8 +413,24 @@ mod tests {
         fs::write(dir.path("v1.bin"), &v1).unwrap();
         fs::write(dir.path("v2.bin"), &v2).unwrap();
 
-        make_release(&dir.path("v1.bin"), 1, 0, 0xA, &dir.path("vendor.key"), &dir.path("r1.bin")).unwrap();
-        make_release(&dir.path("v2.bin"), 2, 0, 0xA, &dir.path("vendor.key"), &dir.path("r2.bin")).unwrap();
+        make_release(
+            &dir.path("v1.bin"),
+            1,
+            0,
+            0xA,
+            &dir.path("vendor.key"),
+            &dir.path("r1.bin"),
+        )
+        .unwrap();
+        make_release(
+            &dir.path("v2.bin"),
+            2,
+            0,
+            0xA,
+            &dir.path("vendor.key"),
+            &dir.path("r2.bin"),
+        )
+        .unwrap();
 
         let kind = prepare_update(
             &dir.path("r2.bin"),
@@ -442,11 +470,32 @@ mod tests {
         keygen(&dir.path("server")).unwrap();
         keygen(&dir.path("other")).unwrap();
         fs::write(dir.path("fw.bin"), vec![1u8; 1000]).unwrap();
-        make_release(&dir.path("fw.bin"), 2, 0, 1, &dir.path("vendor.key"), &dir.path("r.bin")).unwrap();
-        prepare_update(&dir.path("r.bin"), &dir.path("server.key"), 1, 1, None, &dir.path("u.img")).unwrap();
+        make_release(
+            &dir.path("fw.bin"),
+            2,
+            0,
+            1,
+            &dir.path("vendor.key"),
+            &dir.path("r.bin"),
+        )
+        .unwrap();
+        prepare_update(
+            &dir.path("r.bin"),
+            &dir.path("server.key"),
+            1,
+            1,
+            None,
+            &dir.path("u.img"),
+        )
+        .unwrap();
 
         assert!(matches!(
-            verify_image(&dir.path("u.img"), &dir.path("other.pub"), &dir.path("server.pub"), None),
+            verify_image(
+                &dir.path("u.img"),
+                &dir.path("other.pub"),
+                &dir.path("server.pub"),
+                None
+            ),
             Err(ToolError::VerifyFailed(_))
         ));
 
@@ -455,7 +504,12 @@ mod tests {
         tampered[len - 1] ^= 1;
         fs::write(dir.path("t.img"), &tampered).unwrap();
         assert!(matches!(
-            verify_image(&dir.path("t.img"), &dir.path("vendor.pub"), &dir.path("server.pub"), None),
+            verify_image(
+                &dir.path("t.img"),
+                &dir.path("vendor.pub"),
+                &dir.path("server.pub"),
+                None
+            ),
             Err(ToolError::VerifyFailed(_))
         ));
     }
@@ -466,8 +520,24 @@ mod tests {
         keygen(&dir.path("vendor")).unwrap();
         keygen(&dir.path("server")).unwrap();
         fs::write(dir.path("fw.bin"), vec![3u8; 256]).unwrap();
-        make_release(&dir.path("fw.bin"), 4, 0x20, 9, &dir.path("vendor.key"), &dir.path("r.bin")).unwrap();
-        prepare_update(&dir.path("r.bin"), &dir.path("server.key"), 5, 6, None, &dir.path("u.img")).unwrap();
+        make_release(
+            &dir.path("fw.bin"),
+            4,
+            0x20,
+            9,
+            &dir.path("vendor.key"),
+            &dir.path("r.bin"),
+        )
+        .unwrap();
+        prepare_update(
+            &dir.path("r.bin"),
+            &dir.path("server.key"),
+            5,
+            6,
+            None,
+            &dir.path("u.img"),
+        )
+        .unwrap();
 
         let size = suit_export(&dir.path("u.img"), &dir.path("m.suit")).unwrap();
         assert!(size > 0);

@@ -204,36 +204,65 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
 
         std::fs::write(dir.join("fw.bin"), vec![7u8; 2000]).unwrap();
-        run(&["keygen".into(), "--prefix".into(), path_of(&dir.join("vendor"))]).unwrap();
-        run(&["keygen".into(), "--prefix".into(), path_of(&dir.join("server"))]).unwrap();
+        run(&[
+            "keygen".into(),
+            "--prefix".into(),
+            path_of(&dir.join("vendor")),
+        ])
+        .unwrap();
+        run(&[
+            "keygen".into(),
+            "--prefix".into(),
+            path_of(&dir.join("server")),
+        ])
+        .unwrap();
         run(&[
             "release".into(),
-            "--firmware".into(), path_of(&dir.join("fw.bin")),
-            "--version".into(), "2".into(),
-            "--link-offset".into(), "0x100".into(),
-            "--app-id".into(), "0xA".into(),
-            "--vendor-key".into(), path_of(&dir.join("vendor.key")),
-            "--out".into(), path_of(&dir.join("release.bin")),
+            "--firmware".into(),
+            path_of(&dir.join("fw.bin")),
+            "--version".into(),
+            "2".into(),
+            "--link-offset".into(),
+            "0x100".into(),
+            "--app-id".into(),
+            "0xA".into(),
+            "--vendor-key".into(),
+            path_of(&dir.join("vendor.key")),
+            "--out".into(),
+            path_of(&dir.join("release.bin")),
         ])
         .unwrap();
         run(&[
             "prepare".into(),
-            "--release".into(), path_of(&dir.join("release.bin")),
-            "--server-key".into(), path_of(&dir.join("server.key")),
-            "--device-id".into(), "0xD1".into(),
-            "--nonce".into(), "42".into(),
-            "--out".into(), path_of(&dir.join("update.img")),
+            "--release".into(),
+            path_of(&dir.join("release.bin")),
+            "--server-key".into(),
+            path_of(&dir.join("server.key")),
+            "--device-id".into(),
+            "0xD1".into(),
+            "--nonce".into(),
+            "42".into(),
+            "--out".into(),
+            path_of(&dir.join("update.img")),
         ])
         .unwrap();
         let verdict = run(&[
             "verify".into(),
-            "--image".into(), path_of(&dir.join("update.img")),
-            "--vendor-pub".into(), path_of(&dir.join("vendor.pub")),
-            "--server-pub".into(), path_of(&dir.join("server.pub")),
+            "--image".into(),
+            path_of(&dir.join("update.img")),
+            "--vendor-pub".into(),
+            path_of(&dir.join("vendor.pub")),
+            "--server-pub".into(),
+            path_of(&dir.join("server.pub")),
         ])
         .unwrap();
         assert!(verdict.contains("digest OK"), "{verdict}");
-        let dump = run(&["inspect".into(), "--image".into(), path_of(&dir.join("update.img"))]).unwrap();
+        let dump = run(&[
+            "inspect".into(),
+            "--image".into(),
+            path_of(&dir.join("update.img")),
+        ])
+        .unwrap();
         assert!(dump.contains("full image"));
 
         let _ = std::fs::remove_dir_all(&dir);

@@ -70,8 +70,14 @@ fn main() {
     println!("\npipeline applied the patch on the fly:");
     println!("  wire bytes in:        {}", wire.len());
     println!("  firmware bytes out:   {produced}");
-    println!("  flash bytes written:  {} (= firmware only, no patch staging)", stats.bytes_written);
-    println!("  flash sectors erased: {} (destination pre-erased once)", stats.sectors_erased);
+    println!(
+        "  flash bytes written:  {} (= firmware only, no patch staging)",
+        stats.bytes_written
+    );
+    println!(
+        "  flash sectors erased: {} (destination pre-erased once)",
+        stats.sectors_erased
+    );
 
     let mut reconstructed = vec![0u8; v2.len()];
     layout

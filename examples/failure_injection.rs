@@ -23,7 +23,11 @@ fn main() {
         };
         println!(
             "  cut after {cut:>7} flash bytes: session {} → {state}",
-            if report.session_interrupted { "interrupted" } else { "finished" },
+            if report.session_interrupted {
+                "interrupted"
+            } else {
+                "finished"
+            },
         );
         assert!(report.booted_version.is_some(), "device must never brick");
     }
@@ -45,7 +49,11 @@ fn main() {
     }
     println!(
         "  forged image with recomputed CRC: {}",
-        if accepted { "ACCEPTED (the hole UpKit closes)" } else { "rejected" }
+        if accepted {
+            "ACCEPTED (the hole UpKit closes)"
+        } else {
+            "rejected"
+        }
     );
     assert!(accepted);
     println!("  the same image fails UpKit's double-signature check in the agent");

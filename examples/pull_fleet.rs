@@ -47,7 +47,7 @@ fn main() {
     let fleet: Vec<(u32, u16, bool, Vec<u8>)> = vec![
         (0x1001, 1, true, v1.clone()),
         (0x1002, 2, true, v2.clone()),
-        (0x1003, 3, true, v3.clone()), // already current
+        (0x1003, 3, true, v3.clone()),  // already current
         (0x1004, 1, false, v1.clone()), // cannot patch: full image
     ];
 
@@ -61,7 +61,10 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("device thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("device thread"))
+            .collect()
     })
     .expect("fleet scope");
 

@@ -71,7 +71,13 @@ fn main() {
     let mut dev = device(anchors);
     let mut phone = Smartphone::new();
     let report = run_push_session(
-        &server, &mut phone, &mut dev.agent, &mut dev.layout, plan(), 100, &link,
+        &server,
+        &mut phone,
+        &mut dev.agent,
+        &mut dev.layout,
+        plan(),
+        100,
+        &link,
     );
     println!(
         "honest phone: {:?}, {} bytes over BLE in {:.1} s of radio time",
@@ -85,20 +91,35 @@ fn main() {
     let mut dev = device(anchors);
     let mut evil_phone = Smartphone::compromised(Tamper::FlipBit { offset: 25 });
     let report = run_push_session(
-        &server, &mut evil_phone, &mut dev.agent, &mut dev.layout, plan(), 101, &link,
+        &server,
+        &mut evil_phone,
+        &mut dev.agent,
+        &mut dev.layout,
+        plan(),
+        101,
+        &link,
     );
     println!(
         "tampering phone: {:?} after only {} bytes — the firmware never left the phone",
         describe(&report.outcome),
         report.accounting.bytes_to_device
     );
-    assert!(matches!(report.outcome, SessionOutcome::RejectedAtManifest(_)));
+    assert!(matches!(
+        report.outcome,
+        SessionOutcome::RejectedAtManifest(_)
+    ));
 
     // --- Replaying smartphone: old image for a new request ------------------
     let mut dev = device(anchors);
     let mut honest = Smartphone::new();
     let first = run_push_session(
-        &server, &mut honest, &mut dev.agent, &mut dev.layout, plan(), 102, &link,
+        &server,
+        &mut honest,
+        &mut dev.agent,
+        &mut dev.layout,
+        plan(),
+        102,
+        &link,
     );
     assert!(first.outcome.is_complete());
     let captured = honest.stored().expect("fetched").image.to_bytes();
@@ -106,13 +127,22 @@ fn main() {
     let mut dev = device(anchors);
     let mut replayer = Smartphone::compromised(Tamper::Replay(captured));
     let report = run_push_session(
-        &server, &mut replayer, &mut dev.agent, &mut dev.layout, plan(), 103, &link,
+        &server,
+        &mut replayer,
+        &mut dev.agent,
+        &mut dev.layout,
+        plan(),
+        103,
+        &link,
     );
     println!(
         "replaying phone: {:?} — the update server's signature binds the nonce",
         describe(&report.outcome)
     );
-    assert!(matches!(report.outcome, SessionOutcome::RejectedAtManifest(_)));
+    assert!(matches!(
+        report.outcome,
+        SessionOutcome::RejectedAtManifest(_)
+    ));
 
     println!("\nthe proxy is passive: it can disturb, but never forge, an update");
 }

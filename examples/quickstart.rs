@@ -30,7 +30,10 @@ fn main() {
     let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
     let firmware_v2 = vec![0xC0; 24 * 1024];
     server.publish(vendor.release(firmware_v2.clone(), Version(2), 0x100, 0xA));
-    println!("vendor released firmware v2 ({} bytes), published to update server", firmware_v2.len());
+    println!(
+        "vendor released firmware v2 ({} bytes), published to update server",
+        firmware_v2.len()
+    );
 
     // --- Device: flash, agent, bootloader ------------------------------
     let slot_size = 4096 * 16;
@@ -64,7 +67,10 @@ fn main() {
     let token = agent
         .request_device_token(&mut layout, plan, 0xBEEF)
         .expect("agent was idle");
-    println!("device token: id={:#x} nonce={:#x}", token.device_id, token.nonce);
+    println!(
+        "device token: id={:#x} nonce={:#x}",
+        token.device_id, token.nonce
+    );
 
     let prepared = server.prepare_update(&token).expect("newer release exists");
     println!(

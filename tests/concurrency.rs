@@ -24,7 +24,6 @@ fn software_backend_verifies_concurrently() {
         for t in 0..8 {
             let backend = Arc::clone(&backend);
             let key = key.clone();
-            let sec1 = sec1;
             scope.spawn(move |_| {
                 for i in 0..4 {
                     let message = format!("thread {t} message {i}");

@@ -59,7 +59,12 @@ fn device(w: &World, key: Option<[u8; 32]>) -> (MemoryLayout, UpdateAgent) {
     (layout, agent)
 }
 
-fn run_update(w: &World, layout: &mut MemoryLayout, agent: &mut UpdateAgent, nonce: u32) -> Result<AgentPhase, upkit::core::agent::AgentError> {
+fn run_update(
+    w: &World,
+    layout: &mut MemoryLayout,
+    agent: &mut UpdateAgent,
+    nonce: u32,
+) -> Result<AgentPhase, upkit::core::agent::AgentError> {
     let plan = UpdatePlan {
         target_slot: standard::SLOT_B,
         current_slot: standard::SLOT_A,
@@ -81,9 +86,14 @@ fn run_update(w: &World, layout: &mut MemoryLayout, agent: &mut UpdateAgent, non
 fn encrypted_update_round_trips() {
     let w = world(1, true);
     let (mut layout, mut agent) = device(&w, Some(KEY));
-    assert_eq!(run_update(&w, &mut layout, &mut agent, 10).unwrap(), AgentPhase::Complete);
+    assert_eq!(
+        run_update(&w, &mut layout, &mut agent, 10).unwrap(),
+        AgentPhase::Complete
+    );
     let mut stored = vec![0u8; w.firmware.len()];
-    layout.read_slot(standard::SLOT_B, FIRMWARE_OFFSET, &mut stored).unwrap();
+    layout
+        .read_slot(standard::SLOT_B, FIRMWARE_OFFSET, &mut stored)
+        .unwrap();
     assert_eq!(stored, w.firmware, "decrypted firmware matches the release");
 }
 
@@ -110,7 +120,10 @@ fn wire_payload_is_ciphertext() {
         .count();
     // Statistically ~1/256 of bytes collide; anything near the plaintext
     // would indicate a broken keystream.
-    assert!(matching < w.firmware.len() / 64, "{matching} matching bytes");
+    assert!(
+        matching < w.firmware.len() / 64,
+        "{matching} matching bytes"
+    );
 }
 
 #[test]
@@ -139,9 +152,7 @@ fn wrong_content_key_rejected_before_reboot() {
     let err = run_update(&w, &mut layout, &mut agent, 11).unwrap_err();
     assert!(matches!(
         err,
-        upkit::core::agent::AgentError::Verify(
-            upkit::core::verifier::VerifyError::DigestMismatch
-        )
+        upkit::core::agent::AgentError::Verify(upkit::core::verifier::VerifyError::DigestMismatch)
     ));
 }
 
@@ -154,9 +165,7 @@ fn plaintext_update_to_encrypting_device_rejected() {
     let err = run_update(&w, &mut layout, &mut agent, 12).unwrap_err();
     assert!(matches!(
         err,
-        upkit::core::agent::AgentError::Verify(
-            upkit::core::verifier::VerifyError::DigestMismatch
-        )
+        upkit::core::agent::AgentError::Verify(upkit::core::verifier::VerifyError::DigestMismatch)
     ));
 }
 
@@ -179,7 +188,9 @@ fn encrypted_differential_update_round_trips() {
     let (mut layout, mut agent) = device(&w, Some(KEY));
     // Install v1 as the patch base.
     layout.erase_slot(standard::SLOT_A).unwrap();
-    layout.write_slot(standard::SLOT_A, FIRMWARE_OFFSET, &v1).unwrap();
+    layout
+        .write_slot(standard::SLOT_A, FIRMWARE_OFFSET, &v1)
+        .unwrap();
 
     let plan = UpdatePlan {
         target_slot: standard::SLOT_B,
@@ -192,7 +203,10 @@ fn encrypted_differential_update_round_trips() {
     let token = agent.request_device_token(&mut layout, plan, 13).unwrap();
     let prepared = w.server.prepare_update(&token).unwrap();
     assert!(
-        matches!(prepared.kind, upkit::core::generation::ServedKind::Differential { .. }),
+        matches!(
+            prepared.kind,
+            upkit::core::generation::ServedKind::Differential { .. }
+        ),
         "expected a delta"
     );
     let mut last = AgentPhase::NeedMore;
@@ -201,6 +215,8 @@ fn encrypted_differential_update_round_trips() {
     }
     assert_eq!(last, AgentPhase::Complete);
     let mut stored = vec![0u8; v2.len()];
-    layout.read_slot(standard::SLOT_B, FIRMWARE_OFFSET, &mut stored).unwrap();
+    layout
+        .read_slot(standard::SLOT_B, FIRMWARE_OFFSET, &mut stored)
+        .unwrap();
     assert_eq!(stored, v2);
 }

@@ -4,9 +4,7 @@
 
 use upkit::manifest::Version;
 
-use upkit::sim::{
-    run_scenario, Approach, CryptoChoice, ScenarioConfig, SlotMode, UpdateKind,
-};
+use upkit::sim::{run_scenario, Approach, CryptoChoice, ScenarioConfig, SlotMode, UpdateKind};
 
 fn base_config() -> ScenarioConfig {
     let mut cfg = ScenarioConfig::fig8a(Approach::Push);
@@ -18,8 +16,16 @@ fn base_config() -> ScenarioConfig {
 fn full_matrix_of_configurations_completes() {
     let mut failures = Vec::new();
     for approach in [Approach::Push, Approach::Pull] {
-        for slot_mode in [SlotMode::AB, SlotMode::Static { swap: true }, SlotMode::Static { swap: false }] {
-            for crypto in [CryptoChoice::TinyCrypt, CryptoChoice::TinyDtls, CryptoChoice::Hsm] {
+        for slot_mode in [
+            SlotMode::AB,
+            SlotMode::Static { swap: true },
+            SlotMode::Static { swap: false },
+        ] {
+            for crypto in [
+                CryptoChoice::TinyCrypt,
+                CryptoChoice::TinyDtls,
+                CryptoChoice::Hsm,
+            ] {
                 for kind in [
                     UpdateKind::Full,
                     UpdateKind::DiffOsChange,
@@ -32,8 +38,8 @@ fn full_matrix_of_configurations_completes() {
                     cfg.update_kind = kind;
                     cfg.seed = 1000;
                     let result = run_scenario(&cfg);
-                    let ok = result.outcome.is_complete()
-                        && result.running_version == Some(Version(2));
+                    let ok =
+                        result.outcome.is_complete() && result.running_version == Some(Version(2));
                     if !ok {
                         failures.push(format!(
                             "{approach:?}/{slot_mode:?}/{crypto:?}/{kind:?}: {:?} -> {:?}",
@@ -44,7 +50,11 @@ fn full_matrix_of_configurations_completes() {
             }
         }
     }
-    assert!(failures.is_empty(), "failed configurations:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "failed configurations:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

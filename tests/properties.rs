@@ -525,3 +525,113 @@ proptest! {
         prop_assert_eq!(parsed, p);
     }
 }
+
+// --- Delta engine: suffix-array constructions and context reuse -----------------
+
+proptest! {
+    #[test]
+    fn sais_equals_prefix_doubling_on_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        use upkit::delta::suffix::SuffixArray;
+        let sais = SuffixArray::build_sais(&data);
+        let doubling = SuffixArray::build_prefix_doubling(&data);
+        prop_assert_eq!(sais.offsets(), doubling.offsets());
+    }
+
+    #[test]
+    fn sais_equals_prefix_doubling_on_repetitive_inputs(
+        data in proptest::collection::vec(0u8..4, 0..1024),
+    ) {
+        // Tiny alphabets maximize LMS-substring collisions, forcing the
+        // SA-IS recursion that random bytes almost never exercise.
+        use upkit::delta::suffix::SuffixArray;
+        let sais = SuffixArray::build_sais(&data);
+        let doubling = SuffixArray::build_prefix_doubling(&data);
+        prop_assert_eq!(sais.offsets(), doubling.offsets());
+    }
+
+    #[test]
+    fn delta_context_diff_equals_plain_diff(
+        old in proptest::collection::vec(any::<u8>(), 0..2048),
+        new in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        use upkit::delta::{DeltaContext, SuffixAlgorithm};
+        let plain = diff(&old, &new);
+        let context = DeltaContext::new(&old);
+        prop_assert_eq!(&context.diff(&old, &new), &plain);
+        let doubling = DeltaContext::with_algorithm(&old, SuffixAlgorithm::PrefixDoubling);
+        prop_assert_eq!(&doubling.diff(&old, &new), &plain);
+        prop_assert_eq!(patch(&old, &plain).unwrap(), new);
+    }
+}
+
+// --- Parallel generation: byte-identical to sequential for every profile --------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn parallel_generation_matches_sequential_for_every_os_profile(
+        seed in any::<u64>(),
+        change in 64usize..512,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use upkit::core::generation::{UpdateServer, VendorServer};
+        use upkit::core::ParallelGenerator;
+        use upkit::crypto::ecdsa::SigningKey;
+        use upkit::sim::{FirmwareGenerator, PlatformProfile};
+
+        for (index, profile) in PlatformProfile::all().into_iter().enumerate() {
+            let index = index as u64;
+            let mut rng = StdRng::seed_from_u64(seed ^ (0xA11 + index));
+            let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+            let server_key = SigningKey::generate(&mut rng);
+
+            // Firmware sized per board so each profile diffs a different image.
+            let firmware_size = 4096 + 1024 * index as usize;
+            let generator = FirmwareGenerator::new(seed ^ index);
+            let base = generator.base(firmware_size);
+            let v1 = vendor.release(base.clone(), Version(1), 0, 0xF1);
+            let v2 = vendor.release(
+                generator.app_change(&base, change),
+                Version(2),
+                0,
+                0xF1,
+            );
+
+            let mut sequential_server = UpdateServer::new(server_key.clone());
+            sequential_server.publish(v1.clone());
+            sequential_server.publish(v2.clone());
+            let mut parallel_server = UpdateServer::new(server_key.clone());
+            parallel_server.publish(v1);
+            parallel_server.publish(v2);
+
+            let tokens: Vec<DeviceToken> = (0..4u32)
+                .map(|device| DeviceToken {
+                    device_id: 0x4000 + device,
+                    nonce: (seed as u32 ^ device).wrapping_mul(0x9E37_79B9) | 1,
+                    // Device 3 advertises no installed version: full update path.
+                    current_version: Version(u16::from(device != 3)),
+                })
+                .collect();
+
+            let sequential: Vec<Vec<u8>> = tokens
+                .iter()
+                .map(|token| {
+                    sequential_server
+                        .prepare_update(token)
+                        .expect("campaign serves all")
+                        .image
+                        .to_bytes()
+                })
+                .collect();
+            let parallel: Vec<Vec<u8>> = ParallelGenerator::with_threads(&parallel_server, 4)
+                .prepare_updates(&tokens)
+                .into_iter()
+                .map(|p| p.expect("campaign serves all").image.to_bytes())
+                .collect();
+            prop_assert_eq!(&parallel, &sequential, "profile {}", profile.name);
+        }
+    }
+}

@@ -13,7 +13,9 @@ use upkit::core::keys::{KeyAnchor, TrustAnchors};
 use upkit::core::verifier::VerifyError;
 use upkit::crypto::backend::TinyCryptBackend;
 use upkit::crypto::ecdsa::SigningKey;
-use upkit::flash::{configuration_a, configuration_b, standard, FlashGeometry, MemoryLayout, SimFlash};
+use upkit::flash::{
+    configuration_a, configuration_b, standard, FlashGeometry, MemoryLayout, SimFlash,
+};
 use upkit::manifest::{DeviceToken, Version};
 
 const SLOT_SIZE: u32 = 4096 * 12;
@@ -69,7 +71,11 @@ fn plan(installed: u16) -> UpdatePlan {
     }
 }
 
-fn feed(agent: &mut UpdateAgent, layout: &mut MemoryLayout, bytes: &[u8]) -> Result<AgentPhase, AgentError> {
+fn feed(
+    agent: &mut UpdateAgent,
+    layout: &mut MemoryLayout,
+    bytes: &[u8],
+) -> Result<AgentPhase, AgentError> {
     let mut last = AgentPhase::NeedMore;
     for chunk in bytes.chunks(244) {
         last = agent.push_data(layout, chunk)?;
@@ -94,7 +100,9 @@ fn replay_rejected_by_upkit_accepted_by_mcumgr() {
 
     // UpKit: a new request (nonce 200) rejects the captured image.
     let (mut layout, mut agent) = fresh_device(&w);
-    agent.request_device_token(&mut layout, plan(1), 200).unwrap();
+    agent
+        .request_device_token(&mut layout, plan(1), 200)
+        .unwrap();
     let err = feed(&mut agent, &mut layout, &captured).unwrap_err();
     assert!(matches!(err, AgentError::Verify(VerifyError::WrongNonce)));
 
@@ -159,7 +167,9 @@ fn downgrade_rejected_by_upkit_accepted_by_mcuboot() {
     );
     assert_eq!(
         mcuboot.boot(&mut layout).unwrap(),
-        McubootOutcome::SwappedNewImage { version: Version(2) },
+        McubootOutcome::SwappedNewImage {
+            version: Version(2)
+        },
         "mcuboot installed the downgrade"
     );
 }
@@ -179,7 +189,9 @@ fn cross_device_image_rejected() {
         .image
         .to_bytes();
     let (mut layout, mut agent) = fresh_device(&w);
-    agent.request_device_token(&mut layout, plan(1), 50).unwrap();
+    agent
+        .request_device_token(&mut layout, plan(1), 50)
+        .unwrap();
     let err = feed(&mut agent, &mut layout, &foreign).unwrap_err();
     assert!(matches!(err, AgentError::Verify(VerifyError::WrongDevice)));
 }
@@ -229,7 +241,9 @@ fn fully_forged_image_rejected_even_with_valid_structure() {
         .image
         .to_bytes();
     let (mut layout, mut agent) = fresh_device(&legit);
-    agent.request_device_token(&mut layout, plan(1), 77).unwrap();
+    agent
+        .request_device_token(&mut layout, plan(1), 77)
+        .unwrap();
     let err = feed(&mut agent, &mut layout, &forged).unwrap_err();
     assert!(matches!(
         err,
@@ -268,7 +282,9 @@ fn compromised_update_server_cannot_forge_firmware() {
     };
 
     let (mut layout, mut agent) = fresh_device(&w);
-    agent.request_device_token(&mut layout, plan(1), 11).unwrap();
+    agent
+        .request_device_token(&mut layout, plan(1), 11)
+        .unwrap();
     let err = feed(&mut agent, &mut layout, &evil.to_bytes()).unwrap_err();
     assert!(matches!(
         err,
@@ -306,7 +322,9 @@ fn compromised_vendor_key_alone_cannot_satisfy_freshness() {
     };
 
     let (mut layout, mut agent) = fresh_device(&w);
-    agent.request_device_token(&mut layout, plan(1), 501).unwrap();
+    agent
+        .request_device_token(&mut layout, plan(1), 501)
+        .unwrap();
     let err = feed(&mut agent, &mut layout, &evil.to_bytes()).unwrap_err();
     assert!(matches!(
         err,
@@ -334,16 +352,21 @@ fn bit_flip_anywhere_in_stream_is_caught() {
         let mut tampered = image.clone();
         tampered[offset] ^= 0x01;
         let (mut layout, mut agent) = fresh_device(&w);
-        agent.request_device_token(&mut layout, plan(1), 31).unwrap();
+        agent
+            .request_device_token(&mut layout, plan(1), 31)
+            .unwrap();
         let result = feed(&mut agent, &mut layout, &tampered);
-        assert!(
-            result.is_err(),
-            "bit flip at offset {offset} was accepted"
-        );
+        assert!(result.is_err(), "bit flip at offset {offset} was accepted");
     }
 }
 
-fn install_raw(layout: &mut MemoryLayout, slot: upkit::flash::SlotId, w: &World, version: u16, fw: &[u8]) {
+fn install_raw(
+    layout: &mut MemoryLayout,
+    slot: upkit::flash::SlotId,
+    w: &World,
+    version: u16,
+    fw: &[u8],
+) {
     use upkit::crypto::sha256::sha256;
     use upkit::manifest::{Manifest, SignedManifest};
     let manifest = Manifest {

@@ -22,9 +22,7 @@ use upkit::crypto::backend::TinyCryptBackend;
 use upkit::crypto::ecdsa::SigningKey;
 use upkit::crypto::sha256::sha256;
 use upkit::flash::layout::configuration_a_with_recovery;
-use upkit::flash::{
-    configuration_b, standard, FlashGeometry, MemoryLayout, SimFlash, SlotId,
-};
+use upkit::flash::{configuration_b, standard, FlashGeometry, MemoryLayout, SimFlash, SlotId};
 use upkit::manifest::{Manifest, SignedManifest, Version};
 
 const SLOT_SIZE: u32 = 4096 * 4;
@@ -157,7 +155,9 @@ fn recovery_slot_saves_the_interrupted_swap() {
     let _ = boot.boot(&mut layout); // interrupted mid-swap
 
     layout.device_mut(0).unwrap().disarm_power_cut();
-    let outcome = boot.boot(&mut layout).expect("recovery must save the device");
+    let outcome = boot
+        .boot(&mut layout)
+        .expect("recovery must save the device");
     assert_eq!(outcome.action, BootAction::RestoredFromRecovery);
     assert_eq!(outcome.version, Version(1));
 }
@@ -190,7 +190,9 @@ fn ab_mode_loading_has_no_swap_to_interrupt() {
         },
         None,
     );
-    let outcome = boot.boot(&mut layout).expect("A/B boot needs no flash writes");
+    let outcome = boot
+        .boot(&mut layout)
+        .expect("A/B boot needs no flash writes");
     assert_eq!(outcome.version, Version(2));
     assert_eq!(outcome.action, BootAction::JumpedInPlace);
 }

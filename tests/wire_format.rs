@@ -38,15 +38,15 @@ fn manifest_golden_bytes() {
     };
     let expected = format!(
         "{}{}{}{}{}{}{}{}{}",
-        "01020304",                 // device_id LE
-        "05060708",                 // nonce LE
-        "090a",                     // old_version LE
-        "0b0c",                     // version LE
-        "0d0e0f10",                 // size LE
-        "11121314",                 // payload_size LE
-        "d5".repeat(32),            // digest
-        "15161718",                 // link_offset LE
-        "191a1b1c",                 // app_id LE
+        "01020304",      // device_id LE
+        "05060708",      // nonce LE
+        "090a",          // old_version LE
+        "0b0c",          // version LE
+        "0d0e0f10",      // size LE
+        "11121314",      // payload_size LE
+        "d5".repeat(32), // digest
+        "15161718",      // link_offset LE
+        "191a1b1c",      // app_id LE
     );
     assert_eq!(hex(&manifest.to_bytes()), expected);
 }
@@ -58,7 +58,10 @@ fn device_token_golden_bytes() {
         nonce: 0x88776655,
         current_version: Version(0xBBAA),
     };
-    assert_eq!(hex(&token.to_bytes()), "11223344556677".to_owned() + "88aabb");
+    assert_eq!(
+        hex(&token.to_bytes()),
+        "11223344556677".to_owned() + "88aabb"
+    );
 }
 
 #[test]
@@ -88,12 +91,12 @@ fn bsdiff_patch_golden_bytes() {
         hex(&delta),
         format!(
             "{}{}{}{}{}{}",
-            "42534431",   // "BSD1"
-            "04000000",   // old len
-            "04000000",   // new len
-            "04000000",   // diff len
-            "00000000",   // extra len
-            "fcffffff" .to_owned() + "00000000" // seek -4 LE + 4 zero deltas
+            "42534431",                         // "BSD1"
+            "04000000",                         // old len
+            "04000000",                         // new len
+            "04000000",                         // diff len
+            "00000000",                         // extra len
+            "fcffffff".to_owned() + "00000000"  // seek -4 LE + 4 zero deltas
         )
     );
 }

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple calibrated-timing loop instead of criterion's statistics. In
+//! test mode (`--test`, how `cargo test` invokes harness-less benches)
+//! every benchmark runs exactly once as a smoke check.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batches are sized in [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim always runs one routine call per setup call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Declares the quantity one iteration processes, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to every benchmark closure; drives the measured loop.
+pub struct Bencher<'a> {
+    smoke: bool,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    mean: Duration,
+    iters: u64,
+}
+
+const TARGET: Duration = Duration::from_millis(300);
+
+impl Bencher<'_> {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate the iteration count to roughly TARGET wall time.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        *self.result = Some(Sample {
+            mean: total / u32::try_from(iters).unwrap_or(u32::MAX),
+            iters,
+        });
+    }
+
+    /// Measures `routine` on fresh state from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        *self.result = Some(Sample {
+            mean: total / u32::try_from(iters).unwrap_or(u32::MAX),
+            iters,
+        });
+    }
+}
+
+/// The benchmark manager handed to every `criterion_group!` function.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Criterion {
+    /// Entry point used by [`criterion_main!`]; detects `--test` smoke mode.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Self { smoke }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let mut result = None;
+        let mut bencher = Bencher {
+            smoke: self.smoke,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        report(name, result, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration quantity for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let mut result = None;
+        let mut bencher = Bencher {
+            smoke: self.parent.smoke,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{name}", self.name), result, self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+fn report(name: &str, sample: Option<Sample>, throughput: Option<Throughput>) {
+    let Some(sample) = sample else {
+        println!("{name:<40} smoke-run ok");
+        return;
+    };
+    let nanos = sample.mean.as_nanos().max(1);
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            let mbps = (b as f64 / 1e6) / (nanos as f64 / 1e9);
+            format!("  {mbps:>8.1} MB/s")
+        }
+        Some(Throughput::Elements(e)) => {
+            let eps = e as f64 / (nanos as f64 / 1e9);
+            format!("  {eps:>8.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} {:>12.3} ms/iter over {} iters{rate}",
+        nanos as f64 / 1e6,
+        sample.iters
+    );
+}
+
+/// Groups benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { smoke: true };
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "smoke mode runs the routine exactly once");
+    }
+
+    #[test]
+    fn groups_run_batched_benches() {
+        let mut c = Criterion { smoke: true };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(10)).sample_size(10);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

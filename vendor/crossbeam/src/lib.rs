@@ -1,0 +1,75 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; since Rust
+//! 1.63 the standard library provides scoped threads, so the shim wraps
+//! [`std::thread::scope`] in crossbeam's signature (closures receive the
+//! scope, `scope` returns a `Result`).
+
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    /// Error type of [`scope`] (a child thread's panic payload).
+    pub type ScopeError = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// Unlike crossbeam, a panicking child propagates the panic at join
+    /// instead of returning `Err` — equivalent for test assertions.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    /// A handle for spawning borrowed-data threads.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread; the closure receives the scope again so it can
+        /// spawn nested work (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicU32::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .expect("threads join");
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let flag = AtomicU32::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| flag.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(flag.load(Ordering::Relaxed), 1);
+    }
+}

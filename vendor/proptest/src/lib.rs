@@ -1,0 +1,469 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! [`proptest!`] macro, `prop_assert*`, [`prop_oneof!`], [`strategy::Just`],
+//! `any::<T>()`, integer-range strategies, tuple strategies,
+//! [`collection::vec`], and [`array::uniform4`]/[`array::uniform32`].
+//!
+//! Each test runs `ProptestConfig::cases` random cases from a fixed
+//! per-case seed, so failures are reproducible run-to-run. There is no
+//! shrinking: on failure the offending inputs are printed verbatim.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Strategy combinators and core types.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type (used by
+    /// [`crate::prop_oneof!`]).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies of one value type.
+    pub struct OneOf<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds the choice; `options` must be non-empty.
+        #[must_use]
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.index(self.options.len());
+            self.options[pick].generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+use strategy::Strategy;
+
+/// The RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+
+    /// Next raw 64 random bits.
+    pub fn bits(&mut self) -> u64 {
+        use rand::Rng;
+        self.0.next_u64()
+    }
+
+    /// Uniform index into a collection of length `len` (> 0).
+    pub fn index(&mut self, len: usize) -> usize {
+        self.0.random_range(0..len)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// A strategy over the whole domain of `Self`.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy over every value of a primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.bits() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        (u128::from(rng.bits()) << 64) | u128::from(rng.bits())
+    }
+}
+
+impl Arbitrary for u128 {
+    type Strategy = AnyPrimitive<u128>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(core::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bits() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(core::marker::PhantomData)
+    }
+}
+
+/// A strategy over every value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.bits() % span) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = ((hi - lo) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Whole-domain range of a 64-bit type.
+                    return rng.bits() as $t;
+                }
+                lo + (rng.bits() % span) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX - self.start) as u64;
+                if span == u64::MAX {
+                    return rng.bits() as $t;
+                }
+                self.start + (rng.bits() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{strategy::Strategy, TestRng};
+
+    /// A strategy for `Vec<T>` with uniformly drawn length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Vectors of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + if span == 0 { 0 } else { rng.index(span) };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use super::{strategy::Strategy, TestRng};
+
+    /// An `[T; N]` strategy from one element strategy.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    /// Arrays of 4 elements drawn from `element`.
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+        UniformArray(element)
+    }
+
+    /// Arrays of 32 elements drawn from `element`.
+    pub fn uniform32<S: Strategy>(element: S) -> UniformArray<S, 32> {
+        UniformArray(element)
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Runs `body` for every case, printing the inputs on panic (no
+/// shrinking). Used by the [`proptest!`] expansion; not public API.
+#[doc(hidden)]
+pub fn run_cases<F: FnMut(&mut TestRng, u32)>(config: &ProptestConfig, name: &str, mut body: F) {
+    for case in 0..config.cases {
+        // Fixed seed schedule: reproducible without persistence files.
+        let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            name_hash = (name_hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        let mut rng = TestRng::new(name_hash ^ (u64::from(case) << 32) ^ 0x5eed);
+        body(&mut rng, case);
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `ProptestConfig::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    { #![proptest_config($cfg:expr)] $($rest:tt)* } => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    { $($rest:tt)* } => {
+        $crate::__proptest_fns!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    { ($cfg:expr) $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block $($rest:tt)* } => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_cases(&config, stringify!($name), |rng, case| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                let formatted = ::std::format!(
+                    concat!("case {} of ", stringify!($name), ":", $(concat!("\n  ", stringify!($arg), " = {:?}"),)+),
+                    case, $(&$arg),+
+                );
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                    $(let $arg = $arg;)+
+                    $body
+                }));
+                if let ::std::result::Result::Err(panic) = result {
+                    ::std::eprintln!("proptest failure in {}", formatted);
+                    ::std::panic::resume_unwind(panic);
+                }
+            });
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    { ($cfg:expr) } => {};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($s:expr),+ $(,)? ) => {
+        $crate::strategy::OneOf::new(vec![ $( $crate::strategy::boxed($s) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u8..=13, w in 5usize..9, x in 1u64..) {
+            prop_assert!((10..=13).contains(&v));
+            prop_assert!((5..9).contains(&w));
+            prop_assert!(x >= 1);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(data in crate::collection::vec(any::<u8>(), 2..7)) {
+            prop_assert!((2..7).contains(&data.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn oneof_map_and_just_compose(
+            v in prop_oneof![
+                any::<u8>().prop_map(usize::from),
+                Just(999usize),
+                (0usize..4).prop_map(|x| x * 2),
+            ],
+        ) {
+            prop_assert!(v <= 999);
+        }
+
+        #[test]
+        fn arrays_and_tuples(
+            quad in crate::array::uniform4(any::<u64>()),
+            pair in (any::<u16>(), crate::collection::vec(any::<u8>(), 1..4)),
+        ) {
+            prop_assert_eq!(quad.len(), 4);
+            prop_assert!(!pair.1.is_empty());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(5), "det", |rng, _| {
+            first.push(rng.bits());
+        });
+        let mut second = Vec::new();
+        crate::run_cases(&ProptestConfig::with_cases(5), "det", |rng, _| {
+            second.push(rng.bits());
+        });
+        assert_eq!(first, second);
+    }
+}

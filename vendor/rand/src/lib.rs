@@ -1,0 +1,204 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *exact* API surface it consumes: [`rngs::StdRng`], the
+//! [`SeedableRng`]/[`Rng`]/[`RngExt`] traits, and the process-entropy
+//! constructor [`rng()`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic for equal seeds, statistically solid, and
+//! fast; it makes no attempt to be byte-compatible with upstream `rand`.
+
+#![warn(missing_docs)]
+
+/// Concrete generators.
+pub mod rngs {
+    /// The workspace's standard deterministic PRNG (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    fn next(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the full state, the
+        // initialization the xoshiro authors recommend.
+        let mut x = state;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Core random-value generation.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// Types a uniform range can be sampled for (helper for
+/// [`RngExt::random_range`]).
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)`; `low < high` is the caller's
+    /// obligation.
+    fn sample(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); the modulo bias
+                // is < 2^-64 per draw, irrelevant for simulation use.
+                let hi = ((u128::from(rng()) * u128::from(span)) >> 64) as u64;
+                low.wrapping_add(hi as Self)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods (kept in an extension trait so callers can
+/// import it separately, mirroring how the workspace was written).
+pub trait RngExt: Rng {
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform + PartialOrd>(&mut self, range: core::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample from an empty range");
+        let mut draw = || self.next_u64();
+        T::sample(&mut draw, range.start, range.end)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Returns a generator seeded from process entropy (time ⊕ a fresh heap
+/// address); for reproducible streams use [`SeedableRng::seed_from_u64`].
+pub fn rng() -> StdRng {
+    let time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let marker = Box::new(0u8);
+    let addr = core::ptr::from_ref(&*marker) as u64;
+    StdRng::seed_from_u64(time ^ addr.rotate_left(32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_every_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in 0..40 {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 16 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds_and_hits_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = rng.random_range(0usize..7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.random_range(10u8..12);
+            assert!((10..12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn generate_through_mut_ref() {
+        fn take<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        take(&mut rng);
+    }
+}
