@@ -14,6 +14,10 @@
 //! * [`sparrow`] — CRC-only integrity, the Sparrow/Deluge class of
 //!   systems; demonstrates why checksums are not security.
 //!
+//! [`session`] adapts the mcumgr and LwM2M agents onto `upkit-net`'s
+//! resumable session state machines, so baseline and UpKit updates run
+//! under identical link, loss, and retry models.
+//!
 //! The flash/RAM *footprints* of these systems for Fig. 7 are modeled in
 //! `upkit-footprint` (they come from the paper's measurements); this crate
 //! models their *behaviour*.
@@ -24,9 +28,11 @@ pub mod crc;
 pub mod lwm2m;
 pub mod mcuboot;
 pub mod mcumgr;
+pub mod session;
 pub mod sparrow;
 
 pub use lwm2m::{Lwm2mAgent, Lwm2mError};
 pub use mcuboot::{McubootBootloader, McubootConfig, McubootError, McubootOutcome};
 pub use mcumgr::{McumgrAgent, McumgrError};
+pub use session::{Lwm2mEndpoints, McumgrEndpoints};
 pub use sparrow::{SparrowAgent, SparrowError};

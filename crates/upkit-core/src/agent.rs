@@ -113,7 +113,7 @@ pub enum AgentPhase {
 }
 
 /// Errors produced by the agent FSM.
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum AgentError {
     /// An operation was invalid in the current state.

@@ -96,7 +96,7 @@ impl BufferedWriter {
         let spec = layout.slot(dst)?;
         let capacity = layout
             .device_geometry(spec.device)
-            .expect("registered device")
+            .ok_or(PipelineError::Flash(LayoutError::InvalidSpec))?
             .sector_size as usize;
         Ok(Self {
             dst,

@@ -6,46 +6,26 @@
 //! the session into time and energy. The drivers stop the moment the agent
 //! rejects something — that early termination is precisely the byte/energy
 //! saving UpKit's agent-side verification buys.
+//!
+//! Since the session refactor these are thin step-until-done wrappers over
+//! the resumable [`crate::session`] machinery; the original monolithic
+//! loops survive as `#[doc(hidden)]` reference implementations so the
+//! equivalence proptests can assert charge-for-charge identical
+//! [`SessionReport`]s.
 
-use upkit_core::agent::{AgentError, AgentPhase, UpdateAgent, UpdatePlan};
+use upkit_core::agent::{AgentPhase, UpdateAgent, UpdatePlan};
 use upkit_core::generation::UpdateServer;
 use upkit_flash::MemoryLayout;
 use upkit_manifest::DEVICE_TOKEN_LEN;
 
+use crate::lossy::LossyLink;
 use crate::profiles::{LinkProfile, TransferAccounting};
 use crate::proxy::{BorderRouter, Smartphone};
+use crate::session::{
+    PullEndpoints, PullSession, PushEndpoints, PushSession, RetryPolicy, Transport,
+};
 
-/// Outcome of a propagation session.
-#[derive(Debug)]
-pub struct SessionReport {
-    /// How the session ended.
-    pub outcome: SessionOutcome,
-    /// Radio accounting for the whole session.
-    pub accounting: TransferAccounting,
-}
-
-/// Terminal state of a propagation session.
-#[derive(Debug)]
-pub enum SessionOutcome {
-    /// The update was fully transferred and verified; reboot may proceed.
-    Complete,
-    /// The server had no newer image for this device.
-    NoUpdateAvailable,
-    /// The agent rejected the manifest before any firmware transfer.
-    RejectedAtManifest(AgentError),
-    /// The agent rejected the firmware after transfer, before reboot.
-    RejectedAtFirmware(AgentError),
-    /// The stream ended prematurely (proxy truncation / link drop).
-    Incomplete,
-}
-
-impl SessionOutcome {
-    /// `true` only for a fully verified update.
-    #[must_use]
-    pub fn is_complete(&self) -> bool {
-        matches!(self, Self::Complete)
-    }
-}
+pub use crate::session::{SessionOutcome, SessionReport};
 
 /// Drives a complete **push** update (Fig. 2's smartphone flow) over a
 /// BLE-like link.
@@ -53,7 +33,50 @@ impl SessionOutcome {
 /// Sequence: token request/response → phone fetches from server → phone
 /// pushes manifest → agent verifies (early-rejection point) → phone pushes
 /// payload → agent verifies firmware.
+///
+/// Equivalent to stepping a [`PushSession`] over a reliable link to
+/// completion.
 pub fn run_push_session(
+    server: &UpdateServer,
+    phone: &mut Smartphone,
+    agent: &mut UpdateAgent,
+    layout: &mut MemoryLayout,
+    plan: UpdatePlan,
+    nonce: u32,
+    link: &LinkProfile,
+) -> SessionReport {
+    let mut session = PushSession::new(LossyLink::reliable(*link), RetryPolicy::for_link(link), 0);
+    let mut endpoints = PushEndpoints::new(server, phone, agent, layout, plan, nonce);
+    session.run_to_completion(&mut endpoints)
+}
+
+/// Drives a complete **pull** update over a CoAP-blockwise-like link with a
+/// border router in the path.
+///
+/// The device initiates everything: it sends its token with the request and
+/// fetches the image block by block, each block a confirmed round trip.
+///
+/// Equivalent to stepping a [`PullSession`] over a reliable link to
+/// completion.
+pub fn run_pull_session(
+    server: &UpdateServer,
+    router: &BorderRouter,
+    agent: &mut UpdateAgent,
+    layout: &mut MemoryLayout,
+    plan: UpdatePlan,
+    nonce: u32,
+    link: &LinkProfile,
+) -> SessionReport {
+    let mut session = PullSession::new(LossyLink::reliable(*link), RetryPolicy::for_link(link), 0);
+    let mut endpoints = PullEndpoints::new(server, router, agent, layout, plan, nonce);
+    session.run_to_completion(&mut endpoints)
+}
+
+/// Pre-refactor monolithic push loop, kept verbatim (modulo the
+/// `ProxyEmpty` typed error replacing an `expect`) as the reference the
+/// stepped [`PushSession`] is proven equivalent to.
+#[doc(hidden)]
+pub fn reference_push_session(
     server: &UpdateServer,
     phone: &mut Smartphone,
     agent: &mut UpdateAgent,
@@ -87,7 +110,12 @@ pub fn run_push_session(
     }
 
     // Steps 8–9: manifest over BLE, verified on arrival.
-    let manifest_bytes = phone.outgoing_manifest().expect("fetched");
+    let Some(manifest_bytes) = phone.outgoing_manifest() else {
+        return SessionReport {
+            outcome: SessionOutcome::ProxyEmpty,
+            accounting: acc,
+        };
+    };
     let mut rejected_at_manifest = true;
     for chunk in manifest_bytes.chunks(link.mtu) {
         acc.charge_to_device(link, chunk.len() as u64);
@@ -116,7 +144,12 @@ pub fn run_push_session(
     acc.charge_round_trip(link);
 
     // Steps 12–14: payload over BLE, digest-verified at the end.
-    let payload = phone.outgoing_payload().expect("fetched");
+    let Some(payload) = phone.outgoing_payload() else {
+        return SessionReport {
+            outcome: SessionOutcome::ProxyEmpty,
+            accounting: acc,
+        };
+    };
     let mut last_phase = AgentPhase::NeedMore;
     for chunk in payload.chunks(link.mtu) {
         acc.charge_to_device(link, chunk.len() as u64);
@@ -141,12 +174,10 @@ pub fn run_push_session(
     }
 }
 
-/// Drives a complete **pull** update over a CoAP-blockwise-like link with a
-/// border router in the path.
-///
-/// The device initiates everything: it sends its token with the request and
-/// fetches the image block by block, each block a confirmed round trip.
-pub fn run_pull_session(
+/// Pre-refactor monolithic pull loop, kept verbatim as the reference the
+/// stepped [`PullSession`] is proven equivalent to.
+#[doc(hidden)]
+pub fn reference_pull_session(
     server: &UpdateServer,
     router: &BorderRouter,
     agent: &mut UpdateAgent,
@@ -238,7 +269,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::sync::Arc;
-    use upkit_core::agent::AgentConfig;
+    use upkit_core::agent::{AgentConfig, AgentError};
     use upkit_core::generation::VendorServer;
     use upkit_core::image::FIRMWARE_OFFSET;
     use upkit_core::keys::TrustAnchors;
@@ -527,5 +558,31 @@ mod tests {
             .read_slot(standard::SLOT_B, FIRMWARE_OFFSET, &mut stored)
             .unwrap();
         assert_eq!(stored, v2);
+    }
+
+    #[test]
+    fn wrapper_equals_reference_on_an_honest_push() {
+        let mut w1 = world(160, vec![0x5A; 30_000]);
+        let mut w2 = world(160, vec![0x5A; 30_000]);
+        let link = LinkProfile::ble_gatt();
+        let wrapped = run_push_session(
+            &w1.server,
+            &mut Smartphone::new(),
+            &mut w1.agent,
+            &mut w1.layout,
+            plan(),
+            60,
+            &link,
+        );
+        let reference = reference_push_session(
+            &w2.server,
+            &mut Smartphone::new(),
+            &mut w2.agent,
+            &mut w2.layout,
+            plan(),
+            60,
+            &link,
+        );
+        assert_eq!(wrapped, reference);
     }
 }

@@ -12,10 +12,16 @@
 //!   per the paper's threat model they forward bytes but hold no keys.
 //! * [`tamper`] — the attacks a compromised proxy can mount
 //!   (corrupt/truncate/replay).
-//! * [`drivers`] — [`run_push_session`] and [`run_pull_session`], which
-//!   execute the complete Fig. 2 message sequence against a real update
-//!   agent and report byte/time accounting.
-//! * [`lossy`] — retransmission cost model for harsh-environment links.
+//! * [`session`] — the event-driven core: resumable [`PushSession`] /
+//!   [`PullSession`] state machines advancing one link event at a time via
+//!   [`Transport::step`], with per-block timeout, bounded retries, and
+//!   exponential backoff ([`RetryPolicy`]).
+//! * [`drivers`] — [`run_push_session`] and [`run_pull_session`], thin
+//!   step-until-done wrappers executing the complete Fig. 2 message
+//!   sequence against a real update agent and reporting byte/time
+//!   accounting.
+//! * [`lossy`] — seeded Bernoulli frame loss and retransmission cost
+//!   models for harsh-environment links.
 
 #![warn(missing_docs)]
 
@@ -23,10 +29,16 @@ pub mod drivers;
 pub mod lossy;
 pub mod profiles;
 pub mod proxy;
+pub mod session;
 pub mod tamper;
 
-pub use drivers::{run_pull_session, run_push_session, SessionOutcome, SessionReport};
+pub use drivers::{run_pull_session, run_push_session};
 pub use lossy::LossyLink;
 pub use profiles::{LinkProfile, TransferAccounting};
 pub use proxy::{BorderRouter, Smartphone};
+pub use session::{
+    PullEndpoints, PullSession, PushEndpoints, PushSession, RetryPolicy, SessionEndpoints,
+    SessionEvent, SessionEventKind, SessionOutcome, SessionReport, SessionStream, Step,
+    StreamResolution, Transport,
+};
 pub use tamper::Tamper;

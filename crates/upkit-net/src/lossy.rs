@@ -1,25 +1,43 @@
-//! Lossy-link modeling: retransmissions under frame loss.
+//! Lossy-link modeling: seeded Bernoulli frame loss.
 //!
 //! The paper's motivation names smart objects that "operate in harsh
 //! environmental conditions for several years" — where 802.15.4 frame
 //! loss is routine. Both of UpKit's transports are reliable at the link
 //! layer (BLE retransmits inside the connection event; CoAP confirmable
 //! messages retransmit end-to-end), so loss costs *time and energy*, never
-//! correctness. [`LossyLink`] charges that cost deterministically: every
-//! `n`-th chunk is lost once and retransmitted.
+//! correctness.
+//!
+//! [`LossyLink`] samples each transmission attempt from a seeded Bernoulli
+//! distribution. The sample for attempt `i` of stream `s` is a pure
+//! function of `(seed, s, i)` — a splitmix64 counter stream using the same
+//! per-stream derivation scheme as `run_rollout_sharded` — so loss
+//! patterns are reproducible per seed and completely independent of how
+//! many other sessions are interleaved around this one.
 
 use crate::profiles::{LinkProfile, TransferAccounting};
 
-/// A link that loses every `drop_every_nth` chunk once.
-///
-/// Deterministic by design: experiments stay reproducible, and a loss rate
-/// of `1/n` is expressed exactly rather than sampled.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: a statistically strong stateless mixer.
+#[inline]
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A link dropping each transmission attempt independently with
+/// probability `loss_rate`, sampled from a seeded counter stream.
 #[derive(Clone, Copy, Debug)]
 pub struct LossyLink {
     /// The underlying link timing.
     pub link: LinkProfile,
-    /// Every n-th chunk is lost once (`0` disables loss).
-    pub drop_every_nth: u64,
+    /// Per-attempt loss probability in `0.0..=1.0`.
+    pub loss_rate: f64,
+    /// Campaign seed the per-stream sample streams derive from.
+    pub seed: u64,
 }
 
 impl LossyLink {
@@ -28,39 +46,61 @@ impl LossyLink {
     pub fn reliable(link: LinkProfile) -> Self {
         Self {
             link,
-            drop_every_nth: 0,
+            loss_rate: 0.0,
+            seed: 0,
         }
     }
 
-    /// A link with loss rate `1/n`.
+    /// A link with seeded Bernoulli loss.
     #[must_use]
-    pub fn with_loss(link: LinkProfile, drop_every_nth: u64) -> Self {
+    pub fn bernoulli(link: LinkProfile, loss_rate: f64, seed: u64) -> Self {
         Self {
             link,
-            drop_every_nth,
+            loss_rate: loss_rate.clamp(0.0, 1.0),
+            seed,
         }
     }
 
     /// Effective loss rate.
     #[must_use]
     pub fn loss_rate(&self) -> f64 {
-        if self.drop_every_nth == 0 {
-            0.0
-        } else {
-            1.0 / self.drop_every_nth as f64
-        }
+        self.loss_rate
     }
 
-    /// Charges a transfer toward the device including retransmissions:
-    /// lost chunks are sent twice and each loss costs one retransmission
-    /// timeout (modeled as one RTT).
+    /// Whether transmission attempt `attempt` of stream `stream` is lost.
+    ///
+    /// Pure function of `(seed, stream, attempt)`: every session owns its
+    /// own `stream` identifier, so its loss pattern never depends on the
+    /// interleaving order of other sessions. The stream seed uses the same
+    /// golden-ratio derivation as `run_rollout_sharded`'s shard streams.
+    #[must_use]
+    pub fn drops(&self, stream: u64, attempt: u64) -> bool {
+        if self.loss_rate <= 0.0 {
+            return false;
+        }
+        if self.loss_rate >= 1.0 {
+            return true;
+        }
+        let stream_seed = self
+            .seed
+            .wrapping_add(GOLDEN_GAMMA.wrapping_mul(stream.wrapping_add(1)));
+        let sample = splitmix64(stream_seed.wrapping_add(GOLDEN_GAMMA.wrapping_mul(attempt)));
+        // Top 53 bits → uniform in [0, 1).
+        ((sample >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < self.loss_rate
+    }
+
+    /// Charges a transfer toward the device analytically, at the
+    /// *expected* retransmission cost: `chunks × loss_rate` chunks are
+    /// sent twice and each loss costs one retransmission timeout (modeled
+    /// as one RTT). Used by closed-form sweeps (`loss_sweep`); stepped
+    /// sessions sample [`LossyLink::drops`] per attempt instead.
     pub fn charge_to_device(&self, acc: &mut TransferAccounting, bytes: u64) {
         acc.charge_to_device(&self.link, bytes);
-        if self.drop_every_nth == 0 {
+        if self.loss_rate <= 0.0 {
             return;
         }
         let chunks = self.link.chunks_for(bytes);
-        let lost = chunks / self.drop_every_nth;
+        let lost = (chunks as f64 * self.loss_rate) as u64;
         if lost == 0 {
             return;
         }
@@ -86,6 +126,7 @@ mod tests {
         without.charge_to_device(&LinkProfile::ble_gatt(), 10_000);
         assert_eq!(with, without);
         assert_eq!(lossy.loss_rate(), 0.0);
+        assert!(!lossy.drops(0, 0));
     }
 
     #[test]
@@ -96,9 +137,9 @@ mod tests {
         LossyLink::reliable(link).charge_to_device(&mut baseline, bytes);
 
         let mut mild = TransferAccounting::default();
-        LossyLink::with_loss(link, 20).charge_to_device(&mut mild, bytes); // 5 %
+        LossyLink::bernoulli(link, 0.05, 0).charge_to_device(&mut mild, bytes);
         let mut harsh = TransferAccounting::default();
-        LossyLink::with_loss(link, 5).charge_to_device(&mut harsh, bytes); // 20 %
+        LossyLink::bernoulli(link, 0.20, 0).charge_to_device(&mut harsh, bytes);
 
         assert!(mild.elapsed_micros > baseline.elapsed_micros);
         assert!(harsh.elapsed_micros > mild.elapsed_micros);
@@ -113,8 +154,8 @@ mod tests {
     fn retransmitted_bytes_are_accounted() {
         let link = LinkProfile::ieee802154_6lowpan();
         let mut acc = TransferAccounting::default();
-        LossyLink::with_loss(link, 10).charge_to_device(&mut acc, 6400); // 100 chunks
-                                                                         // 100 chunks + 10 retransmissions.
+        LossyLink::bernoulli(link, 0.10, 0).charge_to_device(&mut acc, 6400); // 100 chunks
+                                                                              // 100 chunks + 10 retransmissions.
         assert_eq!(acc.chunks, 110);
         assert_eq!(acc.round_trips, 10);
     }
@@ -123,8 +164,48 @@ mod tests {
     fn tiny_transfers_may_see_no_loss() {
         let link = LinkProfile::ieee802154_6lowpan();
         let mut acc = TransferAccounting::default();
-        LossyLink::with_loss(link, 100).charge_to_device(&mut acc, 64); // 1 chunk
+        LossyLink::bernoulli(link, 0.01, 0).charge_to_device(&mut acc, 64); // 1 chunk
         assert_eq!(acc.chunks, 1);
         assert_eq!(acc.round_trips, 0);
+    }
+
+    #[test]
+    fn sampling_is_reproducible_and_order_independent() {
+        let link = LossyLink::bernoulli(LinkProfile::ieee802154_6lowpan(), 0.3, 42);
+        // Pure function: the same (stream, attempt) always samples the
+        // same way, in any order.
+        let forward: Vec<bool> = (0..256).map(|i| link.drops(7, i)).collect();
+        let backward: Vec<bool> = (0..256).rev().map(|i| link.drops(7, i)).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+        // Different streams and different seeds sample differently.
+        let other_stream: Vec<bool> = (0..256).map(|i| link.drops(8, i)).collect();
+        assert_ne!(forward, other_stream);
+        let reseeded = LossyLink::bernoulli(LinkProfile::ieee802154_6lowpan(), 0.3, 43);
+        let other_seed: Vec<bool> = (0..256).map(|i| reseeded.drops(7, i)).collect();
+        assert_ne!(forward, other_seed);
+    }
+
+    #[test]
+    fn empirical_loss_frequency_tracks_the_rate() {
+        for rate in [0.05f64, 0.2, 0.5] {
+            let link = LossyLink::bernoulli(LinkProfile::ble_gatt(), rate, 1234);
+            let n = 20_000u64;
+            let lost = (0..n).filter(|&i| link.drops(0, i)).count() as f64;
+            let observed = lost / n as f64;
+            assert!(
+                (observed - rate).abs() < 0.02,
+                "rate {rate}: observed {observed:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_rates_never_sample() {
+        let sure = LossyLink::bernoulli(LinkProfile::ble_gatt(), 1.0, 9);
+        let never = LossyLink::bernoulli(LinkProfile::ble_gatt(), 0.0, 9);
+        for i in 0..64 {
+            assert!(sure.drops(3, i));
+            assert!(!never.drops(3, i));
+        }
     }
 }

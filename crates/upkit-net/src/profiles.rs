@@ -107,6 +107,12 @@ impl TransferAccounting {
         self.elapsed_micros += link.rtt_micros;
     }
 
+    /// Charges radio-idle waiting time (retransmission timeouts): no bytes
+    /// or chunks move, only virtual time passes.
+    pub fn charge_wait(&mut self, micros: u64) {
+        self.elapsed_micros += micros;
+    }
+
     /// Merges another accounting record into this one.
     pub fn merge(&mut self, other: &TransferAccounting) {
         self.bytes_to_device += other.bytes_to_device;

@@ -1,0 +1,866 @@
+//! Event-driven, resumable transport sessions.
+//!
+//! The monolithic drivers of [`crate::drivers`] ran an entire Fig. 2
+//! message sequence to completion inside one function call — fine for
+//! single-device figures, structurally incapable of interleaving thousands
+//! of concurrently-updating devices. This module decomposes propagation
+//! into three pieces:
+//!
+//! * [`SessionEndpoints`] — what a session talks *to*: the device agent
+//!   plus whatever proxy path serves the update stream. One trait covers
+//!   the push proxy ([`PushEndpoints`]), the pull path
+//!   ([`PullEndpoints`]), the baseline agents, and the simulator's
+//!   lightweight fleet devices.
+//! * [`Transport`] — the session driver: [`PushSession`] / [`PullSession`]
+//!   state machines advancing one link event at a time via
+//!   [`Transport::step`]. Each step returns the event kind and its
+//!   virtual-time cost, so a scheduler can interleave any number of
+//!   sessions on a shared virtual clock.
+//! * [`RetryPolicy`] — per-block timeout, bounded retries, exponential
+//!   backoff. Loss is sampled per transmission attempt from the session's
+//!   [`LossyLink`] stream; a block that exhausts its retry budget ends the
+//!   session with [`SessionOutcome::TimedOut`].
+//!
+//! A session stepped to completion over a reliable link produces *exactly*
+//! the `SessionReport` the legacy drivers produced — charge for charge —
+//! which the equivalence and regression tests assert.
+
+use upkit_core::agent::{AgentError, AgentPhase, AgentState, UpdateAgent, UpdatePlan};
+use upkit_core::generation::UpdateServer;
+use upkit_flash::MemoryLayout;
+use upkit_manifest::{DeviceToken, DEVICE_TOKEN_LEN, SIGNED_MANIFEST_LEN};
+
+use crate::lossy::LossyLink;
+use crate::profiles::{LinkProfile, TransferAccounting};
+use crate::proxy::{BorderRouter, Smartphone};
+
+/// Terminal state of a propagation session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// The update was fully transferred and verified; reboot may proceed.
+    Complete,
+    /// The server had no newer image for this device.
+    NoUpdateAvailable,
+    /// The agent rejected the manifest before any firmware transfer.
+    RejectedAtManifest(AgentError),
+    /// The agent rejected the firmware after transfer, before reboot.
+    RejectedAtFirmware(AgentError),
+    /// The stream ended prematurely (proxy truncation / link drop).
+    Incomplete,
+    /// The proxy reported a fetched update but had no bytes to forward.
+    ProxyEmpty,
+    /// A block exhausted its retransmission budget on a lossy link.
+    TimedOut,
+}
+
+impl SessionOutcome {
+    /// `true` only for a fully verified update.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Self::Complete)
+    }
+}
+
+/// Outcome of a propagation session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionReport {
+    /// How the session ended.
+    pub outcome: SessionOutcome,
+    /// Radio accounting for the whole session.
+    pub accounting: TransferAccounting,
+}
+
+/// What one [`Transport::step`] did on the link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionEventKind {
+    /// Token request round trip plus the token upload.
+    TokenExchange,
+    /// Proxy/server stream resolution (no device-radio cost).
+    ProxyFetch,
+    /// One link chunk transmitted and delivered to the agent.
+    ChunkDelivered {
+        /// Payload bytes in the chunk.
+        bytes: usize,
+    },
+    /// One link chunk transmitted and lost; the sender waited out a
+    /// retransmission timeout before retrying.
+    ChunkLost {
+        /// Payload bytes in the lost transmission.
+        bytes: usize,
+        /// Timeout waited before the retry (exponential backoff).
+        timeout_micros: u64,
+    },
+    /// Push only: the agent's go-ahead notification after manifest
+    /// acceptance (steps 10–11 of Fig. 2).
+    GoAhead,
+}
+
+/// One advanced link event: what happened and what it cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionEvent {
+    /// The event kind.
+    pub kind: SessionEventKind,
+    /// Virtual time the event consumed, in microseconds.
+    pub cost_micros: u64,
+}
+
+/// Result of one [`Transport::step`].
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// The session advanced by one event and has more work to do.
+    Progress(SessionEvent),
+    /// The session reached a terminal state. Charges incurred during the
+    /// final event (e.g. the chunk whose rejection ended the session) are
+    /// included in the report's accounting.
+    Done(SessionReport),
+}
+
+/// Per-block timeout, bounded retries, exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retransmission attempts allowed per block after the initial one.
+    pub max_retries: u32,
+    /// Timeout before the first retransmission, in microseconds.
+    pub base_timeout_micros: u64,
+    /// Multiplier applied to the timeout after each consecutive loss.
+    pub backoff_factor: u32,
+}
+
+impl RetryPolicy {
+    /// A conservative default for `link`: first timeout at twice the RTT,
+    /// doubling per consecutive loss, up to six retries per block.
+    #[must_use]
+    pub fn for_link(link: &LinkProfile) -> Self {
+        Self {
+            max_retries: 6,
+            base_timeout_micros: 2 * link.rtt_micros,
+            backoff_factor: 2,
+        }
+    }
+
+    /// Timeout waited after a loss, given how many consecutive failed
+    /// attempts the block has already seen (0 for the first loss).
+    #[must_use]
+    pub fn timeout_after(&self, failed_attempts: u32) -> u64 {
+        let exponent = failed_attempts.min(16);
+        self.base_timeout_micros
+            .saturating_mul(u64::from(self.backoff_factor).saturating_pow(exponent))
+    }
+}
+
+/// The update stream a proxy resolved for one session: the signed manifest
+/// region followed by the payload region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionStream {
+    /// The signed-manifest bytes, transferred and verified first.
+    pub manifest: Vec<u8>,
+    /// The payload bytes, transferred after the manifest is accepted.
+    pub payload: Vec<u8>,
+}
+
+/// What the proxy path answered when asked for an update.
+#[derive(Debug)]
+pub enum StreamResolution {
+    /// The server had nothing newer.
+    NoUpdate,
+    /// The proxy claimed success but produced no bytes (a broken proxy).
+    ProxyEmpty,
+    /// The stream to transfer.
+    Stream(SessionStream),
+}
+
+/// The two parties a session mediates between: the device-side agent and
+/// the server-side stream source. Implementations exist for UpKit's push
+/// and pull paths, the mcumgr/LwM2M baselines, and the event simulator's
+/// lightweight devices.
+pub trait SessionEndpoints {
+    /// Asks the device agent for a fresh device token (steps 4–5).
+    fn request_token(&mut self) -> Result<DeviceToken, AgentError>;
+    /// Resolves the update stream for `token` (steps 6–7; proxy ↔ server
+    /// over the Internet, not charged to the device radio).
+    fn resolve_stream(&mut self, token: &DeviceToken) -> StreamResolution;
+    /// Delivers one link chunk to the device agent.
+    fn deliver(&mut self, chunk: &[u8]) -> Result<AgentPhase, AgentError>;
+}
+
+/// A resumable propagation session advancing one link event per call.
+pub trait Transport {
+    /// Advances the session by one event.
+    fn step(&mut self, endpoints: &mut dyn SessionEndpoints) -> Step;
+    /// Whether the session reached a terminal state.
+    fn is_done(&self) -> bool;
+    /// Radio accounting so far.
+    fn accounting(&self) -> &TransferAccounting;
+    /// Virtual time consumed so far, in microseconds.
+    fn virtual_elapsed_micros(&self) -> u64 {
+        self.accounting().elapsed_micros
+    }
+    /// Steps until done and returns the final report — the legacy drivers'
+    /// behaviour as a thin wrapper.
+    fn run_to_completion(&mut self, endpoints: &mut dyn SessionEndpoints) -> SessionReport {
+        loop {
+            if let Step::Done(report) = self.step(endpoints) {
+                return report;
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Flavor {
+    Push,
+    Pull,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Region {
+    Manifest,
+    Firmware,
+}
+
+impl Region {
+    fn stage(self) -> Stage {
+        match self {
+            Self::Manifest => Stage::Manifest,
+            Self::Firmware => Stage::Firmware,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Stage {
+    Token,
+    Fetch { token: DeviceToken },
+    Manifest,
+    GoAhead,
+    Firmware,
+    Finished,
+}
+
+/// The state machine shared by push and pull sessions. The two flavors
+/// differ only in their charging scheme: push charges the token round trip
+/// up front and one go-ahead round trip between manifest and payload; pull
+/// charges a confirmed round trip per block and no go-ahead.
+#[derive(Debug)]
+struct SessionCore {
+    flavor: Flavor,
+    link: LossyLink,
+    retry: RetryPolicy,
+    stream_id: u64,
+    stage: Stage,
+    stream: Option<SessionStream>,
+    cursor: usize,
+    attempts: u32,
+    tx_attempts: u64,
+    manifest_accepted: bool,
+    firmware_complete: bool,
+    acc: TransferAccounting,
+    outcome: Option<SessionOutcome>,
+}
+
+impl SessionCore {
+    fn new(flavor: Flavor, link: LossyLink, retry: RetryPolicy, stream_id: u64) -> Self {
+        Self {
+            flavor,
+            link,
+            retry,
+            stream_id,
+            stage: Stage::Token,
+            stream: None,
+            cursor: 0,
+            attempts: 0,
+            tx_attempts: 0,
+            manifest_accepted: false,
+            firmware_complete: false,
+            acc: TransferAccounting::default(),
+            outcome: None,
+        }
+    }
+
+    fn done(&mut self, outcome: SessionOutcome) -> Step {
+        self.stage = Stage::Finished;
+        self.outcome = Some(outcome.clone());
+        Step::Done(SessionReport {
+            outcome,
+            accounting: self.acc,
+        })
+    }
+
+    fn progress(&self, kind: SessionEventKind, elapsed_before: u64) -> Step {
+        Step::Progress(SessionEvent {
+            kind,
+            cost_micros: self.acc.elapsed_micros - elapsed_before,
+        })
+    }
+
+    fn step(&mut self, io: &mut dyn SessionEndpoints) -> Step {
+        let before = self.acc.elapsed_micros;
+        match std::mem::replace(&mut self.stage, Stage::Finished) {
+            Stage::Finished => {
+                let outcome = self.outcome.clone().unwrap_or(SessionOutcome::Incomplete);
+                self.done(outcome)
+            }
+            Stage::Token => {
+                // Push: the phone's token request costs a round trip even
+                // when the agent refuses. Pull: the device initiates, so a
+                // refusal costs no radio at all.
+                if self.flavor == Flavor::Push {
+                    self.acc.charge_round_trip(&self.link.link);
+                }
+                match io.request_token() {
+                    Ok(token) => {
+                        if self.flavor == Flavor::Pull {
+                            self.acc.charge_round_trip(&self.link.link);
+                        }
+                        self.acc
+                            .charge_from_device(&self.link.link, DEVICE_TOKEN_LEN as u64);
+                        self.stage = Stage::Fetch { token };
+                        self.progress(SessionEventKind::TokenExchange, before)
+                    }
+                    Err(e) => self.done(SessionOutcome::RejectedAtManifest(e)),
+                }
+            }
+            Stage::Fetch { token } => match io.resolve_stream(&token) {
+                StreamResolution::NoUpdate => self.done(SessionOutcome::NoUpdateAvailable),
+                StreamResolution::ProxyEmpty => self.done(SessionOutcome::ProxyEmpty),
+                StreamResolution::Stream(stream) => {
+                    self.stream = Some(stream);
+                    self.cursor = 0;
+                    self.stage = Stage::Manifest;
+                    self.progress(SessionEventKind::ProxyFetch, before)
+                }
+            },
+            Stage::GoAhead => {
+                self.acc.charge_round_trip(&self.link.link);
+                self.stage = Stage::Firmware;
+                self.cursor = 0;
+                self.progress(SessionEventKind::GoAhead, before)
+            }
+            Stage::Manifest => self.chunk_step(io, Region::Manifest, before),
+            Stage::Firmware => self.chunk_step(io, Region::Firmware, before),
+        }
+    }
+
+    fn chunk_step(&mut self, io: &mut dyn SessionEndpoints, region: Region, before: u64) -> Step {
+        let len = {
+            let stream = self.stream.as_ref().expect("stream resolved before chunks");
+            match region {
+                Region::Manifest => stream.manifest.len(),
+                Region::Firmware => stream.payload.len(),
+            }
+        };
+        if self.cursor >= len {
+            // Only reachable when the region is empty (truncated stream or
+            // zero-byte payload): nothing was delivered, nothing accepted.
+            return self.done(SessionOutcome::Incomplete);
+        }
+        let start = self.cursor;
+        let end = (start + self.link.link.mtu).min(len);
+        let bytes = end - start;
+
+        // Pull confirms every block with a round trip; push pipelines
+        // notifications without per-chunk round trips. Both charge the
+        // attempted transmission whether or not it arrives.
+        let attempt_index = self.tx_attempts;
+        self.tx_attempts += 1;
+        if self.flavor == Flavor::Pull {
+            self.acc.charge_round_trip(&self.link.link);
+        }
+        self.acc.charge_to_device(&self.link.link, bytes as u64);
+
+        if self.link.drops(self.stream_id, attempt_index) {
+            let timeout_micros = self.retry.timeout_after(self.attempts);
+            self.attempts += 1;
+            self.acc.charge_wait(timeout_micros);
+            if self.attempts > self.retry.max_retries {
+                return self.done(SessionOutcome::TimedOut);
+            }
+            self.stage = region.stage();
+            return self.progress(
+                SessionEventKind::ChunkLost {
+                    bytes,
+                    timeout_micros,
+                },
+                before,
+            );
+        }
+        self.attempts = 0;
+
+        let delivery = {
+            let stream = self.stream.as_ref().expect("stream resolved before chunks");
+            let chunk = match region {
+                Region::Manifest => &stream.manifest[start..end],
+                Region::Firmware => &stream.payload[start..end],
+            };
+            io.deliver(chunk)
+        };
+        let phase = match delivery {
+            Ok(phase) => phase,
+            Err(e) => {
+                return self.done(match region {
+                    Region::Manifest => SessionOutcome::RejectedAtManifest(e),
+                    Region::Firmware => SessionOutcome::RejectedAtFirmware(e),
+                });
+            }
+        };
+        self.cursor = end;
+        match region {
+            Region::Manifest => {
+                if phase == AgentPhase::ManifestAccepted {
+                    self.manifest_accepted = true;
+                }
+            }
+            Region::Firmware => self.firmware_complete = phase == AgentPhase::Complete,
+        }
+
+        if self.cursor < len {
+            self.stage = region.stage();
+            return self.progress(SessionEventKind::ChunkDelivered { bytes }, before);
+        }
+        // Region complete: transition or terminate.
+        match region {
+            Region::Manifest => {
+                if !self.manifest_accepted {
+                    // Manifest stream was too short to complete
+                    // verification.
+                    return self.done(SessionOutcome::Incomplete);
+                }
+                match self.flavor {
+                    Flavor::Push => self.stage = Stage::GoAhead,
+                    Flavor::Pull => {
+                        self.stage = Stage::Firmware;
+                        self.cursor = 0;
+                    }
+                }
+                self.progress(SessionEventKind::ChunkDelivered { bytes }, before)
+            }
+            Region::Firmware => {
+                let outcome = if self.firmware_complete {
+                    SessionOutcome::Complete
+                } else {
+                    SessionOutcome::Incomplete
+                };
+                self.done(outcome)
+            }
+        }
+    }
+}
+
+/// The push flow (Fig. 2's smartphone flow) as a resumable session.
+#[derive(Debug)]
+pub struct PushSession {
+    core: SessionCore,
+}
+
+impl PushSession {
+    /// A push session over `link`, sampling losses from the session's
+    /// `stream_id` stream and retrying per `retry`.
+    #[must_use]
+    pub fn new(link: LossyLink, retry: RetryPolicy, stream_id: u64) -> Self {
+        Self {
+            core: SessionCore::new(Flavor::Push, link, retry, stream_id),
+        }
+    }
+}
+
+impl Transport for PushSession {
+    fn step(&mut self, endpoints: &mut dyn SessionEndpoints) -> Step {
+        self.core.step(endpoints)
+    }
+    fn is_done(&self) -> bool {
+        matches!(self.core.stage, Stage::Finished)
+    }
+    fn accounting(&self) -> &TransferAccounting {
+        &self.core.acc
+    }
+}
+
+/// The pull flow (CoAP blockwise through a border router) as a resumable
+/// session.
+#[derive(Debug)]
+pub struct PullSession {
+    core: SessionCore,
+}
+
+impl PullSession {
+    /// A pull session over `link`, sampling losses from the session's
+    /// `stream_id` stream and retrying per `retry`.
+    #[must_use]
+    pub fn new(link: LossyLink, retry: RetryPolicy, stream_id: u64) -> Self {
+        Self {
+            core: SessionCore::new(Flavor::Pull, link, retry, stream_id),
+        }
+    }
+}
+
+impl Transport for PullSession {
+    fn step(&mut self, endpoints: &mut dyn SessionEndpoints) -> Step {
+        self.core.step(endpoints)
+    }
+    fn is_done(&self) -> bool {
+        matches!(self.core.stage, Stage::Finished)
+    }
+    fn accounting(&self) -> &TransferAccounting {
+        &self.core.acc
+    }
+}
+
+/// [`SessionEndpoints`] for the push flow: a real [`UpdateAgent`] behind a
+/// [`Smartphone`] proxy.
+pub struct PushEndpoints<'a> {
+    server: &'a UpdateServer,
+    phone: &'a mut Smartphone,
+    agent: &'a mut UpdateAgent,
+    layout: &'a mut MemoryLayout,
+    plan: Option<UpdatePlan>,
+    nonce: u32,
+}
+
+impl<'a> PushEndpoints<'a> {
+    /// Wires the push-path parties together for one session.
+    pub fn new(
+        server: &'a UpdateServer,
+        phone: &'a mut Smartphone,
+        agent: &'a mut UpdateAgent,
+        layout: &'a mut MemoryLayout,
+        plan: UpdatePlan,
+        nonce: u32,
+    ) -> Self {
+        Self {
+            server,
+            phone,
+            agent,
+            layout,
+            plan: Some(plan),
+            nonce,
+        }
+    }
+}
+
+impl SessionEndpoints for PushEndpoints<'_> {
+    fn request_token(&mut self) -> Result<DeviceToken, AgentError> {
+        let plan = self
+            .plan
+            .take()
+            .ok_or(AgentError::WrongState(AgentState::Waiting))?;
+        self.agent
+            .request_device_token(self.layout, plan, self.nonce)
+    }
+
+    fn resolve_stream(&mut self, token: &DeviceToken) -> StreamResolution {
+        if !self.phone.fetch_update(self.server, token) {
+            return StreamResolution::NoUpdate;
+        }
+        let Some(manifest) = self.phone.outgoing_manifest() else {
+            return StreamResolution::ProxyEmpty;
+        };
+        let Some(payload) = self.phone.outgoing_payload() else {
+            return StreamResolution::ProxyEmpty;
+        };
+        StreamResolution::Stream(SessionStream { manifest, payload })
+    }
+
+    fn deliver(&mut self, chunk: &[u8]) -> Result<AgentPhase, AgentError> {
+        self.agent.push_data(self.layout, chunk)
+    }
+}
+
+/// [`SessionEndpoints`] for the pull flow: a real [`UpdateAgent`] fetching
+/// through a [`BorderRouter`].
+pub struct PullEndpoints<'a> {
+    server: &'a UpdateServer,
+    router: &'a BorderRouter,
+    agent: &'a mut UpdateAgent,
+    layout: &'a mut MemoryLayout,
+    plan: Option<UpdatePlan>,
+    nonce: u32,
+}
+
+impl<'a> PullEndpoints<'a> {
+    /// Wires the pull-path parties together for one session.
+    pub fn new(
+        server: &'a UpdateServer,
+        router: &'a BorderRouter,
+        agent: &'a mut UpdateAgent,
+        layout: &'a mut MemoryLayout,
+        plan: UpdatePlan,
+        nonce: u32,
+    ) -> Self {
+        Self {
+            server,
+            router,
+            agent,
+            layout,
+            plan: Some(plan),
+            nonce,
+        }
+    }
+}
+
+impl SessionEndpoints for PullEndpoints<'_> {
+    fn request_token(&mut self) -> Result<DeviceToken, AgentError> {
+        let plan = self
+            .plan
+            .take()
+            .ok_or(AgentError::WrongState(AgentState::Waiting))?;
+        self.agent
+            .request_device_token(self.layout, plan, self.nonce)
+    }
+
+    fn resolve_stream(&mut self, token: &DeviceToken) -> StreamResolution {
+        let Some(prepared) = self.server.prepare_update(token) else {
+            return StreamResolution::NoUpdate;
+        };
+        // The border router forwards the (logical) byte stream end to end.
+        let stream = self.router.forward(&prepared.image.to_bytes());
+        let manifest_len = SIGNED_MANIFEST_LEN.min(stream.len());
+        let payload = stream[manifest_len..].to_vec();
+        let mut manifest = stream;
+        manifest.truncate(manifest_len);
+        StreamResolution::Stream(SessionStream { manifest, payload })
+    }
+
+    fn deliver(&mut self, chunk: &[u8]) -> Result<AgentPhase, AgentError> {
+        self.agent.push_data(self.layout, chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted device/proxy pair: accepts the manifest once `manifest`
+    /// bytes arrived and completes once all bytes arrived. Lets the state
+    /// machine be tested without any crypto in the loop.
+    struct StubEndpoints {
+        resolution: Option<StreamResolution>,
+        manifest_len: usize,
+        total_len: usize,
+        fed: usize,
+    }
+
+    impl StubEndpoints {
+        fn serving(manifest: Vec<u8>, payload: Vec<u8>) -> Self {
+            Self {
+                manifest_len: manifest.len(),
+                total_len: manifest.len() + payload.len(),
+                resolution: Some(StreamResolution::Stream(SessionStream {
+                    manifest,
+                    payload,
+                })),
+                fed: 0,
+            }
+        }
+
+        fn with_resolution(resolution: StreamResolution) -> Self {
+            Self {
+                resolution: Some(resolution),
+                manifest_len: 0,
+                total_len: 0,
+                fed: 0,
+            }
+        }
+    }
+
+    impl SessionEndpoints for StubEndpoints {
+        fn request_token(&mut self) -> Result<DeviceToken, AgentError> {
+            Ok(DeviceToken {
+                device_id: 1,
+                nonce: 1,
+                current_version: upkit_manifest::Version(1),
+            })
+        }
+        fn resolve_stream(&mut self, _token: &DeviceToken) -> StreamResolution {
+            self.resolution.take().expect("resolved once")
+        }
+        fn deliver(&mut self, chunk: &[u8]) -> Result<AgentPhase, AgentError> {
+            self.fed += chunk.len();
+            Ok(if self.fed == self.total_len {
+                AgentPhase::Complete
+            } else if self.fed == self.manifest_len {
+                AgentPhase::ManifestAccepted
+            } else {
+                AgentPhase::NeedMore
+            })
+        }
+    }
+
+    fn link() -> LinkProfile {
+        LinkProfile::ieee802154_6lowpan()
+    }
+
+    #[test]
+    fn stepped_session_completes_and_reports_every_event() {
+        let manifest = vec![1u8; 196];
+        let payload = vec![2u8; 1000];
+        let mut io = StubEndpoints::serving(manifest, payload);
+        let mut session = PullSession::new(
+            LossyLink::reliable(link()),
+            RetryPolicy::for_link(&link()),
+            0,
+        );
+        let mut kinds = Vec::new();
+        let report = loop {
+            match session.step(&mut io) {
+                Step::Progress(event) => {
+                    assert!(!session.is_done());
+                    kinds.push(event.kind);
+                }
+                Step::Done(report) => break report,
+            }
+        };
+        assert!(session.is_done());
+        assert_eq!(report.outcome, SessionOutcome::Complete);
+        assert_eq!(kinds[0], SessionEventKind::TokenExchange);
+        assert_eq!(kinds[1], SessionEventKind::ProxyFetch);
+        assert!(kinds[2..]
+            .iter()
+            .all(|k| matches!(k, SessionEventKind::ChunkDelivered { .. })));
+        // 196 B manifest = 4 blocks, 1000 B payload = 16 blocks; the final
+        // payload block's delivery is folded into the Done step.
+        assert_eq!(kinds.len() - 2, 4 + 16 - 1);
+        assert_eq!(report.accounting.bytes_to_device, 196 + 1000);
+        assert_eq!(
+            report.accounting.elapsed_micros,
+            session.virtual_elapsed_micros()
+        );
+    }
+
+    #[test]
+    fn push_session_charges_goahead_between_regions() {
+        let mut io = StubEndpoints::serving(vec![1u8; 196], vec![2u8; 500]);
+        let ble = LinkProfile::ble_gatt();
+        let mut session =
+            PushSession::new(LossyLink::reliable(ble), RetryPolicy::for_link(&ble), 0);
+        let mut kinds = Vec::new();
+        let report = loop {
+            match session.step(&mut io) {
+                Step::Progress(event) => kinds.push(event.kind),
+                Step::Done(report) => break report,
+            }
+        };
+        assert_eq!(report.outcome, SessionOutcome::Complete);
+        assert!(kinds.contains(&SessionEventKind::GoAhead));
+        // Push: token RTT + go-ahead RTT only.
+        assert_eq!(report.accounting.round_trips, 2);
+    }
+
+    #[test]
+    fn timeout_retry_backoff_give_up_progression() {
+        // A link that loses everything: the first block is attempted
+        // 1 + max_retries times with doubling timeouts, then the session
+        // gives up.
+        let retry = RetryPolicy {
+            max_retries: 3,
+            base_timeout_micros: 1_000,
+            backoff_factor: 2,
+        };
+        let mut io = StubEndpoints::serving(vec![1u8; 196], vec![2u8; 500]);
+        let mut session = PullSession::new(LossyLink::bernoulli(link(), 1.0, 7), retry, 0);
+        let mut timeouts = Vec::new();
+        let report = loop {
+            match session.step(&mut io) {
+                Step::Progress(SessionEvent {
+                    kind: SessionEventKind::ChunkLost { timeout_micros, .. },
+                    ..
+                }) => timeouts.push(timeout_micros),
+                Step::Progress(_) => {}
+                Step::Done(report) => break report,
+            }
+        };
+        assert_eq!(report.outcome, SessionOutcome::TimedOut);
+        // 3 lost events reported; the 4th loss exceeds the budget and is
+        // folded into the Done step.
+        assert_eq!(timeouts, vec![1_000, 2_000, 4_000]);
+        // All four attempted transmissions and all four timeouts (the
+        // give-up attempt included) are charged, plus the token chunk.
+        assert_eq!(report.accounting.chunks, 1 + 4);
+        let expected_waits = 1_000 + 2_000 + 4_000 + 8_000;
+        let mut base = TransferAccounting::default();
+        base.charge_round_trip(&link());
+        base.charge_from_device(&link(), DEVICE_TOKEN_LEN as u64);
+        for _ in 0..4 {
+            base.charge_round_trip(&link());
+            base.charge_to_device(&link(), 64);
+        }
+        assert_eq!(
+            report.accounting.elapsed_micros,
+            base.elapsed_micros + expected_waits
+        );
+        assert_eq!(io.fed, 0, "no chunk was ever delivered");
+    }
+
+    #[test]
+    fn retries_reset_after_a_successful_delivery() {
+        // ~30 % loss: the session must still complete, with every loss
+        // charged as a full attempted transmission plus a timeout.
+        let lossy = LossyLink::bernoulli(link(), 0.3, 99);
+        let mut io = StubEndpoints::serving(vec![1u8; 196], vec![2u8; 2_000]);
+        let mut session = PullSession::new(lossy, RetryPolicy::for_link(&link()), 5);
+        let mut lost = 0u64;
+        let mut delivered = 0u64;
+        let report = loop {
+            match session.step(&mut io) {
+                Step::Progress(SessionEvent { kind, .. }) => match kind {
+                    SessionEventKind::ChunkLost { .. } => lost += 1,
+                    SessionEventKind::ChunkDelivered { .. } => delivered += 1,
+                    _ => {}
+                },
+                Step::Done(report) => break report,
+            }
+        };
+        assert_eq!(report.outcome, SessionOutcome::Complete);
+        assert!(lost > 0, "seed 99 should sample at least one loss");
+        assert_eq!(io.fed, 196 + 2_000);
+        // Attempted transmissions = delivered (incl. the final one folded
+        // into Done) + lost, plus the token chunk.
+        assert_eq!(report.accounting.chunks, 1 + delivered + 1 + lost);
+        // A reliable run of the same stream is strictly cheaper.
+        let mut reliable_io = StubEndpoints::serving(vec![1u8; 196], vec![2u8; 2_000]);
+        let mut reliable = PullSession::new(
+            LossyLink::reliable(link()),
+            RetryPolicy::for_link(&link()),
+            5,
+        );
+        let reliable_report = reliable.run_to_completion(&mut reliable_io);
+        assert!(report.accounting.elapsed_micros > reliable_report.accounting.elapsed_micros);
+    }
+
+    #[test]
+    fn proxy_empty_resolution_ends_the_session() {
+        let mut io = StubEndpoints::with_resolution(StreamResolution::ProxyEmpty);
+        let ble = LinkProfile::ble_gatt();
+        let mut session =
+            PushSession::new(LossyLink::reliable(ble), RetryPolicy::for_link(&ble), 0);
+        let report = session.run_to_completion(&mut io);
+        assert_eq!(report.outcome, SessionOutcome::ProxyEmpty);
+        // The token exchange already happened.
+        assert_eq!(report.accounting.round_trips, 1);
+    }
+
+    #[test]
+    fn stepping_a_finished_session_repeats_the_report() {
+        let mut io = StubEndpoints::with_resolution(StreamResolution::NoUpdate);
+        let mut session = PullSession::new(
+            LossyLink::reliable(link()),
+            RetryPolicy::for_link(&link()),
+            0,
+        );
+        let first = session.run_to_completion(&mut io);
+        assert_eq!(first.outcome, SessionOutcome::NoUpdateAvailable);
+        match session.step(&mut io) {
+            Step::Done(again) => assert_eq!(again, first),
+            Step::Progress(_) => panic!("finished session must not progress"),
+        }
+    }
+
+    #[test]
+    fn backoff_timeouts_are_capped_against_overflow() {
+        let retry = RetryPolicy {
+            max_retries: 200,
+            base_timeout_micros: u64::MAX / 2,
+            backoff_factor: 10,
+        };
+        assert_eq!(retry.timeout_after(100), u64::MAX);
+    }
+}

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use upkit_core::agent::{AgentConfig, AgentError, AgentPhase, UpdateAgent, UpdatePlan};
+use upkit_core::agent::{AgentConfig, AgentError, UpdateAgent, UpdatePlan};
 use upkit_core::bootloader::{BootConfig, BootMode, Bootloader};
 use upkit_core::generation::{UpdateServer, VendorServer};
 use upkit_core::image::FIRMWARE_OFFSET;
@@ -15,6 +15,10 @@ use upkit_core::keys::TrustAnchors;
 use upkit_crypto::backend::TinyCryptBackend;
 use upkit_flash::{configuration_a, standard, FlashGeometry, MemoryLayout, SimFlash, SlotId};
 use upkit_manifest::Version;
+use upkit_net::{
+    BorderRouter, LinkProfile, LossyLink, PullEndpoints, PullSession, RetryPolicy, SessionOutcome,
+    TransferAccounting, Transport,
+};
 
 /// What one poll of the update server achieved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -176,6 +180,10 @@ impl SimDevice {
 
     /// Polls the server once: request a token, receive whatever it serves,
     /// verify, store, and reboot if an update landed.
+    ///
+    /// Runs a reliable pull session to completion — the same resumable
+    /// machinery the event-driven fleet scheduler steps one event at a
+    /// time.
     pub fn poll(&mut self, server: &UpdateServer) -> Result<PollOutcome, AgentError> {
         self.nonce_counter = self.nonce_counter.wrapping_add(0x9E37_79B9) | 1;
         let target = if self.running_slot == standard::SLOT_A {
@@ -191,43 +199,63 @@ impl SimDevice {
             allowed_link_offsets: vec![LINK_OFFSET],
             max_firmware_size: self.slot_size - FIRMWARE_OFFSET,
         };
-        let token = self
-            .agent
-            .request_device_token(&mut self.layout, plan, self.nonce_counter)?;
-        let Some(prepared) = server.prepare_update(&token) else {
-            self.agent.reset(&mut self.layout)?;
-            return Ok(PollOutcome::AlreadyCurrent);
+        let link = LinkProfile::ieee802154_6lowpan();
+        let report = {
+            let router = BorderRouter::new();
+            let mut session = PullSession::new(
+                LossyLink::reliable(link),
+                RetryPolicy::for_link(&link),
+                u64::from(self.device_id),
+            );
+            let mut endpoints = PullEndpoints::new(
+                server,
+                &router,
+                &mut self.agent,
+                &mut self.layout,
+                plan,
+                self.nonce_counter,
+            );
+            session.run_to_completion(&mut endpoints)
         };
+        match report.outcome {
+            SessionOutcome::NoUpdateAvailable => {
+                self.agent.reset(&mut self.layout)?;
+                Ok(PollOutcome::AlreadyCurrent)
+            }
+            SessionOutcome::RejectedAtManifest(e)
+                if report.accounting == TransferAccounting::default() =>
+            {
+                // The agent refused to even issue a token (no radio
+                // traffic at all): surface the error, as a direct
+                // `request_device_token` call would.
+                Err(e)
+            }
+            SessionOutcome::Complete => {
+                self.agent.reset(&mut self.layout)?;
 
-        let wire = prepared.image.to_bytes();
-        let mut phase = AgentPhase::NeedMore;
-        for chunk in wire.chunks(244) {
-            match self.agent.push_data(&mut self.layout, chunk) {
-                Ok(p) => phase = p,
-                Err(_) => {
-                    self.agent.reset(&mut self.layout)?;
-                    return Ok(PollOutcome::Rejected);
+                // Reboot into the bootloader.
+                let outcome = self
+                    .bootloader
+                    .boot(&mut self.layout)
+                    .expect("a verified update never bricks the device");
+                self.running_slot = outcome.booted_slot;
+                self.installed_version = outcome.version;
+                if let Ok(Some(signed)) =
+                    upkit_core::image::read_manifest(&self.layout, outcome.booted_slot)
+                {
+                    self.installed_size = signed.manifest.size;
                 }
+                Ok(PollOutcome::Updated {
+                    to: outcome.version,
+                    // Reliable link: exactly the stream length.
+                    wire_bytes: report.accounting.bytes_to_device,
+                })
+            }
+            _ => {
+                self.agent.reset(&mut self.layout)?;
+                Ok(PollOutcome::Rejected)
             }
         }
-        if phase != AgentPhase::Complete {
-            self.agent.reset(&mut self.layout)?;
-            return Ok(PollOutcome::Rejected);
-        }
-        self.agent.reset(&mut self.layout)?;
-
-        // Reboot into the bootloader.
-        let outcome = self
-            .bootloader
-            .boot(&mut self.layout)
-            .expect("a verified update never bricks the device");
-        self.running_slot = outcome.booted_slot;
-        self.installed_version = outcome.version;
-        self.installed_size = prepared.image.signed_manifest.manifest.size;
-        Ok(PollOutcome::Updated {
-            to: outcome.version,
-            wire_bytes: wire.len() as u64,
-        })
     }
 }
 

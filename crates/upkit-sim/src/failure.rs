@@ -7,6 +7,12 @@
 //! agent can verify the firmware." The bootloader's re-verification must
 //! keep the device bootable regardless of where the cut lands — the
 //! property these scenarios exercise.
+//!
+//! Two cut models are provided: [`run_power_loss_scenario`] cuts after a
+//! flash-byte budget (the device dies mid-write), and
+//! [`run_power_loss_at_event`] cuts on a session *event* boundary (the
+//! device dies between link events — a lost connection, a crashed proxy),
+//! which the stepped-session refactor makes expressible.
 
 use std::sync::Arc;
 
@@ -18,7 +24,10 @@ use upkit_crypto::backend::TinyCryptBackend;
 use upkit_crypto::ecdsa::SigningKey;
 use upkit_flash::{configuration_a, standard, MemoryLayout, SimFlash};
 use upkit_manifest::Version;
-use upkit_net::{run_push_session, LinkProfile, SessionOutcome, Smartphone};
+use upkit_net::{
+    run_push_session, LinkProfile, LossyLink, PushEndpoints, PushSession, RetryPolicy,
+    SessionOutcome, Smartphone, Step, Transport,
+};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,11 +47,20 @@ pub struct PowerLossReport {
     pub bytes_written_before_cut: u64,
 }
 
-/// Runs a push update on an A/B device, cutting power after
-/// `cut_after_flash_bytes` bytes of flash programming, then reboots and
-/// reports what the bootloader managed to boot.
-#[must_use]
-pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLossReport {
+const SLOT_SIZE: u32 = 4096 * 16;
+
+/// A complete push-update world: servers, a provisioned A/B device at v1,
+/// and v2 published — everything short of running the session.
+struct PowerLossWorld {
+    server: upkit_core::generation::UpdateServer,
+    backend: Arc<TinyCryptBackend>,
+    anchors: TrustAnchors,
+    layout: MemoryLayout,
+    agent: UpdateAgent,
+    plan: UpdatePlan,
+}
+
+fn power_loss_world(seed: u64) -> PowerLossWorld {
     let mut rng = StdRng::seed_from_u64(seed);
     let vendor = upkit_core::generation::VendorServer::new(SigningKey::generate(&mut rng));
     let mut server = upkit_core::generation::UpdateServer::new(SigningKey::generate(&mut rng));
@@ -53,7 +71,6 @@ pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLo
     let v1 = generator.base(40_000);
     let v2 = generator.os_version_change(&v1);
 
-    let slot_size = 4096 * 16;
     let mut layout = configuration_a(
         Box::new(SimFlash::new(upkit_flash::FlashGeometry {
             size: 1024 * 1024,
@@ -62,7 +79,7 @@ pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLo
             write_micros_per_byte: 0,
             erase_micros_per_sector: 0,
         })),
-        slot_size,
+        SLOT_SIZE,
     )
     .expect("valid layout");
 
@@ -71,7 +88,7 @@ pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLo
     server.publish(vendor.release(v1.clone(), Version(1), LINK_OFFSET, APP_ID));
     server.publish(vendor.release(v2, Version(2), LINK_OFFSET, APP_ID));
 
-    let mut agent = UpdateAgent::new(
+    let agent = UpdateAgent::new(
         backend.clone(),
         anchors,
         AgentConfig {
@@ -87,50 +104,121 @@ pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLo
         installed_version: Version(1),
         installed_size: v1.len() as u32,
         allowed_link_offsets: vec![LINK_OFFSET],
-        max_firmware_size: slot_size - FIRMWARE_OFFSET,
+        max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
     };
 
-    // Arm the cut *before* the session: erases and writes both consume the
-    // budget, so the cut can land in StartUpdate, the header write, or the
-    // pipeline.
-    layout
-        .device_mut(0)
-        .expect("internal flash")
-        .arm_power_cut_after(cut_after_flash_bytes);
+    // Measure only update-time flash traffic, not provisioning.
+    layout.reset_stats();
 
-    let mut phone = Smartphone::new();
-    let report = run_push_session(
-        &server,
-        &mut phone,
-        &mut agent,
-        &mut layout,
+    PowerLossWorld {
+        server,
+        backend,
+        anchors,
+        layout,
+        agent,
         plan,
-        seed as u32 | 1,
-        &LinkProfile::ble_gatt(),
-    );
-    let session_interrupted = !matches!(report.outcome, SessionOutcome::Complete);
-    let bytes_written_before_cut = layout.total_stats().bytes_written;
+    }
+}
 
-    // Reboot: power restored.
-    layout
+/// Power restored: reboot and see what the bootloader salvages.
+fn reboot(world: &mut PowerLossWorld) -> Option<Version> {
+    world
+        .layout
         .device_mut(0)
         .expect("internal flash")
         .disarm_power_cut();
     let bootloader = Bootloader::new(
-        backend,
-        anchors,
+        world.backend.clone(),
+        world.anchors,
         BootConfig {
             device_id: DEVICE_ID,
             app_id: APP_ID,
             allowed_link_offsets: vec![LINK_OFFSET],
-            max_firmware_size: slot_size - FIRMWARE_OFFSET,
+            max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
             mode: BootMode::AB {
                 slots: vec![standard::SLOT_A, standard::SLOT_B],
             },
             recovery_slot: None,
         },
     );
-    let booted_version = bootloader.boot(&mut layout).ok().map(|o| o.version);
+    bootloader.boot(&mut world.layout).ok().map(|o| o.version)
+}
+
+/// Runs a push update on an A/B device, cutting power after
+/// `cut_after_flash_bytes` bytes of flash programming, then reboots and
+/// reports what the bootloader managed to boot.
+#[must_use]
+pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLossReport {
+    let mut world = power_loss_world(seed);
+
+    // Arm the cut *before* the session: erases and writes both consume the
+    // budget, so the cut can land in StartUpdate, the header write, or the
+    // pipeline.
+    world
+        .layout
+        .device_mut(0)
+        .expect("internal flash")
+        .arm_power_cut_after(cut_after_flash_bytes);
+
+    let mut phone = Smartphone::new();
+    let report = run_push_session(
+        &world.server,
+        &mut phone,
+        &mut world.agent,
+        &mut world.layout,
+        world.plan.clone(),
+        seed as u32 | 1,
+        &LinkProfile::ble_gatt(),
+    );
+    let session_interrupted = !matches!(report.outcome, SessionOutcome::Complete);
+    let bytes_written_before_cut = world.layout.total_stats().bytes_written;
+
+    let booted_version = reboot(&mut world);
+
+    PowerLossReport {
+        session_interrupted,
+        booted_version,
+        bytes_written_before_cut,
+    }
+}
+
+/// Runs a push update on an A/B device, abandoning the stepped session
+/// after `cut_after_events` link events (the device loses power *between*
+/// events rather than mid-flash-write), then reboots and reports what the
+/// bootloader managed to boot.
+///
+/// Only the session layer makes this cut model expressible: the legacy
+/// drivers ran the whole Fig. 2 sequence inside one call, so a failure
+/// could only ever be injected below them, in the flash.
+#[must_use]
+pub fn run_power_loss_at_event(cut_after_events: u64, seed: u64) -> PowerLossReport {
+    let mut world = power_loss_world(seed);
+
+    let link = LinkProfile::ble_gatt();
+    let mut phone = Smartphone::new();
+    let mut session = PushSession::new(LossyLink::reliable(link), RetryPolicy::for_link(&link), 0);
+    let mut endpoints = PushEndpoints::new(
+        &world.server,
+        &mut phone,
+        &mut world.agent,
+        &mut world.layout,
+        world.plan.clone(),
+        seed as u32 | 1,
+    );
+    let mut events = 0u64;
+    let session_interrupted = loop {
+        if events >= cut_after_events {
+            // Power dies here; the session is simply abandoned.
+            break true;
+        }
+        match session.step(&mut endpoints) {
+            Step::Progress(_) => events += 1,
+            Step::Done(report) => break !matches!(report.outcome, SessionOutcome::Complete),
+        }
+    };
+    let bytes_written_before_cut = world.layout.total_stats().bytes_written;
+
+    let booted_version = reboot(&mut world);
 
     PowerLossReport {
         session_interrupted,
@@ -212,5 +300,36 @@ mod tests {
                 report.booted_version
             );
         }
+    }
+
+    #[test]
+    fn event_cut_before_any_transfer_boots_v1() {
+        // Cut before even the token exchange: slot B untouched.
+        let report = run_power_loss_at_event(0, 210);
+        assert!(report.session_interrupted);
+        assert_eq!(report.booted_version, Some(Version(1)));
+        assert_eq!(report.bytes_written_before_cut, 0);
+    }
+
+    #[test]
+    fn event_cut_sweep_never_bricks() {
+        // Cuts across the whole event timeline — during the token
+        // exchange, mid-manifest, mid-payload, and far beyond the end
+        // (where the session completes first): always v1 or v2.
+        for cut in [0u64, 1, 2, 3, 5, 50, 120, 170, 100_000] {
+            let report = run_power_loss_at_event(cut, 400 + cut);
+            assert!(
+                matches!(report.booted_version, Some(Version(1)) | Some(Version(2))),
+                "event cut at {cut}: {:?}",
+                report.booted_version
+            );
+        }
+    }
+
+    #[test]
+    fn event_cut_beyond_session_end_completes_normally() {
+        let report = run_power_loss_at_event(u64::MAX, 211);
+        assert!(!report.session_interrupted);
+        assert_eq!(report.booted_version, Some(Version(2)));
     }
 }

@@ -17,6 +17,12 @@
 //!   thread count, and a single-shard run reproduces [`run_rollout`]
 //!   byte for byte. With [`DeviceModel::Lite`] devices (protocol-faithful
 //!   but without per-device flash), campaigns scale to 100k–1M devices.
+//!
+//! Both entry points advance each polled device one *whole* update at a
+//! time. For campaigns where transfers must overlap on a common virtual
+//! timeline — realistic timing, loss, and retransmission — use the
+//! event-driven scheduler in [`crate::events`], which steps thousands of
+//! concurrently in-flight sessions one link event at a time.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};

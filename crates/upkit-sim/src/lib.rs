@@ -20,10 +20,14 @@
 //!   static endurance).
 //! * [`device`] / [`fleet`] — a self-contained simulated device (poll →
 //!   verify → reboot lifecycle) and fleet-rollout campaigns built on it.
+//! * [`events`] — [`run_event_rollout`]: the virtual-clock event scheduler
+//!   interleaving thousands of in-flight stepped sessions with loss and
+//!   retransmission on one timeline.
 
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod events;
 pub mod failure;
 pub mod firmware;
 pub mod fleet;
@@ -32,7 +36,8 @@ pub mod platform;
 pub mod scenario;
 
 pub use device::{PollOutcome, SimDevice};
-pub use failure::{run_power_loss_scenario, PowerLossReport};
+pub use events::{run_event_rollout, EventFleetConfig, EventFleetReport};
+pub use failure::{run_power_loss_at_event, run_power_loss_scenario, PowerLossReport};
 pub use firmware::FirmwareGenerator;
 pub use fleet::{
     run_rollout, run_rollout_sharded, DeviceModel, FleetConfig, FleetReport, ShardedFleetConfig,
@@ -40,8 +45,8 @@ pub use fleet::{
 pub use lifetime::{run_lifetime, LifetimeMode, LifetimeReport};
 pub use platform::{EnergyModel, PlatformProfile};
 pub use scenario::{
-    run_scenario, Approach, CryptoChoice, PhaseBreakdown, ScenarioConfig, ScenarioResult, SlotMode,
-    UpdateKind,
+    run_scenario, run_scenario_with_cut, Approach, CryptoChoice, PhaseBreakdown, ScenarioConfig,
+    ScenarioResult, SlotMode, UpdateKind,
 };
 
 #[cfg(test)]

@@ -31,8 +31,9 @@ use upkit_flash::{
 };
 use upkit_manifest::{Manifest, SignedManifest, Version};
 use upkit_net::{
-    run_pull_session, run_push_session, BorderRouter, SessionOutcome, Smartphone, Tamper,
-    TransferAccounting,
+    BorderRouter, LossyLink, PullEndpoints, PullSession, PushEndpoints, PushSession, RetryPolicy,
+    SessionEndpoints, SessionOutcome, SessionReport, Smartphone, Step, Tamper, TransferAccounting,
+    Transport,
 };
 
 use rand::rngs::StdRng;
@@ -192,6 +193,32 @@ fn flash_micros(layout: &mut MemoryLayout) -> u64 {
     total + layout.total_stats().bytes_read * read_rate
 }
 
+/// Steps `session` until it finishes, or abandons it at the
+/// `cut_after_events`-th event boundary (simulating the device dying
+/// mid-session at an arbitrary link event, not merely a flash-byte
+/// offset).
+fn step_with_cut(
+    session: &mut dyn Transport,
+    endpoints: &mut dyn SessionEndpoints,
+    cut_after_events: Option<u64>,
+) -> SessionReport {
+    let mut events = 0u64;
+    loop {
+        if let Some(cut) = cut_after_events {
+            if events >= cut {
+                return SessionReport {
+                    outcome: SessionOutcome::Incomplete,
+                    accounting: *session.accounting(),
+                };
+            }
+        }
+        match session.step(endpoints) {
+            Step::Progress(_) => events += 1,
+            Step::Done(report) => return report,
+        }
+    }
+}
+
 /// Runs one complete update scenario.
 ///
 /// # Panics
@@ -200,6 +227,22 @@ fn flash_micros(layout: &mut MemoryLayout) -> u64 {
 /// than any slot arrangement on the platform).
 #[must_use]
 pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    run_scenario_with_cut(cfg, None)
+}
+
+/// [`run_scenario`], optionally abandoning the propagation session after
+/// `cut_after_events` link events — the session-layer generalisation of
+/// flash-byte power cuts. With `None` this is exactly [`run_scenario`].
+///
+/// # Panics
+///
+/// Panics if the configuration is internally impossible (firmware larger
+/// than any slot arrangement on the platform).
+#[must_use]
+pub fn run_scenario_with_cut(
+    cfg: &ScenarioConfig,
+    cut_after_events: Option<u64>,
+) -> ScenarioResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // --- Servers and keys -------------------------------------------------
@@ -283,26 +326,21 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
     let nonce = (cfg.seed as u32).wrapping_mul(2_654_435_761) | 1;
 
     // --- Propagation --------------------------------------------------------
+    // Built directly on the stepped session machinery: the scenario owns
+    // the event loop, so a cut can land on any link-event boundary.
     layout.reset_stats();
-    let (report, link) = match cfg.approach {
+    let report = match cfg.approach {
         Approach::Push => {
             let link = cfg.platform.push_link;
             let mut phone = match &cfg.tamper {
                 Some(t) => Smartphone::compromised(t.clone()),
                 None => Smartphone::new(),
             };
-            (
-                run_push_session(
-                    &server,
-                    &mut phone,
-                    &mut agent,
-                    &mut layout,
-                    plan,
-                    nonce,
-                    &link,
-                ),
-                link,
-            )
+            let mut session =
+                PushSession::new(LossyLink::reliable(link), RetryPolicy::for_link(&link), 0);
+            let mut endpoints =
+                PushEndpoints::new(&server, &mut phone, &mut agent, &mut layout, plan, nonce);
+            step_with_cut(&mut session, &mut endpoints, cut_after_events)
         }
         Approach::Pull => {
             let link = cfg.platform.pull_link;
@@ -310,21 +348,13 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
                 Some(t) => BorderRouter::compromised(t.clone()),
                 None => BorderRouter::new(),
             };
-            (
-                run_pull_session(
-                    &server,
-                    &router,
-                    &mut agent,
-                    &mut layout,
-                    plan,
-                    nonce,
-                    &link,
-                ),
-                link,
-            )
+            let mut session =
+                PullSession::new(LossyLink::reliable(link), RetryPolicy::for_link(&link), 0);
+            let mut endpoints =
+                PullEndpoints::new(&server, &router, &mut agent, &mut layout, plan, nonce);
+            step_with_cut(&mut session, &mut endpoints, cut_after_events)
         }
     };
-    let _ = link;
     let propagation_flash = flash_micros(&mut layout);
     let propagation_micros = report.accounting.elapsed_micros + propagation_flash;
 

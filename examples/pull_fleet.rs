@@ -1,10 +1,14 @@
-//! A fleet of devices pulling updates over simulated CoAP/6LoWPAN, in
-//! parallel, with per-device differential updates.
+//! A fleet of devices pulling updates over simulated CoAP/6LoWPAN,
+//! interleaved on one virtual clock, with per-device differential updates.
 //!
-//! Models the paper's pull deployment: each device periodically polls the
-//! update server through a border router. Devices run different installed
-//! versions, so the server serves each one a different delta (or a full
-//! image for the device that cannot apply patches).
+//! Models the paper's pull deployment: each device polls the update server
+//! through a border router. Devices run different installed versions, so
+//! the server serves each one a different delta (or a full image for the
+//! device that cannot apply patches). All four sessions are *resumable*
+//! state machines advanced one link event at a time by a single thread —
+//! the device whose next event is earliest in virtual time goes next, so
+//! transfers of different lengths finish in wire-time order, not
+//! submission order.
 //!
 //! ```text
 //! cargo run --example pull_fleet
@@ -19,15 +23,63 @@ use upkit::core::image::FIRMWARE_OFFSET;
 use upkit::core::keys::TrustAnchors;
 use upkit::crypto::backend::TinyCryptBackend;
 use upkit::crypto::ecdsa::SigningKey;
-use upkit::flash::{configuration_a, standard, FlashGeometry, SimFlash};
+use upkit::flash::{configuration_a, standard, FlashGeometry, MemoryLayout, SimFlash};
 use upkit::manifest::Version;
-use upkit::net::{run_pull_session, BorderRouter, LinkProfile, Smartphone};
+use upkit::net::{
+    BorderRouter, LinkProfile, LossyLink, PullEndpoints, PullSession, RetryPolicy, SessionReport,
+    Step, Transport,
+};
 use upkit::sim::FirmwareGenerator;
 
 const SLOT_SIZE: u32 = 4096 * 24;
 
+struct Device {
+    device_id: u32,
+    installed: u16,
+    installed_size: u32,
+    differential: bool,
+    layout: MemoryLayout,
+    agent: UpdateAgent,
+}
+
+fn device(
+    anchors: TrustAnchors,
+    device_id: u32,
+    installed: u16,
+    differential: bool,
+    current_fw: &[u8],
+) -> Device {
+    let mut layout = configuration_a(
+        Box::new(SimFlash::new(FlashGeometry::internal_nrf52840())),
+        SLOT_SIZE,
+    )
+    .expect("valid layout");
+    // Pre-install the running firmware (differential base).
+    layout.erase_slot(standard::SLOT_A).expect("fresh");
+    layout
+        .write_slot(standard::SLOT_A, FIRMWARE_OFFSET, current_fw)
+        .expect("fits");
+    let agent = UpdateAgent::new(
+        Arc::new(TinyCryptBackend),
+        anchors,
+        AgentConfig {
+            device_id,
+            app_id: 0xA,
+            supports_differential: differential,
+            content_key: None,
+        },
+    );
+    Device {
+        device_id,
+        installed,
+        installed_size: current_fw.len() as u32,
+        differential,
+        layout,
+        agent,
+    }
+}
+
 fn main() {
-    let _ = Smartphone::new(); // (push counterpart; unused here)
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let vendor = VendorServer::new(SigningKey::generate(&mut rng));
     let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
@@ -41,90 +93,96 @@ fn main() {
     for (fw, version) in [(v1.clone(), 1u16), (v2.clone(), 2), (v3.clone(), 3)] {
         server.publish(vendor.release(fw, Version(version), 0, 0xA));
     }
-    let server = Arc::new(server);
 
     // Fleet: device id, installed version, differential support.
-    let fleet: Vec<(u32, u16, bool, Vec<u8>)> = vec![
-        (0x1001, 1, true, v1.clone()),
-        (0x1002, 2, true, v2.clone()),
-        (0x1003, 3, true, v3.clone()),  // already current
-        (0x1004, 1, false, v1.clone()), // cannot patch: full image
+    let mut fleet = [
+        device(anchors, 0x1001, 1, true, &v1),
+        device(anchors, 0x1002, 2, true, &v2),
+        device(anchors, 0x1003, 3, true, &v3), // already current
+        device(anchors, 0x1004, 1, false, &v1), // cannot patch: full image
     ];
 
-    let results: Vec<String> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = fleet
-            .into_iter()
-            .map(|(id, installed, differential, current_fw)| {
-                let server = Arc::clone(&server);
-                scope.spawn(move |_| {
-                    update_one_device(&server, anchors, id, installed, differential, &current_fw)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("device thread"))
-            .collect()
-    })
-    .expect("fleet scope");
+    let link = LinkProfile::ieee802154_6lowpan();
+    let routers: Vec<BorderRouter> = fleet.iter().map(|_| BorderRouter::new()).collect();
 
-    println!("fleet update round (server at v3):");
-    for line in results {
-        println!("  {line}");
+    // One resumable session per device, all stepped by this one thread.
+    let mut lanes: Vec<(PullSession, PullEndpoints<'_>, u64)> = fleet
+        .iter_mut()
+        .zip(&routers)
+        .map(|(dev, router)| {
+            let plan = UpdatePlan {
+                target_slot: standard::SLOT_B,
+                current_slot: standard::SLOT_A,
+                installed_version: Version(dev.installed),
+                installed_size: dev.installed_size,
+                allowed_link_offsets: vec![0],
+                max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
+            };
+            let session = PullSession::new(
+                LossyLink::reliable(link),
+                RetryPolicy::for_link(&link),
+                u64::from(dev.device_id),
+            );
+            let endpoints = PullEndpoints::new(
+                &server,
+                router,
+                &mut dev.agent,
+                &mut dev.layout,
+                plan,
+                dev.device_id ^ 0x5555,
+            );
+            (session, endpoints, 0u64)
+        })
+        .collect();
+
+    // Virtual-clock interleave: always advance the session whose next
+    // event is earliest; record each session's finish time.
+    println!("fleet update round (server at v3), four sessions on one thread:");
+    let mut reports: Vec<Option<(u64, SessionReport)>> = vec![None; lanes.len()];
+    let mut events = 0u64;
+    while reports.iter().any(Option::is_none) {
+        let idx = (0..lanes.len())
+            .filter(|&i| reports[i].is_none())
+            .min_by_key(|&i| lanes[i].2)
+            .expect("an unfinished session");
+        let (session, endpoints, clock) = &mut lanes[idx];
+        match session.step(endpoints) {
+            Step::Progress(event) => {
+                *clock += event.cost_micros;
+                events += 1;
+            }
+            Step::Done(report) => {
+                *clock = session.virtual_elapsed_micros();
+                reports[idx] = Some((*clock, report));
+            }
+        }
     }
-}
+    drop(lanes);
+    println!("  {events} link events interleaved across the fleet\n");
 
-fn update_one_device(
-    server: &UpdateServer,
-    anchors: TrustAnchors,
-    device_id: u32,
-    installed: u16,
-    differential: bool,
-    current_fw: &[u8],
-) -> String {
-    let mut layout = configuration_a(
-        Box::new(SimFlash::new(FlashGeometry::internal_nrf52840())),
-        SLOT_SIZE,
-    )
-    .expect("valid layout");
-    // Pre-install the running firmware (differential base).
-    layout.erase_slot(standard::SLOT_A).expect("fresh");
-    layout
-        .write_slot(standard::SLOT_A, FIRMWARE_OFFSET, current_fw)
-        .expect("fits");
-
-    let mut agent = UpdateAgent::new(
-        Arc::new(TinyCryptBackend),
-        anchors,
-        AgentConfig {
-            device_id,
-            app_id: 0xA,
-            supports_differential: differential,
-            content_key: None,
-        },
+    let mut finish_order: Vec<(usize, u64)> = reports
+        .iter()
+        .map(|r| r.as_ref().expect("finished").0)
+        .enumerate()
+        .collect();
+    finish_order.sort_by_key(|&(_, t)| t);
+    for (idx, t) in finish_order {
+        let dev = &fleet[idx];
+        let (_, report) = reports[idx].as_ref().expect("finished");
+        println!(
+            "  t={:6.1}s  device {:#x} (v{}, diff={}): {}, {} bytes on the wire",
+            t as f64 / 1e6,
+            dev.device_id,
+            dev.installed,
+            dev.differential,
+            kind(&report.outcome),
+            report.accounting.bytes_to_device
+        );
+    }
+    println!(
+        "\nsmall deltas finish first: completion follows wire time, not the\n\
+         order the sessions were started in"
     );
-    let plan = UpdatePlan {
-        target_slot: standard::SLOT_B,
-        current_slot: standard::SLOT_A,
-        installed_version: Version(installed),
-        installed_size: current_fw.len() as u32,
-        allowed_link_offsets: vec![0],
-        max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
-    };
-    let report = run_pull_session(
-        server,
-        &BorderRouter::new(),
-        &mut agent,
-        &mut layout,
-        plan,
-        device_id ^ 0x5555,
-        &LinkProfile::ieee802154_6lowpan(),
-    );
-    format!(
-        "device {device_id:#x} (v{installed}, diff={differential}): {:?}, {} bytes on the wire",
-        kind(&report.outcome),
-        report.accounting.bytes_to_device
-    )
 }
 
 fn kind(outcome: &upkit::net::SessionOutcome) -> &'static str {

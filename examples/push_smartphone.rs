@@ -1,6 +1,7 @@
 //! The paper's Fig. 2 push flow: a smartphone fetches the update from the
 //! Internet and forwards it to the device over a BLE-like link — first
-//! honestly, then as a compromised proxy whose tampering UpKit's
+//! honestly (stepped one link event at a time through the resumable
+//! session API), then as a compromised proxy whose tampering UpKit's
 //! agent-side verification rejects before the firmware transfer even
 //! starts.
 //!
@@ -19,7 +20,10 @@ use upkit::crypto::backend::TinyCryptBackend;
 use upkit::crypto::ecdsa::SigningKey;
 use upkit::flash::{configuration_a, standard, FlashGeometry, MemoryLayout, SimFlash};
 use upkit::manifest::Version;
-use upkit::net::{run_push_session, LinkProfile, SessionOutcome, Smartphone, Tamper};
+use upkit::net::{
+    run_push_session, LinkProfile, LossyLink, PushEndpoints, PushSession, RetryPolicy,
+    SessionEventKind, SessionOutcome, Smartphone, Step, Tamper, Transport,
+};
 
 const SLOT_SIZE: u32 = 4096 * 24;
 
@@ -67,22 +71,53 @@ fn main() {
     server.publish(vendor.release(vec![0xF1; 60_000], Version(2), 0, 0xA));
     let link = LinkProfile::ble_gatt();
 
-    // --- Honest smartphone ------------------------------------------------
+    // --- Honest smartphone, one link event at a time ------------------------
     let mut dev = device(anchors);
     let mut phone = Smartphone::new();
-    let report = run_push_session(
+    let mut session = PushSession::new(LossyLink::reliable(link), RetryPolicy::for_link(&link), 0);
+    let mut endpoints = PushEndpoints::new(
         &server,
         &mut phone,
         &mut dev.agent,
         &mut dev.layout,
         plan(),
         100,
-        &link,
     );
+    let mut chunks = 0u64;
+    let report = loop {
+        match session.step(&mut endpoints) {
+            Step::Progress(event) => match event.kind {
+                SessionEventKind::TokenExchange => {
+                    println!("event: token exchange ({} µs)", event.cost_micros);
+                }
+                SessionEventKind::ProxyFetch => {
+                    println!("event: phone fetched the update over the Internet");
+                }
+                SessionEventKind::ChunkDelivered { bytes } => {
+                    chunks += 1;
+                    if chunks <= 2 {
+                        println!(
+                            "event: chunk delivered ({bytes} B, {} µs)",
+                            event.cost_micros
+                        );
+                    } else if chunks == 3 {
+                        println!("event: … (one event per BLE chunk; session is resumable");
+                        println!("        between any two of them)");
+                    }
+                }
+                SessionEventKind::ChunkLost { .. } => unreachable!("reliable link"),
+                SessionEventKind::GoAhead => {
+                    println!("event: manifest verified — agent sends the go-ahead");
+                }
+            },
+            Step::Done(report) => break report,
+        }
+    };
     println!(
-        "honest phone: {:?}, {} bytes over BLE in {:.1} s of radio time",
+        "honest phone: {:?}, {} bytes over BLE in {} chunks, {:.1} s of radio time",
         describe(&report.outcome),
         report.accounting.bytes_to_device,
+        chunks,
         report.accounting.elapsed_micros as f64 / 1e6
     );
     assert!(report.outcome.is_complete());
@@ -154,5 +189,7 @@ fn describe(outcome: &SessionOutcome) -> &'static str {
         SessionOutcome::RejectedAtManifest(_) => "REJECTED at manifest (early)",
         SessionOutcome::RejectedAtFirmware(_) => "REJECTED at firmware (before reboot)",
         SessionOutcome::Incomplete => "stream incomplete",
+        SessionOutcome::ProxyEmpty => "proxy claimed success but had no bytes",
+        SessionOutcome::TimedOut => "a block exhausted its retransmissions",
     }
 }
