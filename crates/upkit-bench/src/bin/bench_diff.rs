@@ -1,0 +1,207 @@
+//! Regression diff for `BENCH_*.json` artifacts.
+//!
+//! Compares the numeric leaves of a candidate bench JSON against a
+//! committed baseline and exits non-zero when any watched metric regressed
+//! past the threshold. Designed for CI: run a deterministic bench (for
+//! example `loss_sweep --smoke`), then diff its output against the
+//! snapshot checked into the repository — a change that silently costs 10%
+//! more link bytes or flash erases fails the build.
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json> [options]
+//!
+//!   --threshold PCT    relative increase that counts as a regression
+//!                      (default 5.0; metrics where more is worse)
+//!   --prefix PATH      dotted path prefix to watch (default "metrics.";
+//!                      repeatable — a leaf is watched if any prefix
+//!                      matches)
+//!   --ignore SUBSTR    skip leaves whose path contains SUBSTR
+//!                      (repeatable; wall-clock fields are skipped by
+//!                      default)
+//!   --all              watch every numeric leaf, not just --prefix ones
+//! ```
+//!
+//! Exit codes: 0 = no regression, 1 = regression(s), 2 = usage or parse
+//! error.
+
+use std::process::ExitCode;
+
+use upkit_bench::{print_table, Json};
+
+/// Leaves that are timing noise, never compared (even under `--all`):
+/// wall clocks are not reproducible between machines.
+const ALWAYS_IGNORED: [&str; 4] = ["wall_ms", "wall_s", "_per_sec", "speedup"];
+
+struct Options {
+    baseline: String,
+    candidate: String,
+    threshold_pct: f64,
+    prefixes: Vec<String>,
+    ignores: Vec<String>,
+    all: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    let mut threshold_pct = 5.0;
+    let mut prefixes = Vec::new();
+    let mut ignores = Vec::new();
+    let mut all = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold_pct = args
+                    .next()
+                    .ok_or("--threshold needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --threshold: {e}"))?;
+            }
+            "--prefix" => prefixes.push(args.next().ok_or("--prefix needs a value")?),
+            "--ignore" => ignores.push(args.next().ok_or("--ignore needs a value")?),
+            "--all" => all = true,
+            "--help" | "-h" => return Err("usage".into()),
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("expected exactly two files: <baseline.json> <candidate.json>".into());
+    }
+    if prefixes.is_empty() {
+        prefixes.push("metrics.".to_string());
+    }
+    let mut positional = positional.into_iter();
+    Ok(Options {
+        baseline: positional.next().unwrap_or_default(),
+        candidate: positional.next().unwrap_or_default(),
+        threshold_pct,
+        prefixes,
+        ignores,
+        all,
+    })
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn watched(path: &str, opts: &Options) -> bool {
+    if ALWAYS_IGNORED.iter().any(|noise| path.contains(noise)) {
+        return false;
+    }
+    if opts.ignores.iter().any(|ignore| path.contains(ignore)) {
+        return false;
+    }
+    opts.all || opts.prefixes.iter().any(|prefix| path.starts_with(prefix))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("bench_diff: {message}");
+            eprintln!(
+                "usage: bench_diff <baseline.json> <candidate.json> \
+                 [--threshold PCT] [--prefix PATH]... [--ignore SUBSTR]... [--all]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let (baseline, candidate) = match (load(&opts.baseline), load(&opts.candidate)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let base_leaves = baseline.numeric_leaves();
+    let cand_leaves: std::collections::HashMap<String, f64> =
+        candidate.numeric_leaves().into_iter().collect();
+
+    let mut rows = Vec::new();
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (path, base_value) in &base_leaves {
+        if !watched(path, &opts) {
+            continue;
+        }
+        let Some(&cand_value) = cand_leaves.get(path) else {
+            // A metric that disappeared is a regression in observability
+            // itself.
+            regressions += 1;
+            rows.push(vec![
+                path.clone(),
+                format!("{base_value}"),
+                "MISSING".into(),
+                "-".into(),
+                "REGRESSED".into(),
+            ]);
+            continue;
+        };
+        compared += 1;
+        let delta_pct = if *base_value == 0.0 {
+            if cand_value == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (cand_value - base_value) / base_value * 100.0
+        };
+        let regressed = delta_pct > opts.threshold_pct;
+        if regressed {
+            regressions += 1;
+        }
+        // Keep the table focused: only changed or regressed leaves.
+        if regressed || delta_pct != 0.0 {
+            rows.push(vec![
+                path.clone(),
+                format!("{base_value}"),
+                format!("{cand_value}"),
+                if delta_pct.is_finite() {
+                    format!("{delta_pct:+.2}%")
+                } else {
+                    "new-nonzero".into()
+                },
+                if regressed { "REGRESSED" } else { "ok" }.into(),
+            ]);
+        }
+    }
+
+    if compared == 0 && regressions == 0 {
+        eprintln!(
+            "bench_diff: no watched metrics found (prefixes: {:?}) — \
+             baseline has no comparable leaves",
+            opts.prefixes
+        );
+        return ExitCode::from(2);
+    }
+
+    if rows.is_empty() {
+        println!(
+            "bench_diff: {compared} metrics compared, all identical \
+             (threshold {:.1}%)",
+            opts.threshold_pct
+        );
+    } else {
+        print_table(
+            &format!(
+                "bench_diff: {} vs {} (threshold {:.1}%)",
+                opts.baseline, opts.candidate, opts.threshold_pct
+            ),
+            &["Metric", "Baseline", "Candidate", "Delta", "Verdict"],
+            &rows,
+        );
+        println!("\n{compared} metrics compared, {regressions} regression(s)");
+    }
+
+    if regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

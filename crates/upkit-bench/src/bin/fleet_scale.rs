@@ -14,8 +14,9 @@
 
 use std::time::Instant;
 
-use upkit_bench::{print_table, Json};
-use upkit_sim::{run_rollout_sharded, DeviceModel, FleetConfig, ShardedFleetConfig};
+use upkit_bench::{metrics_json, print_table, Json};
+use upkit_sim::{run_rollout_sharded_traced, DeviceModel, FleetConfig, ShardedFleetConfig};
+use upkit_trace::Tracer;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -40,19 +41,32 @@ fn main() {
         verify_signatures: true,
     };
 
+    // Counters-only tracers (no sink): <2% overhead, and the snapshots
+    // double as a determinism check across thread counts.
+    let sequential_tracer = Tracer::disabled();
     let start = Instant::now();
-    let sequential = run_rollout_sharded(&base);
+    let sequential = run_rollout_sharded_traced(&base, &sequential_tracer);
     let sequential_s = start.elapsed().as_secs_f64();
 
+    let parallel_tracer = Tracer::disabled();
     let start = Instant::now();
-    let parallel = run_rollout_sharded(&ShardedFleetConfig {
-        threads: cores,
-        ..base
-    });
+    let parallel = run_rollout_sharded_traced(
+        &ShardedFleetConfig {
+            threads: cores,
+            ..base
+        },
+        &parallel_tracer,
+    );
     let parallel_s = start.elapsed().as_secs_f64();
 
     let identical = sequential == parallel;
     assert!(identical, "thread count changed the rollout outcome");
+    let metrics = parallel_tracer.counters().snapshot();
+    assert_eq!(
+        sequential_tracer.counters().snapshot(),
+        metrics,
+        "thread count changed the metrics counters"
+    );
 
     let rounds = parallel.rounds_to_converge();
     let rounds_per_sec = rounds as f64 / parallel_s;
@@ -78,6 +92,7 @@ fn main() {
         ("rounds_per_sec", Json::Num(rounds_per_sec)),
         ("device_updates_per_sec", Json::Num(updates_per_sec)),
         ("identical_across_thread_counts", Json::Bool(identical)),
+        ("metrics", metrics_json(&metrics)),
     ]);
 
     print_table(

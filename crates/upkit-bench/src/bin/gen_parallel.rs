@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use upkit_bench::{print_table, Json};
+use upkit_bench::{metrics_json, print_table, Json};
 use upkit_compress::{compress, Params as LzssParams};
 use upkit_core::generation::{Release, UpdateServer, VendorServer};
 use upkit_core::parallel::ParallelGenerator;
@@ -199,6 +199,15 @@ fn main() {
         "all three paths must emit identical wire images"
     );
 
+    // Deterministic generation metrics: total bytes the batch would put on
+    // the wire and the compressed payload bytes produced. A delta-engine or
+    // compressor regression that inflates updates trips `bench_diff` here.
+    let counters = upkit_trace::Counters::default();
+    let wire_bytes: u64 = parallel.iter().map(|img| img.to_bytes().len() as u64).sum();
+    let payload_bytes: u64 = parallel.iter().map(|img| img.payload.len() as u64).sum();
+    upkit_trace::Counters::add(&counters.link_bytes_to_device, wire_bytes);
+    upkit_trace::Counters::add(&counters.pipeline_bytes_out, payload_bytes);
+
     let json = Json::obj(vec![
         ("bench", Json::Str("gen_parallel".into())),
         ("smoke", Json::Bool(smoke)),
@@ -240,6 +249,7 @@ fn main() {
             ]),
         ),
         ("byte_identical", Json::Bool(byte_identical)),
+        ("metrics", metrics_json(&counters.snapshot())),
     ]);
 
     print_table(

@@ -25,7 +25,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use upkit_bench::print_table;
+use upkit_bench::{metrics_json, print_table, Json};
 use upkit_core::agent::{AgentConfig, UpdateAgent, UpdatePlan};
 use upkit_core::generation::{UpdateServer, VendorServer};
 use upkit_core::image::FIRMWARE_OFFSET;
@@ -38,7 +38,8 @@ use upkit_net::{
     BorderRouter, LinkProfile, LossyLink, PullEndpoints, PullSession, RetryPolicy,
     SessionEventKind, SessionOutcome, Step, TransferAccounting, Transport,
 };
-use upkit_sim::{run_event_rollout, EventFleetConfig, FirmwareGenerator};
+use upkit_sim::{run_event_rollout_traced, EventFleetConfig, FirmwareGenerator};
+use upkit_trace::Tracer;
 
 const LOSS_RATES: [(&str, f64); 5] = [
     ("0 %", 0.0),
@@ -72,7 +73,7 @@ struct SteppedRow {
 /// provisioned device, a Bernoulli-lossy 6LoWPAN link, and the per-block
 /// timeout → retry → exponential-backoff policy, advanced one link event
 /// at a time so losses and waits can be counted exactly.
-fn stepped_pull(firmware_size: usize, loss_rate: f64, seed: u64) -> SteppedRow {
+fn stepped_pull(firmware_size: usize, loss_rate: f64, seed: u64, tracer: &Tracer) -> SteppedRow {
     let mut rng = StdRng::seed_from_u64(seed);
     let vendor = VendorServer::new(SigningKey::generate(&mut rng));
     let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
@@ -115,6 +116,7 @@ fn stepped_pull(firmware_size: usize, loss_rate: f64, seed: u64) -> SteppedRow {
         max_firmware_size: slot_size - FIRMWARE_OFFSET,
     };
 
+    layout.set_tracer(tracer.clone());
     let link = LinkProfile::ieee802154_6lowpan();
     let router = BorderRouter::new();
     let mut session = PullSession::new(
@@ -122,6 +124,7 @@ fn stepped_pull(firmware_size: usize, loss_rate: f64, seed: u64) -> SteppedRow {
         RetryPolicy::for_link(&link),
         seed,
     );
+    session.set_tracer(tracer.clone());
     let mut endpoints = PullEndpoints::new(&server, &router, &mut agent, &mut layout, plan, 1);
 
     let mut events = 0u64;
@@ -185,10 +188,16 @@ fn main() {
     );
 
     // ── 2. One real stepped session per rate ────────────────────────────
+    // One counters-only tracer across the whole sweep: every session,
+    // flash write, and retransmission lands in the `metrics` section of
+    // BENCH_loss.json. Everything is virtual-time and seeded, so the
+    // section is byte-deterministic — CI diffs it against a committed
+    // snapshot with `bench_diff`.
+    let tracer = Tracer::disabled();
     let stepped_fw = if smoke { 20_000 } else { 100_000 };
     let mut rows = Vec::new();
     for (label, rate) in LOSS_RATES {
-        let row = stepped_pull(stepped_fw, rate, 0x10_55 + (rate * 100.0) as u64);
+        let row = stepped_pull(stepped_fw, rate, 0x10_55 + (rate * 100.0) as u64, &tracer);
         assert!(
             matches!(row.outcome, SessionOutcome::Complete),
             "stepped session at {label}: {:?}",
@@ -223,15 +232,25 @@ fn main() {
     // ── 3. Interleaved event-fleet campaign ─────────────────────────────
     let devices = if smoke { 60 } else { 400 };
     let mut rows = Vec::new();
+    let mut fleet_rows = Vec::new();
     for (label, rate) in [("0 %", 0.0), ("10 %", 0.10), ("20 %", 0.20)] {
-        let report = run_event_rollout(&EventFleetConfig {
-            devices,
-            firmware_size: 2_000,
-            loss_rate: rate,
-            verify_signatures: false,
-            device_bound_manifests: false,
-            ..EventFleetConfig::default()
-        });
+        let report = run_event_rollout_traced(
+            &EventFleetConfig {
+                devices,
+                firmware_size: 2_000,
+                loss_rate: rate,
+                verify_signatures: false,
+                device_bound_manifests: false,
+                ..EventFleetConfig::default()
+            },
+            &tracer,
+        );
+        fleet_rows.push(Json::obj(vec![
+            ("loss_rate", Json::Num(rate)),
+            ("completed", Json::Int(u64::from(report.completed))),
+            ("wire_bytes", Json::Int(report.total_wire_bytes)),
+            ("makespan_micros", Json::Int(report.makespan_micros)),
+        ]));
         rows.push(vec![
             label.to_string(),
             format!("{}/{}", report.completed, devices),
@@ -257,4 +276,18 @@ fn main() {
          campaign — retransmissions of one device interleave with fresh\n\
          chunks of every other."
     );
+
+    // Machine-readable artifact. Everything in it — including the metrics
+    // counters — is virtual-time and seeded, so the file is reproducible
+    // bit for bit and diffable in CI.
+    let json = Json::obj(vec![
+        ("bench", Json::Str("loss_sweep".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("stepped_firmware_bytes", Json::Int(stepped_fw as u64)),
+        ("fleet_devices", Json::Int(u64::from(devices))),
+        ("event_fleet", Json::Arr(fleet_rows)),
+        ("metrics", metrics_json(&tracer.counters().snapshot())),
+    ]);
+    std::fs::write("BENCH_loss.json", json.render()).expect("write BENCH_loss.json");
+    println!("\nwrote BENCH_loss.json");
 }

@@ -78,6 +78,8 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
     /// An array.
     Arr(Vec<Json>),
+    /// A null (parsed from foreign files; the benches never emit it).
+    Null,
 }
 
 impl Json {
@@ -101,10 +103,93 @@ impl Json {
         out
     }
 
+    /// Field lookup on an object (`None` on other variants or a missing
+    /// key).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Self::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Num`, `Int`, and `Bool` (as 0/1) coerce, everything
+    /// else is `None`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Num(v) => Some(*v),
+            Self::Int(v) => Some(*v as f64),
+            Self::Bool(v) => Some(f64::from(u8::from(*v))),
+            _ => None,
+        }
+    }
+
+    /// Every numeric leaf of the tree as `(dotted.path, value)`, in
+    /// document order. Array elements are indexed (`rounds.0`,
+    /// `rounds.1`, …). This is the flat view `bench_diff` compares.
+    #[must_use]
+    pub fn numeric_leaves(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        self.collect_leaves("", &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, prefix: &str, out: &mut Vec<(String, f64)>) {
+        let path = |segment: &str| {
+            if prefix.is_empty() {
+                segment.to_string()
+            } else {
+                format!("{prefix}.{segment}")
+            }
+        };
+        match self {
+            Self::Obj(fields) => {
+                for (key, value) in fields {
+                    value.collect_leaves(&path(key), out);
+                }
+            }
+            Self::Arr(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    item.collect_leaves(&path(&i.to_string()), out);
+                }
+            }
+            _ => {
+                if let Some(v) = self.as_f64() {
+                    out.push((prefix.to_string(), v));
+                }
+            }
+        }
+    }
+
+    /// Parses a JSON document (the counterpart of [`Json::render`]).
+    ///
+    /// Supports the full JSON grammar the benches emit plus `null`; numbers
+    /// parse as [`Json::Int`] when they are non-negative integers without
+    /// exponent/fraction, [`Json::Num`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
     fn render_into(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent + 1);
         let close_pad = "  ".repeat(indent);
         match self {
+            Self::Null => out.push_str("null"),
             Self::Num(v) => out.push_str(&format!("{v:.3}")),
             Self::Int(v) => out.push_str(&v.to_string()),
             Self::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
@@ -146,6 +231,197 @@ impl Json {
     }
 }
 
+/// Recursive-descent state for [`Json::parse`].
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect_byte(&mut self, want: u8) -> Result<(), String> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", want as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or(format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogate pairs don't occur in bench output;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf8")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "invalid utf8")?;
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+/// The `metrics` section every `BENCH_*.json` carries: a flat object of
+/// the [`upkit_trace`] counter registry, deterministic for deterministic
+/// benches and therefore diffable by `bench_diff`.
+#[must_use]
+pub fn metrics_json(snapshot: &upkit_trace::CountersSnapshot) -> Json {
+    Json::Obj(
+        snapshot
+            .fields()
+            .into_iter()
+            .map(|(name, value)| (name, Json::Int(value)))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +446,79 @@ mod tests {
         assert_eq!(
             Json::Str("a\"b\\c\nd".into()).render(),
             "\"a\\\"b\\\\c\\nd\"\n"
+        );
+    }
+
+    #[test]
+    fn json_parse_round_trips_render() {
+        let json = Json::obj(vec![
+            ("bench", Json::Str("loss\n\"sweep\"".into())),
+            ("smoke", Json::Bool(true)),
+            ("nothing", Json::Null),
+            (
+                "metrics",
+                Json::obj(vec![
+                    ("link_bytes_to_device", Json::Int(123_456)),
+                    ("ratio", Json::Num(-1.5)),
+                ]),
+            ),
+            ("rounds", Json::Arr(vec![Json::Int(3), Json::Int(9)])),
+        ]);
+        let parsed = Json::parse(&json.render()).expect("round trip");
+        assert_eq!(parsed.render(), json.render());
+        assert_eq!(
+            parsed
+                .get("metrics")
+                .and_then(|m| m.get("link_bytes_to_device"))
+                .and_then(Json::as_f64),
+            Some(123_456.0)
+        );
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn numeric_leaves_flatten_in_document_order() {
+        let json = Json::obj(vec![
+            ("a", Json::Int(1)),
+            (
+                "b",
+                Json::obj(vec![
+                    ("c", Json::Num(2.5)),
+                    ("skip", Json::Str("text".into())),
+                ]),
+            ),
+            ("d", Json::Arr(vec![Json::Int(7), Json::Int(8)])),
+        ]);
+        assert_eq!(
+            json.numeric_leaves(),
+            vec![
+                ("a".to_string(), 1.0),
+                ("b.c".to_string(), 2.5),
+                ("d.0".to_string(), 7.0),
+                ("d.1".to_string(), 8.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn metrics_json_exposes_counter_fields() {
+        let counters = upkit_trace::Counters::default();
+        upkit_trace::Counters::add(&counters.link_bytes_to_device, 42);
+        let json = metrics_json(&counters.snapshot());
+        assert_eq!(
+            json.get("link_bytes_to_device").and_then(Json::as_f64),
+            Some(42.0)
+        );
+        assert_eq!(
+            json.get("flash_erases_slot0").and_then(Json::as_f64),
+            Some(0.0)
         );
     }
 

@@ -21,7 +21,8 @@ use std::sync::Arc;
 
 use upkit_crypto::backend::SecurityBackend;
 use upkit_flash::{LayoutError, MemoryLayout, SlotId};
-use upkit_manifest::{DeviceToken, SignedManifest, Version, SIGNED_MANIFEST_LEN};
+use upkit_manifest::{DeviceToken, Manifest, SignedManifest, Version, SIGNED_MANIFEST_LEN};
+use upkit_trace::{Counters, Event};
 
 use crate::image::write_manifest;
 use crate::keys::TrustAnchors;
@@ -47,6 +48,23 @@ pub enum AgentState {
     ReadyToReboot,
     /// A failure occurred; session state must be cleaned before reuse.
     Cleaning,
+}
+
+impl AgentState {
+    /// Stable lowercase name for trace output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Waiting => "waiting",
+            Self::StartUpdate => "start_update",
+            Self::ReceiveManifest => "receive_manifest",
+            Self::VerifyManifest => "verify_manifest",
+            Self::ReceiveFirmware => "receive_firmware",
+            Self::VerifyFirmware => "verify_firmware",
+            Self::ReadyToReboot => "ready_to_reboot",
+            Self::Cleaning => "cleaning",
+        }
+    }
 }
 
 /// Device-constant agent configuration.
@@ -170,6 +188,49 @@ struct Session {
     payload_received: u64,
 }
 
+impl Session {
+    /// The manifest accepted by `verify_manifest`. Its absence in a
+    /// firmware-phase state is an internal invariant violation, so debug
+    /// builds assert while release builds degrade to a typed error.
+    fn accepted_manifest(&self, state: AgentState) -> Result<Manifest, AgentError> {
+        match self.accepted.as_ref() {
+            Some(signed) => Ok(signed.manifest),
+            None => {
+                debug_assert!(false, "agent state {state:?} requires an accepted manifest");
+                Err(AgentError::WrongState(state))
+            }
+        }
+    }
+
+    /// The pipeline constructed alongside the accepted manifest; same
+    /// invariant policy as [`Session::accepted_manifest`].
+    fn pipeline_mut(&mut self, state: AgentState) -> Result<&mut Pipeline, AgentError> {
+        match self.pipeline.as_mut() {
+            Some(pipeline) => Ok(pipeline),
+            None => {
+                debug_assert!(false, "agent state {state:?} requires a pipeline");
+                Err(AgentError::WrongState(state))
+            }
+        }
+    }
+}
+
+/// A session must exist in every non-idle state; if it does not, the
+/// FSM was corrupted — assert in debug builds, return a typed error in
+/// release builds instead of panicking on externally triggered paths.
+fn active_session(
+    state: AgentState,
+    session: Option<&mut Session>,
+) -> Result<&mut Session, AgentError> {
+    match session {
+        Some(session) => Ok(session),
+        None => {
+            debug_assert!(false, "agent state {state:?} requires an active session");
+            Err(AgentError::WrongState(state))
+        }
+    }
+}
+
 /// The update agent.
 pub struct UpdateAgent {
     backend: Arc<dyn SecurityBackend>,
@@ -211,6 +272,22 @@ impl UpdateAgent {
         self.state
     }
 
+    /// Moves the FSM and emits the transition on the layout's tracer —
+    /// the agent observes through whatever tracer its flash is wired to,
+    /// so one `MemoryLayout::set_tracer` call captures both layers.
+    fn transition(&mut self, layout: &MemoryLayout, to: AgentState) {
+        let from = self.state;
+        self.state = to;
+        if from != to {
+            let device = u64::from(self.config.device_id);
+            layout.tracer().emit(|| Event::AgentTransition {
+                device,
+                from: from.name(),
+                to: to.name(),
+            });
+        }
+    }
+
     /// The manifest accepted in this session, once verified.
     #[must_use]
     pub fn accepted_manifest(&self) -> Option<&SignedManifest> {
@@ -232,11 +309,11 @@ impl UpdateAgent {
         if self.state != AgentState::Waiting {
             return Err(AgentError::WrongState(self.state));
         }
-        self.state = AgentState::StartUpdate;
+        self.transition(layout, AgentState::StartUpdate);
         if let Err(e) = layout.erase_slot(plan.target_slot) {
             // Stay recoverable: a failed erase returns the FSM to idle
             // instead of stranding it in StartUpdate.
-            self.state = AgentState::Waiting;
+            self.transition(layout, AgentState::Waiting);
             return Err(e.into());
         }
         let token = DeviceToken {
@@ -256,7 +333,7 @@ impl UpdateAgent {
             pipeline: None,
             payload_received: 0,
         });
-        self.state = AgentState::ReceiveManifest;
+        self.transition(layout, AgentState::ReceiveManifest);
         Ok(token)
     }
 
@@ -271,7 +348,7 @@ impl UpdateAgent {
         match self.push_data_inner(layout, chunk) {
             Ok(phase) => Ok(phase),
             Err(e) => {
-                self.state = AgentState::Cleaning;
+                self.transition(layout, AgentState::Cleaning);
                 Err(e)
             }
         }
@@ -284,46 +361,40 @@ impl UpdateAgent {
     ) -> Result<AgentPhase, AgentError> {
         let mut phase = AgentPhase::NeedMore;
         while !chunk.is_empty() {
-            match self.state {
+            let state = self.state;
+            match state {
                 AgentState::ReceiveManifest => {
-                    let session = self.session.as_mut().expect("session in ReceiveManifest");
+                    let session = active_session(state, self.session.as_mut())?;
                     let need = SIGNED_MANIFEST_LEN - session.manifest_buf.len();
                     let take = need.min(chunk.len());
                     session.manifest_buf.extend_from_slice(&chunk[..take]);
                     chunk = &chunk[take..];
                     if session.manifest_buf.len() == SIGNED_MANIFEST_LEN {
-                        self.state = AgentState::VerifyManifest;
+                        self.transition(layout, AgentState::VerifyManifest);
                         self.verify_manifest(layout)?;
                         phase = AgentPhase::ManifestAccepted;
-                        self.state = AgentState::ReceiveFirmware;
+                        self.transition(layout, AgentState::ReceiveFirmware);
                     }
                 }
                 AgentState::ReceiveFirmware => {
-                    let session = self.session.as_mut().expect("session in ReceiveFirmware");
-                    let manifest = session
-                        .accepted
-                        .as_ref()
-                        .expect("accepted manifest")
-                        .manifest;
+                    let session = active_session(state, self.session.as_mut())?;
+                    let manifest = session.accepted_manifest(state)?;
                     let remaining = u64::from(manifest.payload_size) - session.payload_received;
                     if remaining == 0 {
                         return Err(AgentError::TooMuchData);
                     }
                     let take = (remaining as usize).min(chunk.len());
-                    session
-                        .pipeline
-                        .as_mut()
-                        .expect("pipeline in ReceiveFirmware")
-                        .push(layout, &chunk[..take])?;
+                    session.pipeline_mut(state)?.push(layout, &chunk[..take])?;
+                    Counters::add(&layout.tracer().counters().pipeline_bytes_in, take as u64);
                     session.payload_received += take as u64;
                     chunk = &chunk[take..];
                     if session.payload_received == u64::from(manifest.payload_size) {
                         if !chunk.is_empty() {
                             return Err(AgentError::TooMuchData);
                         }
-                        self.state = AgentState::VerifyFirmware;
+                        self.transition(layout, AgentState::VerifyFirmware);
                         self.verify_firmware(layout)?;
-                        self.state = AgentState::ReadyToReboot;
+                        self.transition(layout, AgentState::ReadyToReboot);
                         phase = AgentPhase::Complete;
                     }
                 }
@@ -336,7 +407,7 @@ impl UpdateAgent {
     /// *VerifyManifest*: double-signature + field validation, then pipeline
     /// construction and manifest persistence.
     fn verify_manifest(&mut self, layout: &mut MemoryLayout) -> Result<(), AgentError> {
-        let session = self.session.as_mut().expect("session in VerifyManifest");
+        let session = active_session(self.state, self.session.as_mut())?;
         let signed = SignedManifest::from_bytes(&session.manifest_buf)
             .map_err(|_| AgentError::Verify(VerifyError::VendorSignature))?;
 
@@ -349,7 +420,16 @@ impl UpdateAgent {
             allowed_link_offsets: session.plan.allowed_link_offsets.clone(),
             max_size: session.plan.max_firmware_size,
         };
-        Verifier::new(self.backend.as_ref(), &self.anchors).verify_manifest(&signed, &ctx)?;
+        let verified =
+            Verifier::new(self.backend.as_ref(), &self.anchors).verify_manifest(&signed, &ctx);
+        // Each manifest carries two signatures (vendor + update server).
+        Counters::add(&layout.tracer().counters().sig_verifications, 2);
+        let device = u64::from(self.config.device_id);
+        let ok = verified.is_ok();
+        layout
+            .tracer()
+            .emit(|| Event::SignatureChecked { device, ok });
+        verified?;
 
         let manifest = signed.manifest;
         let mut pipeline = if manifest.is_differential() {
@@ -384,17 +464,16 @@ impl UpdateAgent {
     /// *VerifyFirmware*: flush the pipeline and compare the stored
     /// firmware's digest with the manifest's.
     fn verify_firmware(&mut self, layout: &mut MemoryLayout) -> Result<(), AgentError> {
-        let session = self.session.as_mut().expect("session in VerifyFirmware");
-        let manifest = session
-            .accepted
-            .as_ref()
-            .expect("accepted manifest")
-            .manifest;
-        session
-            .pipeline
-            .as_mut()
-            .expect("pipeline in VerifyFirmware")
-            .finish(layout)?;
+        let state = self.state;
+        let session = active_session(state, self.session.as_mut())?;
+        let manifest = session.accepted_manifest(state)?;
+        let produced = session.pipeline_mut(state)?.finish(layout)?;
+        let bytes_in = session.payload_received;
+        Counters::add(&layout.tracer().counters().pipeline_bytes_out, produced);
+        layout.tracer().emit(|| Event::PipelineFinished {
+            bytes_in,
+            bytes_out: produced,
+        });
 
         // Read the firmware back from flash: what is verified is what will
         // boot, not what happened to pass through RAM.
@@ -423,7 +502,7 @@ impl UpdateAgent {
                 layout.erase_slot_sector(session.plan.target_slot, 0)?;
             }
         }
-        self.state = AgentState::Waiting;
+        self.transition(layout, AgentState::Waiting);
         Ok(())
     }
 

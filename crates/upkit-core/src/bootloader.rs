@@ -20,6 +20,7 @@ use std::sync::Arc;
 use upkit_crypto::backend::SecurityBackend;
 use upkit_flash::{LayoutError, MemoryLayout, SlotId};
 use upkit_manifest::{SignedManifest, Version};
+use upkit_trace::{Counters, Event};
 
 use crate::image::{read_firmware_chunks, read_manifest};
 use crate::keys::TrustAnchors;
@@ -189,7 +190,10 @@ impl Bootloader {
         manifest.old_version = Version(0);
         manifest.payload_size = manifest.size;
         verifier.check_fields(&manifest, &ctx)?;
-        verifier.check_signatures(&signed)?;
+        let signatures = verifier.check_signatures(&signed);
+        // Boot-time re-verification also covers both signatures.
+        Counters::add(&layout.tracer().counters().sig_verifications, 2);
+        signatures?;
 
         let mut digester = FirmwareDigester::new();
         read_firmware_chunks(layout, slot, signed.manifest.size, 4096, |chunk| {
@@ -205,6 +209,17 @@ impl Bootloader {
     /// recovery slot is configured, falls back to restoring the recovery
     /// image.
     pub fn boot(&self, layout: &mut MemoryLayout) -> Result<BootOutcome, BootError> {
+        let result = self.boot_inner(layout);
+        if let Ok(outcome) = &result {
+            Counters::add(&layout.tracer().counters().boots, 1);
+            let slot = outcome.booted_slot.0;
+            let version = u64::from(outcome.version.0);
+            layout.tracer().emit(|| Event::Boot { slot, version });
+        }
+        result
+    }
+
+    fn boot_inner(&self, layout: &mut MemoryLayout) -> Result<BootOutcome, BootError> {
         let regular = match self.config.mode.clone() {
             BootMode::AB { slots } => self.boot_ab(layout, &slots),
             BootMode::Static {

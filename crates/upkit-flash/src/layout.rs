@@ -9,6 +9,8 @@
 //! Configuration A (two bootable slots, enabling A/B updates) and
 //! Configuration B (one bootable + one non-bootable slot, static updates).
 
+use upkit_trace::{Counters, Event, Tracer};
+
 use crate::device::{FlashDevice, FlashError, FlashStats};
 
 /// Identifies a slot within a [`MemoryLayout`].
@@ -93,6 +95,7 @@ pub struct MemoryLayout {
     devices: Vec<Box<dyn FlashDevice>>,
     slots: Vec<SlotSpec>,
     bytes_read: u64,
+    tracer: Tracer,
 }
 
 impl core::fmt::Debug for MemoryLayout {
@@ -118,7 +121,20 @@ impl MemoryLayout {
             devices: Vec::new(),
             slots: Vec::new(),
             bytes_read: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the tracer charged by every slot operation. The default
+    /// is a disabled tracer: counters accumulate locally, no events.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer this layout charges flash activity to.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Adds a flash device, returning its index for use in [`SlotSpec`]s.
@@ -182,6 +198,10 @@ impl MemoryLayout {
             return Err(LayoutError::Flash(FlashError::OutOfBounds));
         }
         self.devices[spec.device].read(spec.offset + offset, buf)?;
+        Counters::add(
+            &self.tracer.counters().flash_reads[Counters::slot_bucket(id.0)],
+            buf.len() as u64,
+        );
         Ok(())
     }
 
@@ -194,6 +214,10 @@ impl MemoryLayout {
     ) -> Result<(), LayoutError> {
         self.read_slot(id, offset, buf)?;
         self.bytes_read += buf.len() as u64;
+        self.tracer.emit(|| Event::FlashRead {
+            slot: id.0,
+            bytes: buf.len() as u64,
+        });
         Ok(())
     }
 
@@ -205,6 +229,14 @@ impl MemoryLayout {
             return Err(LayoutError::Flash(FlashError::OutOfBounds));
         }
         self.devices[spec.device].write(spec.offset + offset, data)?;
+        Counters::add(
+            &self.tracer.counters().flash_writes[Counters::slot_bucket(id.0)],
+            data.len() as u64,
+        );
+        self.tracer.emit(|| Event::FlashWrite {
+            slot: id.0,
+            bytes: data.len() as u64,
+        });
         Ok(())
     }
 
@@ -212,11 +244,21 @@ impl MemoryLayout {
     pub fn erase_slot(&mut self, id: SlotId) -> Result<(), LayoutError> {
         let spec = self.slot(id)?;
         let sector = self.devices[spec.device].geometry().sector_size;
+        let erase_counter = &self.tracer.counters().flash_erases[Counters::slot_bucket(id.0)];
         let mut addr = spec.offset;
+        let mut sectors = 0u64;
         while addr < spec.offset + spec.size {
+            // Charge as we go: a power cut mid-erase must still account
+            // for the sectors that were consumed before the failure.
             self.devices[spec.device].erase_sector(addr)?;
+            Counters::add(erase_counter, 1);
             addr += sector;
+            sectors += 1;
         }
+        self.tracer.emit(|| Event::FlashErase {
+            slot: id.0,
+            sectors,
+        });
         Ok(())
     }
 
@@ -227,6 +269,14 @@ impl MemoryLayout {
             return Err(LayoutError::Flash(FlashError::OutOfBounds));
         }
         self.devices[spec.device].erase_sector(spec.offset + offset)?;
+        Counters::add(
+            &self.tracer.counters().flash_erases[Counters::slot_bucket(id.0)],
+            1,
+        );
+        self.tracer.emit(|| Event::FlashErase {
+            slot: id.0,
+            sectors: 1,
+        });
         Ok(())
     }
 
@@ -244,13 +294,19 @@ impl MemoryLayout {
         if self.devices[src_spec.device].geometry().sector_size != sector {
             return Err(LayoutError::SizeMismatch);
         }
+        let counters = self.tracer.counters();
+        let src_bucket = Counters::slot_bucket(src.0);
+        let dst_bucket = Counters::slot_bucket(dst.0);
         let mut buf = vec![0u8; sector as usize];
         let mut offset = 0u32;
         while offset < src_spec.size {
             self.devices[src_spec.device].read(src_spec.offset + offset, &mut buf)?;
             self.bytes_read += u64::from(sector);
+            Counters::add(&counters.flash_reads[src_bucket], u64::from(sector));
             self.devices[dst_spec.device].erase_sector(dst_spec.offset + offset)?;
+            Counters::add(&counters.flash_erases[dst_bucket], 1);
             self.devices[dst_spec.device].write(dst_spec.offset + offset, &buf)?;
+            Counters::add(&counters.flash_writes[dst_bucket], u64::from(sector));
             offset += sector;
         }
         Ok(())
@@ -269,6 +325,9 @@ impl MemoryLayout {
         if self.devices[b_spec.device].geometry().sector_size != sector {
             return Err(LayoutError::SizeMismatch);
         }
+        let counters = self.tracer.counters();
+        let a_bucket = Counters::slot_bucket(a.0);
+        let b_bucket = Counters::slot_bucket(b.0);
         let mut buf_a = vec![0u8; sector as usize];
         let mut buf_b = vec![0u8; sector as usize];
         let mut offset = 0u32;
@@ -276,12 +335,20 @@ impl MemoryLayout {
             self.devices[a_spec.device].read(a_spec.offset + offset, &mut buf_a)?;
             self.devices[b_spec.device].read(b_spec.offset + offset, &mut buf_b)?;
             self.bytes_read += 2 * u64::from(sector);
+            Counters::add(&counters.flash_reads[a_bucket], u64::from(sector));
+            Counters::add(&counters.flash_reads[b_bucket], u64::from(sector));
             self.devices[a_spec.device].erase_sector(a_spec.offset + offset)?;
+            Counters::add(&counters.flash_erases[a_bucket], 1);
             self.devices[a_spec.device].write(a_spec.offset + offset, &buf_b)?;
+            Counters::add(&counters.flash_writes[a_bucket], u64::from(sector));
             self.devices[b_spec.device].erase_sector(b_spec.offset + offset)?;
+            Counters::add(&counters.flash_erases[b_bucket], 1);
             self.devices[b_spec.device].write(b_spec.offset + offset, &buf_a)?;
+            Counters::add(&counters.flash_writes[b_bucket], u64::from(sector));
             offset += sector;
         }
+        Counters::add(&counters.slot_swaps, 1);
+        self.tracer.emit(|| Event::SlotsSwapped { a: a.0, b: b.0 });
         Ok(())
     }
 

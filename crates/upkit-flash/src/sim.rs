@@ -65,10 +65,15 @@ impl SimFlash {
         self.strict_program = strict;
     }
 
-    /// Erase count of the sector containing `addr`.
+    /// Erase count of the sector containing `addr`, or `None` when
+    /// `addr` is past the end of the device — the same bounds policy as
+    /// the read/write/erase paths, which return
+    /// [`FlashError::OutOfBounds`] rather than panicking.
     #[must_use]
-    pub fn sector_wear(&self, addr: u32) -> u32 {
-        self.wear[(addr / self.geometry.sector_size) as usize]
+    pub fn sector_wear(&self, addr: u32) -> Option<u32> {
+        self.wear
+            .get((addr / self.geometry.sector_size) as usize)
+            .copied()
     }
 
     /// Highest erase count across all sectors.
@@ -225,15 +230,23 @@ mod tests {
     fn erase_restores_ff_and_counts_wear() {
         let mut flash = small();
         flash.write(4096, &[0u8; 100]).unwrap();
-        assert_eq!(flash.sector_wear(4096), 0);
+        assert_eq!(flash.sector_wear(4096), Some(0));
         flash.erase_sector(4096 + 50).unwrap();
-        assert_eq!(flash.sector_wear(4096), 1);
+        assert_eq!(flash.sector_wear(4096), Some(1));
         let mut buf = [0u8; 100];
         flash.read(4096, &mut buf).unwrap();
         assert_eq!(buf, [0xFF; 100]);
         // Other sectors untouched.
-        assert_eq!(flash.sector_wear(0), 0);
+        assert_eq!(flash.sector_wear(0), Some(0));
         assert_eq!(flash.max_wear(), 1);
+    }
+
+    #[test]
+    fn sector_wear_is_none_past_the_end() {
+        let flash = small(); // 4 sectors of 4096
+        assert_eq!(flash.sector_wear(4096 * 4 - 1), Some(0)); // last byte
+        assert_eq!(flash.sector_wear(4096 * 4), None); // first invalid addr
+        assert_eq!(flash.sector_wear(u32::MAX), None);
     }
 
     #[test]

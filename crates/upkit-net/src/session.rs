@@ -29,6 +29,7 @@ use upkit_core::agent::{AgentError, AgentPhase, AgentState, UpdateAgent, UpdateP
 use upkit_core::generation::UpdateServer;
 use upkit_flash::MemoryLayout;
 use upkit_manifest::{DeviceToken, DEVICE_TOKEN_LEN, SIGNED_MANIFEST_LEN};
+use upkit_trace::{Counters, Event, Tracer};
 
 use crate::lossy::LossyLink;
 use crate::profiles::{LinkProfile, TransferAccounting};
@@ -58,6 +59,20 @@ impl SessionOutcome {
     #[must_use]
     pub fn is_complete(&self) -> bool {
         matches!(self, Self::Complete)
+    }
+
+    /// Stable lowercase label for trace output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Complete => "complete",
+            Self::NoUpdateAvailable => "no_update",
+            Self::RejectedAtManifest(_) => "rejected_at_manifest",
+            Self::RejectedAtFirmware(_) => "rejected_at_firmware",
+            Self::Incomplete => "incomplete",
+            Self::ProxyEmpty => "proxy_empty",
+            Self::TimedOut => "timed_out",
+        }
     }
 }
 
@@ -256,6 +271,7 @@ struct SessionCore {
     firmware_complete: bool,
     acc: TransferAccounting,
     outcome: Option<SessionOutcome>,
+    tracer: Tracer,
 }
 
 impl SessionCore {
@@ -274,10 +290,25 @@ impl SessionCore {
             firmware_complete: false,
             acc: TransferAccounting::default(),
             outcome: None,
+            tracer: Tracer::disabled(),
         }
     }
 
     fn done(&mut self, outcome: SessionOutcome) -> Step {
+        // A finished session may be stepped again (it repeats its
+        // report); only the first termination is traced and counted.
+        if self.outcome.is_none() {
+            Counters::add(&self.tracer.counters().link_micros, self.acc.elapsed_micros);
+            self.tracer.advance_now_to(self.acc.elapsed_micros);
+            let stream = self.stream_id;
+            let label = outcome.label();
+            let bytes_to_device = self.acc.bytes_to_device;
+            self.tracer.emit(|| Event::SessionDone {
+                stream,
+                outcome: label,
+                bytes_to_device,
+            });
+        }
         self.stage = Stage::Finished;
         self.outcome = Some(outcome.clone());
         Step::Done(SessionReport {
@@ -295,6 +326,10 @@ impl SessionCore {
 
     fn step(&mut self, io: &mut dyn SessionEndpoints) -> Step {
         let before = self.acc.elapsed_micros;
+        // Stamp events at the virtual time the step begins. The clock is
+        // a fetch-max, so interleaved sessions sharing one tracer keep
+        // the merged trace monotone.
+        self.tracer.advance_now_to(before);
         match std::mem::replace(&mut self.stage, Stage::Finished) {
             Stage::Finished => {
                 let outcome = self.outcome.clone().unwrap_or(SessionOutcome::Incomplete);
@@ -306,14 +341,22 @@ impl SessionCore {
                 // refusal costs no radio at all.
                 if self.flavor == Flavor::Push {
                     self.acc.charge_round_trip(&self.link.link);
+                    Counters::add(&self.tracer.counters().round_trips, 1);
                 }
                 match io.request_token() {
                     Ok(token) => {
                         if self.flavor == Flavor::Pull {
                             self.acc.charge_round_trip(&self.link.link);
+                            Counters::add(&self.tracer.counters().round_trips, 1);
                         }
                         self.acc
                             .charge_from_device(&self.link.link, DEVICE_TOKEN_LEN as u64);
+                        Counters::add(
+                            &self.tracer.counters().link_bytes_from_device,
+                            DEVICE_TOKEN_LEN as u64,
+                        );
+                        let stream = self.stream_id;
+                        self.tracer.emit(|| Event::TokenExchange { stream });
                         self.stage = Stage::Fetch { token };
                         self.progress(SessionEventKind::TokenExchange, before)
                     }
@@ -324,6 +367,14 @@ impl SessionCore {
                 StreamResolution::NoUpdate => self.done(SessionOutcome::NoUpdateAvailable),
                 StreamResolution::ProxyEmpty => self.done(SessionOutcome::ProxyEmpty),
                 StreamResolution::Stream(stream) => {
+                    let stream_id = self.stream_id;
+                    let manifest_bytes = stream.manifest.len() as u64;
+                    let payload_bytes = stream.payload.len() as u64;
+                    self.tracer.emit(|| Event::ProxyFetch {
+                        stream: stream_id,
+                        manifest_bytes,
+                        payload_bytes,
+                    });
                     self.stream = Some(stream);
                     self.cursor = 0;
                     self.stage = Stage::Manifest;
@@ -332,6 +383,9 @@ impl SessionCore {
             },
             Stage::GoAhead => {
                 self.acc.charge_round_trip(&self.link.link);
+                Counters::add(&self.tracer.counters().round_trips, 1);
+                let stream = self.stream_id;
+                self.tracer.emit(|| Event::GoAhead { stream });
                 self.stage = Stage::Firmware;
                 self.cursor = 0;
                 self.progress(SessionEventKind::GoAhead, before)
@@ -342,12 +396,17 @@ impl SessionCore {
     }
 
     fn chunk_step(&mut self, io: &mut dyn SessionEndpoints, region: Region, before: u64) -> Step {
-        let len = {
-            let stream = self.stream.as_ref().expect("stream resolved before chunks");
-            match region {
-                Region::Manifest => stream.manifest.len(),
-                Region::Firmware => stream.payload.len(),
-            }
+        // The chunk stages are only entered after Fetch installed the
+        // stream; a missing stream here means the state machine was
+        // corrupted. Assert in debug builds, terminate cleanly otherwise
+        // instead of panicking mid-fleet.
+        let Some(stream_ref) = self.stream.as_ref() else {
+            debug_assert!(false, "chunk step before stream resolution");
+            return self.done(SessionOutcome::Incomplete);
+        };
+        let len = match region {
+            Region::Manifest => stream_ref.manifest.len(),
+            Region::Firmware => stream_ref.payload.len(),
         };
         if self.cursor >= len {
             // Only reachable when the region is empty (truncated stream or
@@ -365,16 +424,29 @@ impl SessionCore {
         self.tx_attempts += 1;
         if self.flavor == Flavor::Pull {
             self.acc.charge_round_trip(&self.link.link);
+            Counters::add(&self.tracer.counters().round_trips, 1);
         }
         self.acc.charge_to_device(&self.link.link, bytes as u64);
+        Counters::add(&self.tracer.counters().frames_sent, 1);
+        Counters::add(&self.tracer.counters().link_bytes_to_device, bytes as u64);
 
         if self.link.drops(self.stream_id, attempt_index) {
             let timeout_micros = self.retry.timeout_after(self.attempts);
             self.attempts += 1;
             self.acc.charge_wait(timeout_micros);
+            Counters::add(&self.tracer.counters().frames_lost, 1);
+            Counters::add(&self.tracer.counters().wait_micros, timeout_micros);
+            let stream_id = self.stream_id;
+            let attempt = u64::from(self.attempts - 1);
+            self.tracer.emit(|| Event::ChunkLost {
+                stream: stream_id,
+                bytes: bytes as u64,
+                attempt,
+            });
             if self.attempts > self.retry.max_retries {
                 return self.done(SessionOutcome::TimedOut);
             }
+            Counters::add(&self.tracer.counters().retries, 1);
             self.stage = region.stage();
             return self.progress(
                 SessionEventKind::ChunkLost {
@@ -387,13 +459,21 @@ impl SessionCore {
         self.attempts = 0;
 
         let delivery = {
-            let stream = self.stream.as_ref().expect("stream resolved before chunks");
+            let Some(stream) = self.stream.as_ref() else {
+                debug_assert!(false, "chunk step before stream resolution");
+                return self.done(SessionOutcome::Incomplete);
+            };
             let chunk = match region {
                 Region::Manifest => &stream.manifest[start..end],
                 Region::Firmware => &stream.payload[start..end],
             };
             io.deliver(chunk)
         };
+        let stream_id = self.stream_id;
+        self.tracer.emit(|| Event::ChunkDelivered {
+            stream: stream_id,
+            bytes: bytes as u64,
+        });
         let phase = match delivery {
             Ok(phase) => phase,
             Err(e) => {
@@ -461,6 +541,11 @@ impl PushSession {
             core: SessionCore::new(Flavor::Push, link, retry, stream_id),
         }
     }
+
+    /// Routes this session's counters and events through `tracer`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.core.tracer = tracer;
+    }
 }
 
 impl Transport for PushSession {
@@ -490,6 +575,11 @@ impl PullSession {
         Self {
             core: SessionCore::new(Flavor::Pull, link, retry, stream_id),
         }
+    }
+
+    /// Routes this session's counters and events through `tracer`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.core.tracer = tracer;
     }
 }
 
@@ -671,7 +761,9 @@ mod tests {
             })
         }
         fn resolve_stream(&mut self, _token: &DeviceToken) -> StreamResolution {
-            self.resolution.take().expect("resolved once")
+            // A second resolve means the stub was driven past its script;
+            // answer NoUpdate so the session terminates instead of panicking.
+            self.resolution.take().unwrap_or(StreamResolution::NoUpdate)
         }
         fn deliver(&mut self, chunk: &[u8]) -> Result<AgentPhase, AgentError> {
             self.fed += chunk.len();

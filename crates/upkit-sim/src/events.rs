@@ -26,7 +26,7 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use upkit_compress::decompress;
-use upkit_core::agent::{AgentError, AgentPhase};
+use upkit_core::agent::{AgentError, AgentPhase, AgentState};
 use upkit_core::generation::{UpdateServer, VendorServer};
 use upkit_core::verifier::VerifyError;
 use upkit_crypto::ecdsa::{SigningKey, VerifyingKey};
@@ -37,6 +37,7 @@ use upkit_net::{
     LinkProfile, LossyLink, PullSession, RetryPolicy, SessionEndpoints, SessionOutcome,
     SessionStream, Step, StreamResolution, Transport,
 };
+use upkit_trace::{Event, Tracer};
 
 use crate::device::{APP_ID, LINK_OFFSET};
 use crate::firmware::FirmwareGenerator;
@@ -242,7 +243,13 @@ impl SessionEndpoints for LiteEndpoints<'_> {
             return Ok(AgentPhase::ManifestAccepted);
         }
 
-        let manifest = state.accepted.as_ref().expect("manifest accepted");
+        // The payload region is only entered after the manifest was
+        // accepted above; losing it would be state-machine corruption.
+        // Surface a typed error instead of panicking mid-campaign.
+        let Some(manifest) = state.accepted.as_ref() else {
+            debug_assert!(false, "payload chunk delivered before manifest acceptance");
+            return Err(AgentError::WrongState(AgentState::ReceiveFirmware));
+        };
         if state.payload.len() + chunk.len() > manifest.payload_size as usize {
             return Err(AgentError::TooMuchData);
         }
@@ -291,6 +298,15 @@ struct DeviceSlot {
 /// firmware must fit in memory).
 #[must_use]
 pub fn run_event_rollout(config: &EventFleetConfig) -> EventFleetReport {
+    run_event_rollout_traced(config, &Tracer::disabled())
+}
+
+/// [`run_event_rollout`] with observability: scheduler dispatches, session
+/// events, and link counters are routed through `tracer`. The tracer's
+/// virtual clock is pushed forward (never back) to the heap's event times,
+/// so merged traces stay monotone.
+#[must_use]
+pub fn run_event_rollout_traced(config: &EventFleetConfig, tracer: &Tracer) -> EventFleetReport {
     // --- World: same derivation scheme as the round-based fleet ----------
     let mut rng = StdRng::seed_from_u64(config.seed);
     let vendor = VendorServer::new(SigningKey::generate(&mut rng));
@@ -394,20 +410,33 @@ pub fn run_event_rollout(config: &EventFleetConfig) -> EventFleetReport {
     while let Some(Reverse((now, t))) = heap.pop() {
         let idx = untie(t) as usize;
         let slot = &mut slots[idx];
+        // The heap pops in non-decreasing time order, so this only ever
+        // pushes the trace clock forward.
+        tracer.advance_now_to(now);
 
         if slot.session.is_none() {
             // A poll fires: open a fresh session. The loss stream is unique
             // per (device, attempt) so no session's pattern depends on any
             // other's, or on when it runs.
             let stream_id = (idx as u64) << 16 | u64::from(slot.poll_attempts);
-            slot.session = Some(PullSession::new(lossy, config.retry, stream_id));
+            let mut session = PullSession::new(lossy, config.retry, stream_id);
+            session.set_tracer(tracer.clone());
+            slot.session = Some(session);
             slot.session_started_at = now;
             slot.poll_attempts += 1;
             slot.state.reset_transfer();
+            let device = u64::from(slot.state.device_id);
+            tracer.emit(|| Event::SchedulerDispatch {
+                device,
+                at_micros: now,
+            });
         }
 
+        let Some(session) = slot.session.as_mut() else {
+            debug_assert!(false, "session just ensured above");
+            continue;
+        };
         let step = {
-            let session = slot.session.as_mut().expect("session just ensured");
             let mut endpoints = LiteEndpoints {
                 env: &env,
                 state: &mut slot.state,
@@ -420,22 +449,34 @@ pub fn run_event_rollout(config: &EventFleetConfig) -> EventFleetReport {
                 heap.push(Reverse((now + event.cost_micros, t)));
             }
             Step::Done(report) => {
-                let session = slot.session.take().expect("session was stepped");
+                let Some(session) = slot.session.take() else {
+                    debug_assert!(false, "session was stepped above");
+                    continue;
+                };
                 let end = slot.session_started_at + session.virtual_elapsed_micros();
                 spans.push((slot.session_started_at, end));
                 makespan_micros = makespan_micros.max(end);
                 total_wire_bytes +=
                     report.accounting.bytes_to_device + report.accounting.bytes_from_device;
+                let device = u64::from(slot.state.device_id);
                 match report.outcome {
                     SessionOutcome::Complete | SessionOutcome::NoUpdateAvailable => {
                         slot.completed_at = Some(end);
                         completion_times.push(end);
+                        tracer.emit(|| Event::DeviceComplete {
+                            device,
+                            outcome: "complete",
+                        });
                     }
                     _ => {
                         if slot.poll_attempts < config.max_poll_attempts {
                             heap.push(Reverse((end + config.retry_poll_delay_micros, t)));
                         } else {
                             slot.gave_up = true;
+                            tracer.emit(|| Event::DeviceComplete {
+                                device,
+                                outcome: "gave_up",
+                            });
                         }
                     }
                 }

@@ -332,4 +332,98 @@ mod tests {
         assert!(!report.session_interrupted);
         assert_eq!(report.booted_version, Some(Version(2)));
     }
+
+    #[test]
+    fn power_cut_counters_match_recovery_expectations() {
+        use upkit_trace::{Event, MemorySink, Tracer};
+
+        // One tracer across the cut, the recovery boot, and the retried
+        // update: the counter ledger must tell the same story the
+        // scenario's return values do.
+        let mut world = power_loss_world(212);
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
+        world.layout.set_tracer(tracer.clone());
+
+        // Phase 1 — the cut lands inside slot B's very first sector erase
+        // (1000-byte budget < one 4096-byte sector): no sector completed,
+        // so no erase and no firmware byte may be charged.
+        world
+            .layout
+            .device_mut(0)
+            .expect("internal flash")
+            .arm_power_cut_after(1_000);
+        let mut phone = Smartphone::new();
+        let report = run_push_session(
+            &world.server,
+            &mut phone,
+            &mut world.agent,
+            &mut world.layout,
+            world.plan.clone(),
+            213,
+            &LinkProfile::ble_gatt(),
+        );
+        assert!(!matches!(report.outcome, SessionOutcome::Complete));
+        let at_cut = tracer.counters().snapshot();
+        assert_eq!(
+            at_cut.total_erases(),
+            0,
+            "no sector completed before the cut"
+        );
+        assert_eq!(at_cut.total_flash_writes(), 0);
+        assert_eq!(at_cut.boots, 0);
+
+        // Phase 2 — power restored: the bootloader re-verifies slot A
+        // (both manifest signatures) and boots v1. The ledger gains one
+        // boot, two signature checks, and a Boot event for slot A.
+        assert_eq!(reboot(&mut world), Some(Version(1)));
+        let after_boot = tracer.counters().snapshot();
+        assert_eq!(after_boot.boots, 1);
+        assert_eq!(
+            after_boot.sig_verifications,
+            at_cut.sig_verifications + 2,
+            "recovery verifies exactly the booted slot's two signatures"
+        );
+        assert!(sink.snapshot().iter().any(|r| matches!(
+            r.event,
+            Event::Boot { slot, version } if slot == standard::SLOT_A.0 && version == 1
+        )));
+
+        // Phase 3 — the rollout retries with a fresh agent over the same
+        // (reliable) link: the retried StartUpdate re-erases all of slot B,
+        // writes the firmware, and needs no link-level retries.
+        let mut retry_agent = UpdateAgent::new(
+            world.backend.clone(),
+            world.anchors,
+            AgentConfig {
+                device_id: DEVICE_ID,
+                app_id: APP_ID,
+                supports_differential: false,
+                content_key: None,
+            },
+        );
+        let report = run_push_session(
+            &world.server,
+            &mut phone,
+            &mut retry_agent,
+            &mut world.layout,
+            world.plan.clone(),
+            214,
+            &LinkProfile::ble_gatt(),
+        );
+        assert!(matches!(report.outcome, SessionOutcome::Complete));
+        let after_retry = tracer.counters().snapshot();
+        let slot_b_sectors = u64::from(SLOT_SIZE / 4096);
+        assert_eq!(
+            after_retry.total_erases() - after_boot.total_erases(),
+            slot_b_sectors,
+            "the retry re-erases the whole target slot"
+        );
+        assert!(after_retry.total_flash_writes() > after_boot.total_flash_writes());
+        assert_eq!(after_retry.retries, 0, "reliable link: no retransmissions");
+
+        // The retried update boots v2.
+        assert_eq!(reboot(&mut world), Some(Version(2)));
+        assert_eq!(tracer.counters().snapshot().boots, 2);
+    }
 }

@@ -24,6 +24,8 @@
 //! event-driven scheduler in [`crate::events`], which steps thousands of
 //! concurrently in-flight sessions one link event at a time.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use upkit_compress::decompress;
@@ -31,6 +33,7 @@ use upkit_core::generation::{UpdateServer, VendorServer};
 use upkit_crypto::ecdsa::{SigningKey, VerifyingKey};
 use upkit_crypto::sha256::sha256;
 use upkit_manifest::{DeviceToken, Version};
+use upkit_trace::{Counters, Event, MemorySink, Tracer};
 
 use crate::device::{PollOutcome, SimDevice, APP_ID, LINK_OFFSET};
 use crate::firmware::FirmwareGenerator;
@@ -97,6 +100,14 @@ impl FleetReport {
 /// sampled without replacement).
 #[must_use]
 pub fn run_rollout(config: &FleetConfig) -> FleetReport {
+    run_rollout_traced(config, &Tracer::disabled())
+}
+
+/// [`run_rollout`] with observability: per-round [`Event::RolloutRound`]
+/// records, per-device completions, and served-byte counters are routed
+/// through `tracer`.
+#[must_use]
+pub fn run_rollout_traced(config: &FleetConfig, tracer: &Tracer) -> FleetReport {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let vendor = VendorServer::new(SigningKey::generate(&mut rng));
     let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
@@ -143,7 +154,14 @@ pub fn run_rollout(config: &FleetConfig) -> FleetReport {
             let pick = rng.random_range(0..indices.len());
             let device = &mut devices[indices.swap_remove(pick)];
             match device.poll(&server).expect("healthy fleet") {
-                PollOutcome::Updated { wire_bytes: b, .. } => wire_bytes += b,
+                PollOutcome::Updated { wire_bytes: b, .. } => {
+                    wire_bytes += b;
+                    let id = u64::from(device.device_id);
+                    tracer.emit(|| Event::DeviceComplete {
+                        device: id,
+                        outcome: "complete",
+                    });
+                }
                 PollOutcome::AlreadyCurrent => {}
                 // Non-differential devices advertise version 0, so the
                 // server re-offers the latest release to devices that are
@@ -158,11 +176,18 @@ pub fn run_rollout(config: &FleetConfig) -> FleetReport {
             }
         }
         total_wire_bytes += wire_bytes;
+        Counters::add(&tracer.counters().link_bytes_to_device, wire_bytes);
+        let updated = devices
+            .iter()
+            .filter(|d| d.installed_version() >= Version(2))
+            .count() as u32;
+        let round = rounds.len() as u64 + 1;
+        tracer.emit(|| Event::RolloutRound {
+            round,
+            completed: u64::from(updated),
+        });
         rounds.push(RoundStats {
-            updated: devices
-                .iter()
-                .filter(|d| d.installed_version() >= Version(2))
-                .count() as u32,
+            updated,
             wire_bytes,
         });
     }
@@ -334,6 +359,12 @@ struct Shard {
     rng: StdRng,
     devices: Vec<FleetDevice>,
     per_round: usize,
+    /// Shard-local tracer: counters always accumulate here; events land in
+    /// `sink` (when tracing is on) and are merged into the campaign tracer
+    /// in shard-index order after every round, so the merged trace is
+    /// independent of how shards were scheduled onto threads.
+    tracer: Tracer,
+    sink: Option<Arc<MemorySink>>,
 }
 
 impl Shard {
@@ -355,8 +386,18 @@ impl Shard {
             }
             let pick = self.rng.random_range(0..indices.len());
             let device = &mut self.devices[indices.swap_remove(pick)];
+            let device_id = u64::from(match device {
+                FleetDevice::Faithful(d) => d.device_id,
+                FleetDevice::Lite(d) => d.device_id,
+            });
             match device.poll(env) {
-                PollOutcome::Updated { wire_bytes: b, .. } => wire_bytes += b,
+                PollOutcome::Updated { wire_bytes: b, .. } => {
+                    wire_bytes += b;
+                    self.tracer.emit(|| Event::DeviceComplete {
+                        device: device_id,
+                        outcome: "complete",
+                    });
+                }
                 PollOutcome::AlreadyCurrent => {}
                 PollOutcome::Rejected => {
                     assert!(
@@ -366,6 +407,7 @@ impl Shard {
                 }
             }
         }
+        Counters::add(&self.tracer.counters().link_bytes_to_device, wire_bytes);
         RoundStats {
             updated: self
                 .devices
@@ -374,6 +416,16 @@ impl Shard {
                 .count() as u32,
             wire_bytes,
         }
+    }
+
+    /// Moves this shard's buffered trace records and counter totals into
+    /// `target`. Call in shard-index order for a deterministic merge.
+    fn flush_trace_into(&self, target: &Tracer) {
+        let records = self.sink.as_ref().map(|sink| sink.drain());
+        let snapshot = self.tracer.counters().snapshot();
+        // Reset shard counters so the next flush only carries the delta.
+        self.tracer.counters().reset();
+        target.absorb(&snapshot, records.as_deref().unwrap_or(&[]));
     }
 }
 
@@ -392,6 +444,15 @@ impl Shard {
 /// rounds, like [`run_rollout`].
 #[must_use]
 pub fn run_rollout_sharded(config: &ShardedFleetConfig) -> FleetReport {
+    run_rollout_sharded_traced(config, &Tracer::disabled())
+}
+
+/// [`run_rollout_sharded`] with observability. Every shard buffers its
+/// events in a shard-local [`MemorySink`]; after each round the buffers are
+/// merged into `tracer` in shard-index order, so the merged trace (and the
+/// counter totals) are identical whatever `threads` is.
+#[must_use]
+pub fn run_rollout_sharded_traced(config: &ShardedFleetConfig, tracer: &Tracer) -> FleetReport {
     let fleet = &config.fleet;
     let mut rng = StdRng::seed_from_u64(fleet.seed);
     let vendor = VendorServer::new(SigningKey::generate(&mut rng));
@@ -438,6 +499,7 @@ pub fn run_rollout_sharded(config: &ShardedFleetConfig) -> FleetReport {
 
     // Provision shard by shard, in parallel: provisioning is per-device
     // deterministic (no RNG), so threading cannot change the outcome.
+    let tracing_enabled = tracer.is_enabled();
     let mut shards: Vec<Shard> = crossbeam::thread::scope(|scope| {
         let server = &server;
         let vendor = &vendor;
@@ -473,12 +535,20 @@ pub fn run_rollout_sharded(config: &ShardedFleetConfig) -> FleetReport {
                     })
                     .collect();
                 let per_round = (((end - start) as f64 * poll_fraction).ceil() as usize).max(1);
+                let (shard_tracer, sink) = if tracing_enabled {
+                    let sink = Arc::new(MemorySink::new());
+                    (Tracer::with_sink(Box::new(Arc::clone(&sink))), Some(sink))
+                } else {
+                    (Tracer::disabled(), None)
+                };
                 (
                     index,
                     Shard {
                         rng,
                         devices,
                         per_round,
+                        tracer: shard_tracer,
+                        sink,
                     },
                 )
             }));
@@ -537,10 +607,23 @@ pub fn run_rollout_sharded(config: &ShardedFleetConfig) -> FleetReport {
         })
         .expect("shard workers do not panic");
 
+        // Merge shard traces in shard-index order: the merged record
+        // sequence and counter totals are now a pure function of the
+        // configuration, independent of thread scheduling.
+        for shard in &shards {
+            shard.flush_trace_into(tracer);
+        }
+
         let wire_bytes: u64 = stats.iter().map(|s| s.wire_bytes).sum();
         total_wire_bytes += wire_bytes;
+        let updated: u32 = stats.iter().map(|s| s.updated).sum();
+        let round = rounds.len() as u64 + 1;
+        tracer.emit(|| Event::RolloutRound {
+            round,
+            completed: u64::from(updated),
+        });
         rounds.push(RoundStats {
-            updated: stats.iter().map(|s| s.updated).sum(),
+            updated,
             wire_bytes,
         });
     }
@@ -672,6 +755,49 @@ mod tests {
             ..base
         });
         assert_eq!(faithful, lite);
+    }
+
+    #[test]
+    fn trace_is_identical_across_thread_counts() {
+        // Shard buffers are merged in shard-index order after every round,
+        // so the merged record sequence — timestamps, seq numbers, and
+        // event payloads — must be byte-identical whatever the thread
+        // count, and so must the counter totals.
+        let base = ShardedFleetConfig {
+            fleet: FleetConfig {
+                devices: 24,
+                poll_fraction: 0.5,
+                firmware_size: 4_000,
+                differential: true,
+                seed: 706,
+            },
+            shards: 4,
+            threads: 1,
+            device_model: DeviceModel::Lite,
+            verify_signatures: true,
+        };
+        let mut reference: Option<(Vec<upkit_trace::TraceRecord>, _)> = None;
+        for threads in [1usize, 2, 8] {
+            let sink = Arc::new(MemorySink::new());
+            let tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
+            let report =
+                run_rollout_sharded_traced(&ShardedFleetConfig { threads, ..base }, &tracer);
+            assert_eq!(report.rounds.last().unwrap().updated, 24);
+            let records = sink.drain();
+            assert!(!records.is_empty(), "trace must capture the campaign");
+            let counters = tracer.counters().snapshot();
+            assert_eq!(counters.link_bytes_to_device, report.total_wire_bytes);
+            match &reference {
+                None => reference = Some((records, counters)),
+                Some((ref_records, ref_counters)) => {
+                    assert_eq!(ref_records, &records, "{threads} threads changed the trace");
+                    assert_eq!(
+                        ref_counters, &counters,
+                        "{threads} threads changed the counters"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -36,11 +36,12 @@ pub mod platform;
 pub mod scenario;
 
 pub use device::{PollOutcome, SimDevice};
-pub use events::{run_event_rollout, EventFleetConfig, EventFleetReport};
+pub use events::{run_event_rollout, run_event_rollout_traced, EventFleetConfig, EventFleetReport};
 pub use failure::{run_power_loss_at_event, run_power_loss_scenario, PowerLossReport};
 pub use firmware::FirmwareGenerator;
 pub use fleet::{
-    run_rollout, run_rollout_sharded, DeviceModel, FleetConfig, FleetReport, ShardedFleetConfig,
+    run_rollout, run_rollout_sharded, run_rollout_sharded_traced, run_rollout_traced, DeviceModel,
+    FleetConfig, FleetReport, ShardedFleetConfig,
 };
 pub use lifetime::{run_lifetime, LifetimeMode, LifetimeReport};
 pub use platform::{EnergyModel, PlatformProfile};

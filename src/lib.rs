@@ -19,6 +19,7 @@
 //! | [`baselines`] | `upkit-baselines` | mcuboot / mcumgr / LwM2M / Sparrow analogues |
 //! | [`sim`] | `upkit-sim` | platform profiles, end-to-end scenarios, failure injection |
 //! | [`footprint`] | `upkit-footprint` | calibrated flash/RAM footprint model (Tables I–II, Fig. 7) |
+//! | [`trace`] | `upkit-trace` | structured event tracing, metrics counters, NDJSON sinks |
 //!
 //! # Quickstart
 //!
@@ -45,3 +46,4 @@ pub use upkit_footprint as footprint;
 pub use upkit_manifest as manifest;
 pub use upkit_net as net;
 pub use upkit_sim as sim;
+pub use upkit_trace as trace;
