@@ -1,0 +1,182 @@
+//! Crash-consistency exploration: every flash-op boundary, every fault
+//! class, never-brick proven per case.
+//!
+//! Runs the `upkit-chaos` explorer over the quickstart A/B scenario and
+//! the static-swap-with-recovery scenario: one fault-free recording pass
+//! enumerates every mutating flash op, then each `(boundary, fault)`
+//! pair is re-executed with the fault injected and rebooted to a fixed
+//! point. The run fails (exit 1) if any case violates the invariant —
+//! and writes each minimized counterexample's reproducer command to
+//! `CHAOS_repro.txt` so CI can surface it as an artifact.
+//!
+//! ```text
+//! cargo run --release -p upkit-bench --bin chaos_explore [-- --smoke]
+//! cargo run --release -p upkit-bench --bin chaos_explore -- \
+//!     --repro <mode> <seed> <firmware_size> <slot_size> <fault> <boundary>
+//! ```
+//!
+//! `--smoke` shrinks the scenarios so CI explores them exhaustively in
+//! seconds; `--repro` replays exactly one case (the command shape the
+//! shrinker emits) and exits non-zero if the invariant fails.
+
+use upkit_bench::{metrics_json, print_table, Json};
+use upkit_chaos::{
+    explore_traced, mode_from_label, repro_command, shrink_violation, ChaosConfig, ChaosReport,
+    FaultClass,
+};
+use upkit_sim::{WorldConfig, WorldMode};
+use upkit_trace::Tracer;
+
+fn repro(args: &[String]) -> i32 {
+    let usage =
+        "usage: chaos_explore --repro <mode> <seed> <firmware_size> <slot_size> <fault> <boundary>";
+    let [mode, seed, firmware_size, slot_size, fault, boundary] = args else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let (Some(mode), Ok(seed), Ok(firmware_size), Ok(slot_size), Some(fault), Ok(boundary)) = (
+        mode_from_label(mode),
+        seed.parse::<u64>(),
+        firmware_size.parse::<usize>(),
+        slot_size.parse::<u32>(),
+        FaultClass::from_label(fault),
+        boundary.parse::<u64>(),
+    ) else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let scenario = WorldConfig {
+        seed,
+        firmware_size,
+        slot_size,
+        mode,
+    };
+    let case = upkit_chaos::run_case(&scenario, boundary, fault, 8, &Tracer::disabled());
+    println!("{case:#?}");
+    i32::from(!case.ok())
+}
+
+fn scenario_row(label: &str, report: &ChaosReport) -> Vec<String> {
+    vec![
+        label.to_string(),
+        report.recorded_ops.to_string(),
+        report.explored.len().to_string(),
+        report.cases.len().to_string(),
+        report.violations().len().to_string(),
+        report.max_boots_to_recovery.to_string(),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--repro") {
+        std::process::exit(repro(&args[1..]));
+    }
+    let smoke = args.iter().any(|arg| arg == "--smoke");
+
+    // Exhaustive in both profiles: `--smoke` shrinks the *scenario*, not
+    // the boundary coverage, so the CI gate still proves every boundary
+    // of its (smaller) update.
+    let (firmware_size, slot_size) = if smoke {
+        (6_000, 4096 * 3)
+    } else {
+        (24_000, 4096 * 8)
+    };
+    let scenarios = [
+        ("quickstart-ab", WorldMode::Ab),
+        ("static-recovery", WorldMode::StaticSwap { recovery: true }),
+    ];
+
+    // One tracer across every case of every scenario, merged in
+    // deterministic case order: the `metrics` section (including
+    // `faults_injected` and the all-important `fault_violations = 0`) is
+    // reproducible bit for bit, so `bench_diff` gates it in CI.
+    let tracer = Tracer::disabled();
+    let mut rows = Vec::new();
+    let mut scenario_json = Vec::new();
+    let mut repro_lines = Vec::new();
+    for (label, mode) in scenarios {
+        let config = ChaosConfig {
+            scenario: WorldConfig {
+                seed: 7,
+                firmware_size,
+                slot_size,
+                mode,
+            },
+            threads: 4,
+            max_boots: 8,
+            boundary_limit: None,
+        };
+        let report = explore_traced(&config, &tracer);
+        assert!(report.recorded_ops > 0, "{label}: recording found no ops");
+        assert!(
+            report.full_coverage(),
+            "{label}: coverage hole — explored boundaries and case set disagree"
+        );
+        if let Some(shrunk) = shrink_violation(&config, &report) {
+            repro_lines.push(format!(
+                "{label}: boundary {} fault {} — {}\n  reproduce: {}",
+                shrunk.case.boundary,
+                shrunk.case.fault.label(),
+                shrunk.case.violation.as_deref().unwrap_or("violation"),
+                shrunk.command
+            ));
+            for violation in report.violations() {
+                repro_lines.push(format!(
+                    "  also at boundary {} fault {}: {}",
+                    violation.boundary,
+                    violation.fault.label(),
+                    repro_command(&config.scenario, violation.fault, violation.boundary)
+                ));
+            }
+        }
+        rows.push(scenario_row(label, &report));
+        scenario_json.push(Json::obj(vec![
+            ("scenario", Json::Str(label.into())),
+            ("boundaries", Json::Int(report.recorded_ops as u64)),
+            ("cases", Json::Int(report.cases.len() as u64)),
+            ("violations", Json::Int(report.violations().len() as u64)),
+            (
+                "max_boots_to_recovery",
+                Json::Int(u64::from(report.max_boots_to_recovery)),
+            ),
+        ]));
+    }
+
+    print_table(
+        &format!("Crash-consistency exploration ({firmware_size} B firmware, 5 fault classes)"),
+        &[
+            "Scenario",
+            "Boundaries",
+            "Explored",
+            "Cases",
+            "Violations",
+            "Max boots",
+        ],
+        &rows,
+    );
+    println!(
+        "\nEach case injects one fault (clean cut, torn write, torn erase,\n\
+         post-cut bit flip, or double cut) at one recorded flash-op\n\
+         boundary, then reboots to a fixed point and checks the booted\n\
+         slot still carries a valid dual signature at version ≥ the\n\
+         pre-update one."
+    );
+
+    let json = Json::obj(vec![
+        ("bench", Json::Str("chaos_explore".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("firmware_bytes", Json::Int(firmware_size as u64)),
+        ("scenarios", Json::Arr(scenario_json)),
+        ("metrics", metrics_json(&tracer.counters().snapshot())),
+    ]);
+    std::fs::write("BENCH_chaos.json", json.render()).expect("write BENCH_chaos.json");
+    println!("\nwrote BENCH_chaos.json");
+
+    if !repro_lines.is_empty() {
+        let body = repro_lines.join("\n") + "\n";
+        std::fs::write("CHAOS_repro.txt", &body).expect("write CHAOS_repro.txt");
+        eprintln!("\nnever-brick violations found:\n{body}");
+        std::process::exit(1);
+    }
+}

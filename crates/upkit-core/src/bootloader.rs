@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use upkit_crypto::backend::SecurityBackend;
-use upkit_flash::{LayoutError, MemoryLayout, SlotId};
+use upkit_flash::{FlashError, LayoutError, MemoryLayout, SlotId};
 use upkit_manifest::{SignedManifest, Version};
 use upkit_trace::{Counters, Event};
 
@@ -128,6 +128,58 @@ impl From<LayoutError> for BootError {
     }
 }
 
+/// Result of driving the bootloader to a fixed point with
+/// [`Bootloader::boot_to_fixed_point`].
+#[derive(Clone, Debug)]
+pub struct FixedPointReport {
+    /// Outcome of the final, stable boot.
+    pub outcome: BootOutcome,
+    /// Total boot attempts taken, including boots that failed with a
+    /// power cut and boots that moved images around.
+    pub boots: u32,
+}
+
+/// Why the reboot loop could not reach a stable image.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FixedPointError {
+    /// A boot failed for a reason a reboot cannot fix: the device is
+    /// bricked — the exact situation UpKit's design promises to prevent.
+    Brick {
+        /// The unrecoverable boot failure.
+        error: BootError,
+        /// Boot attempts made before giving up.
+        boots: u32,
+    },
+    /// The loop exceeded its boot budget without stabilising.
+    NoConvergence {
+        /// Boot attempts made.
+        boots: u32,
+    },
+}
+
+impl core::fmt::Display for FixedPointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Brick { error, boots } => {
+                write!(f, "device bricked after {boots} boot(s): {error}")
+            }
+            Self::NoConvergence { boots } => {
+                write!(f, "no stable image after {boots} boot(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FixedPointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Brick { error, .. } => Some(error),
+            Self::NoConvergence { .. } => None,
+        }
+    }
+}
+
 /// The bootloader.
 pub struct Bootloader {
     backend: Arc<dyn SecurityBackend>,
@@ -217,6 +269,50 @@ impl Bootloader {
             layout.tracer().emit(|| Event::Boot { slot, version });
         }
         result
+    }
+
+    /// Reboots the device until the boot decision is a *fixed point*: a
+    /// boot whose loading phase moved no flash (an in-place jump or
+    /// booting the existing image), which a further reboot would simply
+    /// repeat.
+    ///
+    /// Each iteration models one power-on: every armed power cut is
+    /// cleared first (power returned — under fault injection this may
+    /// arm a planned *second* cut on the recovery path), then the
+    /// bootloader runs. A boot that fails with [`FlashError::PowerLoss`]
+    /// is survivable by definition — the device just reboots again. Any
+    /// other failure is a brick, the condition the never-brick invariant
+    /// forbids.
+    pub fn boot_to_fixed_point(
+        &self,
+        layout: &mut MemoryLayout,
+        max_boots: u32,
+    ) -> Result<FixedPointReport, FixedPointError> {
+        let mut boots = 0u32;
+        loop {
+            if boots >= max_boots {
+                return Err(FixedPointError::NoConvergence { boots });
+            }
+            layout.disarm_power_cuts();
+            boots += 1;
+            match self.boot(layout) {
+                Ok(outcome)
+                    if matches!(
+                        outcome.action,
+                        BootAction::JumpedInPlace | BootAction::BootedExisting
+                    ) =>
+                {
+                    return Ok(FixedPointReport { outcome, boots });
+                }
+                // Loading moved an image (swap/copy/restore): boot again
+                // to confirm the result is stable.
+                Ok(_) => {}
+                // Power cut mid-loading: the next iteration reboots with
+                // power restored.
+                Err(BootError::Layout(LayoutError::Flash(FlashError::PowerLoss))) => {}
+                Err(error) => return Err(FixedPointError::Brick { error, boots }),
+            }
+        }
     }
 
     fn boot_inner(&self, layout: &mut MemoryLayout) -> Result<BootOutcome, BootError> {
@@ -593,6 +689,113 @@ mod tests {
         assert_eq!(outcome.version, Version(1));
         assert_eq!(outcome.action, BootAction::BootedExisting);
         assert_eq!(outcome.rejected_slots.len(), 1);
+    }
+
+    #[test]
+    fn fixed_point_in_ab_mode_is_one_boot() {
+        let fix = keys(120);
+        let mut layout = ab_layout();
+        install(&fix, &mut layout, standard::SLOT_A, 1, b"old firmware");
+        install(&fix, &mut layout, standard::SLOT_B, 2, b"new firmware");
+        let boot = bootloader(
+            &fix,
+            BootMode::AB {
+                slots: vec![standard::SLOT_A, standard::SLOT_B],
+            },
+        );
+        let report = boot.boot_to_fixed_point(&mut layout, 8).unwrap();
+        assert_eq!(
+            report.boots, 1,
+            "A/B never moves flash: first boot is stable"
+        );
+        assert_eq!(report.outcome.action, BootAction::JumpedInPlace);
+        assert_eq!(report.outcome.version, Version(2));
+    }
+
+    #[test]
+    fn fixed_point_in_static_mode_settles_after_the_swap() {
+        let fix = keys(121);
+        let mut layout = static_layout();
+        install(&fix, &mut layout, standard::SLOT_A, 1, b"running v1");
+        install(&fix, &mut layout, standard::SLOT_B, 2, b"staged v2!");
+        let boot = bootloader(
+            &fix,
+            BootMode::Static {
+                bootable: standard::SLOT_A,
+                staging: standard::SLOT_B,
+                swap: true,
+            },
+        );
+        let report = boot.boot_to_fixed_point(&mut layout, 8).unwrap();
+        assert_eq!(report.boots, 2, "boot 1 swaps, boot 2 confirms");
+        assert_eq!(report.outcome.action, BootAction::BootedExisting);
+        assert_eq!(report.outcome.version, Version(2));
+    }
+
+    #[test]
+    fn fixed_point_survives_a_cut_mid_boot_but_reports_a_real_brick() {
+        use upkit_flash::fault::{FaultFlash, FaultKind, FaultPlan};
+
+        let fix = keys(122);
+        // The loop restores power (disarms) before every boot, so a cut
+        // that fires *during* boot needs a FaultFlash plan, which
+        // survives disarms until its boundary. Provisioning two slots
+        // costs 2 × (8 sector erases + 2 writes) = 20 mutating ops; the
+        // swap then runs 4 ops per sector, so boundary 24 is the erase
+        // of slot A's *second* sector.
+        let mut layout = configuration_b(
+            Box::new(FaultFlash::with_fault(
+                Box::new(SimFlash::new(geometry())),
+                FaultPlan {
+                    boundary: 24,
+                    kind: FaultKind::CleanCut,
+                    recovery_cut: None,
+                },
+            )),
+            None,
+            SLOT_SIZE,
+        )
+        .unwrap();
+        // Images spanning two sectors: after sector 0 is fully swapped
+        // both slots hold a mixed v1/v2 body, so a cut in sector 1's
+        // swap leaves *no* valid image — the documented hazard of
+        // swap-without-recovery that the recovery slot of Fig. 6 closes.
+        install(&fix, &mut layout, standard::SLOT_A, 1, &[0x11; 6000]);
+        install(&fix, &mut layout, standard::SLOT_B, 2, &[0x22; 6000]);
+        let boot = bootloader(
+            &fix,
+            BootMode::Static {
+                bootable: standard::SLOT_A,
+                staging: standard::SLOT_B,
+                swap: true,
+            },
+        );
+        match boot.boot_to_fixed_point(&mut layout, 8) {
+            // Boot 1 dies in the cut (tolerated), boot 2 finds no valid
+            // image anywhere.
+            Err(FixedPointError::Brick { error, boots }) => {
+                assert_eq!(boots, 2);
+                assert!(matches!(error, BootError::NoValidImage(_)));
+            }
+            other => panic!("expected a brick, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_point_with_zero_budget_reports_no_convergence() {
+        let fix = keys(123);
+        let mut layout = ab_layout();
+        install(&fix, &mut layout, standard::SLOT_A, 1, b"v1");
+        let boot = bootloader(
+            &fix,
+            BootMode::AB {
+                slots: vec![standard::SLOT_A],
+            },
+        );
+        assert!(matches!(
+            boot.boot_to_fixed_point(&mut layout, 0),
+            Err(FixedPointError::NoConvergence { boots: 0 })
+        ));
     }
 
     #[test]

@@ -143,13 +143,19 @@ pub trait FlashDevice: Send {
     fn reset_stats(&mut self);
 
     /// Testing hook: arms a simulated power cut after `bytes` further
-    /// programmed/erased bytes. Devices without fault injection ignore it.
-    fn arm_power_cut_after(&mut self, bytes: u64) {
-        let _ = bytes;
-    }
+    /// programmed/erased bytes.
+    ///
+    /// Required (no default body) deliberately: an early revision gave
+    /// `disarm_power_cut` an empty default, so a device could implement
+    /// arming and silently inherit a no-op disarm — the cut then stuck
+    /// across simulated reboots forever. Forcing every implementation to
+    /// spell out both halves keeps arm/disarm in one place per device.
+    fn arm_power_cut_after(&mut self, bytes: u64);
 
     /// Testing hook: clears any armed power cut (the simulated reboot).
-    fn disarm_power_cut(&mut self) {}
+    /// Must leave the device fully operational; see [`Self::arm_power_cut_after`]
+    /// for why this has no default body.
+    fn disarm_power_cut(&mut self);
 
     /// Highest per-sector erase count, for endurance studies. Devices that
     /// do not track wear report 0.

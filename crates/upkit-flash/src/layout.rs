@@ -357,6 +357,15 @@ impl MemoryLayout {
         self.devices.get_mut(index).map(|d| &mut **d as _)
     }
 
+    /// Clears any armed power cut on every backing device — the moment
+    /// power returns on a simulated reboot. Fault-injecting devices may
+    /// use this signal to arm a follow-up cut on the recovery path.
+    pub fn disarm_power_cuts(&mut self) {
+        for device in &mut self.devices {
+            device.disarm_power_cut();
+        }
+    }
+
     /// Geometry of a backing device.
     #[must_use]
     pub fn device_geometry(&self, index: usize) -> Option<crate::device::FlashGeometry> {
@@ -686,6 +695,73 @@ mod tests {
         assert_eq!(stats.sectors_erased, 6);
         assert_eq!(stats.bytes_written, 6 * 4096);
         assert_eq!(stats.bytes_read, 6 * 4096);
+    }
+
+    #[test]
+    fn torn_slot_erase_charges_only_completed_sectors() {
+        use upkit_trace::Tracer;
+
+        // The trace ledger and the device stats must tell the same story
+        // when a power cut lands mid-erase: sectors that completed are
+        // charged, the torn one is not.
+        let mut layout = layout_ab();
+        let tracer = Tracer::disabled();
+        layout.set_tracer(tracer.clone());
+
+        // Budget covers one full 4096-byte sector plus part of the next.
+        layout
+            .device_mut(0)
+            .unwrap()
+            .arm_power_cut_after(4096 + 100);
+        assert_eq!(
+            layout.erase_slot(standard::SLOT_A),
+            Err(LayoutError::Flash(FlashError::PowerLoss))
+        );
+        let snap = tracer.counters().snapshot();
+        assert_eq!(
+            snap.flash_erases[Counters::slot_bucket(standard::SLOT_A.0)],
+            1,
+            "exactly one sector completed before the cut"
+        );
+        assert_eq!(layout.total_stats().sectors_erased, 1);
+        assert_eq!(layout.max_sector_wear(), 1, "the torn sector earns no wear");
+    }
+
+    #[test]
+    fn torn_slot_write_charges_nothing_to_the_tracer() {
+        use upkit_trace::Tracer;
+
+        let mut layout = layout_ab();
+        let tracer = Tracer::disabled();
+        layout.set_tracer(tracer.clone());
+        layout.erase_slot(standard::SLOT_A).unwrap();
+        layout.reset_stats();
+
+        layout.device_mut(0).unwrap().arm_power_cut_after(7);
+        assert_eq!(
+            layout.write_slot(standard::SLOT_A, 0, &[0u8; 16]),
+            Err(LayoutError::Flash(FlashError::PowerLoss))
+        );
+        let snap = tracer.counters().snapshot();
+        assert_eq!(
+            snap.flash_writes[Counters::slot_bucket(standard::SLOT_A.0)],
+            0,
+            "an interrupted slot write charges no trace bytes"
+        );
+        assert_eq!(
+            layout.total_stats().bytes_written,
+            7,
+            "device stats count exactly the landed bytes"
+        );
+
+        // Power restored: the ledger resumes normally.
+        layout.disarm_power_cuts();
+        layout.write_slot(standard::SLOT_A, 16, &[0u8; 16]).unwrap();
+        let snap = tracer.counters().snapshot();
+        assert_eq!(
+            snap.flash_writes[Counters::slot_bucket(standard::SLOT_A.0)],
+            16
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`device`] — the [`FlashDevice`] trait, geometry, and stats.
 //! * [`sim`] — [`SimFlash`], the in-memory NOR simulator with power-loss
 //!   injection.
+//! * [`fault`] — [`FaultFlash`], a recording/fault-injecting proxy over
+//!   any device, the substrate of the `upkit-chaos` explorer.
 //! * [`mod@file`] — [`FileFlash`], file-backed slots (the paper's "assign a
 //!   Linux file to each slot" testing aid).
 //! * [`layout`] — slot tables and the Fig. 6 configurations
@@ -21,12 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod fault;
 pub mod file;
 pub mod io;
 pub mod layout;
 pub mod sim;
 
 pub use device::{FlashDevice, FlashError, FlashGeometry, FlashStats};
+pub use fault::{FaultFlash, FaultHandle, FaultKind, FaultPlan, FlashOp, OpLog};
 pub use file::FileFlash;
 pub use io::{OpenMode, SlotHandle};
 pub use layout::{

@@ -303,6 +303,56 @@ mod tests {
     }
 
     #[test]
+    fn torn_erase_earns_no_wear_and_no_erase_count() {
+        // Accounting pin: a cut mid-erase leaves partially-reset data
+        // behind but must not be counted as a completed erase cycle —
+        // neither in the stats nor in the per-sector wear ledger.
+        let mut flash = small();
+        flash.erase_sector(0).unwrap();
+        flash.write(0, &[0u8; 4096]).unwrap();
+        let before = flash.stats();
+        assert_eq!(flash.sector_wear(0), Some(1));
+
+        flash.arm_power_cut_after(100);
+        assert_eq!(flash.erase_sector(0), Err(FlashError::PowerLoss));
+        let after = flash.stats();
+        assert_eq!(after.sectors_erased, before.sectors_erased);
+        assert_eq!(flash.sector_wear(0), Some(1), "torn erase earns no wear");
+        assert_eq!(flash.max_wear(), 1);
+        assert_eq!(
+            after.bytes_written, before.bytes_written,
+            "an erase programs no bytes, torn or not"
+        );
+
+        // Power restored: the completed retry is charged exactly once.
+        flash.disarm_power_cut();
+        flash.erase_sector(0).unwrap();
+        assert_eq!(flash.stats().sectors_erased, before.sectors_erased + 1);
+        assert_eq!(flash.sector_wear(0), Some(2));
+    }
+
+    #[test]
+    fn torn_write_counts_exactly_the_landed_bytes() {
+        // Accounting pin: `bytes_written` is the number of bytes that
+        // actually reached the array, while `write_ops` still charges the
+        // interrupted operation's fixed setup cost.
+        let mut flash = small();
+        flash.arm_power_cut_after(10);
+        assert_eq!(flash.write(0, &[0u8; 64]), Err(FlashError::PowerLoss));
+        let stats = flash.stats();
+        assert_eq!(stats.bytes_written, 10);
+        assert_eq!(stats.write_ops, 1);
+        assert_eq!(stats.sectors_erased, 0);
+
+        // A second attempt while still cut lands nothing more but still
+        // pays its op cost.
+        assert_eq!(flash.write(32, &[0u8; 8]), Err(FlashError::PowerLoss));
+        let stats = flash.stats();
+        assert_eq!(stats.bytes_written, 10);
+        assert_eq!(stats.write_ops, 2);
+    }
+
+    #[test]
     #[should_panic(expected = "multiple of the sector size")]
     fn rejects_misaligned_geometry() {
         let _ = SimFlash::new(FlashGeometry {

@@ -13,16 +13,25 @@
 //! [`run_power_loss_at_event`] cuts on a session *event* boundary (the
 //! device dies between link events — a lost connection, a crashed proxy),
 //! which the stepped-session refactor makes expressible.
+//!
+//! The scenario world itself is public: [`update_world`] builds a fully
+//! provisioned v1 device (A/B or static-swap, optionally with a recovery
+//! slot) over *any* flash device, which is how the `upkit-chaos`
+//! explorer replays one update scenario once per recorded flash-op
+//! boundary with a fault proxy underneath.
 
 use std::sync::Arc;
 
 use upkit_core::agent::{AgentConfig, UpdateAgent, UpdatePlan};
-use upkit_core::bootloader::{BootConfig, BootMode, Bootloader};
+use upkit_core::bootloader::{BootConfig, BootMode, Bootloader, FixedPointError, FixedPointReport};
 use upkit_core::image::FIRMWARE_OFFSET;
 use upkit_core::keys::TrustAnchors;
 use upkit_crypto::backend::TinyCryptBackend;
 use upkit_crypto::ecdsa::SigningKey;
-use upkit_flash::{configuration_a, standard, MemoryLayout, SimFlash};
+use upkit_flash::{
+    configuration_a, standard, FlashDevice, FlashGeometry, MemoryLayout, SimFlash, SlotId,
+    SlotKind, SlotSpec,
+};
 use upkit_manifest::Version;
 use upkit_net::{
     run_push_session, LinkProfile, LossyLink, PushEndpoints, PushSession, RetryPolicy,
@@ -45,48 +54,185 @@ pub struct PowerLossReport {
     pub booted_version: Option<Version>,
     /// Flash bytes written before the cut.
     pub bytes_written_before_cut: u64,
+    /// Boot attempts the recovery loop needed to reach a stable image
+    /// (0 when the device bricked).
+    pub boots_to_recovery: u32,
 }
 
 const SLOT_SIZE: u32 = 4096 * 16;
 
-/// A complete push-update world: servers, a provisioned A/B device at v1,
-/// and v2 published — everything short of running the session.
-struct PowerLossWorld {
-    server: upkit_core::generation::UpdateServer,
-    backend: Arc<TinyCryptBackend>,
-    anchors: TrustAnchors,
-    layout: MemoryLayout,
-    agent: UpdateAgent,
-    plan: UpdatePlan,
+/// Slot/bootloader shape of an [`update_world`] scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorldMode {
+    /// Configuration A: two bootable slots, newest valid image booted in
+    /// place.
+    Ab,
+    /// Configuration B: one bootable slot plus a staging slot swapped at
+    /// boot, optionally backed by a recovery slot (Fig. 6) provisioned
+    /// with the signed v1 image on a second device.
+    StaticSwap {
+        /// Whether a recovery slot is provisioned.
+        recovery: bool,
+    },
 }
 
-fn power_loss_world(seed: u64) -> PowerLossWorld {
-    let mut rng = StdRng::seed_from_u64(seed);
+/// Parameters of [`update_world`]: everything that determines the
+/// scenario, so two worlds built from equal configs behave identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorldConfig {
+    /// RNG seed fixing the signing keys and firmware bytes.
+    pub seed: u64,
+    /// Size of the base (v1) firmware image in bytes.
+    pub firmware_size: usize,
+    /// Slot size in bytes (a multiple of the 4 KiB sector size).
+    pub slot_size: u32,
+    /// Slot/bootloader shape.
+    pub mode: WorldMode,
+}
+
+impl WorldConfig {
+    /// The default A/B power-loss world: 40 kB firmware, 64 KiB slots —
+    /// the configuration [`run_power_loss_scenario`] uses.
+    #[must_use]
+    pub fn ab(seed: u64) -> Self {
+        Self {
+            seed,
+            firmware_size: 40_000,
+            slot_size: SLOT_SIZE,
+            mode: WorldMode::Ab,
+        }
+    }
+
+    /// A static-swap world, optionally with a provisioned recovery slot.
+    #[must_use]
+    pub fn static_swap(seed: u64, recovery: bool) -> Self {
+        Self {
+            seed,
+            firmware_size: 40_000,
+            slot_size: SLOT_SIZE,
+            mode: WorldMode::StaticSwap { recovery },
+        }
+    }
+}
+
+/// Geometry of the internal flash an [`update_world`] expects: exactly
+/// two slots, zero timing (the scenarios measure bytes, not time).
+#[must_use]
+pub fn world_geometry(config: &WorldConfig) -> FlashGeometry {
+    FlashGeometry {
+        size: config.slot_size * 2,
+        sector_size: 4096,
+        read_micros_per_byte: 0,
+        write_micros_per_byte: 0,
+        erase_micros_per_sector: 0,
+    }
+}
+
+/// A complete push-update world: servers, a provisioned device running
+/// v1, and v2 published — everything short of running the session.
+pub struct UpdateWorld {
+    /// The update server with v1 and v2 published.
+    pub server: upkit_core::generation::UpdateServer,
+    /// The crypto backend shared by agent and bootloader.
+    pub backend: Arc<TinyCryptBackend>,
+    /// Trust anchors (vendor + server verifying keys).
+    pub anchors: TrustAnchors,
+    /// The device's memory layout, provisioned at v1.
+    pub layout: MemoryLayout,
+    /// The device's update agent.
+    pub agent: UpdateAgent,
+    /// The update plan the session runs with.
+    pub plan: UpdatePlan,
+    /// The bootloader configuration matching the layout's mode.
+    pub boot_config: BootConfig,
+    /// The version installed before the update (the never-brick floor).
+    pub base_version: Version,
+    /// The v2 firmware image the session propagates.
+    pub firmware_v2: Vec<u8>,
+}
+
+/// Builds an [`UpdateWorld`] from `config` over the given internal
+/// flash device (which must have [`world_geometry`]'s shape). Passing
+/// the device in lets callers interpose proxies — the chaos explorer
+/// wraps a `FaultFlash` here.
+#[must_use]
+pub fn update_world(config: &WorldConfig, internal: Box<dyn FlashDevice>) -> UpdateWorld {
+    let mut rng = StdRng::seed_from_u64(config.seed);
     let vendor = upkit_core::generation::VendorServer::new(SigningKey::generate(&mut rng));
     let mut server = upkit_core::generation::UpdateServer::new(SigningKey::generate(&mut rng));
     let anchors = TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key());
     let backend = Arc::new(TinyCryptBackend);
 
-    let generator = FirmwareGenerator::new(seed);
-    let v1 = generator.base(40_000);
+    let generator = FirmwareGenerator::new(config.seed);
+    let v1 = generator.base(config.firmware_size);
     let v2 = generator.os_version_change(&v1);
 
-    let mut layout = configuration_a(
-        Box::new(SimFlash::new(upkit_flash::FlashGeometry {
-            size: 1024 * 1024,
-            sector_size: 4096,
-            read_micros_per_byte: 0,
-            write_micros_per_byte: 0,
-            erase_micros_per_sector: 0,
-        })),
-        SLOT_SIZE,
-    )
-    .expect("valid layout");
+    let (mut layout, mode, recovery_slot) = match config.mode {
+        WorldMode::Ab => {
+            let layout = configuration_a(internal, config.slot_size).expect("valid layout");
+            let mode = BootMode::AB {
+                slots: vec![standard::SLOT_A, standard::SLOT_B],
+            };
+            (layout, mode, None)
+        }
+        WorldMode::StaticSwap { recovery } => {
+            let mut layout = MemoryLayout::new();
+            let dev = layout.add_device(internal);
+            layout
+                .add_slot(SlotSpec {
+                    id: standard::SLOT_A,
+                    kind: SlotKind::Bootable,
+                    device: dev,
+                    offset: 0,
+                    size: config.slot_size,
+                })
+                .expect("valid layout");
+            layout
+                .add_slot(SlotSpec {
+                    id: standard::SLOT_B,
+                    kind: SlotKind::NonBootable,
+                    device: dev,
+                    offset: config.slot_size,
+                    size: config.slot_size,
+                })
+                .expect("valid layout");
+            let recovery_slot = recovery.then(|| {
+                // The recovery image lives on its own (un-faulted) device:
+                // a known-good copy kept out of the update's blast radius.
+                let ext = layout.add_device(Box::new(SimFlash::new(FlashGeometry {
+                    size: config.slot_size,
+                    sector_size: 4096,
+                    read_micros_per_byte: 0,
+                    write_micros_per_byte: 0,
+                    erase_micros_per_sector: 0,
+                })));
+                layout
+                    .add_slot(SlotSpec {
+                        id: standard::RECOVERY,
+                        kind: SlotKind::NonBootable,
+                        device: ext,
+                        offset: 0,
+                        size: config.slot_size,
+                    })
+                    .expect("valid layout");
+                standard::RECOVERY
+            });
+            let mode = BootMode::Static {
+                bootable: standard::SLOT_A,
+                staging: standard::SLOT_B,
+                swap: true,
+            };
+            (layout, mode, recovery_slot)
+        }
+    };
 
-    // Install v1 (signed) in slot A.
-    install_v1(&mut layout, &vendor, &server, &v1);
+    // Install v1 (signed) in slot A, and in the recovery slot if present.
+    install_signed(&mut layout, standard::SLOT_A, &vendor, &server, &v1);
+    if let Some(recovery) = recovery_slot {
+        install_signed(&mut layout, recovery, &vendor, &server, &v1);
+    }
     server.publish(vendor.release(v1.clone(), Version(1), LINK_OFFSET, APP_ID));
-    server.publish(vendor.release(v2, Version(2), LINK_OFFSET, APP_ID));
+    server.publish(vendor.release(v2.clone(), Version(2), LINK_OFFSET, APP_ID));
 
     let agent = UpdateAgent::new(
         backend.clone(),
@@ -104,52 +250,95 @@ fn power_loss_world(seed: u64) -> PowerLossWorld {
         installed_version: Version(1),
         installed_size: v1.len() as u32,
         allowed_link_offsets: vec![LINK_OFFSET],
-        max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
+        max_firmware_size: config.slot_size - FIRMWARE_OFFSET,
+    };
+    let boot_config = BootConfig {
+        device_id: DEVICE_ID,
+        app_id: APP_ID,
+        allowed_link_offsets: vec![LINK_OFFSET],
+        max_firmware_size: config.slot_size - FIRMWARE_OFFSET,
+        mode,
+        recovery_slot,
     };
 
     // Measure only update-time flash traffic, not provisioning.
     layout.reset_stats();
 
-    PowerLossWorld {
+    UpdateWorld {
         server,
         backend,
         anchors,
         layout,
         agent,
         plan,
+        boot_config,
+        base_version: Version(1),
+        firmware_v2: v2,
     }
 }
 
-/// Power restored: reboot and see what the bootloader salvages.
-fn reboot(world: &mut PowerLossWorld) -> Option<Version> {
-    world
-        .layout
-        .device_mut(0)
-        .expect("internal flash")
-        .disarm_power_cut();
-    let bootloader = Bootloader::new(
-        world.backend.clone(),
-        world.anchors,
-        BootConfig {
-            device_id: DEVICE_ID,
-            app_id: APP_ID,
-            allowed_link_offsets: vec![LINK_OFFSET],
-            max_firmware_size: SLOT_SIZE - FIRMWARE_OFFSET,
-            mode: BootMode::AB {
-                slots: vec![standard::SLOT_A, standard::SLOT_B],
-            },
-            recovery_slot: None,
-        },
-    );
-    bootloader.boot(&mut world.layout).ok().map(|o| o.version)
+impl UpdateWorld {
+    /// The bootloader matching this world's configuration.
+    #[must_use]
+    pub fn bootloader(&self) -> Bootloader {
+        Bootloader::new(self.backend.clone(), self.anchors, self.boot_config.clone())
+    }
+
+    /// Runs one full push session over a reliable BLE link.
+    pub fn run_push_once(&mut self, nonce: u32) -> SessionOutcome {
+        let mut phone = Smartphone::new();
+        let report = run_push_session(
+            &self.server,
+            &mut phone,
+            &mut self.agent,
+            &mut self.layout,
+            self.plan.clone(),
+            nonce,
+            &LinkProfile::ble_gatt(),
+        );
+        report.outcome
+    }
+
+    /// Power restored: a single reboot, reporting what the bootloader
+    /// salvaged.
+    pub fn reboot(&mut self) -> Option<Version> {
+        self.layout.disarm_power_cuts();
+        self.bootloader()
+            .boot(&mut self.layout)
+            .ok()
+            .map(|o| o.version)
+    }
+
+    /// Power restored: reboot until the boot decision is stable (see
+    /// [`Bootloader::boot_to_fixed_point`]).
+    pub fn reboot_to_fixed_point(
+        &mut self,
+        max_boots: u32,
+    ) -> Result<FixedPointReport, FixedPointError> {
+        self.bootloader()
+            .boot_to_fixed_point(&mut self.layout, max_boots)
+    }
+
+    /// Whether `slot` currently holds a fully valid (dual-signed,
+    /// digest-matching) image.
+    pub fn slot_verifies(&mut self, slot: SlotId) -> bool {
+        self.bootloader()
+            .verify_slot(&mut self.layout, slot)
+            .is_ok()
+    }
 }
 
+/// Reboot budget generous enough for every scenario shape: A/B needs 1
+/// boot, a static swap needs 2, a double-cut recovery a few more.
+pub const DEFAULT_MAX_BOOTS: u32 = 8;
+
 /// Runs a push update on an A/B device, cutting power after
-/// `cut_after_flash_bytes` bytes of flash programming, then reboots and
-/// reports what the bootloader managed to boot.
+/// `cut_after_flash_bytes` bytes of flash programming, then reboots to a
+/// fixed point and reports what the bootloader managed to boot.
 #[must_use]
 pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLossReport {
-    let mut world = power_loss_world(seed);
+    let config = WorldConfig::ab(seed);
+    let mut world = update_world(&config, Box::new(SimFlash::new(world_geometry(&config))));
 
     // Arm the cut *before* the session: erases and writes both consume the
     // budget, so the cut can land in StartUpdate, the header write, or the
@@ -160,25 +349,20 @@ pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLo
         .expect("internal flash")
         .arm_power_cut_after(cut_after_flash_bytes);
 
-    let mut phone = Smartphone::new();
-    let report = run_push_session(
-        &world.server,
-        &mut phone,
-        &mut world.agent,
-        &mut world.layout,
-        world.plan.clone(),
-        seed as u32 | 1,
-        &LinkProfile::ble_gatt(),
-    );
-    let session_interrupted = !matches!(report.outcome, SessionOutcome::Complete);
+    let outcome = world.run_push_once(seed as u32 | 1);
+    let session_interrupted = !matches!(outcome, SessionOutcome::Complete);
     let bytes_written_before_cut = world.layout.total_stats().bytes_written;
 
-    let booted_version = reboot(&mut world);
+    let (booted_version, boots_to_recovery) = match world.reboot_to_fixed_point(DEFAULT_MAX_BOOTS) {
+        Ok(report) => (Some(report.outcome.version), report.boots),
+        Err(_) => (None, 0),
+    };
 
     PowerLossReport {
         session_interrupted,
         booted_version,
         bytes_written_before_cut,
+        boots_to_recovery,
     }
 }
 
@@ -192,7 +376,8 @@ pub fn run_power_loss_scenario(cut_after_flash_bytes: u64, seed: u64) -> PowerLo
 /// could only ever be injected below them, in the flash.
 #[must_use]
 pub fn run_power_loss_at_event(cut_after_events: u64, seed: u64) -> PowerLossReport {
-    let mut world = power_loss_world(seed);
+    let config = WorldConfig::ab(seed);
+    let mut world = update_world(&config, Box::new(SimFlash::new(world_geometry(&config))));
 
     let link = LinkProfile::ble_gatt();
     let mut phone = Smartphone::new();
@@ -218,17 +403,22 @@ pub fn run_power_loss_at_event(cut_after_events: u64, seed: u64) -> PowerLossRep
     };
     let bytes_written_before_cut = world.layout.total_stats().bytes_written;
 
-    let booted_version = reboot(&mut world);
+    let (booted_version, boots_to_recovery) = match world.reboot_to_fixed_point(DEFAULT_MAX_BOOTS) {
+        Ok(report) => (Some(report.outcome.version), report.boots),
+        Err(_) => (None, 0),
+    };
 
     PowerLossReport {
         session_interrupted,
         booted_version,
         bytes_written_before_cut,
+        boots_to_recovery,
     }
 }
 
-fn install_v1(
+fn install_signed(
     layout: &mut MemoryLayout,
+    slot: SlotId,
     vendor: &upkit_core::generation::VendorServer,
     server: &upkit_core::generation::UpdateServer,
     firmware: &[u8],
@@ -251,16 +441,17 @@ fn install_v1(
         vendor_signature: vendor.sign_manifest_core(&manifest),
         server_signature: server.sign_manifest(&manifest),
     };
-    layout.erase_slot(standard::SLOT_A).expect("fresh flash");
-    upkit_core::image::write_manifest(layout, standard::SLOT_A, &signed).expect("fresh flash");
+    layout.erase_slot(slot).expect("fresh flash");
+    upkit_core::image::write_manifest(layout, slot, &signed).expect("fresh flash");
     layout
-        .write_slot(standard::SLOT_A, FIRMWARE_OFFSET, firmware)
+        .write_slot(slot, FIRMWARE_OFFSET, firmware)
         .expect("slot fits");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn cut_during_slot_erase_keeps_device_bootable() {
@@ -286,19 +477,28 @@ mod tests {
         assert_eq!(report.booted_version, Some(Version(2)));
     }
 
-    #[test]
-    fn sweep_of_cut_points_never_bricks() {
-        // Property-style sweep across the whole write timeline: whatever
-        // the cut point, the device boots v1 or v2 — never nothing.
-        for cut in [
-            0u64, 1, 100, 4_000, 50_000, 66_000, 80_000, 100_000, 105_000,
-        ] {
-            let report = run_power_loss_scenario(cut, 300 + cut);
-            assert!(
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // The never-brick convergence property: from ANY generated cut
+        // point (not just hand-picked stride values), the reboot loop
+        // reaches a stable bootable version within a small, bounded
+        // number of boots. The 0..120_000 range spans the whole write
+        // timeline of the 40 kB scenario — slot erase (65 536 budget),
+        // header, firmware body — and beyond it (cut never fires).
+        #[test]
+        fn any_cut_point_converges_to_a_bootable_version(
+            cut in 0u64..120_000,
+            seed in 0u64..1_024,
+        ) {
+            let report = run_power_loss_scenario(cut, 300 + seed);
+            prop_assert!(
                 matches!(report.booted_version, Some(Version(1)) | Some(Version(2))),
-                "cut at {cut}: {:?}",
-                report.booted_version
+                "cut at {}: booted {:?}", cut, report.booted_version
             );
+            // A/B recovery never moves flash: the very first boot after
+            // power returns must already be the fixed point.
+            prop_assert_eq!(report.boots_to_recovery, 1);
         }
     }
 
@@ -334,13 +534,28 @@ mod tests {
     }
 
     #[test]
+    fn static_world_with_recovery_survives_a_wrecked_bootable_slot() {
+        // The static-swap world's recovery slot restores a signed v1
+        // when both regular slots are invalid.
+        let config = WorldConfig::static_swap(215, true);
+        let mut world = update_world(&config, Box::new(SimFlash::new(world_geometry(&config))));
+        // Wreck slot A (clear bits across the manifest) and leave B empty.
+        world.layout.erase_slot(standard::SLOT_A).unwrap();
+        let report = world.reboot_to_fixed_point(DEFAULT_MAX_BOOTS).unwrap();
+        assert_eq!(report.outcome.version, Version(1));
+        assert_eq!(report.boots, 2, "boot 1 restores, boot 2 confirms");
+        assert!(world.slot_verifies(standard::SLOT_A));
+    }
+
+    #[test]
     fn power_cut_counters_match_recovery_expectations() {
         use upkit_trace::{Event, MemorySink, Tracer};
 
         // One tracer across the cut, the recovery boot, and the retried
         // update: the counter ledger must tell the same story the
         // scenario's return values do.
-        let mut world = power_loss_world(212);
+        let config = WorldConfig::ab(212);
+        let mut world = update_world(&config, Box::new(SimFlash::new(world_geometry(&config))));
         let sink = Arc::new(MemorySink::new());
         let tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
         world.layout.set_tracer(tracer.clone());
@@ -353,17 +568,8 @@ mod tests {
             .device_mut(0)
             .expect("internal flash")
             .arm_power_cut_after(1_000);
-        let mut phone = Smartphone::new();
-        let report = run_push_session(
-            &world.server,
-            &mut phone,
-            &mut world.agent,
-            &mut world.layout,
-            world.plan.clone(),
-            213,
-            &LinkProfile::ble_gatt(),
-        );
-        assert!(!matches!(report.outcome, SessionOutcome::Complete));
+        let outcome = world.run_push_once(213);
+        assert!(!matches!(outcome, SessionOutcome::Complete));
         let at_cut = tracer.counters().snapshot();
         assert_eq!(
             at_cut.total_erases(),
@@ -376,7 +582,7 @@ mod tests {
         // Phase 2 — power restored: the bootloader re-verifies slot A
         // (both manifest signatures) and boots v1. The ledger gains one
         // boot, two signature checks, and a Boot event for slot A.
-        assert_eq!(reboot(&mut world), Some(Version(1)));
+        assert_eq!(world.reboot(), Some(Version(1)));
         let after_boot = tracer.counters().snapshot();
         assert_eq!(after_boot.boots, 1);
         assert_eq!(
@@ -392,7 +598,7 @@ mod tests {
         // Phase 3 — the rollout retries with a fresh agent over the same
         // (reliable) link: the retried StartUpdate re-erases all of slot B,
         // writes the firmware, and needs no link-level retries.
-        let mut retry_agent = UpdateAgent::new(
+        world.agent = UpdateAgent::new(
             world.backend.clone(),
             world.anchors,
             AgentConfig {
@@ -402,16 +608,8 @@ mod tests {
                 content_key: None,
             },
         );
-        let report = run_push_session(
-            &world.server,
-            &mut phone,
-            &mut retry_agent,
-            &mut world.layout,
-            world.plan.clone(),
-            214,
-            &LinkProfile::ble_gatt(),
-        );
-        assert!(matches!(report.outcome, SessionOutcome::Complete));
+        let outcome = world.run_push_once(214);
+        assert!(matches!(outcome, SessionOutcome::Complete));
         let after_retry = tracer.counters().snapshot();
         let slot_b_sectors = u64::from(SLOT_SIZE / 4096);
         assert_eq!(
@@ -423,7 +621,7 @@ mod tests {
         assert_eq!(after_retry.retries, 0, "reliable link: no retransmissions");
 
         // The retried update boots v2.
-        assert_eq!(reboot(&mut world), Some(Version(2)));
+        assert_eq!(world.reboot(), Some(Version(2)));
         assert_eq!(tracer.counters().snapshot().boots, 2);
     }
 }

@@ -37,7 +37,10 @@ pub mod scenario;
 
 pub use device::{PollOutcome, SimDevice};
 pub use events::{run_event_rollout, run_event_rollout_traced, EventFleetConfig, EventFleetReport};
-pub use failure::{run_power_loss_at_event, run_power_loss_scenario, PowerLossReport};
+pub use failure::{
+    run_power_loss_at_event, run_power_loss_scenario, update_world, world_geometry,
+    PowerLossReport, UpdateWorld, WorldConfig, WorldMode, DEFAULT_MAX_BOOTS,
+};
 pub use firmware::FirmwareGenerator;
 pub use fleet::{
     run_rollout, run_rollout_sharded, run_rollout_sharded_traced, run_rollout_traced, DeviceModel,

@@ -164,6 +164,27 @@ pub enum Event {
         /// Devices converged so far.
         completed: u64,
     },
+    /// Chaos explorer: a fault was injected at a flash-op boundary.
+    FaultInjected {
+        /// Zero-based mutating-op boundary index the fault fired at.
+        boundary: u64,
+        /// Fault class label (`"clean_cut"`, `"torn_write"`, ...).
+        fault: &'static str,
+    },
+    /// Chaos explorer: the post-fault reboot loop finished and the
+    /// never-brick invariant was checked.
+    FaultChecked {
+        /// Boundary index the fault fired at.
+        boundary: u64,
+        /// Fault class label.
+        fault: &'static str,
+        /// Boot attempts the recovery loop needed.
+        boots: u64,
+        /// Version stable after recovery (0 when the device bricked).
+        version: u64,
+        /// Whether the invariant held.
+        ok: bool,
+    },
 }
 
 impl Event {
@@ -189,11 +210,13 @@ impl Event {
             Event::SchedulerDispatch { .. } => "scheduler_dispatch",
             Event::DeviceComplete { .. } => "device_complete",
             Event::RolloutRound { .. } => "rollout_round",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::FaultChecked { .. } => "fault_checked",
         }
     }
 
     /// Coarse layer the event belongs to (`"session"`, `"agent"`,
-    /// `"pipeline"`, `"flash"`, `"boot"`, `"scheduler"`).
+    /// `"pipeline"`, `"flash"`, `"boot"`, `"scheduler"`, `"chaos"`).
     #[must_use]
     pub fn layer(&self) -> &'static str {
         match self {
@@ -213,6 +236,7 @@ impl Event {
             Event::SchedulerDispatch { .. }
             | Event::DeviceComplete { .. }
             | Event::RolloutRound { .. } => "scheduler",
+            Event::FaultInjected { .. } | Event::FaultChecked { .. } => "chaos",
         }
     }
 
@@ -288,6 +312,21 @@ impl Event {
             }
             Event::RolloutRound { round, completed } => {
                 let _ = write!(out, r#","round":{round},"completed":{completed}"#);
+            }
+            Event::FaultInjected { boundary, fault } => {
+                let _ = write!(out, r#","boundary":{boundary},"fault":"{fault}""#);
+            }
+            Event::FaultChecked {
+                boundary,
+                fault,
+                boots,
+                version,
+                ok,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","boundary":{boundary},"fault":"{fault}","boots":{boots},"version":{version},"ok":{ok}"#
+                );
             }
         }
     }
@@ -540,6 +579,10 @@ counters! {
     boots,
     /// A/B slot swaps performed.
     slot_swaps,
+    /// Faults injected by the crash-consistency explorer.
+    faults_injected,
+    /// Never-brick invariant violations observed by the explorer.
+    fault_violations,
 }
 
 impl Counters {

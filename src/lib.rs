@@ -18,6 +18,7 @@
 //! | [`net`] | `upkit-net` | BLE-push / CoAP-pull transports, proxies, tamper injection |
 //! | [`baselines`] | `upkit-baselines` | mcuboot / mcumgr / LwM2M / Sparrow analogues |
 //! | [`sim`] | `upkit-sim` | platform profiles, end-to-end scenarios, failure injection |
+//! | [`chaos`] | `upkit-chaos` | crash-consistency explorer: per-boundary fault injection, never-brick proofs |
 //! | [`footprint`] | `upkit-footprint` | calibrated flash/RAM footprint model (Tables I–II, Fig. 7) |
 //! | [`trace`] | `upkit-trace` | structured event tracing, metrics counters, NDJSON sinks |
 //!
@@ -37,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub use upkit_baselines as baselines;
+pub use upkit_chaos as chaos;
 pub use upkit_compress as compress;
 pub use upkit_core as core;
 pub use upkit_crypto as crypto;

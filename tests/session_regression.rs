@@ -79,3 +79,123 @@ fn loss_sweep_zero_loss_row_is_unchanged() {
         }
     );
 }
+
+mod lossy_pins {
+    use std::sync::Arc;
+
+    use upkit::core::image::FIRMWARE_OFFSET;
+    use upkit::flash::{standard, SimFlash};
+    use upkit::net::{
+        BorderRouter, LinkProfile, LossyLink, PullEndpoints, PullSession, PushEndpoints,
+        PushSession, RetryPolicy, SessionOutcome, Smartphone, Step, Transport,
+    };
+    use upkit::sim::{update_world, world_geometry, WorldConfig};
+    use upkit::trace::{MemorySink, Tracer};
+
+    const LOSS_RATE: f64 = 0.10;
+    const SEED: u64 = 4242;
+
+    struct LossyRun {
+        outcome: SessionOutcome,
+        frames_sent: u64,
+        frames_lost: u64,
+        retries: u64,
+        digest_ok: bool,
+    }
+
+    fn run(pull: bool) -> LossyRun {
+        let config = WorldConfig::ab(SEED);
+        let mut world = update_world(&config, Box::new(SimFlash::new(world_geometry(&config))));
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
+        world.layout.set_tracer(tracer.clone());
+
+        let outcome = if pull {
+            let link = LinkProfile::ieee802154_6lowpan();
+            let mut session = PullSession::new(
+                LossyLink::bernoulli(link, LOSS_RATE, SEED),
+                RetryPolicy::for_link(&link),
+                0,
+            );
+            session.set_tracer(tracer.clone());
+            let router = BorderRouter::new();
+            let mut endpoints = PullEndpoints::new(
+                &world.server,
+                &router,
+                &mut world.agent,
+                &mut world.layout,
+                world.plan.clone(),
+                SEED as u32 | 1,
+            );
+            loop {
+                if let Step::Done(report) = session.step(&mut endpoints) {
+                    break report.outcome;
+                }
+            }
+        } else {
+            let link = LinkProfile::ble_gatt();
+            let mut session = PushSession::new(
+                LossyLink::bernoulli(link, LOSS_RATE, SEED),
+                RetryPolicy::for_link(&link),
+                0,
+            );
+            session.set_tracer(tracer.clone());
+            let mut phone = Smartphone::new();
+            let mut endpoints = PushEndpoints::new(
+                &world.server,
+                &mut phone,
+                &mut world.agent,
+                &mut world.layout,
+                world.plan.clone(),
+                SEED as u32 | 1,
+            );
+            loop {
+                if let Step::Done(report) = session.step(&mut endpoints) {
+                    break report.outcome;
+                }
+            }
+        };
+
+        let snapshot = tracer.counters().snapshot();
+        let mut installed = vec![0u8; world.firmware_v2.len()];
+        world
+            .layout
+            .read_slot(standard::SLOT_B, FIRMWARE_OFFSET, &mut installed)
+            .expect("slot B readable");
+        LossyRun {
+            outcome,
+            frames_sent: snapshot.frames_sent,
+            frames_lost: snapshot.frames_lost,
+            retries: snapshot.retries,
+            digest_ok: installed == world.firmware_v2,
+        }
+    }
+
+    // The two pins below freeze the seeded loss stream end to end: the
+    // Bernoulli sampler, the retry policy, and the frame accounting. Any
+    // change to sampling order or retry bookkeeping moves these integers.
+
+    #[test]
+    fn seeded_ten_percent_loss_push_run_is_pinned() {
+        let run = run(false);
+        assert!(matches!(run.outcome, SessionOutcome::Complete));
+        assert!(run.digest_ok, "slot B must hold the exact v2 image");
+        assert_eq!(
+            (run.frames_sent, run.frames_lost, run.retries),
+            (188, 16, 16),
+            "push frame accounting moved"
+        );
+    }
+
+    #[test]
+    fn seeded_ten_percent_loss_pull_run_is_pinned() {
+        let run = run(true);
+        assert!(matches!(run.outcome, SessionOutcome::Complete));
+        assert!(run.digest_ok, "slot B must hold the exact v2 image");
+        assert_eq!(
+            (run.frames_sent, run.frames_lost, run.retries),
+            (738, 86, 86),
+            "pull frame accounting moved"
+        );
+    }
+}
