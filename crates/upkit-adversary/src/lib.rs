@@ -1,0 +1,993 @@
+//! Adversarial-input explorer for UpKit's untrusted-byte surfaces.
+//!
+//! The paper's threat model (Sect. III) grants the attacker full control
+//! of the proxy path: a compromised smartphone or gateway can corrupt,
+//! truncate, reorder, replay, or fabricate anything it forwards — it only
+//! cannot forge signatures. The crash-consistency explorer (`upkit-chaos`)
+//! proves the device survives *power*; this crate proves it survives
+//! *bytes*. Every input a device ever parses from the outside world is a
+//! mutation surface:
+//!
+//! | Surface | Decoder under attack |
+//! |---|---|
+//! | [`MutationClass::Suit`] | SUIT/CBOR envelope → `from_suit_envelope` |
+//! | [`MutationClass::ManifestWire`] | signed-manifest wire → `SignedManifest::from_bytes` |
+//! | [`MutationClass::BlockDiff`] | block-diff delta → `blockdiff::patch_with_budget` |
+//! | [`MutationClass::StreamDelta`] | bsdiff stream → `StreamPatcher` |
+//! | [`MutationClass::Lzss`] | LZSS stream → `decompress_with_budget` |
+//! | [`MutationClass::FrameCorrupt`]..[`MutationClass::FrameDrop`] | one live link frame via [`FrameAdversary`] |
+//! | [`MutationClass::DowngradeReplay`] | whole-stream replay of a stale/foreign package |
+//!
+//! Each case runs the real acceptance path inside a panic-catching,
+//! budget-checked harness and asserts the three-part invariant:
+//!
+//! 1. **Never accept** — the device either installs a byte-identical
+//!    valid update or returns a typed rejection; anything else charges
+//!    the `forgeries_accepted` counter (pinned to zero in CI).
+//! 2. **Never panic** — no mutated input may unwind any decoder or the
+//!    agent/pipeline/bootloader path.
+//! 3. **Bounded memory** — no decoder output (and, via the hardened
+//!    decoders, no pre-allocation) may exceed a budget derived from the
+//!    target slot size; budget rejections charge `decode_overruns`.
+//!
+//! Session-surface cases additionally re-check the never-brick
+//! invariant: the device must still `boot_to_fixed_point` afterwards.
+//!
+//! Exploration fans out across threads with the same shard-merge
+//! discipline as the chaos explorer: each case charges a private tracer,
+//! merged in case-index order, so reports and trace bytes are identical
+//! for any thread count. Violations shrink to the smallest failing
+//! mutation index and emit a one-line `adversary_explore --repro`
+//! command.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use upkit_compress::LzssError;
+use upkit_delta::blockdiff::{self, BlockDiffError};
+use upkit_delta::{PatchError, StreamPatcher};
+use upkit_flash::{SimFlash, SlotId};
+use upkit_manifest::suit::to_suit_envelope;
+use upkit_manifest::{DeviceToken, SignedManifest, Version, SIGNED_MANIFEST_LEN};
+use upkit_net::{
+    FrameAdversary, FrameTamper, LinkProfile, LossyLink, PushEndpoints, PushSession, RetryPolicy,
+    SessionStream, Transport,
+};
+use upkit_sim::failure::{update_world, world_geometry, WorldConfig};
+use upkit_sim::scenario::DEVICE_ID;
+use upkit_sim::FirmwareGenerator;
+use upkit_trace::{Counters, CountersSnapshot, Event, MemorySink, TraceRecord, Tracer};
+
+pub use upkit_chaos_labels::{mode_from_label, mode_label};
+
+/// Re-exported scenario-mode labels, shared with the chaos explorer so
+/// both reproducer command lines speak the same dialect.
+mod upkit_chaos_labels {
+    use upkit_sim::failure::WorldMode;
+
+    /// Stable label for a scenario mode, used in reproducer commands.
+    #[must_use]
+    pub fn mode_label(mode: WorldMode) -> &'static str {
+        match mode {
+            WorldMode::Ab => "ab",
+            WorldMode::StaticSwap { recovery: false } => "static",
+            WorldMode::StaticSwap { recovery: true } => "static-recovery",
+        }
+    }
+
+    /// Inverse of [`mode_label`].
+    #[must_use]
+    pub fn mode_from_label(label: &str) -> Option<WorldMode> {
+        match label {
+            "ab" => Some(WorldMode::Ab),
+            "static" => Some(WorldMode::StaticSwap { recovery: false }),
+            "static-recovery" => Some(WorldMode::StaticSwap { recovery: true }),
+            _ => None,
+        }
+    }
+}
+
+/// The mutation surfaces, in canonical exploration order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MutationClass {
+    /// The SUIT/CBOR manifest envelope fed to `from_suit_envelope`.
+    Suit,
+    /// The fixed-layout signed-manifest wire encoding.
+    ManifestWire,
+    /// A block-diff delta applied with `patch_with_budget`.
+    BlockDiff,
+    /// A bsdiff stream fed chunkwise to a budgeted [`StreamPatcher`].
+    StreamDelta,
+    /// An LZSS stream fed to `decompress_with_budget`.
+    Lzss,
+    /// One live session frame, one bit flipped.
+    FrameCorrupt,
+    /// One live session frame delivered after its successor.
+    FrameReorder,
+    /// One live session frame delivered twice.
+    FrameDuplicate,
+    /// A forged frame injected before the target frame.
+    FrameInject,
+    /// One live session frame silently dropped.
+    FrameDrop,
+    /// The whole resolved stream replaced by a stale-nonce or
+    /// wrong-device package the server once legitimately signed.
+    DowngradeReplay,
+}
+
+impl MutationClass {
+    /// Every surface, in canonical exploration order.
+    pub const ALL: [MutationClass; 11] = [
+        MutationClass::Suit,
+        MutationClass::ManifestWire,
+        MutationClass::BlockDiff,
+        MutationClass::StreamDelta,
+        MutationClass::Lzss,
+        MutationClass::FrameCorrupt,
+        MutationClass::FrameReorder,
+        MutationClass::FrameDuplicate,
+        MutationClass::FrameInject,
+        MutationClass::FrameDrop,
+        MutationClass::DowngradeReplay,
+    ];
+
+    /// Stable label used in traces, reports, and reproducer commands.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MutationClass::Suit => "suit",
+            MutationClass::ManifestWire => "manifest_wire",
+            MutationClass::BlockDiff => "blockdiff",
+            MutationClass::StreamDelta => "stream_delta",
+            MutationClass::Lzss => "lzss",
+            MutationClass::FrameCorrupt => "frame_corrupt",
+            MutationClass::FrameReorder => "frame_reorder",
+            MutationClass::FrameDuplicate => "frame_duplicate",
+            MutationClass::FrameInject => "frame_inject",
+            MutationClass::FrameDrop => "frame_drop",
+            MutationClass::DowngradeReplay => "downgrade_replay",
+        }
+    }
+
+    /// Inverse of [`MutationClass::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.label() == label)
+    }
+
+    /// Whether this surface attacks a raw decoder (no device world) or a
+    /// live session.
+    #[must_use]
+    pub fn is_decoder_surface(self) -> bool {
+        matches!(
+            self,
+            MutationClass::Suit
+                | MutationClass::ManifestWire
+                | MutationClass::BlockDiff
+                | MutationClass::StreamDelta
+                | MutationClass::Lzss
+        )
+    }
+}
+
+/// Parameters of one exploration run.
+#[derive(Clone, Copy, Debug)]
+pub struct AdversaryConfig {
+    /// The update scenario whose inputs are mutated.
+    pub scenario: WorldConfig,
+    /// Worker threads for the case fan-out (results are identical for
+    /// any value ≥ 1).
+    pub threads: usize,
+    /// Reboot budget for the post-session never-brick check.
+    pub max_boots: u32,
+    /// Explore at most this many cases *per surface*, evenly strided
+    /// across the surface's universe (`None` = every case).
+    pub case_limit: Option<usize>,
+}
+
+impl AdversaryConfig {
+    /// Exhaustive single-scenario exploration with sensible defaults.
+    #[must_use]
+    pub fn exhaustive(scenario: WorldConfig) -> Self {
+        Self {
+            scenario,
+            threads: 1,
+            max_boots: 8,
+            case_limit: None,
+        }
+    }
+}
+
+/// Structural mutations appended after the per-byte bit flips of every
+/// decoder surface: truncate-to-half, 64-byte 0xFF extension, all-zeros.
+pub const STRUCTURAL_MUTATIONS: u64 = 3;
+
+/// Downgrade-replay case universe: stale-nonce and wrong-device streams.
+pub const DOWNGRADE_CASES: u64 = 2;
+
+/// Everything the fault-free scenario establishes once, shared by every
+/// case: the honest frame count, the bytes an honest install leaves in
+/// the booted slot, the package corpora the decoder surfaces mutate, and
+/// the once-signed streams the replay surface substitutes.
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    /// Link frames the honest push session delivers.
+    pub frames: u64,
+    /// Slot the honest post-install boot lands in.
+    pub booted_slot: SlotId,
+    /// Full contents of that slot after the honest install — the
+    /// byte-identity reference for the never-accept check.
+    pub booted_bytes: Vec<u8>,
+    /// The stream the server serves for a stale (already-used) nonce.
+    pub stale_stream: SessionStream,
+    /// The stream the server serves for a different device id.
+    pub wrong_device_stream: SessionStream,
+    /// SUIT/CBOR envelope of the honest manifest.
+    pub suit_bytes: Vec<u8>,
+    /// Wire encoding of the honest signed manifest.
+    pub manifest_wire: Vec<u8>,
+    /// Valid block-diff delta v1 → v2.
+    pub blockdiff_delta: Vec<u8>,
+    /// Valid bsdiff stream v1 → v2.
+    pub stream_delta: Vec<u8>,
+    /// Valid LZSS compression of the v2 firmware.
+    pub lzss_stream: Vec<u8>,
+    /// The v1 image the delta surfaces patch against.
+    pub old_firmware: Vec<u8>,
+    /// Decode budget derived from the scenario slot size: no decoder may
+    /// produce (or pre-allocate) more than fits in the target slot.
+    pub budget: u64,
+}
+
+/// The freshness nonce every run of `scenario` uses — baseline and cases
+/// must agree or the honest manifest itself would be stale.
+#[must_use]
+pub fn scenario_nonce(scenario: &WorldConfig) -> u32 {
+    scenario.seed as u32 | 1
+}
+
+fn prepared_stream(
+    server: &upkit_core::generation::UpdateServer,
+    token: &DeviceToken,
+) -> SessionStream {
+    let prepared = server
+        .prepare_update(token)
+        .expect("v2 is published, so the server always has an update");
+    let bytes = prepared.image.to_bytes();
+    let manifest_len = SIGNED_MANIFEST_LEN.min(bytes.len());
+    SessionStream {
+        manifest: bytes[..manifest_len].to_vec(),
+        payload: bytes[manifest_len..].to_vec(),
+    }
+}
+
+/// Runs the scenario once, honestly (through a [`FrameAdversary`] with
+/// [`FrameTamper::None`], so the frame numbering matches what every
+/// mutated case sees), and captures everything in [`Baseline`].
+#[must_use]
+pub fn record_baseline(scenario: &WorldConfig) -> Baseline {
+    let nonce = scenario_nonce(scenario);
+    let mut world = update_world(scenario, Box::new(SimFlash::new(world_geometry(scenario))));
+
+    let link = LinkProfile::ble_gatt();
+    let mut phone = Smartphone::new();
+    let mut session = PushSession::new(LossyLink::reliable(link), RetryPolicy::for_link(&link), 0);
+    let (outcome, frames) = {
+        let endpoints = PushEndpoints::new(
+            &world.server,
+            &mut phone,
+            &mut world.agent,
+            &mut world.layout,
+            world.plan.clone(),
+            nonce,
+        );
+        let mut adversary = FrameAdversary::new(endpoints, FrameTamper::None);
+        let report = session.run_to_completion(&mut adversary);
+        (report.outcome, adversary.frames_seen())
+    };
+    assert!(
+        outcome.is_complete(),
+        "the honest baseline run must complete, got {outcome:?}"
+    );
+
+    let report = world
+        .reboot_to_fixed_point(8)
+        .expect("the honest install must boot");
+    let booted_slot = report.outcome.booted_slot;
+    let spec = world.layout.slot(booted_slot).expect("booted slot exists");
+    let mut booted_bytes = vec![0u8; spec.size as usize];
+    world
+        .layout
+        .read_slot(booted_slot, 0, &mut booted_bytes)
+        .expect("booted slot is readable");
+
+    // Packages the server once legitimately signed, but for a different
+    // freshness nonce / device — exactly what a compromised proxy can
+    // hold back and replay later.
+    let honest_token = DeviceToken {
+        device_id: DEVICE_ID,
+        nonce,
+        current_version: Version(1),
+    };
+    let honest = prepared_stream(&world.server, &honest_token);
+    let stale_stream = prepared_stream(
+        &world.server,
+        &DeviceToken {
+            nonce: nonce ^ 0x5A5A_5A5A,
+            ..honest_token
+        },
+    );
+    let wrong_device_stream = prepared_stream(
+        &world.server,
+        &DeviceToken {
+            device_id: DEVICE_ID ^ 1,
+            ..honest_token
+        },
+    );
+
+    let signed =
+        SignedManifest::from_bytes(&honest.manifest).expect("the honest manifest region decodes");
+    let suit_bytes = to_suit_envelope(&signed.manifest);
+
+    let old_firmware = FirmwareGenerator::new(scenario.seed).base(scenario.firmware_size);
+    let v2 = world.firmware_v2.clone();
+
+    Baseline {
+        frames,
+        booted_slot,
+        booted_bytes,
+        stale_stream,
+        wrong_device_stream,
+        suit_bytes,
+        manifest_wire: honest.manifest,
+        blockdiff_delta: blockdiff::diff(&old_firmware, &v2),
+        stream_delta: upkit_delta::diff(&old_firmware, &v2),
+        lzss_stream: upkit_compress::compress(&v2, upkit_compress::Params::default()),
+        old_firmware,
+        budget: u64::from(scenario.slot_size),
+    }
+}
+
+/// Size of a surface's mutation universe under `baseline`.
+#[must_use]
+pub fn universe(surface: MutationClass, baseline: &Baseline) -> u64 {
+    let corpus = |len: usize| len as u64 + STRUCTURAL_MUTATIONS;
+    match surface {
+        MutationClass::Suit => corpus(baseline.suit_bytes.len()),
+        MutationClass::ManifestWire => corpus(baseline.manifest_wire.len()),
+        MutationClass::BlockDiff => corpus(baseline.blockdiff_delta.len()),
+        MutationClass::StreamDelta => corpus(baseline.stream_delta.len()),
+        MutationClass::Lzss => corpus(baseline.lzss_stream.len()),
+        MutationClass::FrameCorrupt
+        | MutationClass::FrameReorder
+        | MutationClass::FrameDuplicate
+        | MutationClass::FrameInject
+        | MutationClass::FrameDrop => baseline.frames,
+        MutationClass::DowngradeReplay => DOWNGRADE_CASES,
+    }
+}
+
+/// Applies mutation `index` of a decoder surface's universe to `corpus`:
+/// indices below the corpus length flip one (index-derived) bit of that
+/// byte; the [`STRUCTURAL_MUTATIONS`] tail indices truncate to half,
+/// append 64 `0xFF` bytes, and zero the whole input.
+#[must_use]
+pub fn mutate_bytes(corpus: &[u8], index: u64) -> Vec<u8> {
+    let len = corpus.len() as u64;
+    let mut out = corpus.to_vec();
+    if index < len {
+        // Vary the bit position across strided indices so a limited run
+        // still samples header bits, length bits, and signature bits.
+        let bit = (index.wrapping_mul(7) % 8) as u8;
+        out[index as usize] ^= 1 << bit;
+    } else if index == len {
+        out.truncate(corpus.len() / 2);
+    } else if index == len + 1 {
+        out.extend(std::iter::repeat_n(0xFF, 64));
+    } else {
+        out.iter_mut().for_each(|b| *b = 0);
+    }
+    out
+}
+
+/// The frame-level tamper realising `(surface, index)`.
+///
+/// Returns `None` for decoder surfaces (which never touch a session).
+#[must_use]
+pub fn frame_tamper(
+    surface: MutationClass,
+    index: u64,
+    baseline: &Baseline,
+) -> Option<FrameTamper> {
+    match surface {
+        MutationClass::FrameCorrupt => Some(FrameTamper::Corrupt {
+            frame: index,
+            // Index-derived position; the adversary wraps it modulo the
+            // frame's bit length, so every index lands somewhere.
+            bit: (index as u32).wrapping_mul(13).wrapping_add(1),
+        }),
+        MutationClass::FrameReorder => Some(FrameTamper::Reorder { frame: index }),
+        MutationClass::FrameDuplicate => Some(FrameTamper::Duplicate { frame: index }),
+        MutationClass::FrameInject => Some(FrameTamper::Inject {
+            frame: index,
+            fill: 0xA5,
+        }),
+        MutationClass::FrameDrop => Some(FrameTamper::Drop { frame: index }),
+        MutationClass::DowngradeReplay => Some(FrameTamper::ReplaceStream(if index == 0 {
+            baseline.stale_stream.clone()
+        } else {
+            baseline.wrong_device_stream.clone()
+        })),
+        _ => None,
+    }
+}
+
+/// Outcome of one `(surface, index)` case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseResult {
+    /// The mutated surface.
+    pub surface: MutationClass,
+    /// Index into the surface's mutation universe.
+    pub index: u64,
+    /// Stable label of what the acceptance path did: a session outcome
+    /// label, or `decoded` / `typed_error` / `budget_rejected` /
+    /// `panicked` for decoder surfaces.
+    pub outcome: String,
+    /// Whether the case unwound a panic (always a violation).
+    pub panicked: bool,
+    /// `None` when the three-part invariant held; otherwise how it broke.
+    pub violation: Option<String>,
+}
+
+impl CaseResult {
+    /// Whether the invariant held for this case.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+use upkit_net::Smartphone;
+
+fn run_decoder_case(
+    baseline: &Baseline,
+    surface: MutationClass,
+    index: u64,
+    tracer: &Tracer,
+) -> (String, bool, Option<String>) {
+    let corpus = match surface {
+        MutationClass::Suit => &baseline.suit_bytes,
+        MutationClass::ManifestWire => &baseline.manifest_wire,
+        MutationClass::BlockDiff => &baseline.blockdiff_delta,
+        MutationClass::StreamDelta => &baseline.stream_delta,
+        MutationClass::Lzss => &baseline.lzss_stream,
+        _ => unreachable!("decoder dispatch on a session surface"),
+    };
+    let mutated = mutate_bytes(corpus, index);
+    let budget = baseline.budget;
+
+    // (outcome label, produced output length, budget-rejected?)
+    let decoded = catch_unwind(AssertUnwindSafe(|| match surface {
+        MutationClass::Suit => match upkit_manifest::suit::from_suit_envelope(&mutated) {
+            Ok(_) => ("decoded", 0u64, false),
+            Err(_) => ("typed_error", 0, false),
+        },
+        MutationClass::ManifestWire => match SignedManifest::from_bytes(&mutated) {
+            Ok(_) => ("decoded", 0, false),
+            Err(_) => ("typed_error", 0, false),
+        },
+        MutationClass::BlockDiff => {
+            match blockdiff::patch_with_budget(&baseline.old_firmware, &mutated, budget as usize) {
+                Ok(out) => ("decoded", out.len() as u64, false),
+                Err(BlockDiffError::BudgetExceeded) => ("budget_rejected", 0, true),
+                Err(_) => ("typed_error", 0, false),
+            }
+        }
+        MutationClass::StreamDelta => {
+            let mut patcher = StreamPatcher::with_budget(baseline.old_firmware.as_slice(), budget);
+            let mut out = Vec::new();
+            let mut verdict = ("decoded", 0u64, false);
+            for chunk in mutated.chunks(256) {
+                match patcher.push(chunk, &mut out) {
+                    Ok(()) => {}
+                    Err(PatchError::BudgetExceeded) => {
+                        verdict = ("budget_rejected", 0, true);
+                        break;
+                    }
+                    Err(_) => {
+                        verdict = ("typed_error", 0, false);
+                        break;
+                    }
+                }
+            }
+            if verdict.0 == "decoded" {
+                verdict.1 = out.len() as u64;
+            }
+            verdict
+        }
+        MutationClass::Lzss => match upkit_compress::decompress_with_budget(&mutated, budget) {
+            Ok(out) => ("decoded", out.len() as u64, false),
+            Err(LzssError::BudgetExceeded) => ("budget_rejected", 0, true),
+            Err(_) => ("typed_error", 0, false),
+        },
+        _ => unreachable!("decoder dispatch on a session surface"),
+    }));
+
+    match decoded {
+        Ok((label, produced, budget_rejected)) => {
+            if budget_rejected {
+                Counters::add(&tracer.counters().decode_overruns, 1);
+            }
+            let violation = (produced > budget).then(|| {
+                format!("decoder produced {produced} bytes, beyond the {budget}-byte slot budget")
+            });
+            (label.to_string(), false, violation)
+        }
+        Err(_) => (
+            "panicked".to_string(),
+            true,
+            Some(format!("{} decoder panicked", surface.label())),
+        ),
+    }
+}
+
+fn run_session_case(
+    scenario: &WorldConfig,
+    baseline: &Baseline,
+    surface: MutationClass,
+    index: u64,
+    max_boots: u32,
+    tracer: &Tracer,
+) -> (String, bool, Option<String>) {
+    let tamper =
+        frame_tamper(surface, index, baseline).expect("session dispatch on a session surface");
+    let nonce = scenario_nonce(scenario);
+    let mut world = update_world(scenario, Box::new(SimFlash::new(world_geometry(scenario))));
+    world.layout.set_tracer(tracer.clone());
+
+    let session_result = catch_unwind(AssertUnwindSafe(|| {
+        let link = LinkProfile::ble_gatt();
+        let mut phone = Smartphone::new();
+        let mut session =
+            PushSession::new(LossyLink::reliable(link), RetryPolicy::for_link(&link), 0);
+        session.set_tracer(tracer.clone());
+        let endpoints = PushEndpoints::new(
+            &world.server,
+            &mut phone,
+            &mut world.agent,
+            &mut world.layout,
+            world.plan.clone(),
+            nonce,
+        );
+        let mut adversary = FrameAdversary::new(endpoints, tamper);
+        session.run_to_completion(&mut adversary).outcome
+    }));
+
+    let (label, completed, mut panicked) = match &session_result {
+        Ok(outcome) => (outcome.label().to_string(), outcome.is_complete(), false),
+        Err(_) => ("panicked".to_string(), false, true),
+    };
+
+    // Whatever the session did, the device must still boot a valid image
+    // — and if it *kept* the update, the update must be byte-identical to
+    // the vendor's (never-accept). The check runs under its own
+    // catch_unwind so a panicking bootloader is a report line, not a
+    // harness crash.
+    let base = world.base_version;
+    let checked = catch_unwind(AssertUnwindSafe(|| -> (Option<String>, bool) {
+        match world.reboot_to_fixed_point(max_boots) {
+            Ok(report) => {
+                let booted = report.outcome.booted_slot;
+                let version = report.outcome.version;
+                if !world.slot_verifies(booted) {
+                    return (
+                        Some(format!(
+                            "booted slot {booted:?} does not hold a dual-signature-valid image"
+                        )),
+                        false,
+                    );
+                }
+                if version < base {
+                    return (
+                        Some(format!(
+                            "booted version {version} is older than the pre-update version {base}"
+                        )),
+                        false,
+                    );
+                }
+                if version > base {
+                    let spec = world.layout.slot(booted).expect("booted slot exists");
+                    let mut bytes = vec![0u8; spec.size as usize];
+                    world
+                        .layout
+                        .read_slot(booted, 0, &mut bytes)
+                        .expect("booted slot is readable");
+                    if booted != baseline.booted_slot || bytes != baseline.booted_bytes {
+                        return (
+                            Some(
+                                "device kept an update that is not byte-identical to the \
+                                 vendor image"
+                                    .to_string(),
+                            ),
+                            true,
+                        );
+                    }
+                } else if completed {
+                    return (
+                        Some("session completed but the device still boots the old version".into()),
+                        false,
+                    );
+                }
+                (None, false)
+            }
+            Err(err) => (Some(format!("device bricked: {err}")), false),
+        }
+    }));
+
+    let (violation, forged) = match checked {
+        Ok(v) => v,
+        Err(_) => {
+            panicked = true;
+            (Some("post-session boot check panicked".to_string()), false)
+        }
+    };
+    if forged {
+        Counters::add(&tracer.counters().forgeries_accepted, 1);
+    }
+    let violation = violation
+        .or_else(|| panicked.then(|| format!("{} session path panicked", surface.label())));
+    (label, panicked, violation)
+}
+
+/// Runs one `(surface, index)` case against `scenario`: mutate, drive the
+/// acceptance path under `catch_unwind`, check the three-part invariant.
+/// Charges and events go to `tracer`.
+pub fn run_case(
+    scenario: &WorldConfig,
+    baseline: &Baseline,
+    surface: MutationClass,
+    index: u64,
+    max_boots: u32,
+    tracer: &Tracer,
+) -> CaseResult {
+    tracer.emit(|| Event::MutationInjected {
+        case: index,
+        surface: surface.label(),
+    });
+
+    let (outcome, panicked, violation) = if surface.is_decoder_surface() {
+        run_decoder_case(baseline, surface, index, tracer)
+    } else {
+        run_session_case(scenario, baseline, surface, index, max_boots, tracer)
+    };
+
+    let ok = violation.is_none();
+    tracer.emit(|| Event::MutationChecked {
+        case: index,
+        surface: surface.label(),
+        panicked,
+        ok,
+    });
+
+    CaseResult {
+        surface,
+        index,
+        outcome,
+        panicked,
+        violation,
+    }
+}
+
+/// The case indices to explore for a surface universe of `total` cases:
+/// all of them, or `limit` evenly strided (always including index 0).
+#[must_use]
+pub fn select_cases(total: u64, limit: Option<usize>) -> Vec<u64> {
+    match limit {
+        Some(limit) if (limit as u64) < total => (0..limit as u64)
+            .map(|i| i * total / limit as u64)
+            .collect(),
+        _ => (0..total).collect(),
+    }
+}
+
+/// Everything one exploration run learned.
+#[derive(Debug)]
+pub struct AdversaryReport {
+    /// The scenario whose inputs were mutated.
+    pub scenario: WorldConfig,
+    /// Full universe size per surface.
+    pub universes: Vec<(MutationClass, u64)>,
+    /// The `(surface, index)` cases actually explored.
+    pub explored: Vec<(MutationClass, u64)>,
+    /// One result per explored case, in canonical order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl AdversaryReport {
+    /// The cases that violated the invariant.
+    #[must_use]
+    pub fn violations(&self) -> Vec<&CaseResult> {
+        self.cases.iter().filter(|c| !c.ok()).collect()
+    }
+
+    /// The cases that panicked.
+    #[must_use]
+    pub fn panics(&self) -> usize {
+        self.cases.iter().filter(|c| c.panicked).count()
+    }
+
+    /// The violation at the smallest `(surface, index)` pair, if any.
+    #[must_use]
+    pub fn minimal_violation(&self) -> Option<&CaseResult> {
+        self.cases
+            .iter()
+            .filter(|c| !c.ok())
+            .min_by_key(|c| (c.surface, c.index))
+    }
+
+    /// Whether the case set equals the selected cross product exactly —
+    /// nothing skipped, nothing duplicated.
+    #[must_use]
+    pub fn full_coverage(&self) -> bool {
+        use std::collections::HashSet;
+        let expected: HashSet<(MutationClass, u64)> = self.explored.iter().copied().collect();
+        let actual: HashSet<(MutationClass, u64)> =
+            self.cases.iter().map(|c| (c.surface, c.index)).collect();
+        actual == expected && self.cases.len() == expected.len()
+    }
+}
+
+/// [`explore_traced`] with tracing disabled.
+#[must_use]
+pub fn explore(config: &AdversaryConfig) -> AdversaryReport {
+    explore_traced(config, &Tracer::disabled())
+}
+
+/// Records the scenario baseline, then explores every selected
+/// `(surface, index)` case across `config.threads` workers.
+///
+/// Determinism: every case is a pure function of `(scenario, baseline,
+/// surface, index)`, the baseline is a pure function of the scenario,
+/// each worker charges a case-private tracer, and the private buffers are
+/// merged into `tracer` in case-index order — so the report, counter
+/// totals, and trace record sequence are byte-identical for any thread
+/// count.
+#[must_use]
+pub fn explore_traced(config: &AdversaryConfig, tracer: &Tracer) -> AdversaryReport {
+    let baseline = record_baseline(&config.scenario);
+    let universes: Vec<(MutationClass, u64)> = MutationClass::ALL
+        .into_iter()
+        .map(|s| (s, universe(s, &baseline)))
+        .collect();
+    let cases: Vec<(MutationClass, u64)> = universes
+        .iter()
+        .flat_map(|&(surface, total)| {
+            select_cases(total, config.case_limit)
+                .into_iter()
+                .map(move |i| (surface, i))
+        })
+        .collect();
+
+    type Slot = Mutex<Option<(CaseResult, CountersSnapshot, Vec<TraceRecord>)>>;
+    let slots: Vec<Slot> = (0..cases.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let threads = config.threads.max(1);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(surface, case)) = cases.get(index) else {
+                    break;
+                };
+                let sink = Arc::new(MemorySink::new());
+                let case_tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
+                let result = run_case(
+                    &config.scenario,
+                    &baseline,
+                    surface,
+                    case,
+                    config.max_boots,
+                    &case_tracer,
+                );
+                let snapshot = case_tracer.counters().snapshot();
+                *slots[index].lock().expect("result slot poisoned") =
+                    Some((result, snapshot, sink.drain()));
+            });
+        }
+    })
+    .expect("adversary workers do not panic");
+
+    // Merge in case-index order: the parent trace is independent of
+    // which worker ran which case.
+    let mut results = Vec::with_capacity(cases.len());
+    for slot in &slots {
+        let (result, snapshot, records) = slot
+            .lock()
+            .expect("result slot poisoned")
+            .take()
+            .expect("every case ran");
+        tracer.absorb(&snapshot, &records);
+        results.push(result);
+    }
+
+    AdversaryReport {
+        scenario: config.scenario,
+        universes,
+        explored: cases,
+        cases: results,
+    }
+}
+
+/// A violation reduced to its smallest failing mutation, plus the
+/// one-line command that reproduces it.
+#[derive(Debug)]
+pub struct Shrunk {
+    /// The minimal failing case.
+    pub case: CaseResult,
+    /// A `cargo run` command reproducing exactly this case.
+    pub command: String,
+}
+
+/// The reproducer command for one `(scenario, surface, index)` case.
+#[must_use]
+pub fn repro_command(scenario: &WorldConfig, surface: MutationClass, index: u64) -> String {
+    format!(
+        "cargo run --release -p upkit-bench --bin adversary_explore -- --repro {} {} {} {} {} {}",
+        mode_label(scenario.mode),
+        scenario.seed,
+        scenario.firmware_size,
+        scenario.slot_size,
+        surface.label(),
+        index
+    )
+}
+
+/// Shrinks the report's minimal violation to the smallest mutation index
+/// that still fails on the same surface, re-running only indices the
+/// (possibly strided) exploration skipped. Returns `None` when the report
+/// has no violations.
+#[must_use]
+pub fn shrink_violation(
+    config: &AdversaryConfig,
+    baseline: &Baseline,
+    report: &AdversaryReport,
+) -> Option<Shrunk> {
+    let worst = report.minimal_violation()?;
+    let passed: std::collections::HashSet<u64> = report
+        .cases
+        .iter()
+        .filter(|c| c.surface == worst.surface && c.ok())
+        .map(|c| c.index)
+        .collect();
+    let tracer = Tracer::disabled();
+    for index in 0..worst.index {
+        if passed.contains(&index) {
+            continue;
+        }
+        let case = run_case(
+            &config.scenario,
+            baseline,
+            worst.surface,
+            index,
+            config.max_boots,
+            &tracer,
+        );
+        if !case.ok() {
+            let command = repro_command(&config.scenario, case.surface, case.index);
+            return Some(Shrunk { case, command });
+        }
+    }
+    let command = repro_command(&config.scenario, worst.surface, worst.index);
+    Some(Shrunk {
+        case: worst.clone(),
+        command,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upkit_sim::failure::WorldMode;
+
+    #[test]
+    fn labels_round_trip() {
+        for surface in MutationClass::ALL {
+            assert_eq!(MutationClass::from_label(surface.label()), Some(surface));
+        }
+        assert_eq!(MutationClass::from_label("telepathy"), None);
+        for mode in [
+            WorldMode::Ab,
+            WorldMode::StaticSwap { recovery: false },
+            WorldMode::StaticSwap { recovery: true },
+        ] {
+            assert_eq!(mode_from_label(mode_label(mode)), Some(mode));
+        }
+    }
+
+    #[test]
+    fn case_selection_is_total_or_evenly_strided() {
+        assert_eq!(select_cases(4, None), vec![0, 1, 2, 3]);
+        assert_eq!(select_cases(4, Some(10)), vec![0, 1, 2, 3]);
+        assert_eq!(select_cases(100, Some(4)), vec![0, 25, 50, 75]);
+    }
+
+    #[test]
+    fn byte_mutations_cover_flips_and_structural_cases() {
+        let corpus = vec![0u8; 16];
+        for index in 0..16u64 {
+            let mutated = mutate_bytes(&corpus, index);
+            assert_eq!(mutated.len(), 16);
+            let differing: Vec<usize> = (0..16).filter(|&i| mutated[i] != corpus[i]).collect();
+            assert_eq!(differing, vec![index as usize], "exactly one byte changes");
+            assert_eq!(
+                (mutated[index as usize] ^ corpus[index as usize]).count_ones(),
+                1,
+                "exactly one bit of it"
+            );
+        }
+        assert_eq!(mutate_bytes(&corpus, 16).len(), 8, "truncate to half");
+        let extended = mutate_bytes(&corpus, 17);
+        assert_eq!(extended.len(), 16 + 64, "0xFF extension");
+        assert!(extended[16..].iter().all(|&b| b == 0xFF));
+        let zeroed = mutate_bytes(&[0xABu8; 16], 18);
+        assert!(zeroed.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn frame_tampers_target_the_indexed_frame() {
+        let baseline = tiny_baseline();
+        assert!(matches!(
+            frame_tamper(MutationClass::FrameDrop, 7, &baseline),
+            Some(FrameTamper::Drop { frame: 7 })
+        ));
+        assert!(matches!(
+            frame_tamper(MutationClass::FrameInject, 3, &baseline),
+            Some(FrameTamper::Inject {
+                frame: 3,
+                fill: 0xA5
+            })
+        ));
+        assert!(frame_tamper(MutationClass::Lzss, 0, &baseline).is_none());
+        match frame_tamper(MutationClass::DowngradeReplay, 0, &baseline) {
+            Some(FrameTamper::ReplaceStream(stream)) => {
+                assert_eq!(stream, baseline.stale_stream);
+            }
+            other => panic!("expected the stale stream, got {other:?}"),
+        }
+    }
+
+    fn tiny_baseline() -> Baseline {
+        Baseline {
+            frames: 10,
+            booted_slot: upkit_flash::standard::SLOT_B,
+            booted_bytes: vec![0; 4],
+            stale_stream: SessionStream {
+                manifest: vec![1],
+                payload: vec![2],
+            },
+            wrong_device_stream: SessionStream {
+                manifest: vec![3],
+                payload: vec![4],
+            },
+            suit_bytes: vec![0; 8],
+            manifest_wire: vec![0; 8],
+            blockdiff_delta: vec![0; 8],
+            stream_delta: vec![0; 8],
+            lzss_stream: vec![0; 8],
+            old_firmware: vec![0; 8],
+            budget: 4096,
+        }
+    }
+
+    #[test]
+    fn universes_follow_corpus_sizes() {
+        let baseline = tiny_baseline();
+        assert_eq!(universe(MutationClass::Suit, &baseline), 8 + 3);
+        assert_eq!(universe(MutationClass::FrameCorrupt, &baseline), 10);
+        assert_eq!(universe(MutationClass::DowngradeReplay, &baseline), 2);
+    }
+}

@@ -113,6 +113,8 @@ pub enum LzssError {
     Truncated,
     /// The stream produced more data than the declared original length.
     TrailingData,
+    /// The header declared an original length beyond the decode budget.
+    BudgetExceeded,
 }
 
 impl core::fmt::Display for LzssError {
@@ -125,6 +127,7 @@ impl core::fmt::Display for LzssError {
             }
             Self::Truncated => f.write_str("LZSS stream truncated"),
             Self::TrailingData => f.write_str("LZSS stream longer than declared"),
+            Self::BudgetExceeded => f.write_str("LZSS declared length exceeds decode budget"),
         }
     }
 }
@@ -236,7 +239,13 @@ pub fn compress(data: &[u8], params: Params) -> Vec<u8> {
 
 /// Decompresses a complete LZSS stream in one call.
 pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, LzssError> {
-    let mut decoder = Decompressor::new();
+    decompress_with_budget(stream, u64::MAX)
+}
+
+/// Decompresses a complete LZSS stream, rejecting headers that declare an
+/// original length beyond `budget` bytes (see [`Decompressor::with_budget`]).
+pub fn decompress_with_budget(stream: &[u8], budget: u64) -> Result<Vec<u8>, LzssError> {
+    let mut decoder = Decompressor::with_budget(budget);
     let mut out = Vec::new();
     decoder.push(stream, &mut out)?;
     decoder.finish()?;
@@ -265,6 +274,7 @@ pub struct Decompressor {
     header: [u8; HEADER_LEN],
     params: Params,
     expected_len: u64,
+    budget: u64,
     produced: u64,
     window: Vec<u8>,
     window_pos: usize,
@@ -283,11 +293,24 @@ impl Decompressor {
     /// Creates a decoder expecting a full stream starting with the header.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_budget(u64::MAX)
+    }
+
+    /// Creates a decoder that rejects any stream whose header declares an
+    /// original length beyond `budget` bytes.
+    ///
+    /// The declared length drives how much output the caller accumulates
+    /// and writes downstream; on a device the bound is the target flash
+    /// slot, so a header lying about its length is rejected with
+    /// [`LzssError::BudgetExceeded`] before any byte is produced.
+    #[must_use]
+    pub fn with_budget(budget: u64) -> Self {
         Self {
             state: DecodeState::Header { filled: 0 },
             header: [0; HEADER_LEN],
             params: Params::default(),
             expected_len: 0,
+            budget,
             produced: 0,
             window: Vec::new(),
             window_pos: 0,
@@ -345,6 +368,9 @@ impl Decompressor {
                     self.expected_len = u64::from(u32::from_le_bytes(
                         self.header[5..9].try_into().expect("4 bytes"),
                     ));
+                    if self.expected_len > self.budget {
+                        return Err(LzssError::BudgetExceeded);
+                    }
                     self.window = vec![0; self.params.window_size()];
                     self.state = if self.expected_len == 0 {
                         DecodeState::Done
@@ -601,5 +627,38 @@ mod tests {
         data.extend_from_slice(&block);
         let packed = compress(&data, params);
         assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn huge_declared_length_is_rejected_by_budget() {
+        // Allocation-DoS shape: a 9-byte header declaring a 4 GiB output.
+        // The declared length sizes what the caller accumulates, so a
+        // budgeted decoder must reject it at the header, before producing
+        // a single byte.
+        let mut stream = compress(b"tiny", Params::default());
+        stream[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decompress_with_budget(&stream, 4096).unwrap_err();
+        assert_eq!(err, LzssError::BudgetExceeded);
+        let mut decoder = Decompressor::with_budget(4096);
+        let mut out = Vec::new();
+        assert_eq!(
+            decoder.push(&stream, &mut out),
+            Err(LzssError::BudgetExceeded)
+        );
+        assert!(out.is_empty(), "no output before the budget check");
+    }
+
+    #[test]
+    fn budget_admits_honest_streams() {
+        let data = b"honest firmware body".repeat(64);
+        let packed = compress(&data, Params::default());
+        assert_eq!(
+            decompress_with_budget(&packed, data.len() as u64).unwrap(),
+            data
+        );
+        assert_eq!(
+            decompress_with_budget(&packed, data.len() as u64 - 1),
+            Err(LzssError::BudgetExceeded)
+        );
     }
 }

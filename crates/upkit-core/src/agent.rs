@@ -348,6 +348,9 @@ impl UpdateAgent {
         match self.push_data_inner(layout, chunk) {
             Ok(phase) => Ok(phase),
             Err(e) => {
+                // Every typed rejection is ledgered: the security tests pin
+                // this counter against the forgery counter staying zero.
+                Counters::add(&layout.tracer().counters().packages_rejected, 1);
                 self.transition(layout, AgentState::Cleaning);
                 Err(e)
             }

@@ -28,6 +28,7 @@ use upkit_compress::{Decompressor, LzssError};
 use upkit_crypto::chacha20::ChaCha20;
 use upkit_delta::{PatchError, StreamPatcher};
 use upkit_flash::{LayoutError, MemoryLayout, SlotId};
+use upkit_trace::Counters;
 
 use crate::image::FIRMWARE_OFFSET;
 
@@ -195,11 +196,21 @@ impl Pipeline {
         // Snapshot the (immutable-during-update) old image; see module docs.
         let mut old = vec![0u8; old_size as usize];
         layout.read_slot_counted(old_slot, FIRMWARE_OFFSET, &mut old)?;
+        // Both decode stages are budgeted from the manifest's (verified,
+        // slot-bounded) firmware size: a wire stream whose own headers
+        // declare more output than the manifest promised is an attack on
+        // the decoder's memory, rejected before any allocation is sized
+        // from it. The decompressor yields the *patch*, which can
+        // legitimately outgrow the firmware by its control-entry framing,
+        // so its budget is the worst case `diff` can emit for this
+        // firmware size rather than the firmware size itself.
         Ok(Self {
             cipher: None,
             transform: Transform::Differential {
-                decompressor: Decompressor::new(),
-                patcher: StreamPatcher::new(old),
+                decompressor: Decompressor::with_budget(upkit_delta::max_patch_len(u64::from(
+                    firmware_size,
+                ))),
+                patcher: StreamPatcher::with_budget(old, u64::from(firmware_size)),
             },
             writer: BufferedWriter::new(layout, dst, u64::from(firmware_size))?,
         })
@@ -246,9 +257,17 @@ impl Pipeline {
                 patcher,
             } => {
                 let mut patch_bytes = Vec::new();
-                decompressor.push(data, &mut patch_bytes)?;
+                decompressor.push(data, &mut patch_bytes).inspect_err(|e| {
+                    if matches!(e, LzssError::BudgetExceeded) {
+                        Counters::add(&layout.tracer().counters().decode_overruns, 1);
+                    }
+                })?;
                 let mut firmware = Vec::new();
-                patcher.push(&patch_bytes, &mut firmware)?;
+                patcher.push(&patch_bytes, &mut firmware).inspect_err(|e| {
+                    if matches!(e, PatchError::BudgetExceeded) {
+                        Counters::add(&layout.tracer().counters().decode_overruns, 1);
+                    }
+                })?;
                 self.writer.push(layout, &firmware)
             }
         }

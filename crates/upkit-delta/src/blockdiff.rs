@@ -30,6 +30,8 @@ pub enum BlockDiffError {
     Truncated,
     /// A copy referenced a block outside the old image.
     OutOfBounds,
+    /// The header declared an output longer than the decode budget.
+    BudgetExceeded,
 }
 
 impl core::fmt::Display for BlockDiffError {
@@ -38,6 +40,7 @@ impl core::fmt::Display for BlockDiffError {
             Self::BadMagic => f.write_str("missing block-diff magic"),
             Self::Truncated => f.write_str("block-diff stream truncated"),
             Self::OutOfBounds => f.write_str("block-diff copy out of bounds"),
+            Self::BudgetExceeded => f.write_str("block-diff declared output exceeds budget"),
         }
     }
 }
@@ -107,12 +110,40 @@ pub fn diff(old: &[u8], new: &[u8]) -> Vec<u8> {
 }
 
 /// Applies a block diff to `old`.
+///
+/// The output allocation is bounded by the delta's own size, not the
+/// attacker-controlled header: a declared length the instruction stream
+/// cannot actually produce fails with [`BlockDiffError::Truncated`] without
+/// ever reserving that much memory. Callers with a known output bound (a
+/// flash slot) should use [`patch_with_budget`] to reject oversized
+/// declarations up front as [`BlockDiffError::BudgetExceeded`].
 pub fn patch(old: &[u8], delta: &[u8]) -> Result<Vec<u8>, BlockDiffError> {
+    patch_with_budget(old, delta, usize::MAX)
+}
+
+/// Applies a block diff to `old`, rejecting any delta whose header declares
+/// an output longer than `budget` bytes.
+pub fn patch_with_budget(
+    old: &[u8],
+    delta: &[u8],
+    budget: usize,
+) -> Result<Vec<u8>, BlockDiffError> {
     if delta.len() < 8 || delta[..4] != MAGIC {
         return Err(BlockDiffError::BadMagic);
     }
     let new_len = u32::from_le_bytes(delta[4..8].try_into().expect("4 bytes")) as usize;
-    let mut out = Vec::with_capacity(new_len);
+    if new_len > budget {
+        return Err(BlockDiffError::BudgetExceeded);
+    }
+    // Never pre-allocate from the attacker-controlled header alone: each
+    // output byte costs at least 1/BLOCK_SIZE delta bytes, so the stream
+    // length bounds what a well-formed delta can produce.
+    let producible = delta
+        .len()
+        .saturating_sub(8)
+        .saturating_mul(BLOCK_SIZE)
+        .min(new_len);
+    let mut out = Vec::with_capacity(producible);
     let mut pos = 8usize;
     while pos < delta.len() {
         match delta[pos] {
@@ -249,6 +280,36 @@ mod tests {
         assert_eq!(patch(&old, &bad_magic), Err(BlockDiffError::BadMagic));
         let truncated = &delta[..delta.len() - 1];
         assert!(patch(&old, truncated).is_err());
+    }
+
+    #[test]
+    fn huge_declared_length_does_not_preallocate() {
+        // The allocation-DoS case: a 12-byte delta declaring a ~4 GiB
+        // output. The decode must fail with a typed error without ever
+        // reserving the declared length.
+        let mut delta = Vec::new();
+        delta.extend_from_slice(&MAGIC);
+        delta.extend_from_slice(&u32::MAX.to_le_bytes());
+        delta.extend_from_slice(&[0x00, 0x00, 0x00, 0x00]); // empty literal + junk
+        let err = patch(&[0u8; 64], &delta).unwrap_err();
+        assert_eq!(err, BlockDiffError::Truncated);
+        // With a slot-derived budget the lie is rejected before decoding.
+        assert_eq!(
+            patch_with_budget(&[0u8; 64], &delta, 4096),
+            Err(BlockDiffError::BudgetExceeded)
+        );
+    }
+
+    #[test]
+    fn budget_admits_honest_deltas() {
+        let old = lcg(20, 3000);
+        let new = lcg(21, 2500);
+        let delta = diff(&old, &new);
+        assert_eq!(patch_with_budget(&old, &delta, new.len()).unwrap(), new);
+        assert_eq!(
+            patch_with_budget(&old, &delta, new.len() - 1),
+            Err(BlockDiffError::BudgetExceeded)
+        );
     }
 
     #[test]

@@ -52,6 +52,20 @@ pub const HEADER_LEN: usize = 4 + 4 + 4;
 /// Size in bytes of a control entry.
 pub const CONTROL_LEN: usize = 4 + 4 + 4;
 
+/// Upper bound on the size of any patch [`diff`] can emit for a
+/// `new_len`-byte image.
+///
+/// Diff and extra bytes across all entries partition the new image
+/// (`new_len` bytes total), and every entry's break condition guarantees
+/// at least one byte of forward progress in `new`, so at most
+/// `new_len + 1` control entries exist. Decoders sizing allocations from
+/// untrusted length declarations clamp to this instead of trusting the
+/// wire.
+#[must_use]
+pub fn max_patch_len(new_len: u64) -> u64 {
+    HEADER_LEN as u64 + (new_len + 1) * (CONTROL_LEN as u64 + 1)
+}
+
 /// Errors produced while applying a patch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -68,6 +82,8 @@ pub enum PatchError {
     Truncated,
     /// Reading the old image failed.
     OldReadFailed,
+    /// The header declared an output longer than the decode budget.
+    BudgetExceeded,
 }
 
 impl core::fmt::Display for PatchError {
@@ -79,6 +95,7 @@ impl core::fmt::Display for PatchError {
             Self::OutputOverrun => f.write_str("patch produced more data than declared"),
             Self::Truncated => f.write_str("patch stream truncated"),
             Self::OldReadFailed => f.write_str("reading the old image failed"),
+            Self::BudgetExceeded => f.write_str("patch declared output exceeds decode budget"),
         }
     }
 }
@@ -403,6 +420,7 @@ pub struct StreamPatcher<O> {
     state: PatchState,
     scratch: [u8; HEADER_LEN],
     new_len: u64,
+    budget: u64,
     produced: u64,
     old_pos: i64,
     extra_after_diff: u32,
@@ -413,11 +431,24 @@ impl<O: OldImage> StreamPatcher<O> {
     /// Creates a patcher that reads the previous firmware from `old`.
     #[must_use]
     pub fn new(old: O) -> Self {
+        Self::with_budget(old, u64::MAX)
+    }
+
+    /// Creates a patcher that rejects any patch whose header declares an
+    /// output longer than `budget` bytes.
+    ///
+    /// The declared length drives how much the caller accumulates and
+    /// writes downstream; on a device the bound is the target flash slot,
+    /// so a header lying about its output is rejected with
+    /// [`PatchError::BudgetExceeded`] before any byte is produced.
+    #[must_use]
+    pub fn with_budget(old: O, budget: u64) -> Self {
         Self {
             old,
             state: PatchState::Header { filled: 0 },
             scratch: [0; HEADER_LEN],
             new_len: 0,
+            budget,
             produced: 0,
             old_pos: 0,
             extra_after_diff: 0,
@@ -465,6 +496,9 @@ impl<O: OldImage> StreamPatcher<O> {
                         self.new_len = u64::from(u32::from_le_bytes(
                             self.scratch[8..12].try_into().expect("4 bytes"),
                         ));
+                        if self.new_len > self.budget {
+                            return Err(PatchError::BudgetExceeded);
+                        }
                         self.state = if self.new_len == 0 {
                             PatchState::Done
                         } else {
@@ -603,6 +637,40 @@ mod tests {
     #[test]
     fn empty_to_empty() {
         round_trip(b"", b"");
+    }
+
+    #[test]
+    fn max_patch_len_bounds_every_emitted_patch() {
+        // `max_patch_len` sizes the pipeline's decompressor budget, so it
+        // must dominate everything `diff` can emit — including the
+        // adversarial-looking workloads (unrelated images, scattered
+        // edits) that maximize control-entry framing.
+        let cases: [(Vec<u8>, Vec<u8>); 4] = [
+            (lcg_bytes(3, 4000), lcg_bytes(4, 4000)),
+            (vec![0xAA; 8000], {
+                let mut new = vec![0xAA; 8000];
+                new[..64].copy_from_slice(&[0x5A; 64]);
+                new
+            }),
+            (lcg_bytes(5, 2000), {
+                let mut new = lcg_bytes(5, 2000);
+                for i in (0..new.len()).step_by(37) {
+                    new[i] ^= 0xFF;
+                }
+                new
+            }),
+            (Vec::new(), lcg_bytes(6, 1000)),
+        ];
+        for (old, new) in cases {
+            let delta = diff(&old, &new);
+            assert!(
+                (delta.len() as u64) <= max_patch_len(new.len() as u64),
+                "patch of {} bytes exceeds max_patch_len({}) = {}",
+                delta.len(),
+                new.len(),
+                max_patch_len(new.len() as u64)
+            );
+        }
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub enum Value {
     Map(Vec<(u64, Value)>),
 }
 
+/// Maximum container nesting the decoder accepts.
+///
+/// Manifests nest two or three levels deep; anything beyond this bound is
+/// an attack on the decoder's stack (a stream of `0x81` bytes recurses once
+/// per byte), so decoding fails with [`CborError::DepthExceeded`] instead.
+pub const MAX_DEPTH: usize = 16;
+
 /// Errors from CBOR decoding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -36,6 +43,11 @@ pub enum CborError {
     BadMapKey,
     /// Extra bytes followed the top-level item.
     TrailingBytes,
+    /// Containers nested deeper than [`MAX_DEPTH`].
+    DepthExceeded,
+    /// A declared length exceeds the remaining input (a length-lying
+    /// header; rejected before any allocation is sized from it).
+    LengthOverflow,
 }
 
 impl core::fmt::Display for CborError {
@@ -46,6 +58,8 @@ impl core::fmt::Display for CborError {
             Self::BadText => f.write_str("CBOR text string is not valid UTF-8"),
             Self::BadMapKey => f.write_str("CBOR map keys must be ascending unsigned integers"),
             Self::TrailingBytes => f.write_str("trailing bytes after CBOR item"),
+            Self::DepthExceeded => f.write_str("CBOR nesting deeper than supported"),
+            Self::LengthOverflow => f.write_str("CBOR declared length exceeds input"),
         }
     }
 }
@@ -108,7 +122,7 @@ fn encode_into(value: &Value, out: &mut Vec<u8>) {
 
 /// Decodes a single top-level value, rejecting trailing bytes.
 pub fn decode(input: &[u8]) -> Result<Value, CborError> {
-    let (value, used) = decode_item(input)?;
+    let (value, used) = decode_item(input, 0)?;
     if used != input.len() {
         return Err(CborError::TrailingBytes);
     }
@@ -137,25 +151,42 @@ fn decode_head(input: &[u8]) -> Result<(u8, u64, usize), CborError> {
             )
         }
         27 => {
-            let bytes = input.get(1..9).ok_or(CborError::Truncated)?;
-            (u64::from_be_bytes(bytes.try_into().expect("8 bytes")), 9)
+            let bytes: [u8; 8] = input
+                .get(1..9)
+                .and_then(|b| b.try_into().ok())
+                .ok_or(CborError::Truncated)?;
+            (u64::from_be_bytes(bytes), 9)
         }
         _ => return Err(CborError::Unsupported), // indefinite lengths
     };
     Ok((major, value, used))
 }
 
-fn decode_item(input: &[u8]) -> Result<(Value, usize), CborError> {
+/// Declared lengths an attacker can lie about (string bytes, container
+/// element counts) are checked against the *remaining input* before any
+/// loop runs or any `Vec` capacity is derived from them: every string byte
+/// and every container element costs at least one input byte, so a
+/// declaration larger than what is left can never be satisfied.
+fn check_declared_len(value: u64, remaining: usize) -> Result<usize, CborError> {
+    let len = usize::try_from(value).map_err(|_| CborError::LengthOverflow)?;
+    if len > remaining {
+        return Err(CborError::LengthOverflow);
+    }
+    Ok(len)
+}
+
+fn decode_item(input: &[u8], depth: usize) -> Result<(Value, usize), CborError> {
+    if depth > MAX_DEPTH {
+        return Err(CborError::DepthExceeded);
+    }
     let (major, value, mut used) = decode_head(input)?;
     match major {
         0 => Ok((Value::Uint(value), used)),
         2 | 3 => {
-            let len = usize::try_from(value).map_err(|_| CborError::Unsupported)?;
-            let body = input
-                .get(used..used + len)
-                .ok_or(CborError::Truncated)?
-                .to_vec();
-            used += len;
+            let len = check_declared_len(value, input.len() - used)?;
+            let end = used.checked_add(len).ok_or(CborError::LengthOverflow)?;
+            let body = input.get(used..end).ok_or(CborError::Truncated)?.to_vec();
+            used = end;
             if major == 2 {
                 Ok((Value::Bytes(body), used))
             } else {
@@ -164,18 +195,20 @@ fn decode_item(input: &[u8]) -> Result<(Value, usize), CborError> {
             }
         }
         4 => {
+            let count = check_declared_len(value, input.len() - used)?;
             let mut items = Vec::new();
-            for _ in 0..value {
-                let (item, item_used) = decode_item(&input[used..])?;
+            for _ in 0..count {
+                let (item, item_used) = decode_item(&input[used..], depth + 1)?;
                 items.push(item);
                 used += item_used;
             }
             Ok((Value::Array(items), used))
         }
         5 => {
+            let count = check_declared_len(value, input.len() - used)?;
             let mut entries = Vec::new();
             let mut last_key: Option<u64> = None;
-            for _ in 0..value {
+            for _ in 0..count {
                 let (key_major, key, key_used) = decode_head(&input[used..])?;
                 if key_major != 0 {
                     return Err(CborError::BadMapKey);
@@ -187,7 +220,7 @@ fn decode_item(input: &[u8]) -> Result<(Value, usize), CborError> {
                 }
                 last_key = Some(key);
                 used += key_used;
-                let (item, item_used) = decode_item(&input[used..])?;
+                let (item, item_used) = decode_item(&input[used..], depth + 1)?;
                 entries.push((key, item));
                 used += item_used;
             }
@@ -282,11 +315,54 @@ mod tests {
 
     #[test]
     fn rejects_truncation_and_trailing() {
+        // A byte string cut short is caught by the declared-length check:
+        // the header claims more bytes than the input holds.
         let full = encode(&Value::Bytes(vec![1, 2, 3]));
-        assert_eq!(decode(&full[..full.len() - 1]), Err(CborError::Truncated));
+        assert_eq!(
+            decode(&full[..full.len() - 1]),
+            Err(CborError::LengthOverflow)
+        );
+        // A truncated multi-byte head is still plain truncation.
+        assert_eq!(decode(&[0x19, 0x01]), Err(CborError::Truncated));
+        assert_eq!(decode(&[0x1B, 0, 0, 0, 0]), Err(CborError::Truncated));
         let mut extra = full.clone();
         extra.push(0x00);
         assert_eq!(decode(&extra), Err(CborError::TrailingBytes));
+    }
+
+    #[test]
+    fn rejects_nesting_deeper_than_max_depth() {
+        // `0x81` = one-element array; a run of them recurses once per byte.
+        // Deep enough to smash the stack without the depth limit.
+        let mut bytes = vec![0x81u8; 10_000];
+        bytes.push(0x00);
+        assert_eq!(decode(&bytes), Err(CborError::DepthExceeded));
+        // Depth at the limit still decodes.
+        let mut ok = vec![0x81u8; MAX_DEPTH];
+        ok.push(0x00);
+        assert!(decode(&ok).is_ok());
+        // One past the limit does not.
+        let mut over = vec![0x81u8; MAX_DEPTH + 1];
+        over.push(0x00);
+        assert_eq!(decode(&over), Err(CborError::DepthExceeded));
+    }
+
+    #[test]
+    fn rejects_length_lying_headers() {
+        // Byte string claiming 4 GiB from a 10-byte input.
+        let mut lying = vec![0x5A]; // major 2, 4-byte length
+        lying.extend_from_slice(&0xFFFF_FFFFu32.to_be_bytes());
+        lying.extend_from_slice(&[0; 5]);
+        assert_eq!(decode(&lying), Err(CborError::LengthOverflow));
+        // Array claiming u64::MAX elements.
+        let mut huge_array = vec![0x9B]; // major 4, 8-byte length
+        huge_array.extend_from_slice(&u64::MAX.to_be_bytes());
+        assert_eq!(decode(&huge_array), Err(CborError::LengthOverflow));
+        // Map claiming 2^32 entries with two bytes of body.
+        let mut huge_map = vec![0xBA]; // major 5, 4-byte length
+        huge_map.extend_from_slice(&u32::MAX.to_be_bytes());
+        huge_map.extend_from_slice(&[0x00, 0x00]);
+        assert_eq!(decode(&huge_map), Err(CborError::LengthOverflow));
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!   accounting ([`TransferAccounting`]).
 //! * [`proxy`] — the passive forwarders ([`Smartphone`], [`BorderRouter`]);
 //!   per the paper's threat model they forward bytes but hold no keys.
-//! * [`tamper`] — the attacks a compromised proxy can mount
-//!   (corrupt/truncate/replay).
+//! * [`tamper`] — the attacks a compromised proxy can mount: whole-message
+//!   corrupt/truncate/replay ([`Tamper`]) and in-flight single-frame
+//!   corrupt/reorder/duplicate/inject/drop plus cross-version stream
+//!   replay ([`FrameAdversary`]).
 //! * [`session`] — the event-driven core: resumable [`PushSession`] /
 //!   [`PullSession`] state machines advancing one link event at a time via
 //!   [`Transport::step`], with per-block timeout, bounded retries, and
@@ -41,4 +43,4 @@ pub use session::{
     SessionEvent, SessionEventKind, SessionOutcome, SessionReport, SessionStream, Step,
     StreamResolution, Transport,
 };
-pub use tamper::Tamper;
+pub use tamper::{FrameAdversary, FrameTamper, Tamper};

@@ -185,6 +185,26 @@ pub enum Event {
         /// Whether the invariant held.
         ok: bool,
     },
+    /// Adversarial explorer: one mutated input is about to run the
+    /// acceptance path.
+    MutationInjected {
+        /// Case index within the surface's mutation universe.
+        case: u64,
+        /// Mutated surface label (`"lzss"`, `"frame_corrupt"`, ...).
+        surface: &'static str,
+    },
+    /// Adversarial explorer: the mutated case finished and the
+    /// never-accept / never-panic / bounded-memory invariant was checked.
+    MutationChecked {
+        /// Case index within the surface's mutation universe.
+        case: u64,
+        /// Mutated surface label.
+        surface: &'static str,
+        /// Whether the acceptance path panicked.
+        panicked: bool,
+        /// Whether the invariant held.
+        ok: bool,
+    },
 }
 
 impl Event {
@@ -212,11 +232,14 @@ impl Event {
             Event::RolloutRound { .. } => "rollout_round",
             Event::FaultInjected { .. } => "fault_injected",
             Event::FaultChecked { .. } => "fault_checked",
+            Event::MutationInjected { .. } => "mutation_injected",
+            Event::MutationChecked { .. } => "mutation_checked",
         }
     }
 
     /// Coarse layer the event belongs to (`"session"`, `"agent"`,
-    /// `"pipeline"`, `"flash"`, `"boot"`, `"scheduler"`, `"chaos"`).
+    /// `"pipeline"`, `"flash"`, `"boot"`, `"scheduler"`, `"chaos"`,
+    /// `"adversary"`).
     #[must_use]
     pub fn layer(&self) -> &'static str {
         match self {
@@ -237,6 +260,7 @@ impl Event {
             | Event::DeviceComplete { .. }
             | Event::RolloutRound { .. } => "scheduler",
             Event::FaultInjected { .. } | Event::FaultChecked { .. } => "chaos",
+            Event::MutationInjected { .. } | Event::MutationChecked { .. } => "adversary",
         }
     }
 
@@ -326,6 +350,20 @@ impl Event {
                 let _ = write!(
                     out,
                     r#","boundary":{boundary},"fault":"{fault}","boots":{boots},"version":{version},"ok":{ok}"#
+                );
+            }
+            Event::MutationInjected { case, surface } => {
+                let _ = write!(out, r#","case":{case},"surface":"{surface}""#);
+            }
+            Event::MutationChecked {
+                case,
+                surface,
+                panicked,
+                ok,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","case":{case},"surface":"{surface}","panicked":{panicked},"ok":{ok}"#
                 );
             }
         }
@@ -583,6 +621,12 @@ counters! {
     faults_injected,
     /// Never-brick invariant violations observed by the explorer.
     fault_violations,
+    /// Update packages the agent rejected with a typed error.
+    packages_rejected,
+    /// Tampered packages a device accepted as valid (must stay zero).
+    forgeries_accepted,
+    /// Decoder inputs rejected for declaring output beyond the budget.
+    decode_overruns,
 }
 
 impl Counters {

@@ -19,6 +19,7 @@
 //! | [`baselines`] | `upkit-baselines` | mcuboot / mcumgr / LwM2M / Sparrow analogues |
 //! | [`sim`] | `upkit-sim` | platform profiles, end-to-end scenarios, failure injection |
 //! | [`chaos`] | `upkit-chaos` | crash-consistency explorer: per-boundary fault injection, never-brick proofs |
+//! | [`adversary`] | `upkit-adversary` | adversarial-input explorer: mutation campaigns over every untrusted byte surface |
 //! | [`footprint`] | `upkit-footprint` | calibrated flash/RAM footprint model (Tables I–II, Fig. 7) |
 //! | [`trace`] | `upkit-trace` | structured event tracing, metrics counters, NDJSON sinks |
 //!
@@ -37,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub use upkit_adversary as adversary;
 pub use upkit_baselines as baselines;
 pub use upkit_chaos as chaos;
 pub use upkit_compress as compress;

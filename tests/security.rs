@@ -360,6 +360,198 @@ fn bit_flip_anywhere_in_stream_is_caught() {
     }
 }
 
+#[test]
+fn oversized_decode_declaration_is_rejected_and_ledgered() {
+    use upkit::core::generation::ServedKind;
+    use upkit::trace::{MemorySink, Tracer};
+
+    // A differential update whose LZSS header a compromised proxy
+    // inflates to 4 GiB. The dual signatures cover the decoded firmware's
+    // digest, not the payload bytes, so the manifest still verifies — the
+    // pipeline's slot-derived budget is the only thing standing between
+    // the declared length and a 4 GiB allocation on a constrained device.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+    let anchors = TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key());
+    let f1 = vec![0xAA; 8_000];
+    let mut f2 = f1.clone();
+    f2[..64].copy_from_slice(&[0x5A; 64]);
+    server.publish(vendor.release(f1.clone(), Version(1), 0, APP));
+    server.publish(vendor.release(f2, Version(2), 0, APP));
+    let w = World {
+        vendor,
+        server,
+        anchors,
+    };
+
+    let prepared = w
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV,
+            nonce: 40,
+            current_version: Version(1),
+        })
+        .unwrap();
+    assert!(matches!(prepared.kind, ServedKind::Differential { .. }));
+    let mut image = prepared.image.clone();
+    // LZSS header: 4 magic bytes, 1 params byte, 4-byte declared length.
+    image.payload[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+
+    let (mut layout, mut agent) = fresh_device(&w);
+    install_raw(&mut layout, standard::SLOT_A, &w, 1, &f1);
+    let tracer = Tracer::with_sink(Box::new(Arc::new(MemorySink::new())));
+    layout.set_tracer(tracer.clone());
+
+    let mut p = plan(1);
+    p.installed_size = f1.len() as u32;
+    agent.request_device_token(&mut layout, p, 40).unwrap();
+    let err = feed(&mut agent, &mut layout, &image.to_bytes()).unwrap_err();
+    assert!(
+        matches!(err, AgentError::Pipeline(_)),
+        "expected a typed pipeline rejection, got {err:?}"
+    );
+
+    // The ledger tells the same story: one budget overrun, one rejected
+    // package, zero forgeries accepted.
+    let snapshot = tracer.counters().snapshot();
+    assert_eq!(snapshot.decode_overruns, 1);
+    assert_eq!(snapshot.packages_rejected, 1);
+    assert_eq!(snapshot.forgeries_accepted, 0);
+
+    // The untampered stream still applies cleanly on a fresh device.
+    let (mut layout, mut agent) = fresh_device(&w);
+    install_raw(&mut layout, standard::SLOT_A, &w, 1, &f1);
+    let mut p = plan(1);
+    p.installed_size = f1.len() as u32;
+    agent.request_device_token(&mut layout, p, 40).unwrap();
+    let phase = feed(&mut agent, &mut layout, &prepared.image.to_bytes()).unwrap();
+    assert_eq!(phase, AgentPhase::Complete);
+}
+
+mod frame_mutations {
+    //! Proptest satellite of the adversarial explorer: arbitrary
+    //! single-frame mutations and stream replays on an otherwise valid
+    //! push session must end in a typed rejection (or a byte-identical
+    //! completed install), leave the running slot untouched, and keep
+    //! the device booting a valid image.
+
+    use std::sync::OnceLock;
+
+    use proptest::prelude::*;
+    use upkit::adversary::{
+        frame_tamper, record_baseline, scenario_nonce, Baseline, MutationClass,
+    };
+    use upkit::flash::{standard, SimFlash};
+    use upkit::manifest::Version;
+    use upkit::net::{
+        FrameAdversary, LinkProfile, LossyLink, PushEndpoints, PushSession, RetryPolicy,
+        SessionOutcome, Smartphone, Transport,
+    };
+    use upkit::sim::failure::{update_world, world_geometry, WorldConfig, WorldMode};
+
+    fn scenario() -> WorldConfig {
+        WorldConfig {
+            seed: 7,
+            firmware_size: 6_000,
+            slot_size: 4096 * 3,
+            mode: WorldMode::Ab,
+        }
+    }
+
+    fn baseline() -> &'static Baseline {
+        static BASELINE: OnceLock<Baseline> = OnceLock::new();
+        BASELINE.get_or_init(|| record_baseline(&scenario()))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn single_frame_mutations_end_typed_and_leave_the_device_valid(
+            class in 0usize..4,
+            target in 0u64..64,
+        ) {
+            let surface = [
+                MutationClass::FrameCorrupt,
+                MutationClass::FrameReorder,
+                MutationClass::FrameDuplicate,
+                MutationClass::DowngradeReplay,
+            ][class];
+            let scenario = scenario();
+            let baseline = baseline();
+            let index = if surface == MutationClass::DowngradeReplay {
+                target % 2
+            } else {
+                target % baseline.frames
+            };
+            let tamper = frame_tamper(surface, index, baseline).unwrap();
+
+            let mut world =
+                update_world(&scenario, Box::new(SimFlash::new(world_geometry(&scenario))));
+            let spec = world.layout.slot(standard::SLOT_A).unwrap();
+            let mut before = vec![0u8; spec.size as usize];
+            world.layout.read_slot(standard::SLOT_A, 0, &mut before).unwrap();
+
+            let link = LinkProfile::ble_gatt();
+            let mut phone = Smartphone::new();
+            let mut session =
+                PushSession::new(LossyLink::reliable(link), RetryPolicy::for_link(&link), 0);
+            let outcome = {
+                let endpoints = PushEndpoints::new(
+                    &world.server,
+                    &mut phone,
+                    &mut world.agent,
+                    &mut world.layout,
+                    world.plan.clone(),
+                    scenario_nonce(&scenario),
+                );
+                let mut adversary = FrameAdversary::new(endpoints, tamper);
+                session.run_to_completion(&mut adversary).outcome
+            };
+
+            // A mutated session ends in a typed state, never a hang or a
+            // panic: either the full byte-identical image landed, or the
+            // agent rejected with a typed error, or the stream ran short.
+            prop_assert!(
+                matches!(
+                    outcome,
+                    SessionOutcome::Complete
+                        | SessionOutcome::RejectedAtManifest(_)
+                        | SessionOutcome::RejectedAtFirmware(_)
+                        | SessionOutcome::Incomplete
+                ),
+                "unexpected outcome {outcome:?}"
+            );
+            if surface == MutationClass::DowngradeReplay {
+                prop_assert!(matches!(outcome, SessionOutcome::RejectedAtManifest(_)));
+            }
+
+            // The running image is byte-identical no matter what arrived.
+            let mut after = vec![0u8; spec.size as usize];
+            world.layout.read_slot(standard::SLOT_A, 0, &mut after).unwrap();
+            prop_assert_eq!(&before, &after, "the running slot was modified");
+
+            // And the device still boots a valid version.
+            let completed = outcome.is_complete();
+            let report = world.reboot_to_fixed_point(8).unwrap();
+            prop_assert!(
+                matches!(report.outcome.version, Version(1) | Version(2)),
+                "booted {:?}", report.outcome.version
+            );
+            if completed {
+                // A completed session means the byte-identical v2 landed.
+                let mut installed = vec![0u8; baseline.booted_bytes.len()];
+                world
+                    .layout
+                    .read_slot(baseline.booted_slot, 0, &mut installed)
+                    .unwrap();
+                prop_assert_eq!(&installed, &baseline.booted_bytes);
+            }
+        }
+    }
+}
+
 fn install_raw(
     layout: &mut MemoryLayout,
     slot: upkit::flash::SlotId,
