@@ -14,6 +14,7 @@
 //! | [`MutationClass::ManifestWire`] | signed-manifest wire → `SignedManifest::from_bytes` |
 //! | [`MutationClass::BlockDiff`] | block-diff delta → `blockdiff::patch_with_budget` |
 //! | [`MutationClass::StreamDelta`] | bsdiff stream → `StreamPatcher` |
+//! | [`MutationClass::FramedDelta`] | framed patch container → `FramedPatcher` |
 //! | [`MutationClass::Lzss`] | LZSS stream → `decompress_with_budget` |
 //! | [`MutationClass::FrameCorrupt`]..[`MutationClass::FrameDrop`] | one live link frame via [`FrameAdversary`] |
 //! | [`MutationClass::DowngradeReplay`] | whole-stream replay of a stale/foreign package |
@@ -48,7 +49,7 @@ use std::sync::{Arc, Mutex};
 
 use upkit_compress::LzssError;
 use upkit_delta::blockdiff::{self, BlockDiffError};
-use upkit_delta::{PatchError, StreamPatcher};
+use upkit_delta::{FramedDiffOptions, FramedPatcher, PatchError, StreamPatcher};
 use upkit_flash::{SimFlash, SlotId};
 use upkit_manifest::suit::to_suit_envelope;
 use upkit_manifest::{DeviceToken, SignedManifest, Version, SIGNED_MANIFEST_LEN};
@@ -101,6 +102,10 @@ pub enum MutationClass {
     BlockDiff,
     /// A bsdiff stream fed chunkwise to a budgeted [`StreamPatcher`].
     StreamDelta,
+    /// A framed patch container fed chunkwise to a budgeted
+    /// [`FramedPatcher`] — directory bombs, overlapping windows, and
+    /// per-window length lies all live on this surface.
+    FramedDelta,
     /// An LZSS stream fed to `decompress_with_budget`.
     Lzss,
     /// One live session frame, one bit flipped.
@@ -120,11 +125,12 @@ pub enum MutationClass {
 
 impl MutationClass {
     /// Every surface, in canonical exploration order.
-    pub const ALL: [MutationClass; 11] = [
+    pub const ALL: [MutationClass; 12] = [
         MutationClass::Suit,
         MutationClass::ManifestWire,
         MutationClass::BlockDiff,
         MutationClass::StreamDelta,
+        MutationClass::FramedDelta,
         MutationClass::Lzss,
         MutationClass::FrameCorrupt,
         MutationClass::FrameReorder,
@@ -142,6 +148,7 @@ impl MutationClass {
             MutationClass::ManifestWire => "manifest_wire",
             MutationClass::BlockDiff => "blockdiff",
             MutationClass::StreamDelta => "stream_delta",
+            MutationClass::FramedDelta => "framed_delta",
             MutationClass::Lzss => "lzss",
             MutationClass::FrameCorrupt => "frame_corrupt",
             MutationClass::FrameReorder => "frame_reorder",
@@ -168,6 +175,7 @@ impl MutationClass {
                 | MutationClass::ManifestWire
                 | MutationClass::BlockDiff
                 | MutationClass::StreamDelta
+                | MutationClass::FramedDelta
                 | MutationClass::Lzss
         )
     }
@@ -233,6 +241,9 @@ pub struct Baseline {
     pub blockdiff_delta: Vec<u8>,
     /// Valid bsdiff stream v1 → v2.
     pub stream_delta: Vec<u8>,
+    /// Valid framed patch container v1 → v2, windowed small enough that
+    /// the directory holds several entries for mutations to land in.
+    pub framed_delta: Vec<u8>,
     /// Valid LZSS compression of the v2 firmware.
     pub lzss_stream: Vec<u8>,
     /// The v1 image the delta surfaces patch against.
@@ -345,6 +356,13 @@ pub fn record_baseline(scenario: &WorldConfig) -> Baseline {
         manifest_wire: honest.manifest,
         blockdiff_delta: blockdiff::diff(&old_firmware, &v2),
         stream_delta: upkit_delta::diff(&old_firmware, &v2),
+        framed_delta: upkit_delta::framed_diff(
+            &old_firmware,
+            &v2,
+            // A quarter-image window yields a multi-entry directory, so
+            // bit flips hit offsets, lengths, and compression tags alike.
+            &FramedDiffOptions::default().with_window_len((v2.len() / 4).max(1)),
+        ),
         lzss_stream: upkit_compress::compress(&v2, upkit_compress::Params::default()),
         old_firmware,
         budget: u64::from(scenario.slot_size),
@@ -360,6 +378,7 @@ pub fn universe(surface: MutationClass, baseline: &Baseline) -> u64 {
         MutationClass::ManifestWire => corpus(baseline.manifest_wire.len()),
         MutationClass::BlockDiff => corpus(baseline.blockdiff_delta.len()),
         MutationClass::StreamDelta => corpus(baseline.stream_delta.len()),
+        MutationClass::FramedDelta => corpus(baseline.framed_delta.len()),
         MutationClass::Lzss => corpus(baseline.lzss_stream.len()),
         MutationClass::FrameCorrupt
         | MutationClass::FrameReorder
@@ -463,6 +482,7 @@ fn run_decoder_case(
         MutationClass::ManifestWire => &baseline.manifest_wire,
         MutationClass::BlockDiff => &baseline.blockdiff_delta,
         MutationClass::StreamDelta => &baseline.stream_delta,
+        MutationClass::FramedDelta => &baseline.framed_delta,
         MutationClass::Lzss => &baseline.lzss_stream,
         _ => unreachable!("decoder dispatch on a session surface"),
     };
@@ -501,6 +521,38 @@ fn run_decoder_case(
                         verdict = ("typed_error", 0, false);
                         break;
                     }
+                }
+            }
+            if verdict.0 == "decoded" {
+                verdict.1 = out.len() as u64;
+            }
+            verdict
+        }
+        MutationClass::FramedDelta => {
+            let mut patcher = FramedPatcher::with_budget(baseline.old_firmware.as_slice(), budget);
+            let mut out = Vec::new();
+            let mut verdict = ("decoded", 0u64, false);
+            for chunk in mutated.chunks(256) {
+                match patcher.push(chunk, &mut out) {
+                    Ok(()) => {}
+                    Err(e) if e.is_budget_rejection() => {
+                        verdict = ("budget_rejected", 0, true);
+                        break;
+                    }
+                    Err(_) => {
+                        verdict = ("typed_error", 0, false);
+                        break;
+                    }
+                }
+            }
+            if verdict.0 == "decoded" {
+                if let Err(e) = patcher.finish() {
+                    verdict.0 = if e.is_budget_rejection() {
+                        verdict.2 = true;
+                        "budget_rejected"
+                    } else {
+                        "typed_error"
+                    };
                 }
             }
             if verdict.0 == "decoded" {
@@ -977,6 +1029,7 @@ mod tests {
             manifest_wire: vec![0; 8],
             blockdiff_delta: vec![0; 8],
             stream_delta: vec![0; 8],
+            framed_delta: vec![0; 8],
             lzss_stream: vec![0; 8],
             old_firmware: vec![0; 8],
             budget: 4096,

@@ -3,7 +3,10 @@
 //!
 //! UpKit adopts `bsdiff` + `lzss` citing Stolikj et al.; this reproduces
 //! the comparison on our synthetic firmware. Reported: wire bytes after
-//! compression (what propagation pays) for each algorithm and workload.
+//! compression (what propagation pays) for each algorithm and workload,
+//! plus the framed container (windowed bsdiff, per-window LZSS) so the
+//! framing overhead of the streamable format is visible next to the
+//! monolithic patch it wraps.
 //!
 //! ```text
 //! cargo run --release -p upkit-bench --bin delta_algorithms
@@ -11,7 +14,7 @@
 
 use upkit_bench::print_table;
 use upkit_compress::{compress, Params};
-use upkit_delta::{blockdiff, diff};
+use upkit_delta::{blockdiff, diff, framed_diff, patch_framed, FramedDiffOptions};
 use upkit_sim::FirmwareGenerator;
 
 fn wire_len(delta: &[u8]) -> usize {
@@ -41,16 +44,21 @@ fn main() {
     for (name, v2) in &workloads {
         let bsdiff_wire = wire_len(&diff(&v1, v2));
         let block_wire = wire_len(&blockdiff::diff(&v1, v2));
+        // The framed container carries its own per-window LZSS, so its
+        // wire cost is the container length itself.
+        let framed = framed_diff(&v1, v2, &FramedDiffOptions::default());
         // Correctness cross-check before quoting numbers.
         assert_eq!(&upkit_delta::patch(&v1, &diff(&v1, v2)).unwrap(), v2);
         assert_eq!(
             &blockdiff::patch(&v1, &blockdiff::diff(&v1, v2)).unwrap(),
             v2
         );
+        assert_eq!(&patch_framed(&v1, &framed).unwrap(), v2);
         rows.push(vec![
             (*name).to_string(),
             v2.len().to_string(),
             bsdiff_wire.to_string(),
+            framed.len().to_string(),
             block_wire.to_string(),
             format!("{:.1}×", block_wire as f64 / bsdiff_wire as f64),
         ]);
@@ -62,6 +70,7 @@ fn main() {
             "Workload",
             "Image size",
             "bsdiff+LZSS",
+            "framed (64 KiB windows)",
             "blockdiff+LZSS",
             "bsdiff advantage",
         ],

@@ -10,10 +10,18 @@
 //! 2. **optimized_sequential** — `UpdateServer::prepare_update` with the
 //!    SA-IS delta engine and the per-base `DeltaContext`/payload caches.
 //! 3. **optimized_parallel** — the same server driven by
-//!    `ParallelGenerator` across all available cores.
+//!    `ParallelGenerator` across all available cores, two-phase: warm the
+//!    content-addressed patch cache once per transition, then sign per
+//!    token. The campaign's cache hit/miss counters land in `metrics`.
 //!
 //! All three produce byte-identical wire images (asserted), so the timings
-//! compare equal work. Results go to `BENCH_generation.json`.
+//! compare equal work. A second section times the *chunked framed diff*
+//! (windowed container, windows diffed concurrently) at 1, 2, and 8
+//! worker threads against one image pair, asserting the container bytes
+//! are identical at every thread count. Results go to
+//! `BENCH_generation.json`; wall clocks are recorded for the host that
+//! ran them (a single-core runner shows no parallel speedup — the
+//! determinism assertions are the portable part).
 //!
 //! ```text
 //! cargo run --release -p upkit-bench --bin gen_parallel [-- --smoke]
@@ -28,7 +36,7 @@ use upkit_compress::{compress, Params as LzssParams};
 use upkit_core::generation::{Release, UpdateServer, VendorServer};
 use upkit_core::parallel::ParallelGenerator;
 use upkit_crypto::ecdsa::SigningKey;
-use upkit_delta::{DeltaContext, SuffixAlgorithm};
+use upkit_delta::{patch_framed, DeltaContext, FramedDiffOptions, SuffixAlgorithm};
 use upkit_manifest::{server_sign, DeviceToken, Manifest, SignedManifest, UpdateImage, Version};
 use upkit_sim::FirmwareGenerator;
 
@@ -178,13 +186,20 @@ fn main() {
     }
     parallel_server.publish(latest.clone());
     let workers = ParallelGenerator::new(&parallel_server);
+    let campaign_tracer = upkit_trace::Tracer::disabled();
     let start = Instant::now();
     let parallel: Vec<UpdateImage> = workers
-        .prepare_updates(&tokens)
+        .prepare_updates_traced(&tokens, &campaign_tracer)
         .into_iter()
         .map(|p| p.expect("campaign serves all").image)
         .collect();
     let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    let campaign_counters = campaign_tracer.counters().snapshot();
+    assert_eq!(
+        campaign_counters.patch_cache_misses,
+        u64::from(platforms),
+        "the campaign must diff each transition exactly once"
+    );
 
     let byte_identical = baseline
         .iter()
@@ -199,14 +214,46 @@ fn main() {
         "all three paths must emit identical wire images"
     );
 
+    // Chunked framed diff: one image pair, windows diffed concurrently on
+    // 1, 2, and 8 worker threads. The container must be byte-identical at
+    // every thread count (the walls are host facts, the bytes are not).
+    let mut framed_walls = Vec::new();
+    let mut framed_reference: Option<Vec<u8>> = None;
+    for threads in [1usize, 2, 8] {
+        let options = FramedDiffOptions::default().with_threads(threads);
+        let start = Instant::now();
+        let container = sais_ctx.framed_diff(&releases[0].firmware, &latest.firmware, &options);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        framed_walls.push((threads, wall_ms));
+        match &framed_reference {
+            None => {
+                assert_eq!(
+                    patch_framed(&releases[0].firmware, &container).expect("container applies"),
+                    latest.firmware,
+                    "the framed container must reconstruct the new image"
+                );
+                framed_reference = Some(container);
+            }
+            Some(reference) => assert_eq!(
+                reference, &container,
+                "framed container bytes must not depend on the thread count"
+            ),
+        }
+    }
+    let framed_container_bytes = framed_reference.as_ref().map_or(0, Vec::len) as u64;
+    let framed_speedup_8t = framed_walls[0].1 / framed_walls[2].1;
+
     // Deterministic generation metrics: total bytes the batch would put on
-    // the wire and the compressed payload bytes produced. A delta-engine or
-    // compressor regression that inflates updates trips `bench_diff` here.
+    // the wire, the compressed payload bytes produced, and the campaign's
+    // patch-cache ledger. A delta-engine or compressor regression that
+    // inflates updates — or a cache regression that re-diffs — trips
+    // `bench_diff` here.
     let counters = upkit_trace::Counters::default();
     let wire_bytes: u64 = parallel.iter().map(|img| img.to_bytes().len() as u64).sum();
     let payload_bytes: u64 = parallel.iter().map(|img| img.payload.len() as u64).sum();
     upkit_trace::Counters::add(&counters.link_bytes_to_device, wire_bytes);
     upkit_trace::Counters::add(&counters.pipeline_bytes_out, payload_bytes);
+    counters.absorb(&campaign_counters);
 
     let json = Json::obj(vec![
         ("bench", Json::Str("gen_parallel".into())),
@@ -248,7 +295,21 @@ fn main() {
                 ("optimized_parallel", Json::Num(baseline_ms / parallel_ms)),
             ]),
         ),
+        (
+            "framed_diff_wall_ms",
+            Json::obj(vec![
+                ("threads_1", Json::Num(framed_walls[0].1)),
+                ("threads_2", Json::Num(framed_walls[1].1)),
+                ("threads_8", Json::Num(framed_walls[2].1)),
+            ]),
+        ),
+        ("framed_speedup_8t", Json::Num(framed_speedup_8t)),
+        ("framed_container_bytes", Json::Int(framed_container_bytes)),
         ("byte_identical", Json::Bool(byte_identical)),
+        (
+            "parallel_not_slower_than_sequential",
+            Json::Bool(parallel_ms <= sequential_ms * 1.25),
+        ),
         ("metrics", metrics_json(&counters.snapshot())),
     ]);
 
@@ -278,11 +339,31 @@ fn main() {
         ],
     );
 
+    print_table(
+        "Chunked framed diff: one image pair, windows diffed concurrently",
+        &["Threads", "Wall ms", "Speedup vs 1t"],
+        &framed_walls
+            .iter()
+            .map(|&(threads, wall_ms)| {
+                vec![
+                    format!("{threads}"),
+                    format!("{wall_ms:.1}"),
+                    format!("{:.2}x", framed_walls[0].1 / wall_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\ncampaign patch cache: {} misses / {} hits over {} requests",
+        campaign_counters.patch_cache_misses,
+        campaign_counters.patch_cache_hits,
+        tokens.len()
+    );
+
+    // Always write the JSON (smoke runs feed the CI `bench_diff` gate).
+    std::fs::write("BENCH_generation.json", json.render()).expect("write BENCH_generation.json");
+    println!("\nwrote BENCH_generation.json");
     if smoke {
-        println!("\n{}", json.render());
-    } else {
-        std::fs::write("BENCH_generation.json", json.render())
-            .expect("write BENCH_generation.json");
-        println!("\nwrote BENCH_generation.json");
+        println!("{}", json.render());
     }
 }

@@ -14,16 +14,17 @@
 //!   transport-layer security.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use upkit_compress::{compress, Params as LzssParams};
 use upkit_crypto::chacha20::{chacha20_xor, KEY_LEN as CONTENT_KEY_LEN, NONCE_LEN};
 use upkit_crypto::ecdsa::{Signature, SigningKey};
 use upkit_crypto::sha256::sha256;
-use upkit_delta::DeltaContext;
+use upkit_delta::{DeltaContext, FramedDiffOptions, PatchFormat};
 use upkit_manifest::{
     server_sign, vendor_sign, DeviceToken, Manifest, SignedManifest, UpdateImage, Version,
 };
+use upkit_trace::{Counters, Event, Tracer};
 
 /// A firmware release: the vendor-signed, request-independent part of an
 /// update.
@@ -144,7 +145,9 @@ fn best_compression(patch: &[u8], configured: LzssParams) -> Vec<u8> {
 pub enum ServedKind {
     /// A full firmware image was served.
     Full,
-    /// An LZSS-compressed bsdiff patch was served.
+    /// A patch was served: an LZSS-compressed bsdiff stream
+    /// ([`PatchFormat::Raw`]) or a windowed framed container
+    /// ([`PatchFormat::Framed`]), per the server's configured format.
     Differential {
         /// The base version the patch applies to.
         from: Version,
@@ -160,6 +163,20 @@ pub struct PreparedUpdate {
     pub kind: ServedKind,
 }
 
+/// Key of one content-addressed patch-cache entry: the SHA-256 digests of
+/// the two images, the platform (application/hardware identifier), and the
+/// container format the patch was encoded in. Everything the cached bytes
+/// depend on is in the key, so an entry can never go stale — re-publishing
+/// a version with different content yields a different digest and therefore
+/// a different key.
+type PatchKey = ([u8; 32], [u8; 32], u32, PatchFormat);
+
+/// First eight bytes of a SHA-256 digest as a big-endian integer — the
+/// stable short form trace events use to identify an image.
+fn digest_prefix(digest: &[u8; 32]) -> u64 {
+    u64::from_be_bytes(digest[..8].try_into().expect("digest has 32 bytes"))
+}
+
 /// The update server: publishes releases and answers device tokens with
 /// double-signed update images.
 pub struct UpdateServer {
@@ -167,23 +184,40 @@ pub struct UpdateServer {
     releases: BTreeMap<u16, Release>,
     lzss: LzssParams,
     content_key: Option<[u8; CONTENT_KEY_LEN]>,
-    /// One [`DeltaContext`] per base release, built lazily on the first
-    /// differential request against that base and shared by every later
-    /// request (and every worker thread): the suffix array dominates diff
-    /// cost and depends only on the old image.
-    delta_contexts: RwLock<BTreeMap<u16, Arc<DeltaContext>>>,
-    /// Finished pre-encryption payloads keyed by `(base, latest)` version
-    /// pair. Diff + compression are deterministic and request-independent;
-    /// only the manifest (device ID, nonce) and its signature are
-    /// per-request work.
-    payloads: RwLock<BTreeMap<(u16, u16), Arc<CachedPayload>>>,
+    /// Container format served to differential-capable devices. Defaults
+    /// to [`PatchFormat::Raw`] (one LZSS-compressed bsdiff stream), the
+    /// format every deployed decoder understands.
+    patch_format: PatchFormat,
+    /// Worker threads per framed diff (windows diffed concurrently).
+    diff_threads: usize,
+    /// Tracer used by [`Self::prepare_update`]; disabled by default.
+    tracer: Tracer,
+    /// One [`DeltaContext`] per base image, keyed by content digest and
+    /// built exactly once (single-flight via [`OnceLock`]) on the first
+    /// differential request against that base: the suffix array dominates
+    /// diff cost and depends only on the old image bytes.
+    delta_contexts: RwLock<BTreeMap<[u8; 32], SingleFlight<DeltaContext>>>,
+    /// Content-addressed pre-encryption patch cache. The [`OnceLock`] cell
+    /// makes population single-flight: when concurrent campaigns race on
+    /// the same transition, exactly one worker diffs and the rest block on
+    /// the cell instead of repeating the work. Entries survive
+    /// [`Self::publish`] — the key pins the exact input images, so a
+    /// straggler updating from an old base after several publishes still
+    /// hits the cache.
+    patches: RwLock<BTreeMap<PatchKey, SingleFlight<CachedPatch>>>,
 }
 
-/// A cached differential-or-full payload decision for a version pair.
-struct CachedPayload {
+/// A shareable populate-exactly-once cache cell: whoever wins the race
+/// computes, everyone else blocks on the same cell and reads the result.
+type SingleFlight<T> = Arc<OnceLock<Arc<T>>>;
+
+/// A cached patch decision: the pre-encryption payload bytes and whether
+/// they are a differential patch or a full-image fallback. Deliberately
+/// content-pure — no version numbers — so the entry stays valid however
+/// the version ↔ image mapping evolves across publishes.
+struct CachedPatch {
     payload: Vec<u8>,
-    old_version: Version,
-    kind: ServedKind,
+    differential: bool,
 }
 
 impl core::fmt::Debug for UpdateServer {
@@ -203,9 +237,40 @@ impl UpdateServer {
             releases: BTreeMap::new(),
             lzss: LzssParams::default(),
             content_key: None,
+            patch_format: PatchFormat::Raw,
+            diff_threads: 1,
+            tracer: Tracer::disabled(),
             delta_contexts: RwLock::new(BTreeMap::new()),
-            payloads: RwLock::new(BTreeMap::new()),
+            patches: RwLock::new(BTreeMap::new()),
         }
+    }
+
+    /// Selects the patch container served to differential-capable devices.
+    /// [`PatchFormat::Framed`] enables the windowed container (and with it
+    /// parallel diff generation); the default [`PatchFormat::Raw`] keeps
+    /// the seed wire format byte-for-byte. Devices sniff the container
+    /// from the payload magic, so no device-side configuration changes.
+    pub fn set_patch_format(&mut self, format: PatchFormat) {
+        self.patch_format = format;
+    }
+
+    /// Sets how many worker threads a framed diff may use. Output bytes do
+    /// not depend on this (asserted by the framed encoder's tests); it
+    /// only bounds wall-clock. Ignored for [`PatchFormat::Raw`].
+    pub fn set_diff_threads(&mut self, threads: usize) {
+        self.diff_threads = threads.max(1);
+    }
+
+    /// Installs the tracer [`Self::prepare_update`] charges cache hits and
+    /// misses to. Callers that need per-request traces (e.g. the parallel
+    /// generator) use [`Self::prepare_update_traced`] instead.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer installed via [`Self::set_tracer`] (disabled by default).
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The public half of the server key (provisioned to devices).
@@ -233,17 +298,14 @@ impl UpdateServer {
     }
 
     /// Publishes a release received from the vendor server.
+    ///
+    /// Caches are *not* flushed: both the delta contexts and the patch
+    /// cache are keyed by content digest, so no entry can describe the new
+    /// release incorrectly — a changed image changes the key. Entries for
+    /// transitions no one will request again merely occupy memory until
+    /// the server restarts; publishes are rare enough that this is the
+    /// right trade for never re-diffing a transition a straggler repeats.
     pub fn publish(&mut self, release: Release) {
-        // Any cached state may reference a superseded latest release or a
-        // re-published base image; drop it all (publishes are rare).
-        self.delta_contexts
-            .get_mut()
-            .expect("no poisoned lock: caches are written outside panics")
-            .clear();
-        self.payloads
-            .get_mut()
-            .expect("no poisoned lock: caches are written outside panics")
-            .clear();
         self.releases.insert(release.version.0, release);
     }
 
@@ -253,68 +315,144 @@ impl UpdateServer {
         self.releases.keys().next_back().map(|&v| Version(v))
     }
 
-    /// Returns the cached delta context for a base release, building it on
-    /// first use. Concurrent first requests may build twice; the first
-    /// insert wins and the duplicate is dropped.
+    /// Returns the cached delta context for a base image, building it on
+    /// first use. Single-flight: concurrent first requests block on one
+    /// [`OnceLock`] cell instead of each building the suffix array.
     fn delta_context(&self, base: &Release) -> Arc<DeltaContext> {
-        if let Some(ctx) = self
-            .delta_contexts
-            .read()
-            .expect("no poisoned lock: caches are written outside panics")
-            .get(&base.version.0)
-        {
-            return Arc::clone(ctx);
-        }
-        let ctx = Arc::new(DeltaContext::new(&base.firmware));
-        Arc::clone(
-            self.delta_contexts
-                .write()
-                .expect("no poisoned lock: caches are written outside panics")
-                .entry(base.version.0)
-                .or_insert(ctx),
-        )
+        let cell = {
+            let contexts = self
+                .delta_contexts
+                .read()
+                .expect("no poisoned lock: caches are written outside panics");
+            match contexts.get(&base.digest) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    drop(contexts);
+                    Arc::clone(
+                        self.delta_contexts
+                            .write()
+                            .expect("no poisoned lock: caches are written outside panics")
+                            .entry(base.digest)
+                            .or_default(),
+                    )
+                }
+            }
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(DeltaContext::new(&base.firmware))))
     }
 
-    /// Diffs `base` against `latest`, compresses, and decides differential
-    /// vs full — all request-independent and therefore cached per version
-    /// pair. The result is byte-identical to computing it fresh: diff and
-    /// LZSS are deterministic functions of the two images.
-    fn differential_payload(&self, base: &Release, latest: &Release) -> Arc<CachedPayload> {
-        let pair = (base.version.0, latest.version.0);
-        if let Some(cached) = self
-            .payloads
-            .read()
-            .expect("no poisoned lock: caches are written outside panics")
-            .get(&pair)
-        {
-            return Arc::clone(cached);
-        }
-
-        let patch = self
-            .delta_context(base)
-            .diff(&base.firmware, &latest.firmware);
-        let compressed = best_compression(&patch, self.lzss);
+    /// Diffs `base` against `latest` in the configured container format
+    /// and decides differential vs full. Deterministic and
+    /// request-independent, hence cacheable by content digest.
+    fn compute_patch(&self, base: &Release, latest: &Release) -> CachedPatch {
+        let context = self.delta_context(base);
+        let encoded = match self.patch_format {
+            PatchFormat::Raw => {
+                let patch = context.diff(&base.firmware, &latest.firmware);
+                best_compression(&patch, self.lzss)
+            }
+            PatchFormat::Framed => {
+                // Per-window compression follows the server's configured
+                // LZSS parameters; the container carries them per window,
+                // so decoders need no configuration.
+                let options = FramedDiffOptions {
+                    lzss: Some(self.lzss),
+                    ..FramedDiffOptions::default().with_threads(self.diff_threads)
+                };
+                context.framed_diff(&base.firmware, &latest.firmware, &options)
+            }
+        };
         // Serve the delta only when it actually saves transfer.
-        let cached = Arc::new(if compressed.len() < latest.firmware.len() {
-            CachedPayload {
-                payload: compressed,
-                old_version: base.version,
-                kind: ServedKind::Differential { from: base.version },
+        if encoded.len() < latest.firmware.len() {
+            CachedPatch {
+                payload: encoded,
+                differential: true,
             }
         } else {
-            CachedPayload {
+            CachedPatch {
                 payload: latest.firmware.clone(),
-                old_version: Version(0),
-                kind: ServedKind::Full,
+                differential: false,
             }
-        });
-        Arc::clone(
-            self.payloads
-                .write()
-                .expect("no poisoned lock: caches are written outside panics")
-                .entry(pair)
-                .or_insert(cached),
-        )
+        }
+    }
+
+    /// Looks up (or computes, exactly once per key) the patch for the
+    /// `base → latest` transition. The returned bytes are byte-identical
+    /// to a fresh computation — diff and LZSS are deterministic functions
+    /// of the two images — which the property tests pin. Charges
+    /// `patch_cache_hits`/`patch_cache_misses` and emits the matching
+    /// event on `tracer`.
+    fn differential_payload(
+        &self,
+        base: &Release,
+        latest: &Release,
+        tracer: &Tracer,
+    ) -> Arc<CachedPatch> {
+        let key = (base.digest, latest.digest, latest.app_id, self.patch_format);
+        let cell = {
+            let patches = self
+                .patches
+                .read()
+                .expect("no poisoned lock: caches are written outside panics");
+            match patches.get(&key) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    drop(patches);
+                    Arc::clone(
+                        self.patches
+                            .write()
+                            .expect("no poisoned lock: caches are written outside panics")
+                            .entry(key)
+                            .or_default(),
+                    )
+                }
+            }
+        };
+        let mut fresh = false;
+        let cached = Arc::clone(cell.get_or_init(|| {
+            fresh = true;
+            Arc::new(self.compute_patch(base, latest))
+        }));
+
+        let format = self.patch_format.label();
+        if fresh {
+            Counters::add(&tracer.counters().patch_cache_misses, 1);
+            tracer.emit(|| Event::PatchGenerated {
+                old_digest: digest_prefix(&base.digest),
+                new_digest: digest_prefix(&latest.digest),
+                platform: u64::from(latest.app_id),
+                format,
+                bytes: cached.payload.len() as u64,
+            });
+        } else {
+            Counters::add(&tracer.counters().patch_cache_hits, 1);
+            tracer.emit(|| Event::PatchCacheHit {
+                old_digest: digest_prefix(&base.digest),
+                new_digest: digest_prefix(&latest.digest),
+                platform: u64::from(latest.app_id),
+                format,
+            });
+        }
+        cached
+    }
+
+    /// Pre-computes the patch for devices currently on `base`, so that
+    /// later [`Self::prepare_update`] calls for that transition are pure
+    /// cache hits (manifest signing only). Returns `false` when there is
+    /// no differential transition to warm — unknown base, no newer
+    /// release, or an empty server.
+    pub fn warm(&self, base: Version, tracer: &Tracer) -> bool {
+        let Some(latest) = self.releases.values().next_back() else {
+            return false;
+        };
+        let Some(base_release) = self.releases.get(&base.0) else {
+            return false;
+        };
+        if base_release.version >= latest.version {
+            return false;
+        }
+        self.differential_payload(base_release, latest, tracer);
+        true
     }
 
     /// Propagation phase: answers a device token with an update image for
@@ -325,6 +463,18 @@ impl UpdateServer {
     /// version (nothing to update).
     #[must_use]
     pub fn prepare_update(&self, token: &DeviceToken) -> Option<PreparedUpdate> {
+        self.prepare_update_traced(token, &self.tracer)
+    }
+
+    /// [`Self::prepare_update`] with an explicit tracer, for callers that
+    /// collect per-request traces and merge them deterministically (the
+    /// parallel generator gives every worker job its own tracer).
+    #[must_use]
+    pub fn prepare_update_traced(
+        &self,
+        token: &DeviceToken,
+        tracer: &Tracer,
+    ) -> Option<PreparedUpdate> {
         let latest = self.releases.values().next_back()?;
         if latest.version <= token.current_version && token.current_version.0 != 0 {
             return None;
@@ -337,23 +487,30 @@ impl UpdateServer {
         };
 
         let cached = match base {
-            Some(base_release) if base_release.version < latest.version => {
-                self.differential_payload(base_release, latest)
-            }
-            _ => Arc::new(CachedPayload {
-                payload: latest.firmware.clone(),
-                old_version: Version(0),
-                kind: ServedKind::Full,
-            }),
+            Some(base_release) if base_release.version < latest.version => Some((
+                base_release.version,
+                self.differential_payload(base_release, latest, tracer),
+            )),
+            _ => None,
         };
-        let (old_version, kind) = (cached.old_version, cached.kind);
+        let (plain, old_version, kind) = match &cached {
+            Some((from, patch)) if patch.differential => (
+                patch.payload.as_slice(),
+                *from,
+                ServedKind::Differential { from: *from },
+            ),
+            // The cache decided the delta does not pay for itself and
+            // stored the full image instead.
+            Some((_, patch)) => (patch.payload.as_slice(), Version(0), ServedKind::Full),
+            None => (latest.firmware.as_slice(), Version(0), ServedKind::Full),
+        };
 
         let payload = match &self.content_key {
             Some(key) => {
                 let nonce = content_nonce(token.device_id, token.nonce, latest.version);
-                chacha20_xor(key, &nonce, &cached.payload)
+                chacha20_xor(key, &nonce, plain)
             }
-            None => cached.payload.clone(),
+            None => plain.to_vec(),
         };
 
         let manifest = Manifest {
@@ -568,7 +725,7 @@ mod tests {
     }
 
     #[test]
-    fn publish_invalidates_cached_payloads() {
+    fn publish_retargets_cached_differential_path() {
         let (vendor, mut server) = servers(141);
         let v1 = firmware(14, 10_000);
         let mut v2 = v1.clone();
@@ -578,7 +735,9 @@ mod tests {
         let before = server.prepare_update(&token(3, 1)).unwrap();
         assert_eq!(before.image.signed_manifest.manifest.version, Version(2));
 
-        // A v3 publish must retarget the (cached) differential path.
+        // A v3 publish must retarget the differential path: the cache is
+        // content-addressed, so the v1→v2 entry simply stops matching and
+        // a fresh v1→v3 entry is computed.
         let mut v3 = v1.clone();
         v3[200..230].copy_from_slice(&firmware(16, 30));
         server.publish(vendor.release(v3.clone(), Version(3), 0, 0xA));
@@ -586,6 +745,125 @@ mod tests {
         let m = after.image.signed_manifest.manifest;
         assert_eq!(m.version, Version(3));
         assert_eq!(m.digest, sha256(&v3));
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_patch_cache_exactly_once_per_transition() {
+        let (vendor, mut server) = servers(142);
+        let v1 = firmware(17, 20_000);
+        let mut v2 = v1.clone();
+        v2[50..70].copy_from_slice(&firmware(18, 20));
+        server.publish(vendor.release(v1, Version(1), 0, 0xA));
+        server.publish(vendor.release(v2, Version(2), 0, 0xA));
+        let tracer = Tracer::disabled();
+        server.set_tracer(tracer.clone());
+
+        for nonce in 0..5 {
+            server.prepare_update(&token(nonce, 1)).unwrap();
+        }
+        let counters = tracer.counters().snapshot();
+        assert_eq!(counters.patch_cache_misses, 1, "exactly one diff");
+        assert_eq!(counters.patch_cache_hits, 4, "every repeat is a hit");
+    }
+
+    #[test]
+    fn patch_cache_survives_publish_of_unrelated_release() {
+        // Content-addressed entries stay valid across publishes: after a
+        // v3 publish, a device still on v1 asking again for the (already
+        // warmed) v1→v3 transition must not trigger a re-diff.
+        let (vendor, mut server) = servers(143);
+        let v1 = firmware(19, 15_000);
+        let mut v3 = v1.clone();
+        v3[10..30].copy_from_slice(&firmware(20, 20));
+        server.publish(vendor.release(v1.clone(), Version(1), 0, 0xA));
+        server.publish(vendor.release(v3.clone(), Version(3), 0, 0xA));
+        let tracer = Tracer::disabled();
+        server.set_tracer(tracer.clone());
+        server.prepare_update(&token(1, 1)).unwrap();
+        assert_eq!(tracer.counters().snapshot().patch_cache_misses, 1);
+
+        // Publishing an *older* version does not change the latest
+        // release, so the same transition must stay cached.
+        let mut v2 = v1.clone();
+        v2[40..60].copy_from_slice(&firmware(21, 20));
+        server.publish(vendor.release(v2, Version(2), 0, 0xA));
+        server.prepare_update(&token(2, 1)).unwrap();
+        let counters = tracer.counters().snapshot();
+        assert_eq!(counters.patch_cache_misses, 1, "no re-diff after publish");
+        assert_eq!(counters.patch_cache_hits, 1);
+    }
+
+    #[test]
+    fn warm_precomputes_so_requests_only_hit() {
+        let (vendor, mut server) = servers(144);
+        let v1 = firmware(22, 12_000);
+        let mut v2 = v1.clone();
+        v2[0..16].copy_from_slice(&firmware(23, 16));
+        server.publish(vendor.release(v1, Version(1), 0, 0xA));
+        server.publish(vendor.release(v2, Version(2), 0, 0xA));
+        let tracer = Tracer::disabled();
+        server.set_tracer(tracer.clone());
+
+        assert!(server.warm(Version(1), &tracer));
+        assert_eq!(tracer.counters().snapshot().patch_cache_misses, 1);
+        server.prepare_update(&token(1, 1)).unwrap();
+        let counters = tracer.counters().snapshot();
+        assert_eq!(counters.patch_cache_misses, 1, "warm did the diff");
+        assert_eq!(counters.patch_cache_hits, 1);
+
+        // Nothing to warm: unknown base, base == latest, empty server.
+        assert!(!server.warm(Version(9), &tracer));
+        assert!(!server.warm(Version(2), &tracer));
+        let (_, empty) = servers(145);
+        assert!(!empty.warm(Version(1), &tracer));
+    }
+
+    #[test]
+    fn framed_format_serves_sniffable_framed_container() {
+        let (vendor, mut server) = servers(146);
+        let v1 = firmware(24, 30_000);
+        let mut v2 = v1.clone();
+        v2[1000..1040].copy_from_slice(&firmware(25, 40));
+        server.publish(vendor.release(v1, Version(1), 0, 0xA));
+        server.publish(vendor.release(v2.clone(), Version(2), 0, 0xA));
+        server.set_patch_format(PatchFormat::Framed);
+        server.set_diff_threads(2);
+
+        let prepared = server.prepare_update(&token(7, 1)).unwrap();
+        assert_eq!(prepared.kind, ServedKind::Differential { from: Version(1) });
+        assert_eq!(
+            PatchFormat::detect(&prepared.image.payload),
+            Some(PatchFormat::Framed)
+        );
+        assert!(prepared.image.payload.len() < v2.len() / 4);
+        // The framed payload applies back to the exact new image.
+        let applied =
+            upkit_delta::patch_framed(&server.releases[&1].firmware, &prepared.image.payload)
+                .unwrap();
+        assert_eq!(applied, v2);
+    }
+
+    #[test]
+    fn raw_and_framed_cache_entries_do_not_collide() {
+        // Same transition requested in both formats: two misses, then a
+        // hit per format — the format is part of the cache key.
+        let (vendor, mut server) = servers(147);
+        let v1 = firmware(26, 10_000);
+        let mut v2 = v1.clone();
+        v2[5..25].copy_from_slice(&firmware(27, 20));
+        server.publish(vendor.release(v1, Version(1), 0, 0xA));
+        server.publish(vendor.release(v2, Version(2), 0, 0xA));
+        let tracer = Tracer::disabled();
+        server.set_tracer(tracer.clone());
+
+        let raw = server.prepare_update(&token(1, 1)).unwrap();
+        server.set_patch_format(PatchFormat::Framed);
+        let framed = server.prepare_update(&token(1, 1)).unwrap();
+        assert_ne!(raw.image.payload, framed.image.payload);
+        server.prepare_update(&token(2, 1)).unwrap();
+        let counters = tracer.counters().snapshot();
+        assert_eq!(counters.patch_cache_misses, 2);
+        assert_eq!(counters.patch_cache_hits, 1);
     }
 
     #[test]

@@ -2,86 +2,55 @@
 //!
 //! The server-side hot path — diff → compress → hash → double-sign, once
 //! per device token — is embarrassingly parallel across tokens: every job
-//! reads the shared [`UpdateServer`] immutably (its delta/payload caches
+//! reads the shared [`UpdateServer`] immutably (its delta and patch caches
 //! are internally synchronized) and touches nothing owned by another job.
-//! [`ParallelGenerator`] fans a batch of tokens out over a small pool of
-//! scoped worker threads fed from a bounded job queue, and writes each
-//! result into the slot matching its input index, so the output order is
-//! deterministic regardless of worker scheduling.
+//! [`ParallelGenerator`] runs a campaign batch in two phases over the
+//! index-slotted worker pool from [`upkit_delta::pool`]:
+//!
+//! 1. **Warm**: each *distinct* base version in the batch is diffed against
+//!    the newest release exactly once, in sorted base order, populating the
+//!    server's content-addressed patch cache. This is where the heavy work
+//!    (suffix array, bsdiff, compression) happens — one job per transition,
+//!    never one per device.
+//! 2. **Prepare**: one job per token assembles and signs its manifest. All
+//!    diffs are cache hits by construction, so this phase is signature
+//!    bound and scales with the token count.
 //!
 //! Output is *byte-identical* to running [`UpdateServer::prepare_update`]
 //! sequentially over the same batch: manifests are pure functions of token
 //! and release, signatures use deterministic RFC 6979 nonces, and the
 //! cached diff/compression results are deterministic functions of the two
-//! images. Tests assert this identity end to end.
+//! images. Traces are deterministic too: every job runs under its own
+//! tracer and the per-job records are merged in input order, so the merged
+//! trace does not depend on the thread count or worker scheduling (the
+//! same two phases run even at one thread). Tests assert both identities
+//! end to end.
 
-use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use upkit_manifest::DeviceToken;
+use upkit_delta::pool::parallel_map;
+use upkit_manifest::{DeviceToken, Version};
+use upkit_trace::{CountersSnapshot, MemorySink, TraceRecord, Tracer};
 
 use crate::generation::{PreparedUpdate, UpdateServer};
 
-/// A fixed-capacity multi-producer/multi-consumer queue of job indices.
-///
-/// The bound keeps the producer from racing arbitrarily far ahead of the
-/// workers when batches are huge (a fleet-scale poll burst): `push` blocks
-/// once `capacity` jobs are waiting, `pop` blocks until a job or close
-/// arrives.
-struct JobQueue {
-    state: Mutex<JobQueueState>,
-    capacity: usize,
-    not_full: Condvar,
-    not_empty: Condvar,
-}
+/// One job's contribution to the merged campaign trace.
+type JobTrace = (CountersSnapshot, Vec<TraceRecord>);
 
-struct JobQueueState {
-    jobs: VecDeque<usize>,
-    closed: bool,
-}
-
-impl JobQueue {
-    fn new(capacity: usize) -> Self {
-        Self {
-            state: Mutex::new(JobQueueState {
-                jobs: VecDeque::with_capacity(capacity),
-                closed: false,
-            }),
-            capacity,
-            not_full: Condvar::new(),
-            not_empty: Condvar::new(),
-        }
-    }
-
-    fn push(&self, job: usize) {
-        let mut state = self.state.lock().expect("queue lock");
-        while state.jobs.len() >= self.capacity {
-            state = self.not_full.wait(state).expect("queue lock");
-        }
-        state.jobs.push_back(job);
-        drop(state);
-        self.not_empty.notify_one();
-    }
-
-    /// Returns `None` once the queue is closed and drained.
-    fn pop(&self) -> Option<usize> {
-        let mut state = self.state.lock().expect("queue lock");
-        loop {
-            if let Some(job) = state.jobs.pop_front() {
-                drop(state);
-                self.not_full.notify_one();
-                return Some(job);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self.not_empty.wait(state).expect("queue lock");
-        }
-    }
-
-    fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
-        self.not_empty.notify_all();
+/// Runs `job` under its own tracer and returns its result plus the trace
+/// delta to merge into the parent. When the parent tracer is disabled the
+/// job tracer skips record buffering and only counters are collected.
+fn traced_job<R>(parent_enabled: bool, job: impl FnOnce(&Tracer) -> R) -> (R, JobTrace) {
+    if parent_enabled {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
+        let result = job(&tracer);
+        (result, (tracer.counters().snapshot(), sink.drain()))
+    } else {
+        let tracer = Tracer::disabled();
+        let result = job(&tracer);
+        (result, (tracer.counters().snapshot(), Vec::new()))
     }
 }
 
@@ -137,48 +106,66 @@ impl<'s> ParallelGenerator<'s> {
         self.threads
     }
 
-    /// Prepares one update per token, in parallel.
+    /// Prepares one update per token, in parallel, tracing into the
+    /// server's own tracer (see [`UpdateServer::set_tracer`]).
     ///
     /// `result[i]` corresponds to `tokens[i]` and equals — byte for byte —
     /// what `server.prepare_update(&tokens[i])` returns.
     #[must_use]
     pub fn prepare_updates(&self, tokens: &[DeviceToken]) -> Vec<Option<PreparedUpdate>> {
+        self.prepare_updates_traced(tokens, self.server.tracer())
+    }
+
+    /// [`Self::prepare_updates`] tracing into an explicit tracer.
+    ///
+    /// The merged trace is deterministic: warm jobs are absorbed in sorted
+    /// base-version order, prepare jobs in token order, and each job's
+    /// records are contiguous — so the bytes a sink sees do not depend on
+    /// the thread count. (One caveat: two base versions publishing
+    /// byte-identical firmware share a cache key, and which of the two
+    /// warm jobs scores the miss is then a race; distinct images — the
+    /// normal case — cannot race because their keys differ.)
+    #[must_use]
+    pub fn prepare_updates_traced(
+        &self,
+        tokens: &[DeviceToken],
+        tracer: &Tracer,
+    ) -> Vec<Option<PreparedUpdate>> {
         if tokens.is_empty() {
             return Vec::new();
         }
-        if self.threads == 1 || tokens.len() == 1 {
-            return tokens
-                .iter()
-                .map(|t| self.server.prepare_update(t))
-                .collect();
+        let enabled = tracer.is_enabled();
+
+        // Phase 1: warm each distinct base version once, in sorted order.
+        // `warm` no-ops for bases with nothing to diff (unknown version,
+        // already newest), so no further filtering is needed here.
+        let bases: Vec<Version> = tokens
+            .iter()
+            .filter(|t| t.supports_differential())
+            .map(|t| t.current_version)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let warmed = parallel_map(&bases, self.threads, |_, &base| {
+            traced_job(enabled, |job_tracer| self.server.warm(base, job_tracer)).1
+        });
+        for (snapshot, records) in &warmed {
+            tracer.absorb(snapshot, records);
         }
 
-        // One result slot per token: workers write disjoint indices, so
-        // ordering is fixed by the input no matter who finishes first.
-        let results: Vec<Mutex<Option<PreparedUpdate>>> =
-            tokens.iter().map(|_| Mutex::new(None)).collect();
-        let queue = JobQueue::new(self.threads * 2);
-
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..self.threads.min(tokens.len()) {
-                scope.spawn(|_| {
-                    while let Some(index) = queue.pop() {
-                        let prepared = self.server.prepare_update(&tokens[index]);
-                        *results[index].lock().expect("result lock") = prepared;
-                    }
-                });
-            }
-            for index in 0..tokens.len() {
-                queue.push(index);
-            }
-            queue.close();
-        })
-        .expect("generation workers do not panic");
-
+        // Phase 2: per-token manifest assembly and signing. Every diff the
+        // batch needs is cached now, so these jobs only hit.
+        let prepared = parallel_map(tokens, self.threads, |_, token| {
+            traced_job(enabled, |job_tracer| {
+                self.server.prepare_update_traced(token, job_tracer)
+            })
+        });
+        let mut results = Vec::with_capacity(tokens.len());
+        for (result, (snapshot, records)) in prepared {
+            tracer.absorb(&snapshot, &records);
+            results.push(result);
+        }
         results
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("result lock"))
-            .collect()
     }
 }
 
@@ -189,6 +176,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use upkit_crypto::ecdsa::SigningKey;
+    use upkit_delta::PatchFormat;
     use upkit_manifest::Version;
 
     fn campaign_server(seed: u64, versions: u16, size: usize) -> (VendorServer, UpdateServer) {
@@ -289,5 +277,84 @@ mod tests {
         let prepared = ParallelGenerator::with_threads(&server, 64).prepare_updates(&batch);
         assert_eq!(prepared.len(), 2);
         assert!(prepared.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn campaign_diffs_each_transition_exactly_once() {
+        // 12 devices across 3 differential bases: the warm phase pays for
+        // 3 diffs, every per-token job is a pure cache hit.
+        let (_, server) = campaign_server(905, 4, 6_000);
+        let batch = tokens(12, 3);
+        let tracer = Tracer::disabled();
+        let prepared =
+            ParallelGenerator::with_threads(&server, 4).prepare_updates_traced(&batch, &tracer);
+        assert!(prepared.iter().all(Option::is_some));
+        let counters = tracer.counters().snapshot();
+        // Bases 1..=3 warm and diff; base 0 has no release and serves full.
+        assert_eq!(counters.patch_cache_misses, 3, "one diff per transition");
+        let differential = batch
+            .iter()
+            .filter(|t| t.current_version.0 != 0 && t.current_version.0 != 4)
+            .count() as u64;
+        assert_eq!(counters.patch_cache_hits, differential, "repeats all hit");
+    }
+
+    #[test]
+    fn repeated_campaign_performs_zero_re_diffs() {
+        // The regression the content-addressed cache exists to prevent:
+        // running the same campaign twice (a retry storm, a second poll
+        // wave) must not diff anything again. The counters pin it.
+        let (_, server) = campaign_server(907, 3, 5_000);
+        let generator = ParallelGenerator::with_threads(&server, 4);
+        let batch = tokens(10, 2);
+
+        let first = Tracer::disabled();
+        let warmup = generator.prepare_updates_traced(&batch, &first);
+        assert!(warmup.iter().all(Option::is_some));
+        assert_eq!(first.counters().snapshot().patch_cache_misses, 2);
+
+        let second = Tracer::disabled();
+        let prepared = generator.prepare_updates_traced(&batch, &second);
+        assert!(prepared.iter().all(Option::is_some));
+        let counters = second.counters().snapshot();
+        assert_eq!(counters.patch_cache_misses, 0, "zero re-diffs on repeat");
+        assert!(counters.patch_cache_hits > 0);
+    }
+
+    #[test]
+    fn merged_trace_is_identical_across_thread_counts() {
+        use upkit_trace::MemorySink;
+
+        // Fresh identically-seeded server per thread count; the merged
+        // trace (records and counters) must not depend on scheduling.
+        let render = |threads: usize, format: PatchFormat| {
+            let (_, mut server) = campaign_server(906, 3, 5_000);
+            server.set_patch_format(format);
+            let sink = Arc::new(MemorySink::new());
+            let tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
+            let batch = tokens(10, 2);
+            let prepared = ParallelGenerator::with_threads(&server, threads)
+                .prepare_updates_traced(&batch, &tracer);
+            assert!(prepared.iter().all(Option::is_some));
+            let lines: Vec<String> = sink.drain().iter().map(TraceRecord::to_ndjson).collect();
+            (lines, tracer.counters().snapshot())
+        };
+        for format in [PatchFormat::Raw, PatchFormat::Framed] {
+            let (reference_lines, reference_counters) = render(1, format);
+            assert!(
+                reference_lines
+                    .iter()
+                    .any(|l| l.contains("patch_generated")),
+                "warm phase emits generation events"
+            );
+            for threads in [2usize, 8] {
+                let (lines, counters) = render(threads, format);
+                assert_eq!(reference_lines, lines, "{threads} threads ({format:?})");
+                assert_eq!(
+                    reference_counters, counters,
+                    "{threads} threads ({format:?})"
+                );
+            }
+        }
     }
 }

@@ -26,7 +26,7 @@
 
 use upkit_compress::{Decompressor, LzssError};
 use upkit_crypto::chacha20::ChaCha20;
-use upkit_delta::{PatchError, StreamPatcher};
+use upkit_delta::{FramedError, FramedPatcher, PatchError, PatchFormat, StreamPatcher};
 use upkit_flash::{LayoutError, MemoryLayout, SlotId};
 use upkit_trace::Counters;
 
@@ -40,6 +40,8 @@ pub enum PipelineError {
     Decompress(LzssError),
     /// bspatch failed (corrupt patch or wrong base image).
     Patch(PatchError),
+    /// A framed patch container failed to apply.
+    Framed(FramedError),
     /// Writing to the destination slot failed.
     Flash(LayoutError),
     /// More output was produced than the manifest's firmware size allows.
@@ -53,6 +55,7 @@ impl core::fmt::Display for PipelineError {
         match self {
             Self::Decompress(e) => write!(f, "pipeline decompression failed: {e}"),
             Self::Patch(e) => write!(f, "pipeline patching failed: {e}"),
+            Self::Framed(e) => write!(f, "pipeline framed patching failed: {e}"),
             Self::Flash(e) => write!(f, "pipeline flash write failed: {e}"),
             Self::Overflow => f.write_str("pipeline produced more than the declared size"),
             Self::Incomplete => f.write_str("pipeline input ended before the image was complete"),
@@ -71,6 +74,12 @@ impl From<LzssError> for PipelineError {
 impl From<PatchError> for PipelineError {
     fn from(e: PatchError) -> Self {
         Self::Patch(e)
+    }
+}
+
+impl From<FramedError> for PipelineError {
+    fn from(e: FramedError) -> Self {
+        Self::Framed(e)
     }
 }
 
@@ -149,11 +158,101 @@ impl BufferedWriter {
 enum Transform {
     /// Full update: payload bytes are firmware bytes.
     Passthrough,
-    /// Differential update: LZSS-decode, then bspatch against the old image.
-    Differential {
+    /// Differential update: a patch container against the old image.
+    /// Boxed: the stage carries decoder state much larger than the
+    /// passthrough variant.
+    Differential(Box<DiffStage>),
+}
+
+/// The differential transform, which sniffs the patch container from the
+/// payload's leading magic bytes: a framed container is applied directly
+/// (its windows are compressed individually), anything else goes down the
+/// classic path of one LZSS stream wrapping one Raw patch.
+#[derive(Debug)]
+enum DiffStage {
+    /// Waiting for the 4 magic bytes that identify the container.
+    Sniff {
+        old: Vec<u8>,
+        firmware_size: u32,
+        buffered: Vec<u8>,
+    },
+    /// Classic wire encoding: LZSS-decode, then bspatch.
+    Lzss {
         decompressor: Decompressor,
         patcher: StreamPatcher<Vec<u8>>,
     },
+    /// Framed container: per-window decompression and patching.
+    Framed { patcher: FramedPatcher<Vec<u8>> },
+}
+
+impl DiffStage {
+    /// Resolves the sniffed magic into a concrete decode chain.
+    ///
+    /// Every decode stage is budgeted from the manifest's (verified,
+    /// slot-bounded) firmware size: a wire stream whose own headers
+    /// declare more output than the manifest promised is an attack on the
+    /// decoder's memory, rejected before any allocation is sized from it.
+    /// On the classic path the decompressor yields the *patch*, which can
+    /// legitimately outgrow the firmware by its control-entry framing, so
+    /// its budget is the worst case `diff` can emit for this firmware
+    /// size rather than the firmware size itself; the framed container
+    /// enforces the equivalent per window.
+    fn begin(old: Vec<u8>, firmware_size: u32, magic: &[u8]) -> Self {
+        match PatchFormat::detect(magic) {
+            Some(PatchFormat::Framed) => Self::Framed {
+                patcher: FramedPatcher::with_budget(old, u64::from(firmware_size)),
+            },
+            // Anything else — including garbage, which the LZSS header
+            // check then rejects exactly as it did before sniffing.
+            _ => Self::Lzss {
+                decompressor: Decompressor::with_budget(upkit_delta::max_patch_len(u64::from(
+                    firmware_size,
+                ))),
+                patcher: StreamPatcher::with_budget(old, u64::from(firmware_size)),
+            },
+        }
+    }
+}
+
+/// Runs payload bytes through a resolved differential decode chain,
+/// charging `decode_overruns` whenever a stage rejects a declared length
+/// for exceeding its budget.
+fn push_differential(
+    stage: &mut DiffStage,
+    writer: &mut BufferedWriter,
+    layout: &mut MemoryLayout,
+    data: &[u8],
+) -> Result<(), PipelineError> {
+    match stage {
+        DiffStage::Sniff { .. } => unreachable!("sniff is resolved before decoding"),
+        DiffStage::Lzss {
+            decompressor,
+            patcher,
+        } => {
+            let mut patch_bytes = Vec::new();
+            decompressor.push(data, &mut patch_bytes).inspect_err(|e| {
+                if matches!(e, LzssError::BudgetExceeded) {
+                    Counters::add(&layout.tracer().counters().decode_overruns, 1);
+                }
+            })?;
+            let mut firmware = Vec::new();
+            patcher.push(&patch_bytes, &mut firmware).inspect_err(|e| {
+                if matches!(e, PatchError::BudgetExceeded) {
+                    Counters::add(&layout.tracer().counters().decode_overruns, 1);
+                }
+            })?;
+            writer.push(layout, &firmware)
+        }
+        DiffStage::Framed { patcher } => {
+            let mut firmware = Vec::new();
+            patcher.push(data, &mut firmware).inspect_err(|e| {
+                if e.is_budget_rejection() {
+                    Counters::add(&layout.tracer().counters().decode_overruns, 1);
+                }
+            })?;
+            writer.push(layout, &firmware)
+        }
+    }
 }
 
 /// The assembled pipeline for one incoming update.
@@ -196,22 +295,16 @@ impl Pipeline {
         // Snapshot the (immutable-during-update) old image; see module docs.
         let mut old = vec![0u8; old_size as usize];
         layout.read_slot_counted(old_slot, FIRMWARE_OFFSET, &mut old)?;
-        // Both decode stages are budgeted from the manifest's (verified,
-        // slot-bounded) firmware size: a wire stream whose own headers
-        // declare more output than the manifest promised is an attack on
-        // the decoder's memory, rejected before any allocation is sized
-        // from it. The decompressor yields the *patch*, which can
-        // legitimately outgrow the firmware by its control-entry framing,
-        // so its budget is the worst case `diff` can emit for this
-        // firmware size rather than the firmware size itself.
+        // The container is chosen by the payload's first 4 bytes; every
+        // decode stage behind the sniff is budgeted from the manifest's
+        // (verified, slot-bounded) firmware size — see `DiffStage::begin`.
         Ok(Self {
             cipher: None,
-            transform: Transform::Differential {
-                decompressor: Decompressor::with_budget(upkit_delta::max_patch_len(u64::from(
-                    firmware_size,
-                ))),
-                patcher: StreamPatcher::with_budget(old, u64::from(firmware_size)),
-            },
+            transform: Transform::Differential(Box::new(DiffStage::Sniff {
+                old,
+                firmware_size,
+                buffered: Vec::with_capacity(4),
+            })),
             writer: BufferedWriter::new(layout, dst, u64::from(firmware_size))?,
         })
     }
@@ -252,23 +345,24 @@ impl Pipeline {
         };
         match &mut self.transform {
             Transform::Passthrough => self.writer.push(layout, data),
-            Transform::Differential {
-                decompressor,
-                patcher,
-            } => {
-                let mut patch_bytes = Vec::new();
-                decompressor.push(data, &mut patch_bytes).inspect_err(|e| {
-                    if matches!(e, LzssError::BudgetExceeded) {
-                        Counters::add(&layout.tracer().counters().decode_overruns, 1);
+            Transform::Differential(stage) => {
+                let stage = stage.as_mut();
+                if let DiffStage::Sniff {
+                    old,
+                    firmware_size,
+                    buffered,
+                } = stage
+                {
+                    buffered.extend_from_slice(data);
+                    if buffered.len() < 4 {
+                        return Ok(());
                     }
-                })?;
-                let mut firmware = Vec::new();
-                patcher.push(&patch_bytes, &mut firmware).inspect_err(|e| {
-                    if matches!(e, PatchError::BudgetExceeded) {
-                        Counters::add(&layout.tracer().counters().decode_overruns, 1);
-                    }
-                })?;
-                self.writer.push(layout, &firmware)
+                    let resolved = DiffStage::begin(std::mem::take(old), *firmware_size, buffered);
+                    let pending = std::mem::take(buffered);
+                    *stage = resolved;
+                    return push_differential(stage, &mut self.writer, layout, &pending);
+                }
+                push_differential(stage, &mut self.writer, layout, data)
             }
         }
     }
@@ -276,13 +370,22 @@ impl Pipeline {
     /// Flushes the buffer stage and validates completeness. Returns the
     /// number of firmware bytes written.
     pub fn finish(&mut self, layout: &mut MemoryLayout) -> Result<u64, PipelineError> {
-        if let Transform::Differential {
-            decompressor,
-            patcher,
-        } = &self.transform
-        {
-            decompressor.finish()?;
-            patcher.finish()?;
+        if let Transform::Differential(stage) = &self.transform {
+            match stage.as_ref() {
+                // Too few payload bytes to even identify a container; the
+                // classic decode chain would have reported the same.
+                DiffStage::Sniff { .. } => {
+                    return Err(PipelineError::Decompress(LzssError::Truncated))
+                }
+                DiffStage::Lzss {
+                    decompressor,
+                    patcher,
+                } => {
+                    decompressor.finish()?;
+                    patcher.finish()?;
+                }
+                DiffStage::Framed { patcher } => patcher.finish()?,
+            }
         }
         self.writer.finish(layout)
     }
@@ -382,6 +485,82 @@ mod tests {
             read_firmware(&layout, standard::SLOT_B, new_fw.len()),
             new_fw
         );
+    }
+
+    #[test]
+    fn framed_differential_update_reconstructs_new_firmware() {
+        use upkit_delta::{framed_diff, FramedDiffOptions};
+
+        let mut layout = layout();
+        let old_fw = firmware(20, 30_000);
+        layout.erase_slot(standard::SLOT_A).unwrap();
+        layout
+            .write_slot(standard::SLOT_A, FIRMWARE_OFFSET, &old_fw)
+            .unwrap();
+        let mut new_fw = old_fw.clone();
+        new_fw[9000..9100].copy_from_slice(&firmware(21, 100));
+        new_fw.extend_from_slice(&firmware(22, 300));
+
+        // Server side: the framed container, multiple windows, diffed on
+        // two threads. The device sniffs the format from the magic — the
+        // pipeline construction is identical to the raw-patch case.
+        let options = FramedDiffOptions::default()
+            .with_window_len(8 * 1024)
+            .with_threads(2);
+        let wire = framed_diff(&old_fw, &new_fw, &options);
+        assert!(wire.len() < new_fw.len() / 4, "delta should be small");
+
+        layout.erase_slot(standard::SLOT_B).unwrap();
+        let mut pipeline = Pipeline::new_differential(
+            &mut layout,
+            standard::SLOT_B,
+            standard::SLOT_A,
+            old_fw.len() as u32,
+            new_fw.len() as u32,
+        )
+        .unwrap();
+        for chunk in wire.chunks(64) {
+            pipeline.push(&mut layout, chunk).unwrap();
+        }
+        assert_eq!(pipeline.finish(&mut layout).unwrap(), new_fw.len() as u64);
+        assert_eq!(
+            read_firmware(&layout, standard::SLOT_B, new_fw.len()),
+            new_fw
+        );
+    }
+
+    #[test]
+    fn framed_window_count_bomb_is_rejected_and_ledgered() {
+        use upkit_delta::FRAMED_MAGIC;
+
+        let mut layout = layout();
+        let old_fw = firmware(23, 2_000);
+        layout.erase_slot(standard::SLOT_A).unwrap();
+        layout
+            .write_slot(standard::SLOT_A, FIRMWARE_OFFSET, &old_fw)
+            .unwrap();
+        layout.erase_slot(standard::SLOT_B).unwrap();
+        let mut pipeline = Pipeline::new_differential(
+            &mut layout,
+            standard::SLOT_B,
+            standard::SLOT_A,
+            old_fw.len() as u32,
+            2_000,
+        )
+        .unwrap();
+
+        // Valid magic, then a directory claiming a billion windows for a
+        // 2000-byte image: rejected from the header alone, before any
+        // directory allocation, and charged to the decode-overrun ledger.
+        let mut bomb = Vec::from(FRAMED_MAGIC);
+        bomb.extend_from_slice(&(old_fw.len() as u32).to_le_bytes());
+        bomb.extend_from_slice(&2_000u32.to_le_bytes());
+        bomb.extend_from_slice(&1_000_000_000u32.to_le_bytes());
+        assert!(matches!(
+            pipeline.push(&mut layout, &bomb),
+            Err(PipelineError::Framed(_))
+        ));
+        assert_eq!(layout.tracer().counters().snapshot().decode_overruns, 1);
     }
 
     #[test]

@@ -324,4 +324,28 @@ mod tests {
             Err(BlockDiffError::OutOfBounds)
         );
     }
+
+    #[test]
+    fn blockdiff_is_not_a_pipeline_wire_format() {
+        // `PatchFormat::detect` sniffs the pipeline containers from their
+        // magic; the blockdiff experiment baseline must never be mistaken
+        // for one (its magic is distinct from both by construction).
+        let old = lcg(30, 2000);
+        let new = lcg(31, 2000);
+        let delta = diff(&old, &new);
+        assert_eq!(&delta[..4], &MAGIC);
+        assert_eq!(crate::PatchFormat::detect(&delta), None);
+        assert_eq!(
+            crate::PatchFormat::detect(&crate::diff(&old, &new)),
+            Some(crate::PatchFormat::Raw)
+        );
+        assert_eq!(
+            crate::PatchFormat::detect(&crate::framed_diff(
+                &old,
+                &new,
+                &crate::FramedDiffOptions::default()
+            )),
+            Some(crate::PatchFormat::Framed)
+        );
+    }
 }

@@ -38,13 +38,65 @@
 #![warn(missing_docs)]
 
 pub mod blockdiff;
+pub mod framed;
+pub mod pool;
 pub mod sais;
 pub mod suffix;
+pub mod window;
+
+pub use framed::{patch_framed, FramedError, FramedPatcher, FRAMED_MAGIC};
+pub use window::{framed_diff, FramedDiffOptions, DEFAULT_WINDOW_LEN};
 
 use suffix::SuffixArray;
 
 /// Magic bytes identifying a patch produced by this crate.
 pub const MAGIC: [u8; 4] = *b"BSD1";
+
+/// The wire container a patch payload is encoded in.
+///
+/// `Raw` is the classic monolithic bsdiff stream ([`diff`]/[`patch`]);
+/// `Framed` is the windowed container ([`framed_diff`]/[`patch_framed`])
+/// that carries one independently compressed Raw patch per window of the
+/// new image. Both start with a 4-byte magic, so a decoder (or a cache
+/// key) can identify the container from the first bytes alone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PatchFormat {
+    /// One monolithic bsdiff stream (`"BSD1"`).
+    #[default]
+    Raw,
+    /// The windowed per-window-compressed container (`"BSF2"`).
+    Framed,
+}
+
+impl PatchFormat {
+    /// Identifies the patch container from its leading magic bytes.
+    ///
+    /// Returns `None` for anything else — including the [`blockdiff`]
+    /// experiment format (`"BLK1"`), which is a baseline for evaluation,
+    /// not a pipeline wire format.
+    #[must_use]
+    pub fn detect(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        if bytes[..4] == MAGIC {
+            Some(Self::Raw)
+        } else if bytes[..4] == FRAMED_MAGIC {
+            Some(Self::Framed)
+        } else {
+            None
+        }
+    }
+
+    /// Stable lowercase label for trace events and cache keys.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Raw => "raw",
+            Self::Framed => "framed",
+        }
+    }
+}
 
 /// Size in bytes of the patch header.
 pub const HEADER_LEN: usize = 4 + 4 + 4;
@@ -161,6 +213,18 @@ impl OldImage for Vec<u8> {
     }
 }
 
+/// Shared old-image handles, so one image can back several patchers (the
+/// framed container applies every window against the same old image).
+impl<O: OldImage + ?Sized> OldImage for std::sync::Arc<O> {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), PatchError> {
+        (**self).read_at(offset, buf)
+    }
+}
+
 /// Which suffix-array construction a [`DeltaContext`] uses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SuffixAlgorithm {
@@ -252,6 +316,23 @@ impl DeltaContext {
         );
         diff_with_suffix_array(&self.suffix_array, old, new)
     }
+
+    /// Computes a framed (windowed) patch transforming `old` into `new`,
+    /// reusing this context's suffix array across all window jobs.
+    /// Byte-identical to [`framed_diff`] output at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is not the image the context was built for.
+    #[must_use]
+    pub fn framed_diff(&self, old: &[u8], new: &[u8], options: &FramedDiffOptions) -> Vec<u8> {
+        assert_eq!(
+            upkit_crypto::sha256::sha256(old),
+            self.old_image_hash,
+            "DeltaContext used with a different old image than it was built for"
+        );
+        window::framed_diff_with_suffix_array(&self.suffix_array, old, new, options)
+    }
 }
 
 /// Computes a patch transforming `old` into `new` (server-side operation).
@@ -267,7 +348,7 @@ pub fn diff(old: &[u8], new: &[u8]) -> Vec<u8> {
     diff_with_suffix_array(&SuffixArray::build(old), old, new)
 }
 
-fn diff_with_suffix_array(sa: &SuffixArray, old: &[u8], new: &[u8]) -> Vec<u8> {
+pub(crate) fn diff_with_suffix_array(sa: &SuffixArray, old: &[u8], new: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + new.len() / 4 + 64);
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&(old.len() as u32).to_le_bytes());

@@ -1,0 +1,174 @@
+//! A deterministic index-slotted worker pool.
+//!
+//! Server-side fan-out — window diffs within one patch, update preparation
+//! across a token batch — shares one scheduling shape: a slice of
+//! independent jobs whose results must come back *in input order* no matter
+//! which worker finishes first. [`parallel_map`] runs a pure-per-item
+//! closure over a bounded job queue and writes each result into the slot
+//! matching its input index, so output is a deterministic function of the
+//! inputs alone. `upkit-core`'s `ParallelGenerator` is built on this same
+//! pool.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A fixed-capacity multi-producer/multi-consumer queue of job indices.
+///
+/// The bound keeps the producer from racing arbitrarily far ahead of the
+/// workers when batches are huge: `push` blocks once `capacity` jobs are
+/// waiting, `pop` blocks until a job or close arrives.
+struct JobQueue {
+    state: Mutex<JobQueueState>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+struct JobQueueState {
+    jobs: VecDeque<usize>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(JobQueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: usize) {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.jobs.len() >= self.capacity {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Returns `None` once the queue is closed and drained.
+    fn pop(&self) -> Option<usize> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning
+/// results in input order.
+///
+/// `result[i] == f(i, &items[i])` exactly as if the map ran sequentially;
+/// worker scheduling cannot reorder or interleave results because each job
+/// writes only its own slot. With `threads <= 1` or a single item the map
+/// runs inline with no thread or queue overhead, so callers can use one
+/// code path for both configurations.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    if threads <= 1 || items.len() == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // One result slot per item: workers write disjoint indices, so
+    // ordering is fixed by the input no matter who finishes first.
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let queue = JobQueue::new(threads * 2);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|_| {
+                while let Some(index) = queue.pop() {
+                    let result = f(index, &items[index]);
+                    *results[index].lock().expect("result lock") = Some(result);
+                }
+            });
+        }
+        for index in 0..items.len() {
+            queue.push(index);
+        }
+        queue.close();
+    })
+    .expect("pool workers do not panic");
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1usize, 2, 4, 9] {
+            let out = parallel_map(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(
+                out,
+                (0..100).map(|x| x * 3).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let items: Vec<usize> = (0..57).collect();
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map(&items, 5, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 57);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [7u8, 8];
+        let out = parallel_map(&items, 64, |_, &x| u32::from(x) + 1);
+        assert_eq!(out, vec![8, 9]);
+    }
+}

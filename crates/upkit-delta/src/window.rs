@@ -1,0 +1,118 @@
+//! Chunked (windowed) delta generation for the framed container.
+//!
+//! The target image is split into contiguous bounded windows; each window
+//! is diffed against the *full* old image, so every window job reuses the
+//! same shared suffix array and a window can match old bytes anywhere —
+//! code moves across window boundaries still diff well. Window jobs are
+//! pure functions of `(old, window)` and run over the deterministic
+//! index-slotted pool ([`crate::pool::parallel_map`]), so the container is
+//! byte-identical at any thread count; tests pin `framed_diff` output at 1
+//! and 8 threads against each other and against the sequential Raw path.
+
+use upkit_compress::{compress, Params as LzssParams};
+
+use crate::framed::{COMP_LZSS, COMP_NONE, FRAMED_MAGIC};
+use crate::suffix::SuffixArray;
+
+/// Default window length for chunked diff generation.
+///
+/// Large enough that per-window control overhead is negligible (a window
+/// carries its own 12-byte Raw header plus a 13-byte directory entry),
+/// small enough that a 256 KiB image fans out over 4 windows.
+pub const DEFAULT_WINDOW_LEN: usize = 64 * 1024;
+
+/// Configuration for [`framed_diff`] / [`crate::DeltaContext::framed_diff`].
+#[derive(Clone, Copy, Debug)]
+pub struct FramedDiffOptions {
+    /// Bytes of new image per window (min 1; last window may be shorter).
+    pub window_len: usize,
+    /// Worker threads diffing windows concurrently (min 1). Output bytes
+    /// do not depend on this.
+    pub threads: usize,
+    /// Per-window LZSS compression; `None` stores every body raw. A
+    /// compressed body is only used when it is actually smaller.
+    pub lzss: Option<LzssParams>,
+}
+
+impl Default for FramedDiffOptions {
+    fn default() -> Self {
+        Self {
+            window_len: DEFAULT_WINDOW_LEN,
+            threads: 1,
+            lzss: Some(LzssParams::default()),
+        }
+    }
+}
+
+impl FramedDiffOptions {
+    /// Sets the worker-thread count (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the window length (builder style).
+    #[must_use]
+    pub fn with_window_len(mut self, window_len: usize) -> Self {
+        self.window_len = window_len.max(1);
+        self
+    }
+}
+
+/// Computes a framed patch transforming `old` into `new`, building a fresh
+/// suffix array; use [`crate::DeltaContext::framed_diff`] to amortize the
+/// array across several diffs against the same old image.
+#[must_use]
+pub fn framed_diff(old: &[u8], new: &[u8], options: &FramedDiffOptions) -> Vec<u8> {
+    framed_diff_with_suffix_array(&SuffixArray::build(old), old, new, options)
+}
+
+pub(crate) fn framed_diff_with_suffix_array(
+    sa: &SuffixArray,
+    old: &[u8],
+    new: &[u8],
+    options: &FramedDiffOptions,
+) -> Vec<u8> {
+    assert!(
+        u32::try_from(old.len()).is_ok() && u32::try_from(new.len()).is_ok(),
+        "framed container addresses images with 32-bit lengths"
+    );
+    let window_len = options.window_len.max(1);
+    let windows: Vec<&[u8]> = new.chunks(window_len).collect();
+
+    // Each body is a complete Raw patch for its window against the full
+    // old image: a pure function of (old, window), so the fan-out below
+    // cannot change bytes, only wall time.
+    let bodies: Vec<(u8, Vec<u8>)> =
+        crate::pool::parallel_map(&windows, options.threads.max(1), |_, window| {
+            let raw = crate::diff_with_suffix_array(sa, old, window);
+            if let Some(params) = options.lzss {
+                let packed = compress(&raw, params);
+                if packed.len() < raw.len() {
+                    return (COMP_LZSS, packed);
+                }
+            }
+            (COMP_NONE, raw)
+        });
+
+    let directory_len = windows.len() * crate::framed::WINDOW_HEADER_LEN;
+    let bodies_len: usize = bodies.iter().map(|(_, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(crate::framed::FRAMED_HEADER_LEN + directory_len + bodies_len);
+    out.extend_from_slice(&FRAMED_MAGIC);
+    out.extend_from_slice(&(old.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(new.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(windows.len() as u32).to_le_bytes());
+    let mut offset = 0u32;
+    for (window, (comp, body)) in windows.iter().zip(bodies.iter()) {
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(window.len() as u32).to_le_bytes());
+        out.push(*comp);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        offset += window.len() as u32;
+    }
+    for (_, body) in &bodies {
+        out.extend_from_slice(body);
+    }
+    out
+}

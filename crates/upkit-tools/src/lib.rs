@@ -29,7 +29,8 @@ use upkit_compress::decompress;
 use upkit_core::generation::{Release, UpdateServer, VendorServer};
 use upkit_crypto::ecdsa::{Signature, SigningKey, VerifyingKey};
 use upkit_crypto::sha256::sha256;
-use upkit_delta::patch;
+pub use upkit_delta::PatchFormat;
+use upkit_delta::{patch, patch_framed};
 use upkit_manifest::{DeviceToken, Manifest, SignedManifest, UpdateImage, Version, MANIFEST_LEN};
 
 /// Length of a release file's fixed header (manifest + vendor signature).
@@ -188,7 +189,8 @@ fn load_release(path: &Path) -> Result<Release, ToolError> {
 
 /// Prepares a double-signed update image for one device token, serving a
 /// differential payload when `base_release` (the firmware the device
-/// currently runs) is supplied.
+/// currently runs) is supplied. `format` selects the patch container for
+/// differential payloads; devices sniff it from the payload magic.
 #[allow(clippy::too_many_arguments)]
 pub fn prepare_update(
     release_path: &Path,
@@ -196,9 +198,11 @@ pub fn prepare_update(
     device_id: u32,
     nonce: u32,
     base_release_path: Option<&Path>,
+    format: PatchFormat,
     out_path: &Path,
 ) -> Result<&'static str, ToolError> {
     let mut server = UpdateServer::new(load_signing_key(server_key_path)?);
+    server.set_patch_format(format);
     let release = load_release(release_path)?;
     let latest_version = release.version;
     server.publish(release);
@@ -290,10 +294,18 @@ pub fn verify_image(
             );
         };
         let base = read(base_path)?;
-        let raw_patch = decompress(&image.payload)
-            .map_err(|e| ToolError::VerifyFailed(format!("payload decompression: {e}")))?;
-        patch(&base, &raw_patch)
-            .map_err(|e| ToolError::VerifyFailed(format!("patch application: {e}")))?
+        // Same container sniff the device pipeline performs: a framed
+        // payload is applied directly, anything else is the legacy
+        // LZSS-compressed bsdiff stream.
+        if PatchFormat::detect(&image.payload) == Some(PatchFormat::Framed) {
+            patch_framed(&base, &image.payload)
+                .map_err(|e| ToolError::VerifyFailed(format!("framed patch: {e}")))?
+        } else {
+            let raw_patch = decompress(&image.payload)
+                .map_err(|e| ToolError::VerifyFailed(format!("payload decompression: {e}")))?;
+            patch(&base, &raw_patch)
+                .map_err(|e| ToolError::VerifyFailed(format!("patch application: {e}")))?
+        }
     } else {
         image.payload.clone()
     };
@@ -383,6 +395,7 @@ mod tests {
             0xD1,
             0x42,
             None,
+            PatchFormat::Raw,
             &dir.path("update.img"),
         )
         .unwrap();
@@ -438,6 +451,7 @@ mod tests {
             0xD2,
             7,
             Some(&dir.path("r1.bin")),
+            PatchFormat::Raw,
             &dir.path("update.img"),
         )
         .unwrap();
@@ -461,6 +475,35 @@ mod tests {
         )
         .unwrap();
         assert!(full.contains("digest OK"), "{full}");
+
+        // The framed container runs the same pipeline: prepared with
+        // --format framed, sniffed and re-applied by verify.
+        let kind = prepare_update(
+            &dir.path("r2.bin"),
+            &dir.path("server.key"),
+            0xD2,
+            8,
+            Some(&dir.path("r1.bin")),
+            PatchFormat::Framed,
+            &dir.path("framed.img"),
+        )
+        .unwrap();
+        assert_eq!(kind, "differential");
+        let framed_payload = read(&dir.path("framed.img")).unwrap();
+        assert!(
+            framed_payload
+                .windows(4)
+                .any(|w| w == upkit_delta::FRAMED_MAGIC),
+            "payload should carry the framed magic"
+        );
+        let framed = verify_image(
+            &dir.path("framed.img"),
+            &dir.path("vendor.pub"),
+            &dir.path("server.pub"),
+            Some(&dir.path("v1.bin")),
+        )
+        .unwrap();
+        assert!(framed.contains("digest OK"), "{framed}");
     }
 
     #[test]
@@ -485,6 +528,7 @@ mod tests {
             1,
             1,
             None,
+            PatchFormat::Raw,
             &dir.path("u.img"),
         )
         .unwrap();
@@ -535,6 +579,7 @@ mod tests {
             5,
             6,
             None,
+            PatchFormat::Raw,
             &dir.path("u.img"),
         )
         .unwrap();

@@ -44,7 +44,8 @@ const USAGE: &str = "usage:
   upkit-tools release --firmware <bin> --version <u16> --link-offset <u32> \\
                       --app-id <u32> --vendor-key <key> --out <release>
   upkit-tools prepare --release <release> --server-key <key> \\
-                      --device-id <u32> --nonce <u32> [--base <release>] --out <img>
+                      --device-id <u32> --nonce <u32> [--base <release>] \\
+                      [--format raw|framed] --out <img>
   upkit-tools inspect --image <img>
   upkit-tools verify  --image <img> --vendor-pub <pub> --server-pub <pub> [--base <fw>]
   upkit-tools suit-export --image <img> --out <cbor>";
@@ -76,12 +77,14 @@ fn run(args: &[String]) -> Result<String, String> {
         }
         "prepare" => {
             let base = opts.optional_path("base");
+            let format = opts.patch_format()?;
             let kind = prepare_update(
                 &opts.path("release")?,
                 &opts.path("server-key")?,
                 opts.number("device-id")? as u32,
                 opts.number("nonce")? as u32,
                 base.as_deref(),
+                format,
                 &opts.path("out")?,
             )
             .map_err(stringify)?;
@@ -136,6 +139,14 @@ impl Options {
             .get(name)
             .ok_or_else(|| format!("missing --{name}"))?;
         parse_number(raw).ok_or_else(|| format!("--{name}: `{raw}` is not a number"))
+    }
+
+    fn patch_format(&self) -> Result<upkit_tools::PatchFormat, String> {
+        match self.0.get("format").map(String::as_str) {
+            None | Some("raw") => Ok(upkit_tools::PatchFormat::Raw),
+            Some("framed") => Ok(upkit_tools::PatchFormat::Framed),
+            Some(other) => Err(format!("--format: `{other}` is not raw or framed")),
+        }
     }
 }
 

@@ -205,6 +205,32 @@ pub enum Event {
         /// Whether the invariant held.
         ok: bool,
     },
+    /// Generation: the server ran a fresh diff for a version transition
+    /// and stored it in the content-addressed patch cache.
+    PatchGenerated {
+        /// First 8 bytes (big-endian) of the old image's SHA-256.
+        old_digest: u64,
+        /// First 8 bytes (big-endian) of the new image's SHA-256.
+        new_digest: u64,
+        /// Application/hardware identifier the transition belongs to.
+        platform: u64,
+        /// Patch container label (`"raw"`, `"framed"`).
+        format: &'static str,
+        /// Finished payload length in bytes.
+        bytes: u64,
+    },
+    /// Generation: a patch request was answered from the
+    /// content-addressed cache without re-diffing.
+    PatchCacheHit {
+        /// First 8 bytes (big-endian) of the old image's SHA-256.
+        old_digest: u64,
+        /// First 8 bytes (big-endian) of the new image's SHA-256.
+        new_digest: u64,
+        /// Application/hardware identifier the transition belongs to.
+        platform: u64,
+        /// Patch container label (`"raw"`, `"framed"`).
+        format: &'static str,
+    },
 }
 
 impl Event {
@@ -234,6 +260,8 @@ impl Event {
             Event::FaultChecked { .. } => "fault_checked",
             Event::MutationInjected { .. } => "mutation_injected",
             Event::MutationChecked { .. } => "mutation_checked",
+            Event::PatchGenerated { .. } => "patch_generated",
+            Event::PatchCacheHit { .. } => "patch_cache_hit",
         }
     }
 
@@ -261,6 +289,7 @@ impl Event {
             | Event::RolloutRound { .. } => "scheduler",
             Event::FaultInjected { .. } | Event::FaultChecked { .. } => "chaos",
             Event::MutationInjected { .. } | Event::MutationChecked { .. } => "adversary",
+            Event::PatchGenerated { .. } | Event::PatchCacheHit { .. } => "generation",
         }
     }
 
@@ -364,6 +393,29 @@ impl Event {
                 let _ = write!(
                     out,
                     r#","case":{case},"surface":"{surface}","panicked":{panicked},"ok":{ok}"#
+                );
+            }
+            Event::PatchGenerated {
+                old_digest,
+                new_digest,
+                platform,
+                format,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","old_digest":{old_digest},"new_digest":{new_digest},"platform":{platform},"format":"{format}","bytes":{bytes}"#
+                );
+            }
+            Event::PatchCacheHit {
+                old_digest,
+                new_digest,
+                platform,
+                format,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","old_digest":{old_digest},"new_digest":{new_digest},"platform":{platform},"format":"{format}""#
                 );
             }
         }
@@ -627,6 +679,10 @@ counters! {
     forgeries_accepted,
     /// Decoder inputs rejected for declaring output beyond the budget.
     decode_overruns,
+    /// Patch requests answered from the content-addressed patch cache.
+    patch_cache_hits,
+    /// Patch requests that had to run a fresh diff (cache miss).
+    patch_cache_misses,
 }
 
 impl Counters {

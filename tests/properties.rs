@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use upkit::compress::{compress, decompress, Params};
 use upkit::crypto::p256::{AffinePoint, FieldElement, Scalar};
 use upkit::crypto::u256::U256;
-use upkit::delta::{diff, patch};
+use upkit::delta::{diff, framed_diff, patch, patch_framed, FramedDiffOptions};
 use upkit::flash::{FlashDevice, FlashGeometry, SimFlash};
 use upkit::manifest::{DeviceToken, Manifest, Version};
 
@@ -98,6 +98,72 @@ proptest! {
         let wire = compress(&diff(&base, &new), Params::default());
         let raw = decompress(&wire).unwrap();
         prop_assert_eq!(patch(&base, &raw).unwrap(), new);
+    }
+
+    #[test]
+    fn framed_patch_equals_monolithic_raw_patch(
+        old in proptest::collection::vec(any::<u8>(), 0..2048),
+        new in proptest::collection::vec(any::<u8>(), 0..2048),
+        window_len in 1usize..600,
+        threads in 1usize..5,
+    ) {
+        // The framed container must reconstruct exactly what the Raw path
+        // does, for any window size and any worker count.
+        let raw_out = patch(&old, &diff(&old, &new)).unwrap();
+        let options = FramedDiffOptions::default()
+            .with_window_len(window_len)
+            .with_threads(threads);
+        let container = framed_diff(&old, &new, &options);
+        prop_assert_eq!(&container, &framed_diff(&old, &new,
+            &FramedDiffOptions::default().with_window_len(window_len)));
+        let framed_out = patch_framed(&old, &container).unwrap();
+        prop_assert_eq!(&framed_out, &raw_out);
+        prop_assert_eq!(framed_out, new);
+    }
+}
+
+proptest! {
+    // Signing makes each case expensive; fewer, bigger cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cached_patches_equal_fresh_computation(
+        old in proptest::collection::vec(any::<u8>(), 256..2048),
+        edit in proptest::collection::vec(any::<u8>(), 1..128),
+        at in 0usize..256,
+        framed in any::<bool>(),
+    ) {
+        use rand::SeedableRng;
+        use upkit::core::generation::{UpdateServer, VendorServer};
+        use upkit::crypto::ecdsa::SigningKey;
+        use upkit::delta::PatchFormat;
+
+        // Two identically-seeded servers, one warmed through its
+        // content-addressed cache, one answering fresh: the wire images
+        // must match byte for byte for any image pair and either format.
+        let mut new = old.clone();
+        let at = at.min(old.len() - 1);
+        let end = (at + edit.len()).min(new.len());
+        new[at..end].copy_from_slice(&edit[..end - at]);
+
+        let build = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(505);
+            let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+            let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+            if framed {
+                server.set_patch_format(PatchFormat::Framed);
+            }
+            server.publish(vendor.release(old.clone(), Version(1), 0, 0xA));
+            server.publish(vendor.release(new.clone(), Version(2), 0, 0xA));
+            server
+        };
+        let token = DeviceToken { device_id: 7, nonce: 9, current_version: Version(1) };
+        let warmed = build();
+        let first = warmed.prepare_update(&token).unwrap();
+        let hit = warmed.prepare_update(&token).unwrap();
+        let fresh = build().prepare_update(&token).unwrap();
+        prop_assert_eq!(first.image.to_bytes(), hit.image.to_bytes());
+        prop_assert_eq!(hit.image.to_bytes(), fresh.image.to_bytes());
     }
 }
 

@@ -429,6 +429,86 @@ fn oversized_decode_declaration_is_rejected_and_ledgered() {
     assert_eq!(phase, AgentPhase::Complete);
 }
 
+#[test]
+fn framed_container_bombs_are_rejected_and_ledgered() {
+    use upkit::core::generation::ServedKind;
+    use upkit::delta::{PatchFormat, FRAMED_MAGIC};
+    use upkit::trace::{MemorySink, Tracer};
+
+    // The framed container adds attacker-controlled structure — a window
+    // directory with declared offsets and lengths. Each tamper below
+    // inflates one field in place (the signatures cover the decoded
+    // firmware digest, not the payload bytes, so the manifest still
+    // verifies); the slot-derived decode budget must reject every one
+    // before any allocation matches the declaration.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+    let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+    server.set_patch_format(PatchFormat::Framed);
+    let anchors = TrustAnchors::inline(&vendor.verifying_key(), &server.verifying_key());
+    let f1 = vec![0xAA; 8_000];
+    let mut f2 = f1.clone();
+    f2[..64].copy_from_slice(&[0x5A; 64]);
+    server.publish(vendor.release(f1.clone(), Version(1), 0, APP));
+    server.publish(vendor.release(f2, Version(2), 0, APP));
+    let w = World {
+        vendor,
+        server,
+        anchors,
+    };
+
+    let prepared = w
+        .server
+        .prepare_update(&DeviceToken {
+            device_id: DEV,
+            nonce: 41,
+            current_version: Version(1),
+        })
+        .unwrap();
+    assert!(matches!(prepared.kind, ServedKind::Differential { .. }));
+    assert_eq!(prepared.image.payload[..4], FRAMED_MAGIC);
+
+    // (field under attack, payload byte range of that field)
+    // Header: magic[0..4] old_len[4..8] new_len[8..12] window_count[12..16];
+    // first directory entry: out_offset[16..20] out_len[20..24] comp[24]
+    // body_len[25..29].
+    for (label, range) in [
+        ("window-count bomb", 12..16),
+        ("window-length bomb", 20..24),
+        ("body-length bomb", 25..29),
+    ] {
+        let mut image = prepared.image.clone();
+        image.payload[range].copy_from_slice(&u32::MAX.to_le_bytes());
+
+        let (mut layout, mut agent) = fresh_device(&w);
+        install_raw(&mut layout, standard::SLOT_A, &w, 1, &f1);
+        let tracer = Tracer::with_sink(Box::new(Arc::new(MemorySink::new())));
+        layout.set_tracer(tracer.clone());
+
+        let mut p = plan(1);
+        p.installed_size = f1.len() as u32;
+        agent.request_device_token(&mut layout, p, 41).unwrap();
+        let err = feed(&mut agent, &mut layout, &image.to_bytes()).unwrap_err();
+        assert!(
+            matches!(err, AgentError::Pipeline(_)),
+            "{label}: expected a typed pipeline rejection, got {err:?}"
+        );
+        let snapshot = tracer.counters().snapshot();
+        assert_eq!(snapshot.decode_overruns, 1, "{label}");
+        assert_eq!(snapshot.packages_rejected, 1, "{label}");
+        assert_eq!(snapshot.forgeries_accepted, 0, "{label}");
+    }
+
+    // The untampered framed stream still applies cleanly.
+    let (mut layout, mut agent) = fresh_device(&w);
+    install_raw(&mut layout, standard::SLOT_A, &w, 1, &f1);
+    let mut p = plan(1);
+    p.installed_size = f1.len() as u32;
+    agent.request_device_token(&mut layout, p, 41).unwrap();
+    let phase = feed(&mut agent, &mut layout, &prepared.image.to_bytes()).unwrap();
+    assert_eq!(phase, AgentPhase::Complete);
+}
+
 mod frame_mutations {
     //! Proptest satellite of the adversarial explorer: arbitrary
     //! single-frame mutations and stream replays on an otherwise valid
