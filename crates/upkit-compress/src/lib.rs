@@ -26,13 +26,44 @@
 //! assert_eq!(decompress(&packed).unwrap(), data);
 //! ```
 
+#![cfg_attr(not(feature = "std"), no_std)]
 #![warn(missing_docs)]
+#![warn(
+    clippy::std_instead_of_core,
+    clippy::std_instead_of_alloc,
+    clippy::alloc_instead_of_core
+)]
+
+extern crate alloc;
+
+use alloc::vec;
+use alloc::vec::Vec;
+
+pub mod sink;
+
+pub use sink::{ByteSink, FixedBuf};
 
 /// Magic bytes identifying an LZSS stream produced by this crate.
 pub const MAGIC: [u8; 4] = *b"LZS1";
 
 /// Size in bytes of the stream header.
 pub const HEADER_LEN: usize = 4 + 1 + 4;
+
+/// Largest window any [`Params`] can select (`window_bits == 13`).
+///
+/// The [`Decompressor`] keeps its sliding window inline at this size, so
+/// constructing a decoder never allocates.
+pub const MAX_WINDOW: usize = 1 << 13;
+
+/// Longest match any [`Params`] can encode (`window_bits == 8`, so eight
+/// length bits).
+///
+/// This bounds how much output a [`Decompressor`] can emit per input byte:
+/// a flag or match-low byte emits nothing, a literal emits one byte, and a
+/// match-high byte completes a match of at most this many bytes. Callers
+/// draining a decoder into a fixed scratch buffer size it as
+/// `chunk_len * MAX_MATCH`.
+pub const MAX_MATCH: usize = 3 + (1 << 8) - 1;
 
 /// LZSS window/length configuration.
 ///
@@ -132,7 +163,7 @@ impl core::fmt::Display for LzssError {
     }
 }
 
-impl std::error::Error for LzssError {}
+impl core::error::Error for LzssError {}
 
 /// Compresses `data` in one shot (server-side operation).
 #[must_use]
@@ -252,6 +283,22 @@ pub fn decompress_with_budget(stream: &[u8], budget: u64) -> Result<Vec<u8>, Lzs
     Ok(out)
 }
 
+/// Decompresses a complete LZSS stream into a caller-provided slice,
+/// returning the number of bytes written.
+///
+/// The slice length doubles as the decode budget: a header declaring
+/// more output than `out` can hold is rejected with
+/// [`LzssError::BudgetExceeded`] before any byte is produced, so this
+/// path never allocates and can never overrun the buffer.
+pub fn decompress_into(stream: &[u8], out: &mut [u8]) -> Result<usize, LzssError> {
+    let mut decoder = Decompressor::with_budget(out.len() as u64);
+    let mut buf = FixedBuf::new(out);
+    decoder.push(stream, &mut buf)?;
+    decoder.finish()?;
+    debug_assert!(!buf.overflowed(), "budget bounds every write");
+    Ok(buf.len())
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum DecodeState {
     Header { filled: usize },
@@ -265,10 +312,11 @@ enum DecodeState {
 /// Incremental LZSS decoder with memory bounded by the window size.
 ///
 /// Accepts input in arbitrary chunk sizes — radio MTUs in UpKit's pipeline —
-/// and appends decoded bytes to a caller-supplied buffer. The decoder keeps
-/// only the sliding window (≤ 8 KiB) plus a fixed-size state machine,
-/// matching the constrained-device RAM budget.
-#[derive(Clone, Debug)]
+/// and appends decoded bytes to a caller-supplied [`ByteSink`]. The decoder
+/// keeps only the sliding window (inline, [`MAX_WINDOW`] = 8 KiB) plus a
+/// fixed-size state machine, matching the constrained-device RAM budget;
+/// neither construction nor decoding ever allocates.
+#[derive(Clone)]
 pub struct Decompressor {
     state: DecodeState,
     header: [u8; HEADER_LEN],
@@ -276,11 +324,23 @@ pub struct Decompressor {
     expected_len: u64,
     budget: u64,
     produced: u64,
-    window: Vec<u8>,
+    window: [u8; MAX_WINDOW],
+    window_size: usize,
     window_pos: usize,
     window_filled: usize,
     flags: u8,
     flags_left: u8,
+}
+
+impl core::fmt::Debug for Decompressor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Decompressor")
+            .field("state", &self.state)
+            .field("params", &self.params)
+            .field("expected_len", &self.expected_len)
+            .field("produced", &self.produced)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for Decompressor {
@@ -312,7 +372,8 @@ impl Decompressor {
             expected_len: 0,
             budget,
             produced: 0,
-            window: Vec::new(),
+            window: [0; MAX_WINDOW],
+            window_size: 0,
             window_pos: 0,
             window_filled: 0,
             flags: 0,
@@ -339,7 +400,11 @@ impl Decompressor {
     }
 
     /// Feeds `input` to the decoder, appending decoded bytes to `out`.
-    pub fn push(&mut self, input: &[u8], out: &mut Vec<u8>) -> Result<(), LzssError> {
+    pub fn push<S: ByteSink + ?Sized>(
+        &mut self,
+        input: &[u8],
+        out: &mut S,
+    ) -> Result<(), LzssError> {
         for &byte in input {
             self.push_byte(byte, out)?;
         }
@@ -355,7 +420,7 @@ impl Decompressor {
         }
     }
 
-    fn push_byte(&mut self, byte: u8, out: &mut Vec<u8>) -> Result<(), LzssError> {
+    fn push_byte<S: ByteSink + ?Sized>(&mut self, byte: u8, out: &mut S) -> Result<(), LzssError> {
         match self.state {
             DecodeState::Header { filled } => {
                 self.header[filled] = byte;
@@ -371,7 +436,7 @@ impl Decompressor {
                     if self.expected_len > self.budget {
                         return Err(LzssError::BudgetExceeded);
                     }
-                    self.window = vec![0; self.params.window_size()];
+                    self.window_size = self.params.window_size();
                     self.state = if self.expected_len == 0 {
                         DecodeState::Done
                     } else {
@@ -412,7 +477,7 @@ impl Decompressor {
                     if self.produced >= self.expected_len {
                         return Err(LzssError::TrailingData);
                     }
-                    let idx = (self.window_pos + self.window.len() - dist) % self.window.len();
+                    let idx = (self.window_pos + self.window_size - dist) % self.window_size;
                     let value = self.window[idx];
                     self.emit(value, out);
                 }
@@ -422,11 +487,11 @@ impl Decompressor {
         }
     }
 
-    fn emit(&mut self, byte: u8, out: &mut Vec<u8>) {
-        out.push(byte);
+    fn emit<S: ByteSink + ?Sized>(&mut self, byte: u8, out: &mut S) {
+        out.put(byte);
         self.window[self.window_pos] = byte;
-        self.window_pos = (self.window_pos + 1) % self.window.len();
-        self.window_filled = (self.window_filled + 1).min(self.window.len());
+        self.window_pos = (self.window_pos + 1) % self.window_size;
+        self.window_filled = (self.window_filled + 1).min(self.window_size);
         self.produced += 1;
     }
 
@@ -522,6 +587,15 @@ mod tests {
             let params = Params::new(bits).unwrap();
             let packed = compress(&data, params);
             assert_eq!(decompress(&packed).unwrap(), data, "window_bits {bits}");
+        }
+    }
+
+    #[test]
+    fn max_match_and_max_window_dominate_every_params() {
+        for bits in 8..=13 {
+            let params = Params::new(bits).unwrap();
+            assert!(params.max_match() <= MAX_MATCH, "window_bits {bits}");
+            assert!(params.window_size() <= MAX_WINDOW, "window_bits {bits}");
         }
     }
 
@@ -623,7 +697,7 @@ mod tests {
         let params = Params::new(8).unwrap(); // 256-byte window
         let block = b"unique-block-content-123".to_vec();
         let mut data = block.clone();
-        data.extend(std::iter::repeat_n(b'.', 1000));
+        data.extend(core::iter::repeat_n(b'.', 1000));
         data.extend_from_slice(&block);
         let packed = compress(&data, params);
         assert_eq!(decompress(&packed).unwrap(), data);
@@ -646,6 +720,23 @@ mod tests {
             Err(LzssError::BudgetExceeded)
         );
         assert!(out.is_empty(), "no output before the budget check");
+    }
+
+    #[test]
+    fn decompress_into_matches_vec_path() {
+        let data = b"fixed-buffer parity ".repeat(200);
+        let packed = compress(&data, Params::default());
+        let mut out = vec![0u8; data.len()];
+        let written = decompress_into(&packed, &mut out).unwrap();
+        assert_eq!(written, data.len());
+        assert_eq!(out, data);
+        // An exactly-sized buffer is the tightest admissible budget; one
+        // byte less must reject at the header, before any output.
+        let mut short = vec![0u8; data.len() - 1];
+        assert_eq!(
+            decompress_into(&packed, &mut short),
+            Err(LzssError::BudgetExceeded)
+        );
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! is transferred, and an invalid firmware stops it **before** the reboot —
 //! the early-rejection property evaluated in the paper's security analysis.
 
-use std::sync::Arc;
+use alloc::sync::Arc;
+use alloc::vec::Vec;
 
 use upkit_crypto::backend::SecurityBackend;
 use upkit_flash::{LayoutError, MemoryLayout, SlotId};
@@ -158,7 +159,7 @@ impl core::fmt::Display for AgentError {
     }
 }
 
-impl std::error::Error for AgentError {}
+impl core::error::Error for AgentError {}
 
 impl From<VerifyError> for AgentError {
     fn from(e: VerifyError) -> Self {
@@ -448,11 +449,8 @@ impl UpdateAgent {
         };
 
         if let Some(key) = &self.config.content_key {
-            let nonce = crate::generation::content_nonce(
-                manifest.device_id,
-                manifest.nonce,
-                manifest.version,
-            );
+            let nonce =
+                crate::keys::content_nonce(manifest.device_id, manifest.nonce, manifest.version);
             pipeline.enable_decryption(upkit_crypto::chacha20::ChaCha20::new(key, &nonce));
         }
 

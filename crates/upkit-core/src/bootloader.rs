@@ -15,7 +15,8 @@
 //! normal firmware update, which is the mitigation path the paper
 //! describes for bootloader-verifier vulnerabilities.
 
-use std::sync::Arc;
+use alloc::sync::Arc;
+use alloc::vec::Vec;
 
 use upkit_crypto::backend::SecurityBackend;
 use upkit_flash::{FlashError, LayoutError, MemoryLayout, SlotId};
@@ -120,7 +121,7 @@ impl core::fmt::Display for BootError {
     }
 }
 
-impl std::error::Error for BootError {}
+impl core::error::Error for BootError {}
 
 impl From<LayoutError> for BootError {
     fn from(e: LayoutError) -> Self {
@@ -171,8 +172,8 @@ impl core::fmt::Display for FixedPointError {
     }
 }
 
-impl std::error::Error for FixedPointError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+impl core::error::Error for FixedPointError {
+    fn source(&self) -> Option<&(dyn core::error::Error + 'static)> {
         match self {
             Self::Brick { error, .. } => Some(error),
             Self::NoConvergence { .. } => None,

@@ -13,11 +13,12 @@
 //!   device and request, which is what grants freshness without
 //!   transport-layer security.
 
-use std::collections::BTreeMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use alloc::collections::BTreeMap;
+use alloc::sync::Arc;
+use std::sync::{OnceLock, RwLock};
 
 use upkit_compress::{compress, Params as LzssParams};
-use upkit_crypto::chacha20::{chacha20_xor, KEY_LEN as CONTENT_KEY_LEN, NONCE_LEN};
+use upkit_crypto::chacha20::{chacha20_xor, KEY_LEN as CONTENT_KEY_LEN};
 use upkit_crypto::ecdsa::{Signature, SigningKey};
 use upkit_crypto::sha256::sha256;
 use upkit_delta::{DeltaContext, FramedDiffOptions, PatchFormat};
@@ -111,17 +112,7 @@ impl VendorServer {
     }
 }
 
-/// Derives the ChaCha20 nonce binding an encrypted payload to one device,
-/// request, and version — reusing the freshness fields the double
-/// signature already authenticates.
-#[must_use]
-pub fn content_nonce(device_id: u32, request_nonce: u32, version: Version) -> [u8; NONCE_LEN] {
-    let mut nonce = [0u8; NONCE_LEN];
-    nonce[0..4].copy_from_slice(&device_id.to_le_bytes());
-    nonce[4..8].copy_from_slice(&request_nonce.to_le_bytes());
-    nonce[8..10].copy_from_slice(&version.0.to_le_bytes());
-    nonce
-}
+pub use crate::keys::content_nonce;
 
 /// Compresses `patch` with the configured parameters and, additionally,
 /// with a small-window/long-match configuration that excels on the long

@@ -45,8 +45,14 @@ pub fn read_manifest(
         .map_err(SlotImageError::Manifest)
 }
 
+/// Largest read granularity [`read_firmware_chunks`] uses (one flash
+/// sector); the read buffer lives on the stack at this size, so the
+/// block-verify loop performs no heap allocation.
+pub const MAX_READ_CHUNK: usize = 4096;
+
 /// Reads `len` firmware bytes from a slot (starting at
-/// [`FIRMWARE_OFFSET`]) in `chunk` sized reads, feeding each to `sink`.
+/// [`FIRMWARE_OFFSET`]) in `chunk` sized reads (clamped to
+/// [`MAX_READ_CHUNK`]), feeding each to `sink`.
 pub fn read_firmware_chunks(
     layout: &mut MemoryLayout,
     slot: SlotId,
@@ -54,8 +60,9 @@ pub fn read_firmware_chunks(
     chunk: usize,
     mut sink: impl FnMut(&[u8]),
 ) -> Result<(), LayoutError> {
+    let chunk = chunk.clamp(1, MAX_READ_CHUNK);
     let mut offset = 0u32;
-    let mut buf = vec![0u8; chunk];
+    let mut buf = [0u8; MAX_READ_CHUNK];
     while offset < len {
         let take = chunk.min((len - offset) as usize);
         layout.read_slot_counted(slot, FIRMWARE_OFFSET + offset, &mut buf[..take])?;
@@ -84,7 +91,7 @@ impl core::fmt::Display for SlotImageError {
     }
 }
 
-impl std::error::Error for SlotImageError {}
+impl core::error::Error for SlotImageError {}
 
 #[cfg(test)]
 mod tests {

@@ -8,7 +8,22 @@
 //! referenced by number.
 
 use upkit_crypto::backend::KeyRef;
+use upkit_crypto::chacha20::NONCE_LEN;
 use upkit_crypto::ecdsa::{VerifyingKey, PUBLIC_KEY_LEN};
+use upkit_manifest::Version;
+
+/// Derives the ChaCha20 nonce binding an encrypted payload to one device,
+/// request, and version — reusing the freshness fields the double
+/// signature already authenticates. Both ends derive it independently:
+/// the update server when encrypting, the device agent when decrypting.
+#[must_use]
+pub fn content_nonce(device_id: u32, request_nonce: u32, version: Version) -> [u8; NONCE_LEN] {
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce[0..4].copy_from_slice(&device_id.to_le_bytes());
+    nonce[4..8].copy_from_slice(&request_nonce.to_le_bytes());
+    nonce[8..10].copy_from_slice(&version.0.to_le_bytes());
+    nonce
+}
 
 /// A reference to one trusted public key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -90,22 +90,40 @@
 //! assert_eq!(outcome.version, Version(2));
 //! ```
 
+//! # `no_std` support
+//!
+//! With `--no-default-features` the crate builds as `no_std + alloc` and
+//! keeps the device half: [`agent`], [`bootloader`], [`pipeline`],
+//! [`verifier`], [`image`], [`keys`], and [`freshness`]. The server half —
+//! [`generation`] (rand) and [`parallel`] (threads) — needs the `std`
+//! feature.
+
+#![cfg_attr(not(feature = "std"), no_std)]
 #![warn(missing_docs)]
+#![warn(clippy::std_instead_of_core)]
+#![warn(clippy::std_instead_of_alloc)]
+#![warn(clippy::alloc_instead_of_core)]
+
+extern crate alloc;
 
 pub mod agent;
 pub mod bootloader;
 pub mod freshness;
+#[cfg(feature = "std")]
 pub mod generation;
 pub mod image;
 pub mod keys;
+#[cfg(feature = "std")]
 pub mod parallel;
 pub mod pipeline;
 pub mod verifier;
 
 pub use agent::{AgentConfig, AgentError, AgentPhase, AgentState, UpdateAgent, UpdatePlan};
 pub use bootloader::{BootAction, BootConfig, BootError, BootMode, BootOutcome, Bootloader};
+#[cfg(feature = "std")]
 pub use generation::{PreparedUpdate, Release, ServedKind, UpdateServer, VendorServer};
 pub use keys::{KeyAnchor, TrustAnchors};
+#[cfg(feature = "std")]
 pub use parallel::ParallelGenerator;
 pub use pipeline::{Pipeline, PipelineError};
 pub use verifier::{FirmwareDigester, Verifier, VerifyContext, VerifyError};

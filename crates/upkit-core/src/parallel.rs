@@ -26,8 +26,8 @@
 //! same two phases run even at one thread). Tests assert both identities
 //! end to end.
 
-use std::collections::BTreeSet;
-use std::sync::Arc;
+use alloc::collections::BTreeSet;
+use alloc::sync::Arc;
 
 use upkit_delta::pool::parallel_map;
 use upkit_manifest::{DeviceToken, Version};
@@ -87,7 +87,7 @@ impl<'s> ParallelGenerator<'s> {
     /// Creates a generator sized to the host's available parallelism.
     #[must_use]
     pub fn new(server: &'s UpdateServer) -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let threads = std::thread::available_parallelism().map_or(1, core::num::NonZeroUsize::get);
         Self::with_threads(server, threads)
     }
 

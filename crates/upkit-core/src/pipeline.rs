@@ -24,13 +24,31 @@
 //! construction, which is behaviourally identical because the old slot is
 //! immutable for the duration of the update.
 
-use upkit_compress::{Decompressor, LzssError};
+use alloc::boxed::Box;
+use alloc::vec;
+use alloc::vec::Vec;
+
+use upkit_compress::{Decompressor, FixedBuf, LzssError};
 use upkit_crypto::chacha20::ChaCha20;
 use upkit_delta::{FramedError, FramedPatcher, PatchError, PatchFormat, StreamPatcher};
 use upkit_flash::{LayoutError, MemoryLayout, SlotId};
 use upkit_trace::Counters;
 
 use crate::image::FIRMWARE_OFFSET;
+
+/// Wire bytes fed to the differential decode chain per drain step.
+///
+/// The chain expands each wire byte to at most
+/// [`upkit_compress::MAX_MATCH`] bytes (LZSS), which bspatch then maps
+/// 1:1, so a [`SCRATCH_LEN`]-byte stack buffer bounds every intermediate
+/// product and the steady-state push loop performs no heap allocation.
+const DECODE_CHUNK: usize = 4;
+
+/// Stack scratch for one decode drain step (see [`DECODE_CHUNK`]).
+const SCRATCH_LEN: usize = DECODE_CHUNK * upkit_compress::MAX_MATCH;
+
+/// Stack buffer for in-place decryption of wire chunks.
+const CIPHER_CHUNK: usize = 256;
 
 /// Errors surfaced by the pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,7 +81,7 @@ impl core::fmt::Display for PipelineError {
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl core::error::Error for PipelineError {}
 
 impl From<LzssError> for PipelineError {
     fn from(e: LzssError) -> Self {
@@ -217,6 +235,10 @@ impl DiffStage {
 /// Runs payload bytes through a resolved differential decode chain,
 /// charging `decode_overruns` whenever a stage rejects a declared length
 /// for exceeding its budget.
+///
+/// Intermediate products (decompressed patch bytes, reconstructed
+/// firmware) move through fixed stack scratch buffers sized to the
+/// decoders' worst-case expansion, never through heap allocations.
 fn push_differential(
     stage: &mut DiffStage,
     writer: &mut BufferedWriter,
@@ -229,28 +251,52 @@ fn push_differential(
             decompressor,
             patcher,
         } => {
-            let mut patch_bytes = Vec::new();
-            decompressor.push(data, &mut patch_bytes).inspect_err(|e| {
-                if matches!(e, LzssError::BudgetExceeded) {
-                    Counters::add(&layout.tracer().counters().decode_overruns, 1);
-                }
-            })?;
-            let mut firmware = Vec::new();
-            patcher.push(&patch_bytes, &mut firmware).inspect_err(|e| {
-                if matches!(e, PatchError::BudgetExceeded) {
-                    Counters::add(&layout.tracer().counters().decode_overruns, 1);
-                }
-            })?;
-            writer.push(layout, &firmware)
+            let mut patch_scratch = [0u8; SCRATCH_LEN];
+            let mut firmware_scratch = [0u8; SCRATCH_LEN];
+            let mut done = 0usize;
+            while done < data.len() {
+                let n = (data.len() - done).min(DECODE_CHUNK);
+                let mut patch_bytes = FixedBuf::new(&mut patch_scratch);
+                decompressor
+                    .push(&data[done..done + n], &mut patch_bytes)
+                    .inspect_err(|e| {
+                        if matches!(e, LzssError::BudgetExceeded) {
+                            Counters::add(&layout.tracer().counters().decode_overruns, 1);
+                        }
+                    })?;
+                debug_assert!(!patch_bytes.overflowed(), "scratch sized to worst case");
+                let mut firmware = FixedBuf::new(&mut firmware_scratch);
+                patcher
+                    .push(patch_bytes.as_slice(), &mut firmware)
+                    .inspect_err(|e| {
+                        if matches!(e, PatchError::BudgetExceeded) {
+                            Counters::add(&layout.tracer().counters().decode_overruns, 1);
+                        }
+                    })?;
+                debug_assert!(!firmware.overflowed(), "bspatch never expands its input");
+                writer.push(layout, firmware.as_slice())?;
+                done += n;
+            }
+            Ok(())
         }
         DiffStage::Framed { patcher } => {
-            let mut firmware = Vec::new();
-            patcher.push(data, &mut firmware).inspect_err(|e| {
-                if e.is_budget_rejection() {
-                    Counters::add(&layout.tracer().counters().decode_overruns, 1);
-                }
-            })?;
-            writer.push(layout, &firmware)
+            let mut firmware_scratch = [0u8; SCRATCH_LEN];
+            let mut done = 0usize;
+            while done < data.len() {
+                let n = (data.len() - done).min(DECODE_CHUNK);
+                let mut firmware = FixedBuf::new(&mut firmware_scratch);
+                patcher
+                    .push(&data[done..done + n], &mut firmware)
+                    .inspect_err(|e| {
+                        if e.is_budget_rejection() {
+                            Counters::add(&layout.tracer().counters().decode_overruns, 1);
+                        }
+                    })?;
+                debug_assert!(!firmware.overflowed(), "scratch sized to worst case");
+                writer.push(layout, firmware.as_slice())?;
+                done += n;
+            }
+            Ok(())
         }
     }
 }
@@ -335,14 +381,37 @@ impl Pipeline {
 
     /// Feeds the next chunk of wire payload through all stages.
     pub fn push(&mut self, layout: &mut MemoryLayout, data: &[u8]) -> Result<(), PipelineError> {
-        let mut decrypted;
-        let data: &[u8] = if let Some(cipher) = &mut self.cipher {
-            decrypted = data.to_vec();
-            cipher.apply(&mut decrypted);
-            &decrypted
-        } else {
-            data
-        };
+        if self.cipher.is_some() {
+            // Decrypt through a fixed stack buffer (ChaCha20 keeps its
+            // keystream position across calls, so chunked application is
+            // byte-identical to one-shot).
+            let mut cipher = self.cipher.take().expect("checked above");
+            let result = self.push_encrypted(&mut cipher, layout, data);
+            self.cipher = Some(cipher);
+            return result;
+        }
+        self.push_plain(layout, data)
+    }
+
+    fn push_encrypted(
+        &mut self,
+        cipher: &mut ChaCha20,
+        layout: &mut MemoryLayout,
+        data: &[u8],
+    ) -> Result<(), PipelineError> {
+        let mut chunk = [0u8; CIPHER_CHUNK];
+        let mut done = 0usize;
+        while done < data.len() {
+            let n = (data.len() - done).min(CIPHER_CHUNK);
+            chunk[..n].copy_from_slice(&data[done..done + n]);
+            cipher.apply(&mut chunk[..n]);
+            self.push_plain(layout, &chunk[..n])?;
+            done += n;
+        }
+        Ok(())
+    }
+
+    fn push_plain(&mut self, layout: &mut MemoryLayout, data: &[u8]) -> Result<(), PipelineError> {
         match &mut self.transform {
             Transform::Passthrough => self.writer.push(layout, data),
             Transform::Differential(stage) => {
@@ -357,8 +426,8 @@ impl Pipeline {
                     if buffered.len() < 4 {
                         return Ok(());
                     }
-                    let resolved = DiffStage::begin(std::mem::take(old), *firmware_size, buffered);
-                    let pending = std::mem::take(buffered);
+                    let resolved = DiffStage::begin(core::mem::take(old), *firmware_size, buffered);
+                    let pending = core::mem::take(buffered);
                     *stage = resolved;
                     return push_differential(stage, &mut self.writer, layout, &pending);
                 }

@@ -9,6 +9,8 @@
 //! one crypto library — between the two is what keeps UpKit's footprint
 //! below mcuboot-style stacks.
 
+use alloc::vec::Vec;
+
 use upkit_crypto::backend::{SecurityBackend, SecurityError};
 use upkit_crypto::sha256::Sha256;
 use upkit_manifest::{Manifest, SignedManifest, Version};
@@ -93,7 +95,7 @@ impl core::fmt::Display for VerifyError {
     }
 }
 
-impl std::error::Error for VerifyError {}
+impl core::error::Error for VerifyError {}
 
 impl From<SecurityError> for VerifyError {
     fn from(e: SecurityError) -> Self {

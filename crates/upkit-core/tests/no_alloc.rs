@@ -1,0 +1,193 @@
+//! Proves the steady-state hot paths are allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; each test runs
+//! its setup (allocations welcome), snapshots the counter, drives many
+//! iterations of the device hot path — block verify over flash, bsdiff /
+//! block-diff / framed / LZSS application into fixed buffers — and asserts
+//! the counter did not move. This is the executable form of the `no_std`
+//! portability claim: a device can run these loops from static buffers
+//! with no heap at all.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use upkit_core::image::{read_firmware_chunks, FIRMWARE_OFFSET};
+use upkit_core::verifier::FirmwareDigester;
+use upkit_flash::{configuration_a, standard, FlashGeometry, MemoryLayout, SimFlash};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+fn layout_with_firmware(fw: &[u8]) -> MemoryLayout {
+    let mut layout = configuration_a(
+        Box::new(SimFlash::new(FlashGeometry {
+            size: 4096 * 32,
+            sector_size: 4096,
+            read_micros_per_byte: 0,
+            write_micros_per_byte: 0,
+            erase_micros_per_sector: 0,
+        })),
+        4096 * 16,
+    )
+    .unwrap();
+    layout.erase_slot(standard::SLOT_A).unwrap();
+    layout
+        .write_slot(standard::SLOT_A, FIRMWARE_OFFSET, fw)
+        .unwrap();
+    layout
+}
+
+fn sample_firmware(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+fn related_images() -> (Vec<u8>, Vec<u8>) {
+    let old = sample_firmware(16_384);
+    let mut new = old.clone();
+    for i in (0..new.len()).step_by(97) {
+        new[i] = new[i].wrapping_add(7);
+    }
+    new.extend_from_slice(&[0xA5; 300]);
+    (old, new)
+}
+
+/// The bootloader/agent block-verify loop — chunked flash reads feeding the
+/// SHA-256 digester — performs zero heap allocations once set up.
+#[test]
+fn block_verify_loop_is_allocation_free() {
+    let fw = sample_firmware(20_000);
+    let mut layout = layout_with_firmware(&fw);
+    let expected = upkit_crypto::sha256::sha256(&fw);
+
+    // Warm up once so any lazily-initialized state is paid for.
+    let mut digester = FirmwareDigester::new();
+    read_firmware_chunks(&mut layout, standard::SLOT_A, fw.len() as u32, 4096, |c| {
+        digester.update(c)
+    })
+    .unwrap();
+    assert_eq!(digester.finalize(), expected);
+
+    let before = allocations();
+    for _ in 0..16 {
+        let mut digester = FirmwareDigester::new();
+        read_firmware_chunks(&mut layout, standard::SLOT_A, fw.len() as u32, 4096, |c| {
+            digester.update(c)
+        })
+        .unwrap();
+        assert_eq!(digester.finalize(), expected);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "block-verify loop must not allocate"
+    );
+}
+
+/// Patch application into caller-provided buffers — bsdiff, block-diff,
+/// and raw LZSS — performs zero heap allocations end to end.
+#[test]
+fn patch_apply_loop_is_allocation_free() {
+    let (old, new) = related_images();
+
+    let bsdiff_patch = upkit_delta::diff(&old, &new);
+    let block_delta = upkit_delta::blockdiff::diff(&old, &new);
+    let lzss = upkit_compress::compress(&new, upkit_compress::Params::default());
+
+    let mut out = vec![0u8; new.len()];
+
+    // Warm up each decoder once.
+    assert_eq!(
+        upkit_delta::patch_into(&old, &bsdiff_patch, &mut out).unwrap(),
+        new.len()
+    );
+    assert_eq!(out, new);
+
+    let before = allocations();
+    for _ in 0..8 {
+        out.fill(0);
+        let n = upkit_delta::patch_into(&old, &bsdiff_patch, &mut out).unwrap();
+        assert_eq!(&out[..n], &new[..]);
+
+        out.fill(0);
+        let n = upkit_delta::blockdiff::patch_into(&old, &block_delta, &mut out).unwrap();
+        assert_eq!(&out[..n], &new[..]);
+
+        out.fill(0);
+        let n = upkit_compress::decompress_into(&lzss, &mut out).unwrap();
+        assert_eq!(&out[..n], &new[..]);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "patch-apply loop must not allocate"
+    );
+}
+
+/// The framed decoder allocates only at setup (the `Arc` around the old
+/// image and the window directory, 13 bytes per window); the body loop —
+/// per-window patchers, LZSS decompression through stack scratch — is
+/// allocation-free even across window boundaries.
+#[test]
+fn framed_body_loop_is_allocation_free() {
+    let (old, new) = related_images();
+
+    // Small windows + compression so the steady-state loop crosses several
+    // window boundaries and exercises the decompressor drain path.
+    let options = upkit_delta::FramedDiffOptions {
+        window_len: 4096,
+        threads: 1,
+        lzss: Some(upkit_compress::Params::default()),
+    };
+    let container = upkit_delta::framed_diff(&old, &new, &options);
+
+    let window_count = u32::from_le_bytes(container[12..16].try_into().expect("4 bytes")) as usize;
+    assert!(
+        window_count >= 4,
+        "want several windows, got {window_count}"
+    );
+    let body_start = upkit_delta::framed::FRAMED_HEADER_LEN
+        + window_count * upkit_delta::framed::WINDOW_HEADER_LEN;
+
+    let mut out = vec![0u8; new.len()];
+    let mut sink = upkit_compress::FixedBuf::new(&mut out);
+    let mut patcher = upkit_delta::FramedPatcher::with_budget(old.as_slice(), new.len() as u64);
+    // Setup: header + directory (the patcher's only allocations).
+    patcher.push(&container[..body_start], &mut sink).unwrap();
+
+    let before = allocations();
+    for chunk in container[body_start..].chunks(512) {
+        patcher.push(chunk, &mut sink).unwrap();
+    }
+    patcher.finish().unwrap();
+    assert_eq!(
+        allocations() - before,
+        0,
+        "framed body loop must not allocate"
+    );
+    assert_eq!(sink.len(), new.len());
+    assert_eq!(sink.as_slice(), &new[..]);
+}

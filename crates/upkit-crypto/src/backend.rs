@@ -57,7 +57,7 @@ impl core::fmt::Display for SecurityError {
     }
 }
 
-impl std::error::Error for SecurityError {}
+impl core::error::Error for SecurityError {}
 
 impl From<EcdsaError> for SecurityError {
     fn from(err: EcdsaError) -> Self {

@@ -12,6 +12,8 @@
 //! through the signed manifest digest (encrypt-then-sign at the image
 //! level).
 
+use alloc::vec::Vec;
+
 /// Key length in bytes.
 pub const KEY_LEN: usize = 32;
 /// Nonce length in bytes.

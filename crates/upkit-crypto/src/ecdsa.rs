@@ -10,6 +10,7 @@ use crate::p256::{double_scalar_mul, order, AffinePoint, PointError, Scalar};
 use crate::sha256::sha256;
 use crate::u256::U256;
 
+#[cfg(feature = "std")]
 use rand::Rng;
 
 /// Byte length of a serialized signature (`r ‖ s`, raw fixed-width).
@@ -44,7 +45,7 @@ impl core::fmt::Display for EcdsaError {
     }
 }
 
-impl std::error::Error for EcdsaError {}
+impl core::error::Error for EcdsaError {}
 
 impl From<PointError> for EcdsaError {
     fn from(_: PointError) -> Self {
@@ -185,7 +186,9 @@ impl SigningKey {
         })
     }
 
-    /// Generates a fresh random signing key.
+    /// Generates a fresh random signing key (host-side: key generation
+    /// happens on the vendor/update servers, never on a device).
+    #[cfg(feature = "std")]
     pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
         loop {
             let mut bytes = [0u8; PRIVATE_KEY_LEN];

@@ -16,7 +16,7 @@
 //! * [`ecdsa`] — ECDSA sign/verify with RFC 6979 deterministic nonces.
 //! * [`backend`] — the *security interface*: pluggable backends mirroring
 //!   the paper's crypto libraries.
-//! * [`hsm`] — a simulated ATECC508 hardware security module.
+//! * `hsm` (`std` only) — a simulated ATECC508 hardware security module.
 //! * [`chacha20`] — RFC 8439 stream cipher for the pipeline's decryption
 //!   stage (the paper's future-work confidentiality extension).
 //!
@@ -39,12 +39,21 @@
 //! vendor_key.verifying_key().verify(b"firmware v2.0", &signature).unwrap();
 //! ```
 
+#![cfg_attr(not(feature = "std"), no_std)]
 #![warn(missing_docs)]
+#![warn(
+    clippy::std_instead_of_core,
+    clippy::std_instead_of_alloc,
+    clippy::alloc_instead_of_core
+)]
+
+extern crate alloc;
 
 pub mod backend;
 pub mod chacha20;
 pub mod ecdsa;
 pub mod hmac;
+#[cfg(feature = "std")]
 pub mod hsm;
 pub mod mont;
 pub mod p256;

@@ -2,10 +2,10 @@
 //!
 //! Both P-256 fields (the coordinate field `p` and the scalar field `n`) are
 //! instances of [`Fe`] parameterized by a [`FieldParams`] marker type. The
-//! Montgomery constants `R = 2^256 mod m` and `R² mod m` are derived at first
-//! use from the modulus alone, so the only trusted inputs are the modulus
-//! limbs themselves (which the test suite cross-checks against the curve's
-//! published test vectors).
+//! Montgomery constants `R = 2^256 mod m` and `R² mod m` are derived at
+//! compile time from the modulus alone, so the only trusted inputs are the
+//! modulus limbs themselves (which the test suite cross-checks against the
+//! curve's published test vectors).
 
 use core::marker::PhantomData;
 
@@ -21,10 +21,11 @@ pub trait FieldParams: Copy + Eq + core::fmt::Debug + 'static {
     const MODULUS: U256;
     /// `-MODULUS⁻¹ mod 2^64`, used by the Montgomery reduction step.
     const N0: u64 = neg_inv_u64(Self::MODULUS.0[0]);
-    /// Returns the cached Montgomery constant `R = 2^256 mod MODULUS`.
-    fn r() -> U256;
-    /// Returns the cached Montgomery constant `R² mod MODULUS`.
-    fn r2() -> U256;
+    /// The Montgomery constant `R = 2^256 mod MODULUS`, derived at
+    /// compile time from the modulus alone.
+    const R: U256 = compute_r(&Self::MODULUS);
+    /// The Montgomery constant `R² mod MODULUS`, derived at compile time.
+    const R2: U256 = compute_r2(&Self::MODULUS);
 }
 
 /// Computes `-m⁻¹ mod 2^64` for odd `m` by Newton iteration.
@@ -42,31 +43,36 @@ pub const fn neg_inv_u64(m: u64) -> u64 {
 
 /// Computes `2^256 mod m` by modular doubling, for `m > 2^255`.
 #[must_use]
-pub fn compute_r(m: &U256) -> U256 {
+pub const fn compute_r(m: &U256) -> U256 {
     // Start from 2^255 mod m = 2^255 - ... — simpler: 1 doubled 256 times.
     let mut v = U256::ONE;
-    for _ in 0..256 {
+    let mut i = 0;
+    while i < 256 {
         v = double_mod(&v, m);
+        i += 1;
     }
     v
 }
 
 /// Computes `2^512 mod m` (the Montgomery `R²`), for `m > 2^255`.
 #[must_use]
-pub fn compute_r2(m: &U256) -> U256 {
+pub const fn compute_r2(m: &U256) -> U256 {
     let mut v = compute_r(m);
-    for _ in 0..256 {
+    let mut i = 0;
+    while i < 256 {
         v = double_mod(&v, m);
+        i += 1;
     }
     v
 }
 
 /// Doubles `v < m` modulo `m` where `m > 2^255` (so a single conditional
 /// subtraction suffices even when the doubling carries out of 256 bits).
-fn double_mod(v: &U256, m: &U256) -> U256 {
+const fn double_mod(v: &U256, m: &U256) -> U256 {
     let (sum, carry) = v.adc(v);
-    if carry == 1 || sum.cmp_raw(m) != core::cmp::Ordering::Less {
-        let (reduced, _) = sum.sbb(m);
+    // `sum >= m` expressed without `Ord`: the subtraction does not borrow.
+    let (reduced, borrow) = sum.sbb(m);
+    if carry == 1 || borrow == 0 {
         reduced
     } else {
         sum
@@ -105,7 +111,7 @@ impl<P: FieldParams> Fe<P> {
     #[must_use]
     pub fn one() -> Self {
         Self {
-            mont: P::r(),
+            mont: P::R,
             _params: PhantomData,
         }
     }
@@ -120,7 +126,7 @@ impl<P: FieldParams> Fe<P> {
             v.reduce_mod(&P::MODULUS)
         };
         Self {
-            mont: mont_mul::<P>(&reduced, &P::r2()),
+            mont: mont_mul::<P>(&reduced, &P::R2),
             _params: PhantomData,
         }
     }
@@ -308,7 +314,6 @@ fn mont_mul<P: FieldParams>(a: &U256, b: &U256) -> U256 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::OnceLock;
 
     /// A small-ish test field: 2^255 - 19 is prime and > 2^255... it is not
     /// (> 2^254). Use the P-256 coordinate prime's structure-free cousin:
@@ -318,14 +323,6 @@ mod tests {
 
     impl FieldParams for TestField {
         const MODULUS: U256 = U256::from_limbs([u64::MAX - 188, u64::MAX, u64::MAX, u64::MAX]);
-        fn r() -> U256 {
-            static R: OnceLock<U256> = OnceLock::new();
-            *R.get_or_init(|| compute_r(&Self::MODULUS))
-        }
-        fn r2() -> U256 {
-            static R2: OnceLock<U256> = OnceLock::new();
-            *R2.get_or_init(|| compute_r2(&Self::MODULUS))
-        }
     }
 
     type F = Fe<TestField>;
@@ -344,7 +341,7 @@ mod tests {
         // simpler: R = 2^256 - m for m > 2^255.
         let (expected_r, borrow) = U256::ZERO.sbb(&TestField::MODULUS);
         assert_eq!(borrow, 1); // 2^256 - m computed as wrap-around
-        assert_eq!(TestField::r(), expected_r);
+        assert_eq!(TestField::R, expected_r);
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! (TinyDTLS, tinycrypt, CryptoAuthLib) supports it. This module provides
 //! the group arithmetic; [`crate::ecdsa`] builds signatures on top.
 
-use std::sync::OnceLock;
-
-use crate::mont::{compute_r, compute_r2, Fe, FieldParams};
+use crate::mont::{Fe, FieldParams};
 use crate::u256::U256;
 
 /// Marker for the P-256 coordinate field `GF(p)`,
@@ -22,14 +20,6 @@ impl FieldParams for P256FieldParams {
         0x0000_0000_0000_0000,
         0xffff_ffff_0000_0001,
     ]);
-    fn r() -> U256 {
-        static R: OnceLock<U256> = OnceLock::new();
-        *R.get_or_init(|| compute_r(&Self::MODULUS))
-    }
-    fn r2() -> U256 {
-        static R2: OnceLock<U256> = OnceLock::new();
-        *R2.get_or_init(|| compute_r2(&Self::MODULUS))
-    }
 }
 
 /// Marker for the P-256 scalar field `GF(n)` where `n` is the group order.
@@ -43,14 +33,6 @@ impl FieldParams for P256ScalarParams {
         0xffff_ffff_ffff_ffff,
         0xffff_ffff_0000_0000,
     ]);
-    fn r() -> U256 {
-        static R: OnceLock<U256> = OnceLock::new();
-        *R.get_or_init(|| compute_r(&Self::MODULUS))
-    }
-    fn r2() -> U256 {
-        static R2: OnceLock<U256> = OnceLock::new();
-        *R2.get_or_init(|| compute_r2(&Self::MODULUS))
-    }
 }
 
 /// An element of the coordinate field.
@@ -70,23 +52,36 @@ pub fn field_prime() -> U256 {
     P256FieldParams::MODULUS
 }
 
-fn curve_b() -> FieldElement {
-    static B: OnceLock<U256> = OnceLock::new();
-    let raw = B.get_or_init(|| {
-        U256::from_be_bytes(&hex_32(
-            "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b",
-        ))
-    });
-    FieldElement::from_u256(raw)
-}
+/// Curve coefficient `b` as a raw integer
+/// (`5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b`);
+/// the test suite cross-checks these limbs against the hex literal.
+const CURVE_B: U256 = U256::from_limbs([
+    0x3bce_3c3e_27d2_604b,
+    0x651d_06b0_cc53_b0f6,
+    0xb3eb_bd55_7698_86bc,
+    0x5ac6_35d8_aa3a_93e7,
+]);
 
-fn hex_32(s: &str) -> [u8; 32] {
-    debug_assert_eq!(s.len(), 64);
-    let mut out = [0u8; 32];
-    for (i, byte) in out.iter_mut().enumerate() {
-        *byte = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).expect("valid hex literal");
-    }
-    out
+/// Generator x-coordinate
+/// (`6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296`).
+const GEN_X: U256 = U256::from_limbs([
+    0xf4a1_3945_d898_c296,
+    0x7703_7d81_2deb_33a0,
+    0xf8bc_e6e5_63a4_40f2,
+    0x6b17_d1f2_e12c_4247,
+]);
+
+/// Generator y-coordinate
+/// (`4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5`).
+const GEN_Y: U256 = U256::from_limbs([
+    0xcbb6_4068_37bf_51f5,
+    0x2bce_3357_6b31_5ece,
+    0x8ee7_eb4a_7c0f_9e16,
+    0x4fe3_42e2_fe1a_7f9b,
+]);
+
+fn curve_b() -> FieldElement {
+    FieldElement::from_u256(&CURVE_B)
 }
 
 /// A point on P-256 in affine coordinates, or the point at infinity.
@@ -107,20 +102,9 @@ impl AffinePoint {
     /// The group generator `G`.
     #[must_use]
     pub fn generator() -> Self {
-        static G: OnceLock<(U256, U256)> = OnceLock::new();
-        let (gx, gy) = G.get_or_init(|| {
-            (
-                U256::from_be_bytes(&hex_32(
-                    "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
-                )),
-                U256::from_be_bytes(&hex_32(
-                    "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
-                )),
-            )
-        });
         Self::Point {
-            x: FieldElement::from_u256(gx),
-            y: FieldElement::from_u256(gy),
+            x: FieldElement::from_u256(&GEN_X),
+            y: FieldElement::from_u256(&GEN_Y),
         }
     }
 
@@ -261,7 +245,7 @@ impl core::fmt::Display for PointError {
     }
 }
 
-impl std::error::Error for PointError {}
+impl core::error::Error for PointError {}
 
 /// A point in Jacobian projective coordinates `(X : Y : Z)` with
 /// `x = X/Z²`, `y = Y/Z³`; the identity has `Z = 0`.
@@ -407,6 +391,37 @@ pub fn double_scalar_mul(a: &U256, b: &U256, q: &AffinePoint) -> JacobianPoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn hex_32(s: &str) -> [u8; 32] {
+        assert_eq!(s.len(), 64);
+        let mut out = [0u8; 32];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).expect("valid hex literal");
+        }
+        out
+    }
+
+    #[test]
+    fn curve_constants_match_published_hex() {
+        assert_eq!(
+            CURVE_B,
+            U256::from_be_bytes(&hex_32(
+                "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b",
+            ))
+        );
+        assert_eq!(
+            GEN_X,
+            U256::from_be_bytes(&hex_32(
+                "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
+            ))
+        );
+        assert_eq!(
+            GEN_Y,
+            U256::from_be_bytes(&hex_32(
+                "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
+            ))
+        );
+    }
 
     fn gx_times(k: u64) -> AffinePoint {
         AffinePoint::generator()

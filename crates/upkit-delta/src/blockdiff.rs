@@ -12,7 +12,12 @@
 //! retransmitting the image. The `delta_algorithms` experiment quantifies
 //! this against bsdiff.
 
+#[cfg(feature = "std")]
 use std::collections::HashMap;
+
+use alloc::vec::Vec;
+
+use upkit_compress::{ByteSink, FixedBuf};
 
 /// Block size used by the encoder (a flash-friendly 256 bytes).
 pub const BLOCK_SIZE: usize = 256;
@@ -45,8 +50,9 @@ impl core::fmt::Display for BlockDiffError {
     }
 }
 
-impl std::error::Error for BlockDiffError {}
+impl core::error::Error for BlockDiffError {}
 
+#[cfg(feature = "std")]
 fn block_hash(block: &[u8]) -> u64 {
     // FNV-1a, sufficient for matching in a trusted pipeline (integrity is
     // the verifier's job; equality is re-checked before emitting a copy).
@@ -61,6 +67,7 @@ fn block_hash(block: &[u8]) -> u64 {
 /// Computes a block diff: `magic ‖ new_len u32 ‖ instructions`, where each
 /// instruction is `0x01 ‖ block_index u32` (copy [`BLOCK_SIZE`] bytes from
 /// the old image) or `0x00 ‖ len u16 ‖ literal bytes`.
+#[cfg(feature = "std")]
 #[must_use]
 pub fn diff(old: &[u8], new: &[u8]) -> Vec<u8> {
     let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
@@ -128,13 +135,7 @@ pub fn patch_with_budget(
     delta: &[u8],
     budget: usize,
 ) -> Result<Vec<u8>, BlockDiffError> {
-    if delta.len() < 8 || delta[..4] != MAGIC {
-        return Err(BlockDiffError::BadMagic);
-    }
-    let new_len = u32::from_le_bytes(delta[4..8].try_into().expect("4 bytes")) as usize;
-    if new_len > budget {
-        return Err(BlockDiffError::BudgetExceeded);
-    }
+    let new_len = parse_header(delta, budget)?;
     // Never pre-allocate from the attacker-controlled header alone: each
     // output byte costs at least 1/BLOCK_SIZE delta bytes, so the stream
     // length bounds what a well-formed delta can produce.
@@ -144,6 +145,49 @@ pub fn patch_with_budget(
         .saturating_mul(BLOCK_SIZE)
         .min(new_len);
     let mut out = Vec::with_capacity(producible);
+    apply_instructions(old, delta, new_len, &mut out)?;
+    Ok(out)
+}
+
+/// Applies a block diff to `old` into a caller-provided buffer, without
+/// heap allocation; returns the number of bytes written.
+///
+/// The buffer length doubles as the decode budget: a delta declaring more
+/// output than `out` can hold is rejected with
+/// [`BlockDiffError::BudgetExceeded`] at the header.
+///
+/// # Errors
+///
+/// Same as [`patch_with_budget`] with `budget == out.len()`.
+pub fn patch_into(old: &[u8], delta: &[u8], out: &mut [u8]) -> Result<usize, BlockDiffError> {
+    let new_len = parse_header(delta, out.len())?;
+    let mut buf = FixedBuf::new(out);
+    apply_instructions(old, delta, new_len, &mut buf)?;
+    debug_assert!(!buf.overflowed(), "budget bounds every write");
+    Ok(buf.len())
+}
+
+fn parse_header(delta: &[u8], budget: usize) -> Result<usize, BlockDiffError> {
+    if delta.len() < 8 || delta[..4] != MAGIC {
+        return Err(BlockDiffError::BadMagic);
+    }
+    let new_len = u32::from_le_bytes(delta[4..8].try_into().expect("4 bytes")) as usize;
+    if new_len > budget {
+        return Err(BlockDiffError::BudgetExceeded);
+    }
+    Ok(new_len)
+}
+
+/// Decodes the instruction stream into `out`, checking each instruction's
+/// output against `new_len` *before* emitting it, so a sink sized to the
+/// (budget-checked) declared length can never overflow.
+fn apply_instructions<S: ByteSink + ?Sized>(
+    old: &[u8],
+    delta: &[u8],
+    new_len: usize,
+    out: &mut S,
+) -> Result<(), BlockDiffError> {
+    let mut produced = 0usize;
     let mut pos = 8usize;
     while pos < delta.len() {
         match delta[pos] {
@@ -158,10 +202,11 @@ pub fn patch_with_budget(
                 let source = old
                     .get(start..start + BLOCK_SIZE)
                     .ok_or(BlockDiffError::OutOfBounds)?;
-                out.extend_from_slice(source);
-                if out.len() > new_len {
+                if produced + BLOCK_SIZE > new_len {
                     return Err(BlockDiffError::Truncated);
                 }
+                out.put_slice(source);
+                produced += BLOCK_SIZE;
                 pos += 5;
             }
             0x00 => {
@@ -172,19 +217,20 @@ pub fn patch_with_budget(
                 let literal = delta
                     .get(pos + 3..pos + 3 + len)
                     .ok_or(BlockDiffError::Truncated)?;
-                out.extend_from_slice(literal);
-                if out.len() > new_len {
+                if produced + len > new_len {
                     return Err(BlockDiffError::Truncated);
                 }
+                out.put_slice(literal);
+                produced += len;
                 pos += 3 + len;
             }
             _ => return Err(BlockDiffError::Truncated),
         }
     }
-    if out.len() != new_len {
+    if produced != new_len {
         return Err(BlockDiffError::Truncated);
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -30,9 +30,10 @@
 //! can demand memory beyond what the declared (budget-checked) output
 //! length already justifies.
 
-use std::sync::Arc;
+use alloc::sync::Arc;
+use alloc::vec::Vec;
 
-use upkit_compress::{Decompressor, LzssError};
+use upkit_compress::{ByteSink, Decompressor, FixedBuf, LzssError};
 
 use crate::{max_patch_len, OldImage, PatchError, StreamPatcher};
 
@@ -137,7 +138,7 @@ impl core::fmt::Display for FramedError {
     }
 }
 
-impl std::error::Error for FramedError {}
+impl core::error::Error for FramedError {}
 
 impl From<PatchError> for FramedError {
     fn from(e: PatchError) -> Self {
@@ -151,6 +152,13 @@ impl From<LzssError> for FramedError {
     }
 }
 
+/// Compressed-body input bytes fed to the decompressor per drain step.
+const DECOMP_CHUNK: usize = 4;
+
+/// Stack scratch for draining a window decompressor: each input byte can
+/// emit at most [`upkit_compress::MAX_MATCH`] bytes.
+const DECOMP_SCRATCH: usize = DECOMP_CHUNK * upkit_compress::MAX_MATCH;
+
 /// One parsed window directory entry.
 #[derive(Clone, Copy, Debug)]
 struct WindowHeader {
@@ -159,6 +167,11 @@ struct WindowHeader {
     body_len: u32,
 }
 
+// The Body variant embeds the decompressor's window buffer inline
+// (~8 KiB) precisely so that starting the next window never touches the
+// heap; boxing it would re-introduce an allocation per compressed window
+// in the steady-state body loop.
+#[allow(clippy::large_enum_variant)]
 enum FramedState<O> {
     Header {
         filled: usize,
@@ -245,7 +258,16 @@ impl<O: OldImage> FramedPatcher<O> {
     }
 
     /// Feeds container bytes, appending reconstructed output to `out`.
-    pub fn push(&mut self, input: &[u8], out: &mut Vec<u8>) -> Result<(), FramedError> {
+    ///
+    /// Compressed window bodies are decompressed through a fixed stack
+    /// scratch buffer ([`DECOMP_SCRATCH`] bytes), so the push loop itself
+    /// performs no heap allocation beyond the window directory (13 bytes
+    /// per window, proportional to bytes actually received).
+    pub fn push<S: ByteSink + ?Sized>(
+        &mut self,
+        input: &[u8],
+        out: &mut S,
+    ) -> Result<(), FramedError> {
         let mut input = input;
         while !input.is_empty() {
             match &mut self.state {
@@ -280,9 +302,20 @@ impl<O: OldImage> FramedPatcher<O> {
                     let take = (*remaining as usize).min(input.len());
                     match decomp {
                         Some(d) => {
-                            let mut plain = Vec::new();
-                            d.push(&input[..take], &mut plain)?;
-                            patcher.push(&plain, out)?;
+                            // Drain the decompressor through a fixed stack
+                            // buffer: DECOMP_CHUNK input bytes expand to at
+                            // most DECOMP_CHUNK * MAX_MATCH output bytes,
+                            // so the scratch can never overflow.
+                            let mut scratch = [0u8; DECOMP_SCRATCH];
+                            let mut done = 0usize;
+                            while done < take {
+                                let n = (take - done).min(DECOMP_CHUNK);
+                                let mut plain = FixedBuf::new(&mut scratch);
+                                d.push(&input[done..done + n], &mut plain)?;
+                                debug_assert!(!plain.overflowed(), "scratch sized to worst case");
+                                patcher.push(plain.as_slice(), out)?;
+                                done += n;
+                            }
                         }
                         None => patcher.push(&input[..take], out)?,
                     }
@@ -456,6 +489,32 @@ pub fn patch_framed(old: &[u8], container: &[u8]) -> Result<Vec<u8>, FramedError
     patcher.push(container, &mut out)?;
     patcher.finish()?;
     Ok(out)
+}
+
+/// Applies a framed container to `old` into a caller-provided buffer;
+/// returns the number of bytes written.
+///
+/// The buffer length doubles as the decode budget, as in
+/// [`crate::patch_into`]: a container declaring more output than `out`
+/// can hold is rejected with [`FramedError::BudgetExceeded`] at the
+/// header. Only the window directory is heap-allocated (13 bytes per
+/// window); the per-window patch loop is allocation-free.
+///
+/// # Errors
+///
+/// Same as [`patch_framed`], plus the budget rejection described above.
+pub fn patch_framed_into(
+    old: &[u8],
+    container: &[u8],
+    out: &mut [u8],
+) -> Result<usize, FramedError> {
+    let budget = out.len() as u64;
+    let mut buf = FixedBuf::new(out);
+    let mut patcher = FramedPatcher::with_budget(old, budget);
+    patcher.push(container, &mut buf)?;
+    patcher.finish()?;
+    debug_assert!(!buf.overflowed(), "budget bounds every write");
+    Ok(buf.len())
 }
 
 #[cfg(test)]

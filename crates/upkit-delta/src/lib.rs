@@ -35,19 +35,43 @@
 //! assert_eq!(patch(&old, &delta).unwrap(), new);
 //! ```
 
+//! # `no_std` support
+//!
+//! With `--no-default-features` the crate builds as `no_std + alloc` and
+//! keeps the *application* half — [`StreamPatcher`], [`FramedPatcher`],
+//! [`patch`], [`patch_into`], and the [`blockdiff`] decoder. Patch
+//! *generation* (suffix arrays, [`diff`], [`framed_diff`], the worker
+//! pool, `blockdiff::diff`) is server-side work and needs the `std`
+//! feature.
+
+#![cfg_attr(not(feature = "std"), no_std)]
 #![warn(missing_docs)]
+#![warn(clippy::std_instead_of_core)]
+#![warn(clippy::std_instead_of_alloc)]
+#![warn(clippy::alloc_instead_of_core)]
+
+extern crate alloc;
 
 pub mod blockdiff;
 pub mod framed;
+#[cfg(feature = "std")]
 pub mod pool;
+#[cfg(feature = "std")]
 pub mod sais;
+#[cfg(feature = "std")]
 pub mod suffix;
+#[cfg(feature = "std")]
 pub mod window;
 
-pub use framed::{patch_framed, FramedError, FramedPatcher, FRAMED_MAGIC};
+pub use framed::{patch_framed, patch_framed_into, FramedError, FramedPatcher, FRAMED_MAGIC};
+#[cfg(feature = "std")]
 pub use window::{framed_diff, FramedDiffOptions, DEFAULT_WINDOW_LEN};
 
+use alloc::vec::Vec;
+
+#[cfg(feature = "std")]
 use suffix::SuffixArray;
+use upkit_compress::ByteSink;
 
 /// Magic bytes identifying a patch produced by this crate.
 pub const MAGIC: [u8; 4] = *b"BSD1";
@@ -152,7 +176,7 @@ impl core::fmt::Display for PatchError {
     }
 }
 
-impl std::error::Error for PatchError {}
+impl core::error::Error for PatchError {}
 
 /// Random-access source for the old firmware image during patching.
 ///
@@ -215,7 +239,7 @@ impl OldImage for Vec<u8> {
 
 /// Shared old-image handles, so one image can back several patchers (the
 /// framed container applies every window against the same old image).
-impl<O: OldImage + ?Sized> OldImage for std::sync::Arc<O> {
+impl<O: OldImage + ?Sized> OldImage for alloc::sync::Arc<O> {
     fn len(&self) -> u64 {
         (**self).len()
     }
@@ -226,6 +250,7 @@ impl<O: OldImage + ?Sized> OldImage for std::sync::Arc<O> {
 }
 
 /// Which suffix-array construction a [`DeltaContext`] uses.
+#[cfg(feature = "std")]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SuffixAlgorithm {
     /// Linear-time SA-IS (the default).
@@ -257,12 +282,14 @@ pub enum SuffixAlgorithm {
 ///     assert_eq!(patch(&old, &delta).unwrap(), new);
 /// }
 /// ```
+#[cfg(feature = "std")]
 #[derive(Clone, Debug)]
 pub struct DeltaContext {
     suffix_array: SuffixArray,
     old_image_hash: [u8; 32],
 }
 
+#[cfg(feature = "std")]
 impl DeltaContext {
     /// Builds the context for `old` with the default suffix-array
     /// construction.
@@ -343,11 +370,13 @@ impl DeltaContext {
 ///
 /// Builds a fresh suffix array per call; use [`DeltaContext`] to amortize
 /// that cost across several diffs against the same old image.
+#[cfg(feature = "std")]
 #[must_use]
 pub fn diff(old: &[u8], new: &[u8]) -> Vec<u8> {
     diff_with_suffix_array(&SuffixArray::build(old), old, new)
 }
 
+#[cfg(feature = "std")]
 pub(crate) fn diff_with_suffix_array(sa: &SuffixArray, old: &[u8], new: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + new.len() / 4 + 64);
     out.extend_from_slice(&MAGIC);
@@ -481,6 +510,27 @@ pub fn patch(old: &[u8], patch_bytes: &[u8]) -> Result<Vec<u8>, PatchError> {
     Ok(out)
 }
 
+/// Applies `patch_bytes` to `old` into a caller-provided buffer, without
+/// heap allocation; returns the number of bytes written.
+///
+/// The buffer length doubles as the decode budget: a patch declaring more
+/// output than `out` can hold is rejected with
+/// [`PatchError::BudgetExceeded`] at the header, so the patcher can never
+/// run past the end of `out`.
+///
+/// # Errors
+///
+/// Same as [`patch`], plus the budget rejection described above.
+pub fn patch_into(old: &[u8], patch_bytes: &[u8], out: &mut [u8]) -> Result<usize, PatchError> {
+    let budget = out.len() as u64;
+    let mut buf = upkit_compress::FixedBuf::new(out);
+    let mut patcher = StreamPatcher::with_budget(old, budget);
+    patcher.push(patch_bytes, &mut buf)?;
+    patcher.finish()?;
+    debug_assert!(!buf.overflowed(), "budget bounds every write");
+    Ok(buf.len())
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum PatchState {
     Header { filled: usize },
@@ -490,11 +540,22 @@ enum PatchState {
     Done,
 }
 
+/// Bytes of old image read per iteration while applying a diff block.
+///
+/// Diff blocks are processed through a fixed stack buffer of this size so
+/// the steady-state patch loop performs no heap allocation regardless of
+/// block length.
+const DIFF_CHUNK: usize = 256;
+
 /// Incremental bspatch: accepts patch bytes in arbitrary chunks, reads the
-/// old image on demand, and appends reconstructed bytes to a caller buffer.
+/// old image on demand, and appends reconstructed bytes to any
+/// [`ByteSink`] — a `Vec<u8>` on the host, a fixed slice
+/// ([`upkit_compress::FixedBuf`]) on a device.
 ///
 /// This is the *patching stage* of UpKit's pipeline. RAM usage is constant:
-/// a 12-byte header/control scratch buffer plus the old-image cursor.
+/// a 12-byte header/control scratch buffer, a [`DIFF_CHUNK`]-byte stack
+/// buffer while applying diff blocks, and the old-image cursor. The push
+/// loop itself never allocates.
 #[derive(Debug)]
 pub struct StreamPatcher<O> {
     old: O,
@@ -556,7 +617,15 @@ impl<O: OldImage> StreamPatcher<O> {
     }
 
     /// Feeds patch bytes, appending reconstructed output to `out`.
-    pub fn push(&mut self, input: &[u8], out: &mut Vec<u8>) -> Result<(), PatchError> {
+    ///
+    /// Output overruns are detected *before* any byte of the offending
+    /// block is emitted, so a sink sized to the (budget-checked) declared
+    /// length can never overflow.
+    pub fn push<S: ByteSink + ?Sized>(
+        &mut self,
+        input: &[u8],
+        out: &mut S,
+    ) -> Result<(), PatchError> {
         let mut input = input;
         while !input.is_empty() {
             match self.state {
@@ -611,21 +680,27 @@ impl<O: OldImage> StreamPatcher<O> {
                 }
                 PatchState::Diff { remaining } => {
                     let take = (remaining as usize).min(input.len());
+                    if self.produced + take as u64 > self.new_len {
+                        return Err(PatchError::OutputOverrun);
+                    }
                     // Bounds: old bytes [old_pos, old_pos + take).
                     if self.old_pos < 0
                         || (self.old_pos as u64).saturating_add(take as u64) > self.old.len()
                     {
                         return Err(PatchError::OldRangeOutOfBounds);
                     }
-                    let mut old_buf = vec![0u8; take];
-                    self.old.read_at(self.old_pos as u64, &mut old_buf)?;
-                    for (delta, old_byte) in input[..take].iter().zip(old_buf.iter()) {
-                        out.push(delta.wrapping_add(*old_byte));
+                    let mut old_buf = [0u8; DIFF_CHUNK];
+                    let mut done = 0usize;
+                    while done < take {
+                        let n = (take - done).min(DIFF_CHUNK);
+                        self.old
+                            .read_at(self.old_pos as u64 + done as u64, &mut old_buf[..n])?;
+                        for (delta, old_byte) in input[done..done + n].iter().zip(old_buf.iter()) {
+                            out.put(delta.wrapping_add(*old_byte));
+                        }
+                        done += n;
                     }
                     self.produced += take as u64;
-                    if self.produced > self.new_len {
-                        return Err(PatchError::OutputOverrun);
-                    }
                     self.old_pos += take as i64;
                     input = &input[take..];
                     self.state = PatchState::Diff {
@@ -635,11 +710,11 @@ impl<O: OldImage> StreamPatcher<O> {
                 }
                 PatchState::Extra { remaining } => {
                     let take = (remaining as usize).min(input.len());
-                    out.extend_from_slice(&input[..take]);
-                    self.produced += take as u64;
-                    if self.produced > self.new_len {
+                    if self.produced + take as u64 > self.new_len {
                         return Err(PatchError::OutputOverrun);
                     }
+                    out.put_slice(&input[..take]);
+                    self.produced += take as u64;
                     input = &input[take..];
                     self.state = PatchState::Extra {
                         remaining: remaining - take as u32,

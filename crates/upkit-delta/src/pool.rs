@@ -9,7 +9,7 @@
 //! inputs alone. `upkit-core`'s `ParallelGenerator` is built on this same
 //! pool.
 
-use std::collections::VecDeque;
+use alloc::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
 /// A fixed-capacity multi-producer/multi-consumer queue of job indices.
@@ -129,7 +129,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use core::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn empty_input_yields_empty_output() {

@@ -267,7 +267,7 @@ mod tests {
     #[test]
     fn handles_runs_and_periodicity() {
         let mut data = vec![0u8; 500];
-        data.extend(std::iter::repeat_n(7u8, 500));
+        data.extend(core::iter::repeat_n(7u8, 500));
         data.extend(b"abc".repeat(200));
         assert_eq!(suffix_array(&data), naive_sa(&data));
     }

@@ -74,7 +74,7 @@ impl SuffixArray {
                 let cur = sa[w] as usize;
                 tmp[cur] = tmp[prev] + u32::from(keys[prev] != keys[cur]);
             }
-            std::mem::swap(&mut rank, &mut tmp);
+            core::mem::swap(&mut rank, &mut tmp);
             if rank[sa[n - 1] as usize] as usize == n - 1 {
                 break;
             }

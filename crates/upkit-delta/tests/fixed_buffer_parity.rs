@@ -1,0 +1,150 @@
+//! Property tests: the allocation-free `_into` decoders are byte-identical
+//! to the Vec-returning decoders on every format — streaming bsdiff,
+//! block-diff, LZSS, and framed containers — and agree with them on budget
+//! rejection (a buffer one byte shorter than the output must be refused
+//! with the same `BudgetExceeded` error the budgeted Vec path returns).
+
+use proptest::prelude::*;
+use upkit_compress::{compress, decompress, decompress_into, decompress_with_budget, LzssError};
+use upkit_delta::blockdiff;
+use upkit_delta::{
+    diff, framed_diff, patch, patch_framed, patch_framed_into, patch_into, FramedDiffOptions,
+    FramedError, PatchError,
+};
+
+/// Related old/new image pairs: a mutated copy exercises copy-heavy
+/// patches, an unrelated pair exercises literal-heavy ones.
+fn image_pairs() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    let mutated = (
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        any::<u64>(),
+    )
+        .prop_map(|(old, seed)| {
+            let mut new = old.clone();
+            let mut state = seed | 1;
+            for _ in 0..(seed % 24) {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if new.is_empty() {
+                    new.push(state as u8);
+                } else {
+                    let idx = (state as usize) % new.len();
+                    match state % 3 {
+                        0 => new[idx] ^= (state >> 8) as u8,
+                        1 => new.insert(idx, (state >> 16) as u8),
+                        _ => {
+                            new.remove(idx);
+                        }
+                    }
+                }
+            }
+            (old, new)
+        });
+    let unrelated = (
+        proptest::collection::vec(any::<u8>(), 0..512),
+        proptest::collection::vec(any::<u8>(), 0..512),
+    );
+    prop_oneof![mutated, unrelated]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bsdiff_patch_into_matches_vec_path(pair in image_pairs()) {
+        let (old, new) = pair;
+        let patch_bytes = diff(&old, &new);
+        let via_vec = patch(&old, &patch_bytes).expect("vec path applies");
+        prop_assert_eq!(&via_vec, &new);
+
+        let mut fixed = vec![0u8; new.len()];
+        let written = patch_into(&old, &patch_bytes, &mut fixed).expect("fixed path applies");
+        prop_assert_eq!(written, new.len());
+        prop_assert_eq!(&fixed[..written], &new[..]);
+
+        // A buffer one byte short is a budget rejection, same as the
+        // budgeted Vec path.
+        if !new.is_empty() {
+            let mut short = vec![0u8; new.len() - 1];
+            prop_assert_eq!(
+                patch_into(&old, &patch_bytes, &mut short),
+                Err(PatchError::BudgetExceeded)
+            );
+        }
+    }
+
+    #[test]
+    fn blockdiff_patch_into_matches_vec_path(pair in image_pairs()) {
+        let (old, new) = pair;
+        let delta = blockdiff::diff(&old, &new);
+        let via_vec = blockdiff::patch(&old, &delta).expect("vec path applies");
+        prop_assert_eq!(&via_vec, &new);
+
+        let mut fixed = vec![0u8; new.len()];
+        let written = blockdiff::patch_into(&old, &delta, &mut fixed).expect("fixed path applies");
+        prop_assert_eq!(written, new.len());
+        prop_assert_eq!(&fixed[..written], &new[..]);
+
+        if !new.is_empty() {
+            let mut short = vec![0u8; new.len() - 1];
+            prop_assert_eq!(
+                blockdiff::patch_into(&old, &delta, &mut short),
+                Err(blockdiff::BlockDiffError::BudgetExceeded)
+            );
+        }
+    }
+
+    #[test]
+    fn lzss_decompress_into_matches_vec_path(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let stream = compress(&data, upkit_compress::Params::default());
+        let via_vec = decompress(&stream).expect("vec path decompresses");
+        prop_assert_eq!(&via_vec, &data);
+
+        let mut fixed = vec![0u8; data.len()];
+        let written = decompress_into(&stream, &mut fixed).expect("fixed path decompresses");
+        prop_assert_eq!(written, data.len());
+        prop_assert_eq!(&fixed[..written], &data[..]);
+
+        if !data.is_empty() {
+            let mut short = vec![0u8; data.len() - 1];
+            prop_assert_eq!(
+                decompress_into(&stream, &mut short),
+                Err(LzssError::BudgetExceeded)
+            );
+            prop_assert_eq!(
+                decompress_with_budget(&stream, data.len() as u64 - 1),
+                Err(LzssError::BudgetExceeded)
+            );
+        }
+    }
+
+    #[test]
+    fn framed_patch_into_matches_vec_path(
+        pair in image_pairs(),
+        window_len in 1usize..512,
+        compress_bodies in any::<bool>(),
+    ) {
+        let (old, new) = pair;
+        let options = FramedDiffOptions {
+            window_len,
+            threads: 1,
+            lzss: compress_bodies.then(upkit_compress::Params::default),
+        };
+        let container = framed_diff(&old, &new, &options);
+        let via_vec = patch_framed(&old, &container).expect("vec path applies");
+        prop_assert_eq!(&via_vec, &new);
+
+        let mut fixed = vec![0u8; new.len()];
+        let written =
+            patch_framed_into(&old, &container, &mut fixed).expect("fixed path applies");
+        prop_assert_eq!(written, new.len());
+        prop_assert_eq!(&fixed[..written], &new[..]);
+
+        if !new.is_empty() {
+            let mut short = vec![0u8; new.len() - 1];
+            prop_assert_eq!(
+                patch_framed_into(&old, &container, &mut short),
+                Err(FramedError::BudgetExceeded)
+            );
+        }
+    }
+}

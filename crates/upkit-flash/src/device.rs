@@ -34,7 +34,7 @@ impl core::fmt::Display for FlashError {
     }
 }
 
-impl std::error::Error for FlashError {}
+impl core::error::Error for FlashError {}
 
 /// Geometry and timing of a flash device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

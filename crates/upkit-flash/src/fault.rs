@@ -15,7 +15,8 @@
 //! schedule a *second* cut relative to the moment power returns, which
 //! models a crash inside the recovery path itself (the "double cut").
 
-use std::sync::{Arc, Mutex};
+use alloc::sync::Arc;
+use std::sync::Mutex;
 
 use crate::device::{FlashDevice, FlashError, FlashGeometry, FlashStats};
 
@@ -300,7 +301,7 @@ impl FlashDevice for FaultFlash {
 
     fn disarm_power_cut(&mut self) {
         self.inner.disarm_power_cut();
-        self.armed = match std::mem::replace(&mut self.armed, Armed::Idle) {
+        self.armed = match core::mem::replace(&mut self.armed, Armed::Idle) {
             // Power restored after the fault: either the plan's second
             // cut arms now (relative to this moment's op count), or the
             // device is healthy again.

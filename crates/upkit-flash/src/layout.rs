@@ -9,6 +9,10 @@
 //! Configuration A (two bootable slots, enabling A/B updates) and
 //! Configuration B (one bootable + one non-bootable slot, static updates).
 
+use alloc::boxed::Box;
+use alloc::vec;
+use alloc::vec::Vec;
+
 use upkit_trace::{Counters, Event, Tracer};
 
 use crate::device::{FlashDevice, FlashError, FlashStats};
@@ -72,8 +76,8 @@ impl core::fmt::Display for LayoutError {
     }
 }
 
-impl std::error::Error for LayoutError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+impl core::error::Error for LayoutError {
+    fn source(&self) -> Option<&(dyn core::error::Error + 'static)> {
         match self {
             Self::Flash(e) => Some(e),
             _ => None,

@@ -19,18 +19,36 @@
 //!   ([`configuration_a`], [`configuration_b`]).
 //! * [`io`] — POSIX-like slot IO with `READ_ONLY`, `WRITE_ALL`, and
 //!   `SEQUENTIAL_REWRITE` open modes.
+//!
+//! # `no_std` support
+//!
+//! With `--no-default-features` the crate builds as `no_std + alloc` and
+//! keeps everything a device needs: the [`FlashDevice`] trait, the
+//! simulator, slot layouts, and slot IO. The host-only test aids —
+//! [`FaultFlash`] (`std::sync`) and [`FileFlash`] (`std::fs`) — need the
+//! `std` feature.
 
+#![cfg_attr(not(feature = "std"), no_std)]
 #![warn(missing_docs)]
+#![warn(clippy::std_instead_of_core)]
+#![warn(clippy::std_instead_of_alloc)]
+#![warn(clippy::alloc_instead_of_core)]
+
+extern crate alloc;
 
 pub mod device;
+#[cfg(feature = "std")]
 pub mod fault;
+#[cfg(feature = "std")]
 pub mod file;
 pub mod io;
 pub mod layout;
 pub mod sim;
 
 pub use device::{FlashDevice, FlashError, FlashGeometry, FlashStats};
+#[cfg(feature = "std")]
 pub use fault::{FaultFlash, FaultHandle, FaultKind, FaultPlan, FlashOp, OpLog};
+#[cfg(feature = "std")]
 pub use file::FileFlash;
 pub use io::{OpenMode, SlotHandle};
 pub use layout::{

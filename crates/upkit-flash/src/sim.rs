@@ -1,6 +1,9 @@
 //! In-memory simulated NOR flash with wear tracking and power-loss
 //! injection.
 
+use alloc::vec;
+use alloc::vec::Vec;
+
 use crate::device::{FlashDevice, FlashError, FlashGeometry, FlashStats};
 
 /// A simulated NOR flash chip.

@@ -6,6 +6,9 @@
 //! matching the SUIT requirement that manifests be byte-reproducible for
 //! signing.
 
+use alloc::string::String;
+use alloc::vec::Vec;
+
 /// A CBOR data item (the subset used by [`crate::suit`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Value {
@@ -64,7 +67,7 @@ impl core::fmt::Display for CborError {
     }
 }
 
-impl std::error::Error for CborError {}
+impl core::error::Error for CborError {}
 
 fn encode_head(out: &mut Vec<u8>, major: u8, value: u64) {
     let mt = major << 5;

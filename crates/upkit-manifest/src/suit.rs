@@ -14,6 +14,9 @@
 //! identity, so an UpKit deployment can exchange manifests with SUIT
 //! tooling without weakening any of its checks.
 
+use alloc::vec;
+use alloc::vec::Vec;
+
 use crate::cbor::{decode, encode, CborError, Value};
 use crate::{Manifest, Version};
 
@@ -74,7 +77,7 @@ impl core::fmt::Display for SuitError {
     }
 }
 
-impl std::error::Error for SuitError {}
+impl core::error::Error for SuitError {}
 
 impl From<CborError> for SuitError {
     fn from(e: CborError) -> Self {

@@ -22,10 +22,33 @@
 //! depends on nothing — so one [`Tracer`] handle can be threaded from
 //! the fleet scheduler down through sessions, the agent pipeline, and
 //! the flash layer, producing a single NDJSON stream for a whole update.
+//!
+//! # `no_std` support
+//!
+//! With `--no-default-features` the crate is `no_std + alloc`: counters,
+//! events, and the [`Tracer`] handle stay available (they only need
+//! `core::sync::atomic` and `alloc`), while the lock-based sinks
+//! ([`MemorySink`], [`NdjsonSink`]) are host-only behind the `std`
+//! feature.
 
-use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+#![cfg_attr(not(feature = "std"), no_std)]
+#![warn(
+    clippy::std_instead_of_core,
+    clippy::std_instead_of_alloc,
+    clippy::alloc_instead_of_core
+)]
+
+extern crate alloc;
+
+use alloc::boxed::Box;
+use alloc::format;
+use alloc::string::{String, ToString};
+use alloc::sync::Arc;
+use alloc::vec::Vec;
+use core::fmt::Write as _;
+use core::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "std")]
+use std::sync::Mutex;
 
 /// Number of per-slot buckets tracked by [`Counters`]. Slot ids at or
 /// above this saturate into the last bucket.
@@ -471,10 +494,12 @@ impl<T: TraceSink + ?Sized> TraceSink for Arc<T> {
 }
 
 /// Sink that renders each record as one NDJSON line into a writer.
+#[cfg(feature = "std")]
 pub struct NdjsonSink<W: std::io::Write + Send> {
     writer: Mutex<W>,
 }
 
+#[cfg(feature = "std")]
 impl<W: std::io::Write + Send> NdjsonSink<W> {
     /// Wrap `writer`; each record becomes one `\n`-terminated line.
     pub fn new(writer: W) -> Self {
@@ -492,6 +517,7 @@ impl<W: std::io::Write + Send> NdjsonSink<W> {
     }
 }
 
+#[cfg(feature = "std")]
 impl<W: std::io::Write + Send> TraceSink for NdjsonSink<W> {
     fn record(&self, record: &TraceRecord) {
         let mut guard = self.writer.lock().expect("ndjson sink poisoned");
@@ -501,11 +527,13 @@ impl<W: std::io::Write + Send> TraceSink for NdjsonSink<W> {
 
 /// Sink that buffers records in memory — the workhorse for tests and
 /// for the per-shard buffers of the sharded rollout.
+#[cfg(feature = "std")]
 #[derive(Default)]
 pub struct MemorySink {
     records: Mutex<Vec<TraceRecord>>,
 }
 
+#[cfg(feature = "std")]
 impl MemorySink {
     /// Empty sink.
     #[must_use]
@@ -527,7 +555,7 @@ impl MemorySink {
     /// # Panics
     /// Panics if the sink mutex was poisoned.
     pub fn drain(&self) -> Vec<TraceRecord> {
-        std::mem::take(&mut *self.records.lock().expect("memory sink poisoned"))
+        core::mem::take(&mut *self.records.lock().expect("memory sink poisoned"))
     }
 
     /// Number of records currently buffered.
@@ -546,6 +574,7 @@ impl MemorySink {
     }
 }
 
+#[cfg(feature = "std")]
 impl TraceSink for MemorySink {
     fn record(&self, record: &TraceRecord) {
         self.records
@@ -595,9 +624,9 @@ macro_rules! counters {
             pub fn snapshot(&self) -> CountersSnapshot {
                 CountersSnapshot {
                     $($name: self.$name.load(Ordering::Relaxed),)+
-                    flash_reads: std::array::from_fn(|i| self.flash_reads[i].load(Ordering::Relaxed)),
-                    flash_writes: std::array::from_fn(|i| self.flash_writes[i].load(Ordering::Relaxed)),
-                    flash_erases: std::array::from_fn(|i| self.flash_erases[i].load(Ordering::Relaxed)),
+                    flash_reads: core::array::from_fn(|i| self.flash_reads[i].load(Ordering::Relaxed)),
+                    flash_writes: core::array::from_fn(|i| self.flash_writes[i].load(Ordering::Relaxed)),
+                    flash_erases: core::array::from_fn(|i| self.flash_erases[i].load(Ordering::Relaxed)),
                 }
             }
 
@@ -743,8 +772,8 @@ impl Default for Tracer {
     }
 }
 
-impl std::fmt::Debug for Tracer {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl core::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Tracer")
             .field("enabled", &self.is_enabled())
             .field("now_micros", &self.now_micros())
@@ -781,6 +810,7 @@ impl Tracer {
     }
 
     /// Convenience: a tracer writing NDJSON lines to `writer`.
+    #[cfg(feature = "std")]
     #[must_use]
     pub fn to_ndjson<W: std::io::Write + Send + 'static>(writer: W) -> Self {
         Self::with_sink(Box::new(NdjsonSink::new(writer)))
