@@ -152,6 +152,9 @@ pub struct PreparedUpdate {
     pub image: UpdateImage,
     /// Whether the payload is full or differential.
     pub kind: ServedKind,
+    /// Serialized wire length of `image`, precomputed at preparation time
+    /// so per-poll accounting never re-serializes the full image.
+    pub wire_bytes: u64,
 }
 
 /// Key of one content-addressed patch-cache entry: the SHA-256 digests of
@@ -196,7 +199,16 @@ pub struct UpdateServer {
     /// straggler updating from an old base after several publishes still
     /// hits the cache.
     patches: RwLock<BTreeMap<PatchKey, SingleFlight<CachedPatch>>>,
+    /// Request-independent campaign responses, keyed like the patch cache
+    /// (`None` base = full-image response for non-differential devices).
+    /// Each entry holds a fully signed broadcast [`PreparedUpdate`], so a
+    /// million-device campaign costs one ECDSA signature per transition.
+    campaign_responses: RwLock<BTreeMap<CampaignKey, SingleFlight<PreparedUpdate>>>,
 }
+
+/// Key of one cached campaign response: optional base-image digest (full
+/// responses have none), new-image digest, platform, container format.
+type CampaignKey = (Option<[u8; 32]>, [u8; 32], u32, PatchFormat);
 
 /// A shareable populate-exactly-once cache cell: whoever wins the race
 /// computes, everyone else blocks on the same cell and reads the result.
@@ -233,6 +245,7 @@ impl UpdateServer {
             tracer: Tracer::disabled(),
             delta_contexts: RwLock::new(BTreeMap::new()),
             patches: RwLock::new(BTreeMap::new()),
+            campaign_responses: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -520,13 +533,131 @@ impl UpdateServer {
             vendor_signature: latest.vendor_signature,
             server_signature: server_sign(&manifest, &self.key),
         };
+        let image = UpdateImage {
+            signed_manifest,
+            payload,
+        };
         Some(PreparedUpdate {
-            image: UpdateImage {
-                signed_manifest,
-                payload,
-            },
+            wire_bytes: image.wire_len() as u64,
+            image,
             kind,
         })
+    }
+
+    /// Campaign (broadcast) propagation: one signed response per
+    /// `base → latest` transition, shared by every device on `base`.
+    ///
+    /// Unlike [`Self::prepare_update`], the manifest's device-token fields
+    /// are zero — the response is request-independent, so the ECDSA server
+    /// signature is computed **once per transition** (single-flight cached,
+    /// like the patch cache) instead of once per device. Devices keep
+    /// downgrade protection through the manifest's version-monotonicity
+    /// check; what they give up is per-request nonce freshness, the
+    /// Omaha-style trade every fleet-scale campaign server makes. Devices
+    /// needing the paper's point-to-point freshness keep using
+    /// [`Self::prepare_update`].
+    ///
+    /// `base` is the version the device reports running ([`Version`] `0`
+    /// for devices without differential support, which are served the full
+    /// image). Returns `None` when no release is newer than `base`.
+    #[must_use]
+    pub fn prepare_campaign_update(&self, base: Version) -> Option<Arc<PreparedUpdate>> {
+        self.prepare_campaign_update_traced(base, &self.tracer)
+    }
+
+    /// [`Self::prepare_campaign_update`] with an explicit tracer for the
+    /// one-time payload build (patch-cache hits/misses, delta events).
+    #[must_use]
+    pub fn prepare_campaign_update_traced(
+        &self,
+        base: Version,
+        tracer: &Tracer,
+    ) -> Option<Arc<PreparedUpdate>> {
+        let latest = self.releases.values().next_back()?;
+        if latest.version <= base && base.0 != 0 {
+            return None;
+        }
+        let base_release = if base.0 != 0 {
+            self.releases
+                .get(&base.0)
+                .filter(|release| release.version < latest.version)
+        } else {
+            None
+        };
+
+        let key = (
+            base_release.map(|release| release.digest),
+            latest.digest,
+            latest.app_id,
+            self.patch_format,
+        );
+        let cell = {
+            let responses = self
+                .campaign_responses
+                .read()
+                .expect("no poisoned lock: caches are written outside panics");
+            match responses.get(&key) {
+                Some(cell) => Arc::clone(cell),
+                None => {
+                    drop(responses);
+                    Arc::clone(
+                        self.campaign_responses
+                            .write()
+                            .expect("no poisoned lock: caches are written outside panics")
+                            .entry(key)
+                            .or_default(),
+                    )
+                }
+            }
+        };
+        Some(Arc::clone(cell.get_or_init(|| {
+            let cached = base_release.map(|base_release| {
+                (
+                    base_release.version,
+                    self.differential_payload(base_release, latest, tracer),
+                )
+            });
+            let (plain, old_version, kind) = match &cached {
+                Some((from, patch)) if patch.differential => (
+                    patch.payload.as_slice(),
+                    *from,
+                    ServedKind::Differential { from: *from },
+                ),
+                Some((_, patch)) => (patch.payload.as_slice(), Version(0), ServedKind::Full),
+                None => (latest.firmware.as_slice(), Version(0), ServedKind::Full),
+            };
+            let payload = match &self.content_key {
+                // Broadcast responses share one ciphertext: the nonce is
+                // derived from the zero device/nonce pair and the version.
+                Some(key) => chacha20_xor(key, &content_nonce(0, 0, latest.version), plain),
+                None => plain.to_vec(),
+            };
+            let manifest = Manifest {
+                device_id: 0,
+                nonce: 0,
+                old_version,
+                version: latest.version,
+                size: latest.firmware.len() as u32,
+                payload_size: payload.len() as u32,
+                digest: latest.digest,
+                link_offset: latest.link_offset,
+                app_id: latest.app_id,
+            };
+            let signed_manifest = SignedManifest {
+                manifest,
+                vendor_signature: latest.vendor_signature,
+                server_signature: server_sign(&manifest, &self.key),
+            };
+            let image = UpdateImage {
+                signed_manifest,
+                payload,
+            };
+            Arc::new(PreparedUpdate {
+                wire_bytes: image.wire_len() as u64,
+                image,
+                kind,
+            })
+        })))
     }
 }
 

@@ -18,22 +18,45 @@
 //!   byte for byte. With [`DeviceModel::Lite`] devices (protocol-faithful
 //!   but without per-device flash), campaigns scale to 100k–1M devices.
 //!
+//! # Scaling
+//!
+//! Shards never share mutable state, so the sharded rollout is
+//! embarrassingly parallel: each shard runs **to completion** on whichever
+//! worker thread claims it from a work-stealing queue — there is no
+//! per-round stop-the-world barrier. Per-round statistics and per-round
+//! trace buffers are recorded shard-locally and merged once, after the
+//! join, in (round, shard-index) order, which keeps reports, counters, and
+//! traces byte-identical at any thread count.
+//!
+//! The per-poll hot path is allocation- and crypto-lean:
+//!
+//! * wire bytes come from [`PreparedUpdate::wire_bytes`], precomputed at
+//!   preparation time (a poll never serializes the full image — pinned by
+//!   `tests/zero_serialization.rs`);
+//! * under [`ManifestMode::Campaign`] the server signs one broadcast
+//!   manifest per transition and each shard verifies it **once** through a
+//!   digest-keyed memo ([`VerifyMemo`]), so ECDSA cost scales with
+//!   *distinct manifests × shards*, not with fleet size.
+//!
 //! Both entry points advance each polled device one *whole* update at a
 //! time. For campaigns where transfers must overlap on a common virtual
 //! timeline — realistic timing, loss, and retransmission — use the
-//! event-driven scheduler in [`crate::events`], which steps thousands of
-//! concurrently in-flight sessions one link event at a time.
+//! event-driven scheduler in [`crate::events`]. For staged fractional
+//! rollouts with channels, cohort targeting, and automatic health halts,
+//! use [`crate::campaign`].
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use upkit_compress::decompress;
-use upkit_core::generation::{UpdateServer, VendorServer};
+use upkit_core::generation::{PreparedUpdate, UpdateServer, VendorServer};
 use upkit_crypto::ecdsa::{SigningKey, VerifyingKey};
 use upkit_crypto::sha256::sha256;
-use upkit_manifest::{DeviceToken, Version};
-use upkit_trace::{Counters, Event, MemorySink, Tracer};
+use upkit_manifest::{DeviceToken, SignedManifest, Version};
+use upkit_trace::{Counters, CountersSnapshot, Event, MemorySink, TraceRecord, Tracer};
 
 use crate::device::{PollOutcome, SimDevice, APP_ID, LINK_OFFSET};
 use crate::firmware::FirmwareGenerator;
@@ -211,6 +234,31 @@ pub enum DeviceModel {
     Lite,
 }
 
+/// How the update server signs what lite devices receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ManifestMode {
+    /// The paper's point-to-point design: every response is signed over
+    /// the requesting device's token (ID + nonce), granting per-request
+    /// freshness. Every manifest is distinct, so every device must run
+    /// its own ECDSA verifications — one server signature and two device
+    /// verifies **per poll**.
+    PerDevice,
+    /// Omaha-style campaign propagation: the server signs one broadcast
+    /// manifest per version transition (token fields zero) and serves the
+    /// identical response to every device on that base. Each shard then
+    /// verifies each distinct manifest exactly once through a
+    /// digest-keyed [`VerifyMemo`]; downgrade protection is preserved by
+    /// the manifest version-monotonicity check every device performs
+    /// before trusting anything else. Wire sizes are unchanged (the
+    /// manifest is fixed-size), so reports are byte-identical to
+    /// [`ManifestMode::PerDevice`] — only the crypto count scales
+    /// differently.
+    ///
+    /// [`DeviceModel::Faithful`] devices always run the full per-token
+    /// pull session; this mode governs lite devices.
+    Campaign,
+}
+
 /// Parameters of a sharded rollout campaign.
 #[derive(Clone, Copy, Debug)]
 pub struct ShardedFleetConfig {
@@ -229,6 +277,8 @@ pub struct ShardedFleetConfig {
     /// update (full devices always do). Keep `true` for fidelity; `false`
     /// isolates server-side cost in benchmarks.
     pub verify_signatures: bool,
+    /// Per-token or broadcast manifest signing for lite devices.
+    pub manifest_mode: ManifestMode,
 }
 
 impl Default for ShardedFleetConfig {
@@ -239,31 +289,125 @@ impl Default for ShardedFleetConfig {
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             device_model: DeviceModel::Faithful,
             verify_signatures: true,
+            manifest_mode: ManifestMode::PerDevice,
         }
     }
 }
 
 /// Everything a polling device reads, shared by all shards and threads.
-struct FleetEnv<'a> {
-    server: &'a UpdateServer,
-    vendor_key: VerifyingKey,
-    server_key: VerifyingKey,
+pub(crate) struct FleetEnv<'a> {
+    pub(crate) server: &'a UpdateServer,
+    pub(crate) vendor_key: VerifyingKey,
+    pub(crate) server_key: VerifyingKey,
     /// The v1 image every device was provisioned with (the old image for
     /// differential patching on lite devices).
-    base_image: &'a [u8],
-    verify_signatures: bool,
+    pub(crate) base_image: &'a [u8],
+    pub(crate) verify_signatures: bool,
+    pub(crate) manifest_mode: ManifestMode,
+}
+
+/// Digest-keyed memo of signed-manifest verification verdicts.
+///
+/// Keyed by the SHA-256 of the 166-byte signed-manifest wire encoding, so
+/// two byte-identical broadcast manifests verify once. Each shard owns its
+/// own memo: the counter totals (`sig_verifications`,
+/// `sig_verify_memo_hits`) and any trace events stay a pure function of
+/// the configuration, never of which thread raced first.
+#[derive(Default)]
+pub(crate) struct VerifyMemo {
+    verdicts: HashMap<[u8; 32], bool>,
+}
+
+impl VerifyMemo {
+    /// Verifies `signed` against the trust anchors, consulting the memo
+    /// first. Charges two `sig_verifications` on a miss (vendor + server
+    /// signature) and two `sig_verify_memo_hits` on a hit.
+    pub(crate) fn verify(
+        &mut self,
+        signed: &SignedManifest,
+        vendor_key: &VerifyingKey,
+        server_key: &VerifyingKey,
+        tracer: &Tracer,
+    ) -> bool {
+        let key = sha256(&signed.to_bytes());
+        if let Some(&verdict) = self.verdicts.get(&key) {
+            Counters::add(&tracer.counters().sig_verify_memo_hits, 2);
+            return verdict;
+        }
+        Counters::add(&tracer.counters().sig_verifications, 2);
+        let verdict = signed.verify_with_keys(vendor_key, server_key).is_ok();
+        self.verdicts.insert(key, verdict);
+        verdict
+    }
+}
+
+/// Shard-local polling context: the verification memo plus a cache of the
+/// server's broadcast campaign responses keyed by the advertised version,
+/// so a lite poll in campaign mode touches no server-side locks at all
+/// after the first request per (shard, version).
+pub(crate) struct ShardCtx {
+    pub(crate) memo: VerifyMemo,
+    responses: HashMap<u16, Option<Arc<PreparedUpdate>>>,
+    /// Shard-local tracer: counters always accumulate here; events land in
+    /// `sink` (when tracing is on) and are merged into the campaign tracer
+    /// in (round, shard-index) order, so the merged trace is independent
+    /// of how shards were scheduled onto threads.
+    pub(crate) tracer: Tracer,
+    pub(crate) sink: Option<Arc<MemorySink>>,
+}
+
+impl ShardCtx {
+    pub(crate) fn new(tracing_enabled: bool) -> Self {
+        let (tracer, sink) = if tracing_enabled {
+            let sink = Arc::new(MemorySink::new());
+            (Tracer::with_sink(Box::new(Arc::clone(&sink))), Some(sink))
+        } else {
+            (Tracer::disabled(), None)
+        };
+        Self {
+            memo: VerifyMemo::default(),
+            responses: HashMap::new(),
+            tracer,
+            sink,
+        }
+    }
+
+    /// The broadcast response the server would serve a device advertising
+    /// `version`, fetched once per shard and shared thereafter.
+    fn campaign_response(
+        &mut self,
+        env: &FleetEnv<'_>,
+        version: Version,
+    ) -> Option<Arc<PreparedUpdate>> {
+        self.responses
+            .entry(version.0)
+            .or_insert_with(|| env.server.prepare_campaign_update(version))
+            .clone()
+    }
+
+    /// Drains the per-round trace delta: buffered records (when tracing)
+    /// plus the counter totals accumulated since the last drain.
+    pub(crate) fn drain_round(&mut self) -> (CountersSnapshot, Vec<TraceRecord>) {
+        let records = self
+            .sink
+            .as_ref()
+            .map_or_else(Vec::new, |sink| sink.drain());
+        let counters = self.tracer.counters().snapshot();
+        self.tracer.counters().reset();
+        (counters, records)
+    }
 }
 
 /// A protocol-faithful device without per-device flash state.
-struct LiteDevice {
-    device_id: u32,
+pub(crate) struct LiteDevice {
+    pub(crate) device_id: u32,
     nonce_counter: u32,
-    installed_version: Version,
+    pub(crate) installed_version: Version,
     supports_differential: bool,
 }
 
 impl LiteDevice {
-    fn provision(device_id: u32, supports_differential: bool) -> Self {
+    pub(crate) fn provision(device_id: u32, supports_differential: bool) -> Self {
         Self {
             device_id,
             // Same per-device nonce schedule as `SimDevice`.
@@ -273,24 +417,54 @@ impl LiteDevice {
         }
     }
 
+    /// Roll the running version back to `to` (campaign halt recovery).
+    pub(crate) fn roll_back_to(&mut self, to: Version) {
+        self.installed_version = to;
+    }
+
     /// One poll: token → server → verify → (decompress → patch) → digest
     /// check. Mirrors `SimDevice::poll` outcomes exactly for an honest
     /// server in the v1→v2 campaign.
-    fn poll(&mut self, env: &FleetEnv<'_>) -> PollOutcome {
+    pub(crate) fn poll(&mut self, env: &FleetEnv<'_>, ctx: &mut ShardCtx) -> PollOutcome {
         self.nonce_counter = self.nonce_counter.wrapping_add(0x9E37_79B9) | 1;
-        let token = DeviceToken {
-            device_id: self.device_id,
-            nonce: self.nonce_counter,
-            current_version: if self.supports_differential {
-                self.installed_version
-            } else {
-                Version(0)
-            },
+        let advertised = if self.supports_differential {
+            self.installed_version
+        } else {
+            Version(0)
         };
-        let Some(prepared) = env.server.prepare_update(&token) else {
-            return PollOutcome::AlreadyCurrent;
-        };
-        let wire_bytes = prepared.image.to_bytes().len() as u64;
+        match env.manifest_mode {
+            ManifestMode::PerDevice => {
+                let token = DeviceToken {
+                    device_id: self.device_id,
+                    nonce: self.nonce_counter,
+                    current_version: advertised,
+                };
+                let Some(prepared) = env.server.prepare_update(&token) else {
+                    return PollOutcome::AlreadyCurrent;
+                };
+                self.accept(env, ctx, &prepared)
+            }
+            ManifestMode::Campaign => {
+                let Some(prepared) = ctx.campaign_response(env, advertised) else {
+                    return PollOutcome::AlreadyCurrent;
+                };
+                self.accept(env, ctx, &prepared)
+            }
+        }
+    }
+
+    /// The device half of a poll, shared by both manifest modes: freshness
+    /// check, (memoized) dual-signature verification, decompression,
+    /// patching, and the firmware digest check.
+    fn accept(
+        &mut self,
+        env: &FleetEnv<'_>,
+        ctx: &mut ShardCtx,
+        prepared: &PreparedUpdate,
+    ) -> PollOutcome {
+        // Precomputed at preparation time — a poll never serializes the
+        // full image just to count wire bytes.
+        let wire_bytes = prepared.wire_bytes;
         let signed = &prepared.image.signed_manifest;
         let manifest = signed.manifest;
 
@@ -299,12 +473,24 @@ impl LiteDevice {
         if manifest.version <= self.installed_version {
             return PollOutcome::Rejected;
         }
-        if env.verify_signatures
-            && signed
-                .verify_with_keys(&env.vendor_key, &env.server_key)
-                .is_err()
-        {
-            return PollOutcome::Rejected;
+        if env.verify_signatures {
+            let ok = match env.manifest_mode {
+                // Per-token manifests are distinct per request — a memo
+                // could never hit, so verify directly.
+                ManifestMode::PerDevice => {
+                    Counters::add(&ctx.tracer.counters().sig_verifications, 2);
+                    signed
+                        .verify_with_keys(&env.vendor_key, &env.server_key)
+                        .is_ok()
+                }
+                ManifestMode::Campaign => {
+                    ctx.memo
+                        .verify(signed, &env.vendor_key, &env.server_key, &ctx.tracer)
+                }
+            };
+            if !ok {
+                return PollOutcome::Rejected;
+            }
         }
 
         let firmware = if manifest.old_version.0 == 0 {
@@ -346,10 +532,10 @@ impl FleetDevice {
         }
     }
 
-    fn poll(&mut self, env: &FleetEnv<'_>) -> PollOutcome {
+    fn poll(&mut self, env: &FleetEnv<'_>, ctx: &mut ShardCtx) -> PollOutcome {
         match self {
             Self::Faithful(device) => device.poll(env.server).expect("healthy fleet"),
-            Self::Lite(device) => device.poll(env),
+            Self::Lite(device) => device.poll(env, ctx),
         }
     }
 }
@@ -359,12 +545,16 @@ struct Shard {
     rng: StdRng,
     devices: Vec<FleetDevice>,
     per_round: usize,
-    /// Shard-local tracer: counters always accumulate here; events land in
-    /// `sink` (when tracing is on) and are merged into the campaign tracer
-    /// in shard-index order after every round, so the merged trace is
-    /// independent of how shards were scheduled onto threads.
-    tracer: Tracer,
-    sink: Option<Arc<MemorySink>>,
+    ctx: ShardCtx,
+}
+
+/// Everything one shard produced: its per-round statistics and, per
+/// round, the trace delta (counter snapshot + buffered records) to merge
+/// in deterministic (round, shard-index) order after the parallel join.
+struct ShardHistory {
+    device_count: u32,
+    rounds: Vec<RoundStats>,
+    trace: Vec<(CountersSnapshot, Vec<TraceRecord>)>,
 }
 
 impl Shard {
@@ -390,10 +580,10 @@ impl Shard {
                 FleetDevice::Faithful(d) => d.device_id,
                 FleetDevice::Lite(d) => d.device_id,
             });
-            match device.poll(env) {
+            match device.poll(env, &mut self.ctx) {
                 PollOutcome::Updated { wire_bytes: b, .. } => {
                     wire_bytes += b;
-                    self.tracer.emit(|| Event::DeviceComplete {
+                    self.ctx.tracer.emit(|| Event::DeviceComplete {
                         device: device_id,
                         outcome: "complete",
                     });
@@ -407,7 +597,7 @@ impl Shard {
                 }
             }
         }
-        Counters::add(&self.tracer.counters().link_bytes_to_device, wire_bytes);
+        Counters::add(&self.ctx.tracer.counters().link_bytes_to_device, wire_bytes);
         RoundStats {
             updated: self
                 .devices
@@ -418,14 +608,29 @@ impl Shard {
         }
     }
 
-    /// Moves this shard's buffered trace records and counter totals into
-    /// `target`. Call in shard-index order for a deterministic merge.
-    fn flush_trace_into(&self, target: &Tracer) {
-        let records = self.sink.as_ref().map(|sink| sink.drain());
-        let snapshot = self.tracer.counters().snapshot();
-        // Reset shard counters so the next flush only carries the delta.
-        self.tracer.counters().reset();
-        target.absorb(&snapshot, records.as_deref().unwrap_or(&[]));
+    /// Runs this shard's rounds until every device converged, recording
+    /// per-round statistics and trace deltas. Rounds past a shard's own
+    /// convergence are pure no-ops in the observable output (polls of
+    /// current devices serve no bytes and emit nothing), so a shard can
+    /// stop at its own convergence without changing the merged report.
+    fn run_to_convergence(mut self, env: &FleetEnv<'_>) -> ShardHistory {
+        let max_rounds = (self.devices.len() / self.per_round + 2) * 10;
+        let mut rounds = Vec::new();
+        let mut trace = Vec::new();
+        while !self.converged() {
+            assert!(
+                rounds.len() < max_rounds,
+                "shard failed to converge after {} rounds",
+                rounds.len()
+            );
+            rounds.push(self.run_round(env));
+            trace.push(self.ctx.drain_round());
+        }
+        ShardHistory {
+            device_count: self.devices.len() as u32,
+            rounds,
+            trace,
+        }
     }
 }
 
@@ -448,9 +653,10 @@ pub fn run_rollout_sharded(config: &ShardedFleetConfig) -> FleetReport {
 }
 
 /// [`run_rollout_sharded`] with observability. Every shard buffers its
-/// events in a shard-local [`MemorySink`]; after each round the buffers are
-/// merged into `tracer` in shard-index order, so the merged trace (and the
-/// counter totals) are identical whatever `threads` is.
+/// events in a shard-local [`MemorySink`] and snapshots its counters per
+/// round; after the parallel join the buffers are merged into `tracer` in
+/// (round, shard-index) order, so the merged trace (and the counter
+/// totals) are identical whatever `threads` is.
 #[must_use]
 pub fn run_rollout_sharded_traced(config: &ShardedFleetConfig, tracer: &Tracer) -> FleetReport {
     let fleet = &config.fleet;
@@ -500,7 +706,7 @@ pub fn run_rollout_sharded_traced(config: &ShardedFleetConfig, tracer: &Tracer) 
     // Provision shard by shard, in parallel: provisioning is per-device
     // deterministic (no RNG), so threading cannot change the outcome.
     let tracing_enabled = tracer.is_enabled();
-    let mut shards: Vec<Shard> = crossbeam::thread::scope(|scope| {
+    let shards: Vec<Shard> = crossbeam::thread::scope(|scope| {
         let server = &server;
         let vendor = &vendor;
         let v1 = &v1;
@@ -535,20 +741,13 @@ pub fn run_rollout_sharded_traced(config: &ShardedFleetConfig, tracer: &Tracer) 
                     })
                     .collect();
                 let per_round = (((end - start) as f64 * poll_fraction).ceil() as usize).max(1);
-                let (shard_tracer, sink) = if tracing_enabled {
-                    let sink = Arc::new(MemorySink::new());
-                    (Tracer::with_sink(Box::new(Arc::clone(&sink))), Some(sink))
-                } else {
-                    (Tracer::disabled(), None)
-                };
                 (
                     index,
                     Shard {
                         rng,
                         devices,
                         per_round,
-                        tracer: shard_tracer,
-                        sink,
+                        ctx: ShardCtx::new(tracing_enabled),
                     },
                 )
             }));
@@ -570,33 +769,38 @@ pub fn run_rollout_sharded_traced(config: &ShardedFleetConfig, tracer: &Tracer) 
         server_key: server.verifying_key(),
         base_image: &v1,
         verify_signatures: config.verify_signatures,
+        manifest_mode: config.manifest_mode,
     };
 
-    let max_rounds = shards
-        .iter()
-        .map(|s| (s.devices.len() / s.per_round + 2) * 10)
-        .max()
-        .unwrap_or(10);
-    let chunk = shard_count.div_ceil(threads);
-    let mut rounds = Vec::new();
-    let mut total_wire_bytes = 0u64;
-
-    while shards.iter().any(|s| !s.converged()) {
-        assert!(
-            rounds.len() < max_rounds,
-            "rollout failed to converge after {} rounds",
-            rounds.len()
-        );
-        let stats: Vec<RoundStats> = crossbeam::thread::scope(|scope| {
+    // Work-stealing execution: each worker claims whole shards from a
+    // shared queue and runs them to convergence — no per-round barrier,
+    // one join at the end. Shards are fully independent, so any claim
+    // order produces the same per-shard histories.
+    let mut histories: Vec<(usize, ShardHistory)> = {
+        let slots: Vec<Mutex<Option<Shard>>> =
+            shards.into_iter().map(|s| Mutex::new(Some(s))).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
             let env = &env;
-            let handles: Vec<_> = shards
-                .chunks_mut(chunk)
-                .map(|group| {
+            let slots = &slots;
+            let next = &next;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
                     scope.spawn(move |_| {
-                        group
-                            .iter_mut()
-                            .map(|shard| shard.run_round(env))
-                            .collect::<Vec<_>>()
+                        let mut done = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= slots.len() {
+                                break;
+                            }
+                            let shard = slots[index]
+                                .lock()
+                                .expect("shard slot lock")
+                                .take()
+                                .expect("each shard claimed exactly once");
+                            done.push((index, shard.run_to_convergence(env)));
+                        }
+                        done
                     })
                 })
                 .collect();
@@ -605,19 +809,39 @@ pub fn run_rollout_sharded_traced(config: &ShardedFleetConfig, tracer: &Tracer) 
                 .flat_map(|h| h.join().expect("shard worker"))
                 .collect()
         })
-        .expect("shard workers do not panic");
+        .expect("shard workers do not panic")
+    };
+    histories.sort_by_key(|(index, _)| *index);
 
-        // Merge shard traces in shard-index order: the merged record
-        // sequence and counter totals are now a pure function of the
-        // configuration, independent of thread scheduling.
-        for shard in &shards {
-            shard.flush_trace_into(tracer);
+    // Deterministic merge: rounds in order, shards in index order within
+    // each round — the same sequence the old per-round barrier produced,
+    // now paid once instead of every round. Shards that converged early
+    // contribute their full device count and no traffic to later rounds,
+    // exactly what polling already-current devices produces.
+    let total_rounds = histories
+        .iter()
+        .map(|(_, h)| h.rounds.len())
+        .max()
+        .unwrap_or(0);
+    let mut rounds = Vec::with_capacity(total_rounds);
+    let mut total_wire_bytes = 0u64;
+    for round_index in 0..total_rounds {
+        let mut updated = 0u32;
+        let mut wire_bytes = 0u64;
+        for (_, history) in &histories {
+            match history.rounds.get(round_index) {
+                Some(stats) => {
+                    updated += stats.updated;
+                    wire_bytes += stats.wire_bytes;
+                }
+                None => updated += history.device_count,
+            }
+            if let Some((counters, records)) = history.trace.get(round_index) {
+                tracer.absorb(counters, records);
+            }
         }
-
-        let wire_bytes: u64 = stats.iter().map(|s| s.wire_bytes).sum();
         total_wire_bytes += wire_bytes;
-        let updated: u32 = stats.iter().map(|s| s.updated).sum();
-        let round = rounds.len() as u64 + 1;
+        let round = round_index as u64 + 1;
         tracer.emit(|| Event::RolloutRound {
             round,
             completed: u64::from(updated),
@@ -705,6 +929,7 @@ mod tests {
             threads: 1,
             device_model: DeviceModel::Faithful,
             verify_signatures: true,
+            manifest_mode: ManifestMode::PerDevice,
         });
         assert_eq!(sequential, sharded);
     }
@@ -723,6 +948,7 @@ mod tests {
             threads: 1,
             device_model: DeviceModel::Lite,
             verify_signatures: true,
+            manifest_mode: ManifestMode::PerDevice,
         };
         let reference = run_rollout_sharded(&base);
         for threads in [2usize, 3, 8] {
@@ -748,6 +974,7 @@ mod tests {
             threads: 2,
             device_model: DeviceModel::Faithful,
             verify_signatures: true,
+            manifest_mode: ManifestMode::PerDevice,
         };
         let faithful = run_rollout_sharded(&base);
         let lite = run_rollout_sharded(&ShardedFleetConfig {
@@ -758,11 +985,84 @@ mod tests {
     }
 
     #[test]
+    fn campaign_mode_report_is_byte_identical_to_per_device_mode() {
+        // The broadcast manifest is fixed-size like the per-token one, so
+        // switching modes changes crypto counts but not a single byte of
+        // the report: same rounds, same adoption, same wire bytes.
+        let base = ShardedFleetConfig {
+            fleet: FleetConfig {
+                devices: 40,
+                poll_fraction: 0.4,
+                firmware_size: 8_000,
+                differential: true,
+                seed: 707,
+            },
+            shards: 4,
+            threads: 2,
+            device_model: DeviceModel::Lite,
+            verify_signatures: true,
+            manifest_mode: ManifestMode::PerDevice,
+        };
+        let per_device = run_rollout_sharded(&base);
+        let campaign = run_rollout_sharded(&ShardedFleetConfig {
+            manifest_mode: ManifestMode::Campaign,
+            ..base
+        });
+        assert_eq!(per_device, campaign);
+    }
+
+    #[test]
+    fn campaign_mode_verifies_once_per_shard_not_per_device() {
+        // 48 devices, 4 shards, one v1→v2 transition: per-device mode
+        // runs 2 ECDSA verifications per updated device; campaign mode
+        // collapses them to 2 per (shard, distinct manifest) and the
+        // memo absorbs the rest. The report must not change at all.
+        let base = ShardedFleetConfig {
+            fleet: FleetConfig {
+                devices: 48,
+                poll_fraction: 0.5,
+                firmware_size: 6_000,
+                differential: true,
+                seed: 708,
+            },
+            shards: 4,
+            threads: 2,
+            device_model: DeviceModel::Lite,
+            verify_signatures: true,
+            manifest_mode: ManifestMode::PerDevice,
+        };
+        let per_device_tracer = Tracer::disabled();
+        let per_device = run_rollout_sharded_traced(&base, &per_device_tracer);
+        let campaign_tracer = Tracer::disabled();
+        let campaign = run_rollout_sharded_traced(
+            &ShardedFleetConfig {
+                manifest_mode: ManifestMode::Campaign,
+                ..base
+            },
+            &campaign_tracer,
+        );
+        assert_eq!(per_device, campaign);
+
+        let per_device_counters = per_device_tracer.counters().snapshot();
+        let campaign_counters = campaign_tracer.counters().snapshot();
+        // Per-device: every one of the 48 updates verified both signatures.
+        assert_eq!(per_device_counters.sig_verifications, 2 * 48);
+        assert_eq!(per_device_counters.sig_verify_memo_hits, 0);
+        // Campaign: one distinct broadcast manifest, verified once per
+        // shard — the count scales with shards × manifests, not devices.
+        assert_eq!(campaign_counters.sig_verifications, 2 * 4);
+        assert_eq!(
+            campaign_counters.sig_verify_memo_hits,
+            2 * 48 - campaign_counters.sig_verifications
+        );
+    }
+
+    #[test]
     fn trace_is_identical_across_thread_counts() {
-        // Shard buffers are merged in shard-index order after every round,
-        // so the merged record sequence — timestamps, seq numbers, and
-        // event payloads — must be byte-identical whatever the thread
-        // count, and so must the counter totals.
+        // Shard buffers are merged in (round, shard-index) order after
+        // the parallel join, so the merged record sequence — timestamps,
+        // seq numbers, and event payloads — must be byte-identical
+        // whatever the thread count, and so must the counter totals.
         let base = ShardedFleetConfig {
             fleet: FleetConfig {
                 devices: 24,
@@ -775,6 +1075,7 @@ mod tests {
             threads: 1,
             device_model: DeviceModel::Lite,
             verify_signatures: true,
+            manifest_mode: ManifestMode::PerDevice,
         };
         let mut reference: Option<(Vec<upkit_trace::TraceRecord>, _)> = None;
         for threads in [1usize, 2, 8] {
@@ -814,10 +1115,33 @@ mod tests {
             threads: 2,
             device_model: DeviceModel::Lite,
             verify_signatures: true,
+            manifest_mode: ManifestMode::PerDevice,
         });
         assert_eq!(report.rounds.last().unwrap().updated, 30);
         for pair in report.rounds.windows(2) {
             assert!(pair[1].updated >= pair[0].updated, "adoption regressed");
         }
+    }
+
+    #[test]
+    fn campaign_mode_non_differential_fleet_converges() {
+        // Non-differential devices advertise version 0 and receive the
+        // broadcast full-image response; once current, the stale re-offer
+        // is rejected at the freshness check before any crypto runs.
+        let report = run_rollout_sharded(&ShardedFleetConfig {
+            fleet: FleetConfig {
+                devices: 30,
+                poll_fraction: 0.3,
+                firmware_size: 4_000,
+                differential: false,
+                seed: 709,
+            },
+            shards: 4,
+            threads: 2,
+            device_model: DeviceModel::Lite,
+            verify_signatures: true,
+            manifest_mode: ManifestMode::Campaign,
+        });
+        assert_eq!(report.rounds.last().unwrap().updated, 30);
     }
 }

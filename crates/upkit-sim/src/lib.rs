@@ -23,9 +23,13 @@
 //! * [`events`] — [`run_event_rollout`]: the virtual-clock event scheduler
 //!   interleaving thousands of in-flight stepped sessions with loss and
 //!   retransmission on one timeline.
+//! * [`campaign`] — [`run_campaign`]: staged fractional rollouts over
+//!   channels with cohort targeting and automatic health halt + rollback,
+//!   on bounded-skew per-shard virtual clocks.
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod device;
 pub mod events;
 pub mod failure;
@@ -35,6 +39,10 @@ pub mod lifetime;
 pub mod platform;
 pub mod scenario;
 
+pub use campaign::{
+    run_campaign, run_campaign_traced, CampaignConfig, CampaignHalt, CampaignReport,
+    CampaignRoundStats, Channel, CohortFilter, FaultModel, HealthPolicy, Stage,
+};
 pub use device::{PollOutcome, SimDevice};
 pub use events::{run_event_rollout, run_event_rollout_traced, EventFleetConfig, EventFleetReport};
 pub use failure::{
@@ -44,7 +52,7 @@ pub use failure::{
 pub use firmware::FirmwareGenerator;
 pub use fleet::{
     run_rollout, run_rollout_sharded, run_rollout_sharded_traced, run_rollout_traced, DeviceModel,
-    FleetConfig, FleetReport, ShardedFleetConfig,
+    FleetConfig, FleetReport, ManifestMode, ShardedFleetConfig,
 };
 pub use lifetime::{run_lifetime, LifetimeMode, LifetimeReport};
 pub use platform::{EnergyModel, PlatformProfile};

@@ -242,6 +242,24 @@ pub enum Event {
         /// Finished payload length in bytes.
         bytes: u64,
     },
+    /// Campaign orchestrator: the staged rollout advanced to a new stage.
+    CampaignStage {
+        /// Zero-based stage index now in effect.
+        stage: u64,
+        /// Fraction of the target cohort admitted, in basis points
+        /// (10000 = the whole cohort).
+        fraction_bps: u64,
+        /// Campaign round (1-based) at which the stage took effect.
+        round: u64,
+    },
+    /// Campaign orchestrator: the fleet-health policy halted the campaign.
+    CampaignHalted {
+        /// Campaign round (1-based) at which serving stopped.
+        round: u64,
+        /// Which health counter regressed (`"boot_failures"`,
+        /// `"forgeries"`, `"retry_storm"`).
+        reason: &'static str,
+    },
     /// Generation: a patch request was answered from the
     /// content-addressed cache without re-diffing.
     PatchCacheHit {
@@ -285,12 +303,14 @@ impl Event {
             Event::MutationChecked { .. } => "mutation_checked",
             Event::PatchGenerated { .. } => "patch_generated",
             Event::PatchCacheHit { .. } => "patch_cache_hit",
+            Event::CampaignStage { .. } => "campaign_stage",
+            Event::CampaignHalted { .. } => "campaign_halted",
         }
     }
 
     /// Coarse layer the event belongs to (`"session"`, `"agent"`,
     /// `"pipeline"`, `"flash"`, `"boot"`, `"scheduler"`, `"chaos"`,
-    /// `"adversary"`).
+    /// `"adversary"`, `"generation"`, `"campaign"`).
     #[must_use]
     pub fn layer(&self) -> &'static str {
         match self {
@@ -313,6 +333,7 @@ impl Event {
             Event::FaultInjected { .. } | Event::FaultChecked { .. } => "chaos",
             Event::MutationInjected { .. } | Event::MutationChecked { .. } => "adversary",
             Event::PatchGenerated { .. } | Event::PatchCacheHit { .. } => "generation",
+            Event::CampaignStage { .. } | Event::CampaignHalted { .. } => "campaign",
         }
     }
 
@@ -440,6 +461,19 @@ impl Event {
                     out,
                     r#","old_digest":{old_digest},"new_digest":{new_digest},"platform":{platform},"format":"{format}""#
                 );
+            }
+            Event::CampaignStage {
+                stage,
+                fraction_bps,
+                round,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","stage":{stage},"fraction_bps":{fraction_bps},"round":{round}"#
+                );
+            }
+            Event::CampaignHalted { round, reason } => {
+                let _ = write!(out, r#","round":{round},"reason":"{reason}""#);
             }
         }
     }
@@ -712,6 +746,14 @@ counters! {
     patch_cache_hits,
     /// Patch requests that had to run a fresh diff (cache miss).
     patch_cache_misses,
+    /// Verifications skipped by the digest-keyed signed-manifest memo.
+    sig_verify_memo_hits,
+    /// Devices whose post-install boot failed (fell back to the old slot).
+    boots_failed,
+    /// Devices rolled back to their previous version after a campaign halt.
+    devices_rolled_back,
+    /// Campaigns automatically halted by the fleet-health policy.
+    campaign_halts,
 }
 
 impl Counters {
