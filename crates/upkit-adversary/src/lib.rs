@@ -18,6 +18,7 @@
 //! | [`MutationClass::Lzss`] | LZSS stream → `decompress_with_budget` |
 //! | [`MutationClass::FrameCorrupt`]..[`MutationClass::FrameDrop`] | one live link frame via [`FrameAdversary`] |
 //! | [`MutationClass::DowngradeReplay`] | whole-stream replay of a stale/foreign package |
+//! | [`MutationClass::CachePoison`] | one poisoned block in a warm gateway block cache, served to a fan-out of downstream devices |
 //!
 //! Each case runs the real acceptance path inside a panic-catching,
 //! budget-checked harness and asserts the three-part invariant:
@@ -48,16 +49,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use upkit_compress::LzssError;
+use upkit_core::agent::{AgentError, AgentPhase, UpdatePlan};
 use upkit_delta::blockdiff::{self, BlockDiffError};
 use upkit_delta::{FramedDiffOptions, FramedPatcher, PatchError, StreamPatcher};
 use upkit_flash::{SimFlash, SlotId};
 use upkit_manifest::suit::to_suit_envelope;
 use upkit_manifest::{DeviceToken, SignedManifest, Version, SIGNED_MANIFEST_LEN};
 use upkit_net::{
-    FrameAdversary, FrameTamper, LinkProfile, LossyLink, PushEndpoints, PushSession, RetryPolicy,
-    SessionStream, Transport,
+    CachedOrigin, CachingProxy, FrameAdversary, FrameTamper, LinkProfile, LossyLink, PullSession,
+    PushEndpoints, PushSession, RetryPolicy, SessionEndpoints, SessionStream, StreamResolution,
+    Transport,
 };
-use upkit_sim::failure::{update_world, world_geometry, WorldConfig};
+use upkit_sim::failure::{update_world, world_geometry, UpdateWorld, WorldConfig};
 use upkit_sim::scenario::DEVICE_ID;
 use upkit_sim::FirmwareGenerator;
 use upkit_trace::{Counters, CountersSnapshot, Event, MemorySink, TraceRecord, Tracer};
@@ -121,11 +124,16 @@ pub enum MutationClass {
     /// The whole resolved stream replaced by a stale-nonce or
     /// wrong-device package the server once legitimately signed.
     DowngradeReplay,
+    /// One block of a warm gateway block cache corrupted in place, then
+    /// served to every downstream device — the attack a forwarding-path
+    /// [`Tamper`](upkit_net::Tamper) cannot model, because the upstream
+    /// fetch itself was honest.
+    CachePoison,
 }
 
 impl MutationClass {
     /// Every surface, in canonical exploration order.
-    pub const ALL: [MutationClass; 12] = [
+    pub const ALL: [MutationClass; 13] = [
         MutationClass::Suit,
         MutationClass::ManifestWire,
         MutationClass::BlockDiff,
@@ -138,6 +146,7 @@ impl MutationClass {
         MutationClass::FrameInject,
         MutationClass::FrameDrop,
         MutationClass::DowngradeReplay,
+        MutationClass::CachePoison,
     ];
 
     /// Stable label used in traces, reports, and reproducer commands.
@@ -156,6 +165,7 @@ impl MutationClass {
             MutationClass::FrameInject => "frame_inject",
             MutationClass::FrameDrop => "frame_drop",
             MutationClass::DowngradeReplay => "downgrade_replay",
+            MutationClass::CachePoison => "cache_poison",
         }
     }
 
@@ -216,6 +226,14 @@ pub const STRUCTURAL_MUTATIONS: u64 = 3;
 /// Downgrade-replay case universe: stale-nonce and wrong-device streams.
 pub const DOWNGRADE_CASES: u64 = 2;
 
+/// Block size of the gateway cache the cache-poison surface warms; one
+/// case per block, so every region of the stream gets poisoned once.
+pub const CACHE_POISON_BLOCK_SIZE: usize = 256;
+
+/// Downstream devices served from each poisoned cache — every one of
+/// them must reject the stream.
+pub const CACHE_POISON_DOWNSTREAM: usize = 3;
+
 /// Everything the fault-free scenario establishes once, shared by every
 /// case: the honest frame count, the bytes an honest install leaves in
 /// the booted slot, the package corpora the decoder surfaces mutate, and
@@ -229,6 +247,9 @@ pub struct Baseline {
     /// Full contents of that slot after the honest install — the
     /// byte-identity reference for the never-accept check.
     pub booted_bytes: Vec<u8>,
+    /// The honest stream a caching gateway fetches and caches — the
+    /// corpus the cache-poison surface corrupts block by block.
+    pub honest_stream: SessionStream,
     /// The stream the server serves for a stale (already-used) nonce.
     pub stale_stream: SessionStream,
     /// The stream the server serves for a different device id.
@@ -350,6 +371,7 @@ pub fn record_baseline(scenario: &WorldConfig) -> Baseline {
         frames,
         booted_slot,
         booted_bytes,
+        honest_stream: honest.clone(),
         stale_stream,
         wrong_device_stream,
         suit_bytes,
@@ -386,6 +408,9 @@ pub fn universe(surface: MutationClass, baseline: &Baseline) -> u64 {
         | MutationClass::FrameInject
         | MutationClass::FrameDrop => baseline.frames,
         MutationClass::DowngradeReplay => DOWNGRADE_CASES,
+        MutationClass::CachePoison => {
+            u64::from(CachedOrigin::new(&baseline.honest_stream).blocks(CACHE_POISON_BLOCK_SIZE))
+        }
     }
 }
 
@@ -586,6 +611,195 @@ fn run_decoder_case(
     }
 }
 
+/// Post-session never-brick / never-accept check shared by every session
+/// surface (frame tampers, stream replay, cache poison): the device must
+/// still boot a dual-signature-valid image, never an older one, and if
+/// it kept the update it must be byte-identical to the vendor's. Returns
+/// the violation (if any) and whether a forgery was accepted.
+fn post_session_invariant(
+    world: &mut UpdateWorld,
+    baseline: &Baseline,
+    completed: bool,
+    max_boots: u32,
+) -> (Option<String>, bool) {
+    let base = world.base_version;
+    match world.reboot_to_fixed_point(max_boots) {
+        Ok(report) => {
+            let booted = report.outcome.booted_slot;
+            let version = report.outcome.version;
+            if !world.slot_verifies(booted) {
+                return (
+                    Some(format!(
+                        "booted slot {booted:?} does not hold a dual-signature-valid image"
+                    )),
+                    false,
+                );
+            }
+            if version < base {
+                return (
+                    Some(format!(
+                        "booted version {version} is older than the pre-update version {base}"
+                    )),
+                    false,
+                );
+            }
+            if version > base {
+                let spec = world.layout.slot(booted).expect("booted slot exists");
+                let mut bytes = vec![0u8; spec.size as usize];
+                world
+                    .layout
+                    .read_slot(booted, 0, &mut bytes)
+                    .expect("booted slot is readable");
+                if booted != baseline.booted_slot || bytes != baseline.booted_bytes {
+                    return (
+                        Some(
+                            "device kept an update that is not byte-identical to the \
+                             vendor image"
+                                .to_string(),
+                        ),
+                        true,
+                    );
+                }
+            } else if completed {
+                return (
+                    Some("session completed but the device still boots the old version".into()),
+                    false,
+                );
+            }
+            (None, false)
+        }
+        Err(err) => (Some(format!("device bricked: {err}")), false),
+    }
+}
+
+/// [`SessionEndpoints`] for a device pulling through a caching gateway:
+/// a real [`UpdateAgent`](upkit_core::agent::UpdateAgent) served from the
+/// proxy's block cache instead of straight from the server.
+struct CachedPullEndpoints<'a> {
+    proxy: &'a mut CachingProxy,
+    origin: &'a CachedOrigin,
+    world: &'a mut UpdateWorld,
+    plan: Option<UpdatePlan>,
+    nonce: u32,
+}
+
+impl SessionEndpoints for CachedPullEndpoints<'_> {
+    fn request_token(&mut self) -> Result<DeviceToken, AgentError> {
+        let plan = self.plan.take().ok_or(AgentError::WrongState(
+            upkit_core::agent::AgentState::Waiting,
+        ))?;
+        self.world
+            .agent
+            .request_device_token(&mut self.world.layout, plan, self.nonce)
+    }
+
+    fn resolve_stream(&mut self, _token: &DeviceToken) -> StreamResolution {
+        // Well after the warm-up fetches landed: every block is a cache
+        // hit, so the device is served *only* poisoned-cache bytes.
+        self.proxy.resolve(self.origin, 1 << 40)
+    }
+
+    fn deliver(&mut self, chunk: &[u8]) -> Result<AgentPhase, AgentError> {
+        self.world.agent.push_data(&mut self.world.layout, chunk)
+    }
+}
+
+/// One cache-poison case: warm a gateway cache with one honest serve,
+/// corrupt block `index` in place, then serve
+/// [`CACHE_POISON_DOWNSTREAM`] devices from the poisoned cache. Every
+/// one of them must reject the stream and keep booting its old image.
+fn run_cache_case(
+    scenario: &WorldConfig,
+    baseline: &Baseline,
+    index: u64,
+    max_boots: u32,
+    tracer: &Tracer,
+) -> (String, bool, Option<String>) {
+    let nonce = scenario_nonce(scenario);
+    let origin = CachedOrigin::new(&baseline.honest_stream);
+    let blocks = origin.blocks(CACHE_POISON_BLOCK_SIZE) as usize;
+    let mut proxy = CachingProxy::new(
+        0xCA4E,
+        CACHE_POISON_BLOCK_SIZE,
+        blocks,
+        LinkProfile::wifi_backhaul(),
+    );
+    proxy.set_tracer(tracer.clone());
+    // Warm the cache honestly, then poison one block in place. The
+    // upstream fetch was legitimate — only the cached copy lies.
+    let _ = proxy.resolve(&origin, 0);
+    let bit = (index.wrapping_mul(11) % 8) as u8;
+    let poisoned = proxy.poison_block(origin.digest(), index as u32, |bytes| {
+        let target = (index as usize).wrapping_mul(31) % bytes.len().max(1);
+        if let Some(byte) = bytes.get_mut(target) {
+            *byte ^= 1 << bit;
+        }
+    });
+    if !poisoned {
+        return (
+            "block_not_cached".to_string(),
+            false,
+            Some(format!("cache block {index} was never warmed")),
+        );
+    }
+
+    let mut label = String::new();
+    let mut panicked = false;
+    let mut violation: Option<String> = None;
+    for device in 0..CACHE_POISON_DOWNSTREAM {
+        let mut world = update_world(scenario, Box::new(SimFlash::new(world_geometry(scenario))));
+        world.layout.set_tracer(tracer.clone());
+        let session_result = {
+            let link = LinkProfile::ieee802154_6lowpan();
+            let mut session = PullSession::new(
+                LossyLink::reliable(link),
+                RetryPolicy::for_link(&link),
+                device as u64,
+            );
+            session.set_tracer(tracer.clone());
+            let plan = world.plan.clone();
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut endpoints = CachedPullEndpoints {
+                    proxy: &mut proxy,
+                    origin: &origin,
+                    world: &mut world,
+                    plan: Some(plan),
+                    nonce,
+                };
+                session.run_to_completion(&mut endpoints).outcome
+            }))
+        };
+        let (device_label, completed, device_panicked) = match &session_result {
+            Ok(outcome) => (outcome.label().to_string(), outcome.is_complete(), false),
+            Err(_) => ("panicked".to_string(), false, true),
+        };
+        panicked |= device_panicked;
+        label = device_label;
+
+        let checked = catch_unwind(AssertUnwindSafe(|| {
+            post_session_invariant(&mut world, baseline, completed, max_boots)
+        }));
+        let (device_violation, forged) = match checked {
+            Ok(v) => v,
+            Err(_) => {
+                panicked = true;
+                (Some("post-session boot check panicked".to_string()), false)
+            }
+        };
+        if forged {
+            Counters::add(&tracer.counters().forgeries_accepted, 1);
+        }
+        if violation.is_none() {
+            violation = device_violation
+                .map(|v| format!("downstream device {device}: {v}"))
+                .or_else(|| {
+                    device_panicked.then(|| format!("cache_poison device {device} panicked"))
+                });
+        }
+    }
+    (label, panicked, violation)
+}
+
 fn run_session_case(
     scenario: &WorldConfig,
     baseline: &Baseline,
@@ -628,55 +842,8 @@ fn run_session_case(
     // the vendor's (never-accept). The check runs under its own
     // catch_unwind so a panicking bootloader is a report line, not a
     // harness crash.
-    let base = world.base_version;
-    let checked = catch_unwind(AssertUnwindSafe(|| -> (Option<String>, bool) {
-        match world.reboot_to_fixed_point(max_boots) {
-            Ok(report) => {
-                let booted = report.outcome.booted_slot;
-                let version = report.outcome.version;
-                if !world.slot_verifies(booted) {
-                    return (
-                        Some(format!(
-                            "booted slot {booted:?} does not hold a dual-signature-valid image"
-                        )),
-                        false,
-                    );
-                }
-                if version < base {
-                    return (
-                        Some(format!(
-                            "booted version {version} is older than the pre-update version {base}"
-                        )),
-                        false,
-                    );
-                }
-                if version > base {
-                    let spec = world.layout.slot(booted).expect("booted slot exists");
-                    let mut bytes = vec![0u8; spec.size as usize];
-                    world
-                        .layout
-                        .read_slot(booted, 0, &mut bytes)
-                        .expect("booted slot is readable");
-                    if booted != baseline.booted_slot || bytes != baseline.booted_bytes {
-                        return (
-                            Some(
-                                "device kept an update that is not byte-identical to the \
-                                 vendor image"
-                                    .to_string(),
-                            ),
-                            true,
-                        );
-                    }
-                } else if completed {
-                    return (
-                        Some("session completed but the device still boots the old version".into()),
-                        false,
-                    );
-                }
-                (None, false)
-            }
-            Err(err) => (Some(format!("device bricked: {err}")), false),
-        }
+    let checked = catch_unwind(AssertUnwindSafe(|| {
+        post_session_invariant(&mut world, baseline, completed, max_boots)
     }));
 
     let (violation, forged) = match checked {
@@ -712,6 +879,8 @@ pub fn run_case(
 
     let (outcome, panicked, violation) = if surface.is_decoder_surface() {
         run_decoder_case(baseline, surface, index, tracer)
+    } else if surface == MutationClass::CachePoison {
+        run_cache_case(scenario, baseline, index, max_boots, tracer)
     } else {
         run_session_case(scenario, baseline, surface, index, max_boots, tracer)
     };
@@ -1017,6 +1186,10 @@ mod tests {
             frames: 10,
             booted_slot: upkit_flash::standard::SLOT_B,
             booted_bytes: vec![0; 4],
+            honest_stream: SessionStream {
+                manifest: vec![5; 4],
+                payload: vec![6; 8],
+            },
             stale_stream: SessionStream {
                 manifest: vec![1],
                 payload: vec![2],
@@ -1042,5 +1215,7 @@ mod tests {
         assert_eq!(universe(MutationClass::Suit, &baseline), 8 + 3);
         assert_eq!(universe(MutationClass::FrameCorrupt, &baseline), 10);
         assert_eq!(universe(MutationClass::DowngradeReplay, &baseline), 2);
+        // 12 stream bytes in one 256-byte cache block.
+        assert_eq!(universe(MutationClass::CachePoison, &baseline), 1);
     }
 }

@@ -8,8 +8,11 @@
 //!
 //! * [`profiles`] — link timing models ([`LinkProfile`]) and radio
 //!   accounting ([`TransferAccounting`]).
-//! * [`proxy`] — the passive forwarders ([`Smartphone`], [`BorderRouter`]);
-//!   per the paper's threat model they forward bytes but hold no keys.
+//! * [`proxy`] — the passive forwarders ([`Smartphone`], [`BorderRouter`])
+//!   and the active caching gateway ([`CachingProxy`]): a bounded LRU
+//!   block cache with single-flighted upstream fetches, so one upstream
+//!   transfer serves any number of downstream devices. Per the paper's
+//!   threat model proxies forward bytes but hold no keys.
 //! * [`tamper`] — the attacks a compromised proxy can mount: whole-message
 //!   corrupt/truncate/replay ([`Tamper`]) and in-flight single-frame
 //!   corrupt/reorder/duplicate/inject/drop plus cross-version stream
@@ -37,7 +40,7 @@ pub mod tamper;
 pub use drivers::{run_pull_session, run_push_session};
 pub use lossy::LossyLink;
 pub use profiles::{LinkProfile, TransferAccounting};
-pub use proxy::{BorderRouter, Smartphone};
+pub use proxy::{BorderRouter, CachedOrigin, CachingProxy, ProxyStats, Smartphone};
 pub use session::{
     PullEndpoints, PullSession, PushEndpoints, PushSession, RetryPolicy, SessionEndpoints,
     SessionEvent, SessionEventKind, SessionOutcome, SessionReport, SessionStream, Step,

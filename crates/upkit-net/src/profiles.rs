@@ -56,10 +56,52 @@ impl LinkProfile {
         }
     }
 
+    /// The gateway's upstream/backhaul link (gateway ↔ update server over
+    /// the Internet): orders of magnitude faster than the constrained
+    /// radios, but not free — a caching proxy still serializes its block
+    /// fetches on it, which is where shared-capacity contention between
+    /// overlapping campaigns shows up.
+    #[must_use]
+    pub fn wifi_backhaul() -> Self {
+        Self {
+            name: "WiFi backhaul",
+            mtu: 1_024,
+            throughput_bytes_per_sec: 250_000,
+            rtt_micros: 20_000,
+            per_chunk_overhead_micros: 500,
+        }
+    }
+
+    /// The same radio relayed over `hops` store-and-forward mesh links:
+    /// round trips and per-chunk scheduling overhead scale with the hop
+    /// count while the MTU and goodput stay those of the single radio.
+    /// `hops = 1` (or 0) is the link itself.
+    #[must_use]
+    pub fn multi_hop(&self, hops: u32) -> Self {
+        let hops = u64::from(hops.max(1));
+        Self {
+            name: self.name,
+            mtu: self.mtu,
+            throughput_bytes_per_sec: self.throughput_bytes_per_sec,
+            rtt_micros: self.rtt_micros.saturating_mul(hops),
+            per_chunk_overhead_micros: self.per_chunk_overhead_micros.saturating_mul(hops),
+        }
+    }
+
     /// Microseconds to move `bytes` as payload (excluding per-chunk costs).
     #[must_use]
     pub fn payload_micros(&self, bytes: u64) -> u64 {
         bytes.saturating_mul(1_000_000) / self.throughput_bytes_per_sec.max(1)
+    }
+
+    /// Full time to move `bytes` over this link in one direction: payload
+    /// time plus per-chunk overhead plus one round trip of latency. The
+    /// caching proxy charges upstream block fetches with this.
+    #[must_use]
+    pub fn transfer_micros(&self, bytes: u64) -> u64 {
+        self.payload_micros(bytes)
+            + self.chunks_for(bytes) * self.per_chunk_overhead_micros
+            + self.rtt_micros
     }
 
     /// Number of MTU-sized chunks needed for `bytes`.
@@ -176,6 +218,38 @@ mod tests {
         assert_eq!(merged.bytes_to_device, 500);
         assert_eq!(merged.round_trips, 1);
         assert_eq!(merged.elapsed_micros, a.elapsed_micros + b.elapsed_micros);
+    }
+
+    #[test]
+    fn multi_hop_scales_latency_not_goodput() {
+        let one = LinkProfile::ieee802154_6lowpan();
+        let three = one.multi_hop(3);
+        assert_eq!(three.mtu, one.mtu);
+        assert_eq!(three.throughput_bytes_per_sec, one.throughput_bytes_per_sec);
+        assert_eq!(three.rtt_micros, 3 * one.rtt_micros);
+        assert_eq!(
+            three.per_chunk_overhead_micros,
+            3 * one.per_chunk_overhead_micros
+        );
+        // Degenerate hop counts collapse to the single link.
+        assert_eq!(one.multi_hop(0), one);
+        assert_eq!(one.multi_hop(1), one);
+    }
+
+    #[test]
+    fn transfer_micros_includes_latency_and_overhead() {
+        let link = LinkProfile::wifi_backhaul();
+        let bytes = 4_096u64;
+        assert_eq!(
+            link.transfer_micros(bytes),
+            link.payload_micros(bytes)
+                + link.chunks_for(bytes) * link.per_chunk_overhead_micros
+                + link.rtt_micros
+        );
+        // The backhaul moves a block orders of magnitude faster than the
+        // constrained radio moves it.
+        let lowpan = LinkProfile::ieee802154_6lowpan();
+        assert!(link.transfer_micros(4_096) * 10 < lowpan.transfer_micros(4_096));
     }
 
     #[test]

@@ -1,14 +1,31 @@
-//! Passive forwarders: the smartphone (push) and border router (pull).
+//! Update proxies: passive forwarders and the active caching gateway.
 //!
-//! In UpKit's architecture neither proxy is an active component: each only
-//! forwards bytes between update server and device. A compromised proxy
-//! can therefore mount denial-of-service or corruption attacks (modeled by
-//! [`Tamper`]) but cannot defeat integrity, authenticity, or freshness —
-//! the property the integration tests demonstrate.
+//! In UpKit's architecture the push smartphone and pull border router are
+//! passive: each only forwards bytes between update server and device. A
+//! compromised proxy can therefore mount denial-of-service or corruption
+//! attacks (modeled by [`Tamper`]) but cannot defeat integrity,
+//! authenticity, or freshness — the property the integration tests
+//! demonstrate.
+//!
+//! [`CachingProxy`] promotes the gateway into an *active* in-network
+//! cache: a bounded, LRU-evicted block store keyed by
+//! `(stream digest, block index)`. A cache hit serves a downstream device
+//! without touching the upstream link; a miss single-flights the upstream
+//! fetch so concurrent downstream sessions share one transfer. The threat
+//! model is unchanged — a tampered or poisoned cache corrupts bytes, and
+//! [`Tamper`] applies to cache-served responses exactly as it does to
+//! forwarded ones, so end-to-end verification on the device remains the
+//! only integrity boundary.
+
+use std::collections::HashMap;
 
 use upkit_core::generation::{PreparedUpdate, UpdateServer};
+use upkit_crypto::sha256::sha256;
 use upkit_manifest::DeviceToken;
+use upkit_trace::{Counters, Event, Tracer};
 
+use crate::profiles::LinkProfile;
+use crate::session::{SessionStream, StreamResolution};
 use crate::tamper::Tamper;
 
 /// The smartphone of the push flow (Fig. 2): fetches the update image from
@@ -137,6 +154,322 @@ impl BorderRouter {
     }
 }
 
+/// The upstream content a [`CachingProxy`] can fetch blocks of: one
+/// serialized update stream (manifest region ‖ payload region) addressed
+/// by the first eight bytes of its SHA-256. Build it once per campaign
+/// and share it read-only across proxies.
+#[derive(Clone, Debug)]
+pub struct CachedOrigin {
+    digest: u64,
+    manifest_len: usize,
+    bytes: Vec<u8>,
+}
+
+impl CachedOrigin {
+    /// Wraps a resolved stream as a cacheable origin.
+    #[must_use]
+    pub fn new(stream: &SessionStream) -> Self {
+        let mut bytes = Vec::with_capacity(stream.manifest.len() + stream.payload.len());
+        bytes.extend_from_slice(&stream.manifest);
+        bytes.extend_from_slice(&stream.payload);
+        let hash = sha256(&bytes);
+        let digest = u64::from_be_bytes(hash[..8].try_into().expect("sha256 is 32 bytes"));
+        Self {
+            digest,
+            manifest_len: stream.manifest.len(),
+            bytes,
+        }
+    }
+
+    /// Cache-key namespace: first 8 bytes (big-endian) of the stream's
+    /// SHA-256.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Total serialized length (manifest ‖ payload).
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Length of the manifest region.
+    #[must_use]
+    pub fn manifest_len(&self) -> usize {
+        self.manifest_len
+    }
+
+    /// Number of `block_size`-sized blocks the stream splits into.
+    #[must_use]
+    pub fn blocks(&self, block_size: usize) -> u32 {
+        self.bytes.len().div_ceil(block_size.max(1)) as u32
+    }
+
+    /// The untampered stream as a direct single-hop fetch would deliver
+    /// it — the reference the dissemination correctness properties compare
+    /// cached serves against.
+    #[must_use]
+    pub fn direct_stream(&self) -> SessionStream {
+        SessionStream {
+            manifest: self.bytes[..self.manifest_len].to_vec(),
+            payload: self.bytes[self.manifest_len..].to_vec(),
+        }
+    }
+
+    fn block(&self, index: u32, block_size: usize) -> &[u8] {
+        let start = (index as usize) * block_size;
+        let end = (start + block_size).min(self.bytes.len());
+        &self.bytes[start..end]
+    }
+}
+
+/// Cumulative cache/upstream accounting of one [`CachingProxy`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Downstream serves the proxy assembled.
+    pub serves: u64,
+    /// Blocks served straight from the cache.
+    pub cache_hits: u64,
+    /// Blocks fetched upstream before serving.
+    pub cache_misses: u64,
+    /// Blocks evicted under LRU capacity pressure.
+    pub evictions: u64,
+    /// Upstream block fetches issued (equals `cache_misses`).
+    pub upstream_fetches: u64,
+    /// Bytes moved over the upstream link.
+    pub upstream_bytes: u64,
+    /// Virtual microseconds the upstream link was busy fetching.
+    pub upstream_micros: u64,
+    /// Blocks that joined an upstream fetch already in flight instead of
+    /// issuing their own.
+    pub single_flight_joins: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    bytes: Vec<u8>,
+    /// LRU clock: monotone per-proxy lookup tick of the last touch.
+    tick: u64,
+    /// Virtual time the upstream fetch that produced this entry lands;
+    /// serves before that join the in-flight fetch and wait for it.
+    ready_at: u64,
+}
+
+/// An active caching gateway: bounded LRU block cache over one or more
+/// upstream origins, with single-flighted upstream fetches serialized on
+/// the (shared) backhaul link.
+///
+/// All time is virtual: the caller passes the current scheduler time to
+/// [`CachingProxy::resolve`] and receives the stream together with the
+/// wait the downstream session must charge
+/// ([`StreamResolution::Deferred`]). Because every mutation is a pure
+/// function of the call sequence, a proxy driven by a deterministic event
+/// loop is itself deterministic — eviction picks the unique
+/// least-recently-used tick, never hash order.
+#[derive(Debug)]
+pub struct CachingProxy {
+    id: u64,
+    block_size: usize,
+    capacity_blocks: usize,
+    upstream: LinkProfile,
+    tamper: Tamper,
+    entries: HashMap<(u64, u32), CacheEntry>,
+    tick: u64,
+    busy_until: u64,
+    stats: ProxyStats,
+    tracer: Tracer,
+}
+
+impl CachingProxy {
+    /// An honest caching gateway `id`, holding at most `capacity_blocks`
+    /// blocks of `block_size` bytes and fetching misses over `upstream`.
+    /// `capacity_blocks = 0` disables caching entirely: every serve
+    /// refetches every block (the per-device unicast baseline, with the
+    /// same upstream accounting).
+    #[must_use]
+    pub fn new(id: u64, block_size: usize, capacity_blocks: usize, upstream: LinkProfile) -> Self {
+        Self {
+            id,
+            block_size: block_size.max(1),
+            capacity_blocks,
+            upstream,
+            tamper: Tamper::None,
+            entries: HashMap::new(),
+            tick: 0,
+            busy_until: 0,
+            stats: ProxyStats::default(),
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// A compromised gateway applying `tamper` to every served stream —
+    /// cache hits included, not just freshly forwarded bytes.
+    #[must_use]
+    pub fn compromised(
+        id: u64,
+        block_size: usize,
+        capacity_blocks: usize,
+        upstream: LinkProfile,
+        tamper: Tamper,
+    ) -> Self {
+        Self {
+            tamper,
+            ..Self::new(id, block_size, capacity_blocks, upstream)
+        }
+    }
+
+    /// Routes this proxy's counters and events through `tracer`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Cache/upstream accounting so far.
+    #[must_use]
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+
+    /// Blocks currently cached.
+    #[must_use]
+    pub fn cached_blocks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Block granularity of the cache.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Directly corrupts a cached block in place (a poisoned cache entry,
+    /// the active-attacker analogue of [`Tamper`] on the forwarding
+    /// path). Returns `false` when the block is not cached.
+    pub fn poison_block(
+        &mut self,
+        digest: u64,
+        index: u32,
+        mutate: impl FnOnce(&mut Vec<u8>),
+    ) -> bool {
+        match self.entries.get_mut(&(digest, index)) {
+            Some(entry) => {
+                mutate(&mut entry.bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Assembles `origin`'s stream for one downstream session at virtual
+    /// time `now_micros`: cached blocks are served locally, missing ones
+    /// are fetched upstream (serialized on the backhaul — concurrent
+    /// campaigns queue behind each other), and blocks whose fetch is
+    /// still in flight are joined rather than refetched. The returned
+    /// [`StreamResolution::Deferred`] carries the wait until the last
+    /// needed block lands.
+    pub fn resolve(&mut self, origin: &CachedOrigin, now_micros: u64) -> StreamResolution {
+        let blocks = origin.blocks(self.block_size);
+        let mut assembled = Vec::with_capacity(origin.total_len());
+        let mut ready_at = now_micros;
+        let (mut hits, mut misses, mut joins) = (0u64, 0u64, 0u64);
+        let mut fetched_bytes = 0u64;
+        let mut fetch_micros = 0u64;
+        for index in 0..blocks {
+            let key = (origin.digest, index);
+            self.tick += 1;
+            if let Some(entry) = self.entries.get_mut(&key) {
+                entry.tick = self.tick;
+                if entry.ready_at > now_micros {
+                    // Another session's upstream fetch for this block is
+                    // still in flight: share it, wait for it.
+                    joins += 1;
+                    ready_at = ready_at.max(entry.ready_at);
+                } else {
+                    hits += 1;
+                }
+                assembled.extend_from_slice(&entry.bytes);
+                continue;
+            }
+            misses += 1;
+            let bytes = origin.block(index, self.block_size).to_vec();
+            let start = now_micros.max(self.busy_until);
+            let done = start + self.upstream.transfer_micros(bytes.len() as u64);
+            self.busy_until = done;
+            fetched_bytes += bytes.len() as u64;
+            fetch_micros += done - start;
+            ready_at = ready_at.max(done);
+            assembled.extend_from_slice(&bytes);
+            if self.capacity_blocks > 0 {
+                self.insert(key, bytes, done);
+            }
+        }
+
+        self.stats.serves += 1;
+        self.stats.cache_hits += hits;
+        self.stats.cache_misses += misses;
+        self.stats.upstream_fetches += misses;
+        self.stats.upstream_bytes += fetched_bytes;
+        self.stats.upstream_micros += fetch_micros;
+        self.stats.single_flight_joins += joins;
+        let counters = self.tracer.counters();
+        Counters::add(&counters.proxy_cache_hits, hits);
+        Counters::add(&counters.proxy_cache_misses, misses);
+        Counters::add(&counters.upstream_fetches, misses);
+        Counters::add(&counters.upstream_bytes, fetched_bytes);
+        Counters::add(&counters.upstream_micros, fetch_micros);
+        Counters::add(&counters.single_flight_joins, joins);
+        let wait_micros = ready_at - now_micros;
+        let (proxy, digest) = (self.id, origin.digest);
+        self.tracer.emit(|| Event::ProxyServe {
+            proxy,
+            digest,
+            hits,
+            misses,
+            joins,
+            upstream_bytes: fetched_bytes,
+            wait_micros,
+        });
+
+        // Tamper covers everything the proxy serves — bytes pulled out of
+        // the cache just as much as bytes freshly fetched upstream.
+        let served = self.tamper.apply(&assembled);
+        let manifest_len = origin.manifest_len.min(served.len());
+        let payload = served[manifest_len..].to_vec();
+        let mut manifest = served;
+        manifest.truncate(manifest_len);
+        StreamResolution::Deferred {
+            stream: SessionStream { manifest, payload },
+            wait_micros,
+        }
+    }
+
+    fn insert(&mut self, key: (u64, u32), bytes: Vec<u8>, ready_at: u64) {
+        self.entries.insert(
+            key,
+            CacheEntry {
+                bytes,
+                tick: self.tick,
+                ready_at,
+            },
+        );
+        while self.entries.len() > self.capacity_blocks {
+            // Ticks are unique, so the LRU victim is unique — eviction
+            // order never depends on hash-map iteration order.
+            let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.tick)
+                .map(|(key, _)| *key)
+            else {
+                break;
+            };
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+            Counters::add(&self.tracer.counters().proxy_evictions, 1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +546,134 @@ mod tests {
         assert_eq!(honest.forward(b"blk"), b"blk");
         let evil = BorderRouter::compromised(Tamper::FlipBit { offset: 0 });
         assert_ne!(evil.forward(b"blk"), b"blk");
+    }
+
+    fn origin(payload_len: usize) -> CachedOrigin {
+        CachedOrigin::new(&SessionStream {
+            manifest: vec![0xAA; 196],
+            payload: (0..payload_len).map(|i| i as u8).collect(),
+        })
+    }
+
+    fn unwrap_deferred(resolution: StreamResolution) -> (SessionStream, u64) {
+        match resolution {
+            StreamResolution::Deferred {
+                stream,
+                wait_micros,
+            } => (stream, wait_micros),
+            other => panic!("caching proxy always defers, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_cache_serves_without_upstream_fetches() {
+        let origin = origin(1_000);
+        let mut proxy = CachingProxy::new(0, 256, 64, LinkProfile::wifi_backhaul());
+        let (first, first_wait) = unwrap_deferred(proxy.resolve(&origin, 0));
+        assert_eq!(first, origin.direct_stream());
+        assert!(first_wait > 0, "cold cache pays the upstream fetch");
+        let cold = proxy.stats();
+        assert_eq!(cold.cache_misses, u64::from(origin.blocks(256)));
+        assert_eq!(cold.upstream_bytes, origin.total_len() as u64);
+
+        // Resolve again after the fetches landed: pure hits, zero wait,
+        // zero new upstream traffic.
+        let later = first_wait + 1;
+        let (second, second_wait) = unwrap_deferred(proxy.resolve(&origin, later));
+        assert_eq!(second, origin.direct_stream());
+        assert_eq!(second_wait, 0);
+        let warm = proxy.stats();
+        assert_eq!(warm.upstream_bytes, cold.upstream_bytes);
+        assert_eq!(warm.cache_hits, u64::from(origin.blocks(256)));
+    }
+
+    #[test]
+    fn concurrent_serves_single_flight_the_upstream_fetch() {
+        let origin = origin(1_000);
+        let mut proxy = CachingProxy::new(0, 256, 64, LinkProfile::wifi_backhaul());
+        let (_, first_wait) = unwrap_deferred(proxy.resolve(&origin, 0));
+        // A second session arriving while the fetches are still in flight
+        // joins them: same wait horizon, no new upstream bytes.
+        let (stream, join_wait) = unwrap_deferred(proxy.resolve(&origin, 0));
+        assert_eq!(stream, origin.direct_stream());
+        assert_eq!(join_wait, first_wait);
+        let stats = proxy.stats();
+        assert_eq!(stats.upstream_fetches, u64::from(origin.blocks(256)));
+        assert_eq!(stats.single_flight_joins, u64::from(origin.blocks(256)));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_refetches() {
+        let origin = origin(1_000); // 196 + 1000 = 5 blocks of 256
+        let blocks = u64::from(origin.blocks(256));
+        let mut proxy = CachingProxy::new(0, 256, 2, LinkProfile::wifi_backhaul());
+        let (_, wait) = unwrap_deferred(proxy.resolve(&origin, 0));
+        assert_eq!(proxy.cached_blocks(), 2);
+        assert_eq!(proxy.stats().evictions, blocks - 2);
+        // The front of the stream was evicted, so a warm serve still
+        // refetches — a cache smaller than the image cannot absorb the
+        // fan-out.
+        let (_, _) = unwrap_deferred(proxy.resolve(&origin, wait + 1));
+        assert!(proxy.stats().upstream_fetches > blocks);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching_entirely() {
+        let origin = origin(600);
+        let mut proxy = CachingProxy::new(0, 256, 0, LinkProfile::wifi_backhaul());
+        let (_, wait) = unwrap_deferred(proxy.resolve(&origin, 0));
+        unwrap_deferred(proxy.resolve(&origin, wait + 1));
+        let stats = proxy.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.upstream_bytes, 2 * origin.total_len() as u64);
+        assert_eq!(proxy.cached_blocks(), 0);
+    }
+
+    #[test]
+    fn shared_backhaul_serializes_concurrent_fetches() {
+        // Two different origins fetched at the same instant queue behind
+        // each other on the one upstream link.
+        let a = origin(600);
+        let b = CachedOrigin::new(&SessionStream {
+            manifest: vec![0xCC; 196],
+            payload: vec![0xDD; 600],
+        });
+        let mut proxy = CachingProxy::new(0, 256, 64, LinkProfile::wifi_backhaul());
+        let (_, wait_a) = unwrap_deferred(proxy.resolve(&a, 0));
+        let (_, wait_b) = unwrap_deferred(proxy.resolve(&b, 0));
+        assert!(
+            wait_b > wait_a,
+            "second campaign queues behind the first: {wait_b} vs {wait_a}"
+        );
+    }
+
+    #[test]
+    fn tamper_covers_cache_served_responses() {
+        let origin = origin(1_000);
+        let mut proxy =
+            CachingProxy::compromised(0, 256, 64, LinkProfile::wifi_backhaul(), Tamper::None);
+        // Warm the cache honestly, then turn the proxy malicious: the
+        // tampered serve comes entirely out of the cache.
+        let (honest, wait) = unwrap_deferred(proxy.resolve(&origin, 0));
+        assert_eq!(honest, origin.direct_stream());
+        proxy.tamper = Tamper::FlipBit { offset: 300 };
+        let (tampered, _) = unwrap_deferred(proxy.resolve(&origin, wait + 1));
+        assert_eq!(proxy.stats().cache_hits, u64::from(origin.blocks(256)));
+        assert_ne!(tampered, origin.direct_stream());
+        assert_ne!(tampered.payload, honest.payload);
+    }
+
+    #[test]
+    fn poisoned_cache_entry_corrupts_the_served_stream() {
+        let origin = origin(1_000);
+        let mut proxy = CachingProxy::new(0, 256, 64, LinkProfile::wifi_backhaul());
+        let (_, wait) = unwrap_deferred(proxy.resolve(&origin, 0));
+        assert!(proxy.poison_block(origin.digest(), 1, |bytes| bytes[0] ^= 0x80));
+        assert!(
+            !proxy.poison_block(origin.digest(), 999, |_| {}),
+            "uncached blocks cannot be poisoned"
+        );
+        let (poisoned, _) = unwrap_deferred(proxy.resolve(&origin, wait + 1));
+        assert_ne!(poisoned, origin.direct_stream());
     }
 }

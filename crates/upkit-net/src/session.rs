@@ -90,7 +90,9 @@ pub struct SessionReport {
 pub enum SessionEventKind {
     /// Token request round trip plus the token upload.
     TokenExchange,
-    /// Proxy/server stream resolution (no device-radio cost).
+    /// Proxy/server stream resolution. Costs no device radio; a caching
+    /// proxy that had to fetch upstream first charges the wait as
+    /// radio-idle time ([`StreamResolution::Deferred`]).
     ProxyFetch,
     /// One link chunk transmitted and delivered to the agent.
     ChunkDelivered {
@@ -182,6 +184,17 @@ pub enum StreamResolution {
     ProxyEmpty,
     /// The stream to transfer.
     Stream(SessionStream),
+    /// The stream to transfer, after the proxy spent `wait_micros` of
+    /// virtual time resolving it upstream (cache misses on a caching
+    /// proxy, queueing behind other sessions on a shared backhaul). The
+    /// wait is charged to the session as radio-idle time; the transfer
+    /// itself is then charged chunk by chunk as usual.
+    Deferred {
+        /// The resolved stream.
+        stream: SessionStream,
+        /// Radio-idle virtual time spent waiting for the proxy.
+        wait_micros: u64,
+    },
 }
 
 /// The two parties a session mediates between: the device-side agent and
@@ -366,20 +379,11 @@ impl SessionCore {
             Stage::Fetch { token } => match io.resolve_stream(&token) {
                 StreamResolution::NoUpdate => self.done(SessionOutcome::NoUpdateAvailable),
                 StreamResolution::ProxyEmpty => self.done(SessionOutcome::ProxyEmpty),
-                StreamResolution::Stream(stream) => {
-                    let stream_id = self.stream_id;
-                    let manifest_bytes = stream.manifest.len() as u64;
-                    let payload_bytes = stream.payload.len() as u64;
-                    self.tracer.emit(|| Event::ProxyFetch {
-                        stream: stream_id,
-                        manifest_bytes,
-                        payload_bytes,
-                    });
-                    self.stream = Some(stream);
-                    self.cursor = 0;
-                    self.stage = Stage::Manifest;
-                    self.progress(SessionEventKind::ProxyFetch, before)
-                }
+                StreamResolution::Stream(stream) => self.accept_stream(stream, 0, before),
+                StreamResolution::Deferred {
+                    stream,
+                    wait_micros,
+                } => self.accept_stream(stream, wait_micros, before),
             },
             Stage::GoAhead => {
                 self.acc.charge_round_trip(&self.link.link);
@@ -393,6 +397,28 @@ impl SessionCore {
             Stage::Manifest => self.chunk_step(io, Region::Manifest, before),
             Stage::Firmware => self.chunk_step(io, Region::Firmware, before),
         }
+    }
+
+    /// Installs a resolved stream and transitions to the manifest region.
+    /// `wait_micros` is the radio-idle time the proxy took to produce the
+    /// stream (zero for passive forwarders).
+    fn accept_stream(&mut self, stream: SessionStream, wait_micros: u64, before: u64) -> Step {
+        if wait_micros > 0 {
+            self.acc.charge_wait(wait_micros);
+            Counters::add(&self.tracer.counters().wait_micros, wait_micros);
+        }
+        let stream_id = self.stream_id;
+        let manifest_bytes = stream.manifest.len() as u64;
+        let payload_bytes = stream.payload.len() as u64;
+        self.tracer.emit(|| Event::ProxyFetch {
+            stream: stream_id,
+            manifest_bytes,
+            payload_bytes,
+        });
+        self.stream = Some(stream);
+        self.cursor = 0;
+        self.stage = Stage::Manifest;
+        self.progress(SessionEventKind::ProxyFetch, before)
     }
 
     fn chunk_step(&mut self, io: &mut dyn SessionEndpoints, region: Region, before: u64) -> Step {
@@ -916,6 +942,41 @@ mod tests {
         );
         let reliable_report = reliable.run_to_completion(&mut reliable_io);
         assert!(report.accounting.elapsed_micros > reliable_report.accounting.elapsed_micros);
+    }
+
+    #[test]
+    fn deferred_resolution_charges_exactly_the_upstream_wait() {
+        let make = || StubEndpoints::serving(vec![1u8; 196], vec![2u8; 1000]);
+        let mut plain_io = make();
+        let mut deferred_io = make();
+        let Some(StreamResolution::Stream(stream)) = deferred_io.resolution.take() else {
+            panic!("stub serves a stream");
+        };
+        deferred_io.resolution = Some(StreamResolution::Deferred {
+            stream,
+            wait_micros: 123_456,
+        });
+        let new_session = || {
+            PullSession::new(
+                LossyLink::reliable(link()),
+                RetryPolicy::for_link(&link()),
+                0,
+            )
+        };
+        let plain = new_session().run_to_completion(&mut plain_io);
+        let deferred = new_session().run_to_completion(&mut deferred_io);
+        assert_eq!(plain.outcome, SessionOutcome::Complete);
+        assert_eq!(deferred.outcome, SessionOutcome::Complete);
+        // Same bytes on the radio, only the proxy wait separates them.
+        assert_eq!(
+            plain.accounting.bytes_to_device,
+            deferred.accounting.bytes_to_device
+        );
+        assert_eq!(plain.accounting.chunks, deferred.accounting.chunks);
+        assert_eq!(
+            deferred.accounting.elapsed_micros,
+            plain.accounting.elapsed_micros + 123_456
+        );
     }
 
     #[test]

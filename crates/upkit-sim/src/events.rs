@@ -136,27 +136,48 @@ struct CampaignEnv {
     canonical: Option<SessionStream>,
 }
 
+/// The campaign-wide verification context a lite device checks incoming
+/// streams against. Shared read-only between [`events`](self) and the
+/// multi-hop [`crate::topology`] simulator.
+pub(crate) struct LiteVerifyCtx<'a> {
+    pub(crate) vendor_key: &'a VerifyingKey,
+    pub(crate) server_key: &'a VerifyingKey,
+    /// The device's currently installed image (differential patch base).
+    pub(crate) base_image: &'a [u8],
+    pub(crate) verify_signatures: bool,
+    /// Whether the device/nonce manifest binding is enforced (off in
+    /// campaign/broadcast mode).
+    pub(crate) device_bound: bool,
+}
+
 /// Per-device protocol state: the lightweight analogue of an
 /// `UpdateAgent` + flash, mirroring `fleet::LiteDevice`'s checks but
 /// driven chunk-by-chunk through [`SessionEndpoints`].
-struct LiteState {
-    device_id: u32,
-    nonce_counter: u32,
-    installed: Version,
-    supports_differential: bool,
+pub(crate) struct LiteState {
+    pub(crate) device_id: u32,
+    pub(crate) nonce_counter: u32,
+    pub(crate) installed: Version,
+    pub(crate) supports_differential: bool,
+    /// Completed installs (must end at one per version step — the
+    /// duplicate-install guard the duty-cycle tests pin).
+    pub(crate) installs: u32,
+    /// The last fully verified firmware image (what the device now runs).
+    pub(crate) last_installed: Option<Vec<u8>>,
     manifest_buf: Vec<u8>,
     accepted: Option<Manifest>,
     payload: Vec<u8>,
 }
 
 impl LiteState {
-    fn new(device_id: u32, supports_differential: bool) -> Self {
+    pub(crate) fn new(device_id: u32, supports_differential: bool) -> Self {
         Self {
             device_id,
             // Same per-device nonce schedule as `SimDevice`.
             nonce_counter: device_id.wrapping_mul(2_654_435_761),
             installed: Version(1),
             supports_differential,
+            installs: 0,
+            last_installed: None,
             manifest_buf: Vec::new(),
             accepted: None,
             payload: Vec::new(),
@@ -164,10 +185,101 @@ impl LiteState {
     }
 
     /// Discards any half-received update (a fresh session starts clean).
-    fn reset_transfer(&mut self) {
+    pub(crate) fn reset_transfer(&mut self) {
         self.manifest_buf.clear();
         self.accepted = None;
         self.payload.clear();
+    }
+
+    /// The next device token this device would present.
+    pub(crate) fn next_token(&mut self) -> DeviceToken {
+        self.nonce_counter = self.nonce_counter.wrapping_add(0x9E37_79B9) | 1;
+        DeviceToken {
+            device_id: self.device_id,
+            nonce: self.nonce_counter,
+            current_version: if self.supports_differential {
+                self.installed
+            } else {
+                Version(0)
+            },
+        }
+    }
+
+    /// Accepts one link chunk: accumulates and verifies the manifest
+    /// region, then the payload region, reconstructing (and, for
+    /// differential payloads, patching) the firmware and digest-checking
+    /// it against the accepted manifest. The full `fleet::LiteDevice`
+    /// check sequence, driven incrementally.
+    pub(crate) fn deliver_chunk(
+        &mut self,
+        ctx: &LiteVerifyCtx<'_>,
+        chunk: &[u8],
+    ) -> Result<AgentPhase, AgentError> {
+        if self.accepted.is_none() {
+            // Manifest region: accumulate, then verify once complete.
+            self.manifest_buf.extend_from_slice(chunk);
+            if self.manifest_buf.len() < SIGNED_MANIFEST_LEN {
+                return Ok(AgentPhase::NeedMore);
+            }
+            let signed = SignedManifest::from_bytes(&self.manifest_buf)
+                .map_err(|_| AgentError::Verify(VerifyError::VendorSignature))?;
+            let manifest = signed.manifest;
+            if ctx.device_bound {
+                if manifest.device_id != self.device_id {
+                    return Err(AgentError::Verify(VerifyError::WrongDevice));
+                }
+                if manifest.nonce != self.nonce_counter {
+                    return Err(AgentError::Verify(VerifyError::WrongNonce));
+                }
+            }
+            if manifest.version <= self.installed {
+                return Err(AgentError::Verify(VerifyError::StaleVersion));
+            }
+            if ctx.verify_signatures
+                && signed
+                    .verify_with_keys(ctx.vendor_key, ctx.server_key)
+                    .is_err()
+            {
+                return Err(AgentError::Verify(VerifyError::VendorSignature));
+            }
+            self.accepted = Some(manifest);
+            return Ok(AgentPhase::ManifestAccepted);
+        }
+
+        // The payload region is only entered after the manifest was
+        // accepted above; losing it would be state-machine corruption.
+        // Surface a typed error instead of panicking mid-campaign.
+        let Some(manifest) = self.accepted.as_ref() else {
+            debug_assert!(false, "payload chunk delivered before manifest acceptance");
+            return Err(AgentError::WrongState(AgentState::ReceiveFirmware));
+        };
+        if self.payload.len() + chunk.len() > manifest.payload_size as usize {
+            return Err(AgentError::TooMuchData);
+        }
+        self.payload.extend_from_slice(chunk);
+        if self.payload.len() < manifest.payload_size as usize {
+            return Ok(AgentPhase::NeedMore);
+        }
+
+        // Whole payload arrived: reconstruct and digest-verify.
+        let firmware = if manifest.old_version.0 == 0 {
+            self.payload.clone()
+        } else {
+            let Ok(patch_stream) = decompress(&self.payload) else {
+                return Err(AgentError::Verify(VerifyError::DigestMismatch));
+            };
+            let Ok(firmware) = upkit_delta::patch(ctx.base_image, &patch_stream) else {
+                return Err(AgentError::Verify(VerifyError::DigestMismatch));
+            };
+            firmware
+        };
+        if sha256(&firmware) != manifest.digest || firmware.len() as u32 != manifest.size {
+            return Err(AgentError::Verify(VerifyError::DigestMismatch));
+        }
+        self.installed = manifest.version;
+        self.installs += 1;
+        self.last_installed = Some(firmware);
+        Ok(AgentPhase::Complete)
     }
 }
 
@@ -178,16 +290,7 @@ struct LiteEndpoints<'a> {
 
 impl SessionEndpoints for LiteEndpoints<'_> {
     fn request_token(&mut self) -> Result<DeviceToken, AgentError> {
-        self.state.nonce_counter = self.state.nonce_counter.wrapping_add(0x9E37_79B9) | 1;
-        Ok(DeviceToken {
-            device_id: self.state.device_id,
-            nonce: self.state.nonce_counter,
-            current_version: if self.state.supports_differential {
-                self.state.installed
-            } else {
-                Version(0)
-            },
-        })
+        Ok(self.state.next_token())
     }
 
     fn resolve_stream(&mut self, token: &DeviceToken) -> StreamResolution {
@@ -211,70 +314,14 @@ impl SessionEndpoints for LiteEndpoints<'_> {
     }
 
     fn deliver(&mut self, chunk: &[u8]) -> Result<AgentPhase, AgentError> {
-        let state = &mut *self.state;
-        if state.accepted.is_none() {
-            // Manifest region: accumulate, then verify once complete.
-            state.manifest_buf.extend_from_slice(chunk);
-            if state.manifest_buf.len() < SIGNED_MANIFEST_LEN {
-                return Ok(AgentPhase::NeedMore);
-            }
-            let signed = SignedManifest::from_bytes(&state.manifest_buf)
-                .map_err(|_| AgentError::Verify(VerifyError::VendorSignature))?;
-            let manifest = signed.manifest;
-            if self.env.device_bound_manifests {
-                if manifest.device_id != state.device_id {
-                    return Err(AgentError::Verify(VerifyError::WrongDevice));
-                }
-                if manifest.nonce != state.nonce_counter {
-                    return Err(AgentError::Verify(VerifyError::WrongNonce));
-                }
-            }
-            if manifest.version <= state.installed {
-                return Err(AgentError::Verify(VerifyError::StaleVersion));
-            }
-            if self.env.verify_signatures
-                && signed
-                    .verify_with_keys(&self.env.vendor_key, &self.env.server_key)
-                    .is_err()
-            {
-                return Err(AgentError::Verify(VerifyError::VendorSignature));
-            }
-            state.accepted = Some(manifest);
-            return Ok(AgentPhase::ManifestAccepted);
-        }
-
-        // The payload region is only entered after the manifest was
-        // accepted above; losing it would be state-machine corruption.
-        // Surface a typed error instead of panicking mid-campaign.
-        let Some(manifest) = state.accepted.as_ref() else {
-            debug_assert!(false, "payload chunk delivered before manifest acceptance");
-            return Err(AgentError::WrongState(AgentState::ReceiveFirmware));
+        let ctx = LiteVerifyCtx {
+            vendor_key: &self.env.vendor_key,
+            server_key: &self.env.server_key,
+            base_image: &self.env.base_image,
+            verify_signatures: self.env.verify_signatures,
+            device_bound: self.env.device_bound_manifests,
         };
-        if state.payload.len() + chunk.len() > manifest.payload_size as usize {
-            return Err(AgentError::TooMuchData);
-        }
-        state.payload.extend_from_slice(chunk);
-        if state.payload.len() < manifest.payload_size as usize {
-            return Ok(AgentPhase::NeedMore);
-        }
-
-        // Whole payload arrived: reconstruct and digest-verify.
-        let firmware = if manifest.old_version.0 == 0 {
-            state.payload.clone()
-        } else {
-            let Ok(patch_stream) = decompress(&state.payload) else {
-                return Err(AgentError::Verify(VerifyError::DigestMismatch));
-            };
-            let Ok(firmware) = upkit_delta::patch(&self.env.base_image, &patch_stream) else {
-                return Err(AgentError::Verify(VerifyError::DigestMismatch));
-            };
-            firmware
-        };
-        if sha256(&firmware) != manifest.digest || firmware.len() as u32 != manifest.size {
-            return Err(AgentError::Verify(VerifyError::DigestMismatch));
-        }
-        state.installed = manifest.version;
-        Ok(AgentPhase::Complete)
+        self.state.deliver_chunk(&ctx, chunk)
     }
 }
 

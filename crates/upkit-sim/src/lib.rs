@@ -38,6 +38,7 @@ pub mod fleet;
 pub mod lifetime;
 pub mod platform;
 pub mod scenario;
+pub mod topology;
 
 pub use campaign::{
     run_campaign, run_campaign_traced, CampaignConfig, CampaignHalt, CampaignReport,
@@ -59,6 +60,10 @@ pub use platform::{EnergyModel, PlatformProfile};
 pub use scenario::{
     run_scenario, run_scenario_with_cut, Approach, CryptoChoice, PhaseBreakdown, ScenarioConfig,
     ScenarioResult, SlotMode, UpdateKind,
+};
+pub use topology::{
+    run_dissemination, run_dissemination_traced, DisseminationReport, DutyCycle, GatewayStats,
+    TopologyConfig,
 };
 
 #[cfg(test)]

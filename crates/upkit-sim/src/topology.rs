@@ -1,0 +1,886 @@
+//! Multi-hop dissemination: caching gateway proxies, lossy mesh
+//! topologies, duty-cycled devices, and concurrent campaigns.
+//!
+//! The event scheduler ([`crate::events`]) runs every device's
+//! [`PullSession`](upkit_net::PullSession) straight against the update
+//! server: one upstream transfer per device. Real deployments put a
+//! gateway between the constrained mesh and the Internet, and the whole
+//! point of a gateway is that it only has to fetch each update **once**.
+//! This module models that:
+//!
+//! * **Topology.** A two-tier tree/mesh: each gateway serves
+//!   `devices_per_gateway` devices over an 802.15.4 access radio relayed
+//!   across `mesh_hops` store-and-forward hops (latency scales with the
+//!   hop count, and per-hop Bernoulli loss compounds to
+//!   `1 - (1-p)^hops`). Each gateway reaches the update server over a
+//!   `backhaul_hops`-hop WiFi/Internet backhaul.
+//! * **Caching.** Every gateway is a [`CachingProxy`]: a bounded,
+//!   LRU-evicted block cache keyed by `(origin digest, block index)`. A
+//!   cache hit serves downstream without touching the backhaul; a miss
+//!   single-flights the upstream fetch so overlapping downstream sessions
+//!   share one transfer; `cache_blocks = 0` disables caching entirely and
+//!   degenerates to per-device unicast (the baseline the benches compare
+//!   against).
+//! * **Campaigns.** `campaigns` independent v1→v2 rollouts run
+//!   concurrently; devices are assigned round-robin. The campaigns'
+//!   origins are distinct, so they compete for both cache capacity and
+//!   the shared backhaul (the proxy serializes upstream fetches on one
+//!   `busy_until` horizon).
+//! * **Duty cycling.** An optional [`DutyCycle`] defers device wake
+//!   events that land in a sleep window; a device that naps mid-session
+//!   resumes exactly where it left off (the session state machine is
+//!   resumable by construction) and only its wall-clock completion time
+//!   moves.
+//!
+//! **Determinism guarantee.** The final [`DisseminationReport`] — and,
+//! under a tracing collector, the counter totals and the trace byte
+//! stream — is a pure function of the [`TopologyConfig`], independent of
+//! worker thread count. Each gateway is one shard with its own event
+//! heap, proxy, and tracer; shards share no mutable state, workers pick
+//! shards off an atomic cursor, and the per-shard traces are merged in
+//! gateway-index order after the join. The proof test runs at 1, 2, and
+//! 8 threads and compares reports, counters, and trace bytes for
+//! equality.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use upkit_core::agent::{AgentError, AgentPhase};
+use upkit_core::generation::{UpdateServer, VendorServer};
+use upkit_crypto::ecdsa::{SigningKey, VerifyingKey};
+use upkit_manifest::{DeviceToken, Version, SIGNED_MANIFEST_LEN};
+use upkit_net::lossy::splitmix64;
+use upkit_net::{
+    CachedOrigin, CachingProxy, LinkProfile, LossyLink, PullSession, RetryPolicy, SessionEndpoints,
+    SessionOutcome, SessionStream, Step, StreamResolution, Transport,
+};
+use upkit_trace::{Counters, CountersSnapshot, Event, MemorySink, TraceRecord, Tracer};
+
+use crate::device::{APP_ID, LINK_OFFSET};
+use crate::events::{LiteState, LiteVerifyCtx};
+use crate::firmware::FirmwareGenerator;
+
+/// A device sleep schedule: wake events that land inside a sleep window
+/// are deferred to the next awake instant. Sessions are resumable, so a
+/// device that sleeps mid-transfer picks up exactly where it left off.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DutyCycle {
+    /// Awake for `awake_micros`, asleep for `asleep_micros`, repeating.
+    /// Each device gets a deterministic per-device phase offset so the
+    /// fleet doesn't wake in lockstep. `awake_micros = 0` is treated as
+    /// always-awake (a device that never wakes could never converge).
+    Periodic {
+        /// Length of the awake window in virtual microseconds.
+        awake_micros: u64,
+        /// Length of the asleep window in virtual microseconds.
+        asleep_micros: u64,
+    },
+    /// One single nap: asleep for `duration_micros` starting at
+    /// `at_micros`. The duty-cycle test suite slides this across every
+    /// event boundary of a reference run to prove any mid-session sleep
+    /// point converges.
+    Nap {
+        /// Virtual time the nap starts.
+        at_micros: u64,
+        /// Nap length in virtual microseconds.
+        duration_micros: u64,
+    },
+}
+
+impl DutyCycle {
+    /// The earliest awake instant at or after `t` for a device with
+    /// phase offset `phase` (periodic schedules only; naps ignore it).
+    #[must_use]
+    pub fn defer(&self, phase: u64, t: u64) -> u64 {
+        match *self {
+            DutyCycle::Periodic {
+                awake_micros,
+                asleep_micros,
+            } => {
+                let period = awake_micros.saturating_add(asleep_micros);
+                if awake_micros == 0 || asleep_micros == 0 || period == 0 {
+                    return t;
+                }
+                let pos = (t.wrapping_add(phase)) % period;
+                if pos < awake_micros {
+                    t
+                } else {
+                    t + (period - pos)
+                }
+            }
+            DutyCycle::Nap {
+                at_micros,
+                duration_micros,
+            } => {
+                let end = at_micros.saturating_add(duration_micros);
+                if t >= at_micros && t < end {
+                    end
+                } else {
+                    t
+                }
+            }
+        }
+    }
+}
+
+/// Parameters of a multi-hop dissemination run.
+#[derive(Clone, Copy, Debug)]
+pub struct TopologyConfig {
+    /// Number of gateways (each is one deterministic shard).
+    pub gateways: u32,
+    /// Devices behind each gateway.
+    pub devices_per_gateway: u32,
+    /// Store-and-forward hops between a device and its gateway
+    /// (1 = direct tree leaf; more = mesh depth).
+    pub mesh_hops: u32,
+    /// Hops on each gateway's backhaul to the update server.
+    pub backhaul_hops: u32,
+    /// Per-hop Bernoulli loss probability on the access mesh; compounds
+    /// across `mesh_hops`.
+    pub loss_rate: f64,
+    /// Concurrent independent v1→v2 campaigns (devices assigned
+    /// round-robin). Must be at least 1.
+    pub campaigns: u32,
+    /// Firmware size in bytes (per campaign).
+    pub firmware_size: usize,
+    /// Whether devices advertise differential support.
+    pub differential: bool,
+    /// Gateway cache capacity in blocks; 0 disables caching (per-device
+    /// unicast baseline).
+    pub cache_blocks: usize,
+    /// Cache block size in bytes.
+    pub block_size: usize,
+    /// Optional device sleep schedule.
+    pub duty: Option<DutyCycle>,
+    /// Retransmission policy for every downstream session.
+    pub retry: RetryPolicy,
+    /// Devices start their first poll uniformly inside this window.
+    pub poll_window_micros: u64,
+    /// Delay before a failed session's next poll.
+    pub retry_poll_delay_micros: u64,
+    /// Total poll attempts before a device gives up.
+    pub max_poll_attempts: u32,
+    /// Whether devices verify manifest signatures.
+    pub verify_signatures: bool,
+    /// Worker threads (shards are work-stolen; the report is identical
+    /// at any thread count).
+    pub threads: usize,
+    /// Seed for world generation, poll spread, loss, and duty phases.
+    pub seed: u64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self {
+            gateways: 1,
+            devices_per_gateway: 8,
+            mesh_hops: 1,
+            backhaul_hops: 1,
+            loss_rate: 0.0,
+            campaigns: 1,
+            firmware_size: 4_000,
+            differential: false,
+            cache_blocks: 64,
+            block_size: 512,
+            duty: None,
+            retry: RetryPolicy::for_link(&LinkProfile::ieee802154_6lowpan()),
+            poll_window_micros: 100_000,
+            retry_poll_delay_micros: 5_000_000,
+            max_poll_attempts: 8,
+            verify_signatures: true,
+            threads: 1,
+            seed: 0xD15E,
+        }
+    }
+}
+
+/// Per-gateway shard results.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Gateway index.
+    pub gateway: u32,
+    /// Devices that finished their update behind this gateway.
+    pub completed: u32,
+    /// Devices that exhausted their poll attempts.
+    pub gave_up: u32,
+    /// Completed installs across this gateway's devices (one per device
+    /// unless something re-installed — the duty tests pin this).
+    pub installs: u64,
+    /// Installed images byte-identical to the direct single-hop fetch.
+    pub image_matches: u64,
+    /// Installed images differing from the direct single-hop fetch
+    /// (must stay 0: integrity holds through any proxy).
+    pub image_mismatches: u64,
+    /// Payload bytes moved on the access mesh (both directions).
+    pub downstream_wire_bytes: u64,
+    /// Bytes this gateway pulled over its backhaul.
+    pub upstream_bytes: u64,
+    /// Upstream block fetches this gateway issued.
+    pub upstream_fetches: u64,
+    /// Blocks served straight from the gateway cache.
+    pub cache_hits: u64,
+    /// Blocks fetched upstream before serving.
+    pub cache_misses: u64,
+    /// Blocks that joined an in-flight upstream fetch.
+    pub single_flight_joins: u64,
+    /// Cache blocks evicted under capacity pressure.
+    pub evictions: u64,
+    /// Sleep deferrals applied to this gateway's devices.
+    pub slept: u64,
+    /// Virtual time the last session behind this gateway ended.
+    pub makespan_micros: u64,
+}
+
+/// Aggregate outcome of a dissemination run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DisseminationReport {
+    /// Devices that finished their update.
+    pub completed: u32,
+    /// Devices that exhausted their poll attempts.
+    pub gave_up: u32,
+    /// Total completed installs (no device installs twice per version).
+    pub installs: u64,
+    /// Installed images byte-identical to the direct single-hop fetch.
+    pub image_matches: u64,
+    /// Installed images differing from it (must stay 0).
+    pub image_mismatches: u64,
+    /// Total link events stepped.
+    pub events: u64,
+    /// Total bytes pulled over all gateway backhauls — the headline
+    /// number caching exists to shrink.
+    pub upstream_bytes: u64,
+    /// Total upstream block fetches.
+    pub upstream_fetches: u64,
+    /// Total cache hits across gateways.
+    pub cache_hits: u64,
+    /// Total cache misses across gateways.
+    pub cache_misses: u64,
+    /// Total single-flight joins across gateways.
+    pub single_flight_joins: u64,
+    /// Total cache evictions across gateways.
+    pub evictions: u64,
+    /// Total payload bytes on the access meshes (both directions).
+    pub downstream_wire_bytes: u64,
+    /// Total sleep deferrals.
+    pub slept: u64,
+    /// Virtual time the last session anywhere ended.
+    pub makespan_micros: u64,
+    /// Per-gateway breakdown, in gateway order.
+    pub per_gateway: Vec<GatewayStats>,
+}
+
+/// One campaign's shared, read-only world: the origin stream every
+/// gateway caches, the keys devices verify against, and the reference
+/// image a direct (proxy-free, loss-free, single-hop) fetch installs.
+struct Campaign {
+    origin: CachedOrigin,
+    vendor_key: VerifyingKey,
+    server_key: VerifyingKey,
+    base_image: Vec<u8>,
+    latest: Version,
+    /// What a direct single-hop fetch of this campaign installs —
+    /// obtained by actually running one, not assumed.
+    expected_image: Vec<u8>,
+}
+
+/// Serves a fixed stream directly (no proxy, no loss): the single-hop
+/// reference fetch the dissemination results are compared against.
+struct DirectEndpoints<'a> {
+    campaign: &'a Campaign,
+    state: &'a mut LiteState,
+    verify_signatures: bool,
+}
+
+impl SessionEndpoints for DirectEndpoints<'_> {
+    fn request_token(&mut self) -> Result<DeviceToken, AgentError> {
+        Ok(self.state.next_token())
+    }
+
+    fn resolve_stream(&mut self, _token: &DeviceToken) -> StreamResolution {
+        StreamResolution::Stream(self.campaign.origin.direct_stream())
+    }
+
+    fn deliver(&mut self, chunk: &[u8]) -> Result<AgentPhase, AgentError> {
+        let ctx = LiteVerifyCtx {
+            vendor_key: &self.campaign.vendor_key,
+            server_key: &self.campaign.server_key,
+            base_image: &self.campaign.base_image,
+            verify_signatures: self.verify_signatures,
+            device_bound: false,
+        };
+        self.state.deliver_chunk(&ctx, chunk)
+    }
+}
+
+/// Serves a campaign's stream through the gateway's caching proxy.
+struct MeshEndpoints<'a> {
+    campaign: &'a Campaign,
+    proxy: &'a mut CachingProxy,
+    state: &'a mut LiteState,
+    verify_signatures: bool,
+    now_micros: u64,
+}
+
+impl SessionEndpoints for MeshEndpoints<'_> {
+    fn request_token(&mut self) -> Result<DeviceToken, AgentError> {
+        Ok(self.state.next_token())
+    }
+
+    fn resolve_stream(&mut self, _token: &DeviceToken) -> StreamResolution {
+        if self.state.installed >= self.campaign.latest {
+            return StreamResolution::NoUpdate;
+        }
+        self.proxy.resolve(&self.campaign.origin, self.now_micros)
+    }
+
+    fn deliver(&mut self, chunk: &[u8]) -> Result<AgentPhase, AgentError> {
+        let ctx = LiteVerifyCtx {
+            vendor_key: &self.campaign.vendor_key,
+            server_key: &self.campaign.server_key,
+            base_image: &self.campaign.base_image,
+            verify_signatures: self.verify_signatures,
+            device_bound: false,
+        };
+        self.state.deliver_chunk(&ctx, chunk)
+    }
+}
+
+/// Builds the campaigns' shared worlds: publish v1/v2, prepare the
+/// canonical campaign stream, and run one direct single-hop reference
+/// fetch to capture the ground-truth installed image.
+fn build_campaigns(config: &TopologyConfig) -> Vec<Campaign> {
+    let count = config.campaigns.max(1);
+    (0..count)
+        .map(|c| {
+            let seed = config
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(c)));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let vendor = VendorServer::new(SigningKey::generate(&mut rng));
+            let mut server = UpdateServer::new(SigningKey::generate(&mut rng));
+            let generator = FirmwareGenerator::new(seed ^ 0xF00D);
+            let v1 = generator.base(config.firmware_size);
+            let v2 = generator.os_version_change(&v1);
+            server.publish(vendor.release(v1.clone(), Version(1), LINK_OFFSET, APP_ID));
+            server.publish(vendor.release(v2, Version(2), LINK_OFFSET, APP_ID));
+
+            // One canonical stream for the whole campaign (broadcast
+            // manifests: devices check signatures + digest + version, not
+            // device/nonce binding).
+            let token = DeviceToken {
+                device_id: 0,
+                nonce: 1,
+                current_version: if config.differential {
+                    Version(1)
+                } else {
+                    Version(0)
+                },
+            };
+            let prepared = server
+                .prepare_update(&token)
+                .expect("v2 is published and newer");
+            let stream = prepared.image.to_bytes();
+            let manifest_len = SIGNED_MANIFEST_LEN.min(stream.len());
+            let payload = stream[manifest_len..].to_vec();
+            let mut manifest = stream;
+            manifest.truncate(manifest_len);
+            let origin = CachedOrigin::new(&SessionStream { manifest, payload });
+
+            let mut campaign = Campaign {
+                origin,
+                vendor_key: vendor.verifying_key(),
+                server_key: server.verifying_key(),
+                base_image: v1,
+                latest: Version(2),
+                expected_image: Vec::new(),
+            };
+            campaign.expected_image = direct_reference_fetch(config, &campaign);
+            campaign
+        })
+        .collect()
+}
+
+/// Runs the direct single-hop reference fetch: a lone device on a
+/// loss-free access link, no proxy in the path. Returns the image it
+/// installs — the byte-exact target every proxied device must match.
+fn direct_reference_fetch(config: &TopologyConfig, campaign: &Campaign) -> Vec<u8> {
+    let link = LinkProfile::ieee802154_6lowpan();
+    let lossless = LossyLink::bernoulli(link, 0.0, config.seed);
+    let mut state = LiteState::new(0x0FFF, config.differential);
+    let mut session = PullSession::new(lossless, config.retry, u64::MAX);
+    loop {
+        let step = {
+            let mut endpoints = DirectEndpoints {
+                campaign,
+                state: &mut state,
+                verify_signatures: config.verify_signatures,
+            };
+            session.step(&mut endpoints)
+        };
+        if let Step::Done(report) = step {
+            assert_eq!(
+                report.outcome,
+                SessionOutcome::Complete,
+                "the loss-free direct reference fetch must complete"
+            );
+            break;
+        }
+    }
+    state
+        .last_installed
+        .expect("a completed reference fetch installed an image")
+}
+
+/// Per-device scheduler slot.
+struct TopoSlot {
+    state: LiteState,
+    campaign: usize,
+    session: Option<PullSession>,
+    session_started_at: u64,
+    /// Sleep time accumulated inside the current session (wall-clock
+    /// completion shifts by this; radio accounting does not).
+    session_sleep_micros: u64,
+    poll_attempts: u32,
+    duty_phase: u64,
+    completed_at: Option<u64>,
+    gave_up: bool,
+    slept: u64,
+}
+
+/// Runs one gateway's shard: its caching proxy, its devices, and its own
+/// virtual-clock event heap. Pure function of `(config, campaigns,
+/// gateway)` — shards share no mutable state.
+fn run_gateway_shard(
+    config: &TopologyConfig,
+    campaigns: &[Campaign],
+    gateway: u32,
+    tracer: &Tracer,
+) -> (GatewayStats, u64) {
+    let backhaul = LinkProfile::wifi_backhaul().multi_hop(config.backhaul_hops);
+    let mut proxy = CachingProxy::new(
+        u64::from(gateway),
+        config.block_size,
+        config.cache_blocks,
+        backhaul,
+    );
+    proxy.set_tracer(tracer.clone());
+
+    let access = LinkProfile::ieee802154_6lowpan().multi_hop(config.mesh_hops);
+    // Per-hop loss compounds across the mesh: a transfer survives only if
+    // every hop delivers it.
+    let mut survive = 1.0f64;
+    for _ in 0..config.mesh_hops.max(1) {
+        survive *= 1.0 - config.loss_rate;
+    }
+    let lossy = LossyLink::bernoulli(access, 1.0 - survive, config.seed);
+
+    let dpg = config.devices_per_gateway as usize;
+    let first_global = gateway as usize * dpg;
+    let duty_period = match config.duty {
+        Some(DutyCycle::Periodic {
+            awake_micros,
+            asleep_micros,
+        }) => awake_micros.saturating_add(asleep_micros),
+        _ => 0,
+    };
+    let mut slots: Vec<TopoSlot> = (0..dpg)
+        .map(|i| {
+            let gi = first_global + i;
+            let duty_phase = if duty_period == 0 {
+                0
+            } else {
+                splitmix64(config.seed ^ 0xD07A_0000u64.wrapping_add(gi as u64)) % duty_period
+            };
+            TopoSlot {
+                state: LiteState::new(0x1000 + gi as u32, config.differential),
+                campaign: gi % campaigns.len(),
+                session: None,
+                session_started_at: 0,
+                session_sleep_micros: 0,
+                poll_attempts: 0,
+                duty_phase,
+                completed_at: None,
+                gave_up: false,
+                slept: 0,
+            }
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(dpg);
+    let mut stats = GatewayStats {
+        gateway,
+        ..GatewayStats::default()
+    };
+    let mut events = 0u64;
+
+    // Defers a wake to the device's next awake instant, charging the
+    // sleep to the slot and the counters.
+    let defer_wake = |slot: &mut TopoSlot, t: u64, in_session: bool, tracer: &Tracer| -> u64 {
+        let Some(duty) = config.duty else { return t };
+        let wake = duty.defer(slot.duty_phase, t);
+        if wake > t {
+            slot.slept += 1;
+            if in_session {
+                slot.session_sleep_micros += wake - t;
+            }
+            Counters::add(&tracer.counters().devices_slept, 1);
+            let device = u64::from(slot.state.device_id);
+            tracer.emit(|| Event::DeviceSleep {
+                device,
+                until_micros: wake,
+            });
+        }
+        wake
+    };
+
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let gi = first_global + i;
+        let spread = if config.poll_window_micros == 0 {
+            0
+        } else {
+            splitmix64(config.seed ^ 0x57A2_7000u64.wrapping_add(gi as u64))
+                % config.poll_window_micros
+        };
+        let wake = defer_wake(slot, spread, false, tracer);
+        heap.push(Reverse((wake, i as u32)));
+    }
+
+    while let Some(Reverse((now, t))) = heap.pop() {
+        let idx = t as usize;
+        let slot = &mut slots[idx];
+        tracer.advance_now_to(now);
+
+        if slot.session.is_none() {
+            let gi = first_global + idx;
+            let stream_id = (gi as u64) << 16 | u64::from(slot.poll_attempts);
+            let mut session = PullSession::new(lossy, config.retry, stream_id);
+            session.set_tracer(tracer.clone());
+            slot.session = Some(session);
+            slot.session_started_at = now;
+            slot.session_sleep_micros = 0;
+            slot.poll_attempts += 1;
+            slot.state.reset_transfer();
+            let device = u64::from(slot.state.device_id);
+            tracer.emit(|| Event::SchedulerDispatch {
+                device,
+                at_micros: now,
+            });
+        }
+
+        let Some(session) = slot.session.as_mut() else {
+            debug_assert!(false, "session just ensured above");
+            continue;
+        };
+        let step = {
+            let mut endpoints = MeshEndpoints {
+                campaign: &campaigns[slot.campaign],
+                proxy: &mut proxy,
+                state: &mut slot.state,
+                verify_signatures: config.verify_signatures,
+                now_micros: now,
+            };
+            session.step(&mut endpoints)
+        };
+        match step {
+            Step::Progress(event) => {
+                events += 1;
+                let wake = defer_wake(slot, now + event.cost_micros, true, tracer);
+                heap.push(Reverse((wake, t)));
+            }
+            Step::Done(report) => {
+                let Some(session) = slot.session.take() else {
+                    debug_assert!(false, "session was stepped above");
+                    continue;
+                };
+                let end = slot.session_started_at
+                    + session.virtual_elapsed_micros()
+                    + slot.session_sleep_micros;
+                stats.makespan_micros = stats.makespan_micros.max(end);
+                stats.downstream_wire_bytes +=
+                    report.accounting.bytes_to_device + report.accounting.bytes_from_device;
+                let device = u64::from(slot.state.device_id);
+                match report.outcome {
+                    SessionOutcome::Complete | SessionOutcome::NoUpdateAvailable => {
+                        slot.completed_at = Some(end);
+                        tracer.emit(|| Event::DeviceComplete {
+                            device,
+                            outcome: "complete",
+                        });
+                    }
+                    _ => {
+                        if slot.poll_attempts < config.max_poll_attempts {
+                            let wake = defer_wake(
+                                slot,
+                                end + config.retry_poll_delay_micros,
+                                false,
+                                tracer,
+                            );
+                            heap.push(Reverse((wake, t)));
+                        } else {
+                            slot.gave_up = true;
+                            tracer.emit(|| Event::DeviceComplete {
+                                device,
+                                outcome: "gave_up",
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for slot in &slots {
+        if slot.completed_at.is_some() {
+            stats.completed += 1;
+        }
+        if slot.gave_up {
+            stats.gave_up += 1;
+        }
+        stats.installs += u64::from(slot.state.installs);
+        stats.slept += slot.slept;
+        if let Some(image) = &slot.state.last_installed {
+            if image == &campaigns[slot.campaign].expected_image {
+                stats.image_matches += 1;
+            } else {
+                stats.image_mismatches += 1;
+            }
+        }
+    }
+    let pstats = proxy.stats();
+    stats.upstream_bytes = pstats.upstream_bytes;
+    stats.upstream_fetches = pstats.upstream_fetches;
+    stats.cache_hits = pstats.cache_hits;
+    stats.cache_misses = pstats.cache_misses;
+    stats.single_flight_joins = pstats.single_flight_joins;
+    stats.evictions = pstats.evictions;
+    (stats, events)
+}
+
+/// Runs a dissemination campaign without tracing.
+#[must_use]
+pub fn run_dissemination(config: &TopologyConfig) -> DisseminationReport {
+    run_dissemination_traced(config, &Tracer::disabled())
+}
+
+/// Runs a dissemination campaign, streaming per-shard traces into
+/// `tracer` merged in gateway-index order: byte-identical output at any
+/// worker thread count.
+pub fn run_dissemination_traced(config: &TopologyConfig, tracer: &Tracer) -> DisseminationReport {
+    let campaigns = build_campaigns(config);
+    let shard_count = config.gateways.max(1) as usize;
+    let threads = config.threads.max(1).min(shard_count);
+    let tracing_enabled = tracer.is_enabled();
+
+    type ShardOut = (GatewayStats, u64, CountersSnapshot, Vec<TraceRecord>);
+    let slots: Vec<Mutex<Option<ShardOut>>> = (0..shard_count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        let campaigns = &campaigns;
+        let slots = &slots;
+        let cursor = &cursor;
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= shard_count {
+                    break;
+                }
+                let (shard_tracer, sink) = if tracing_enabled {
+                    let sink = Arc::new(MemorySink::new());
+                    (Tracer::with_sink(Box::new(Arc::clone(&sink))), Some(sink))
+                } else {
+                    (Tracer::disabled(), None)
+                };
+                let (stats, events) =
+                    run_gateway_shard(config, campaigns, index as u32, &shard_tracer);
+                let snapshot = shard_tracer.counters().snapshot();
+                let records = sink.map(|s| s.drain()).unwrap_or_default();
+                *slots[index].lock().expect("shard slot poisoned") =
+                    Some((stats, events, snapshot, records));
+            });
+        }
+    })
+    .expect("dissemination workers do not panic");
+
+    // Merge in gateway-index order: the parent trace and the report are
+    // independent of which worker ran which shard.
+    let mut report = DisseminationReport::default();
+    for slot in &slots {
+        let (stats, events, snapshot, records) = slot
+            .lock()
+            .expect("shard slot poisoned")
+            .take()
+            .expect("every shard ran");
+        tracer.absorb(&snapshot, &records);
+        report.completed += stats.completed;
+        report.gave_up += stats.gave_up;
+        report.installs += stats.installs;
+        report.image_matches += stats.image_matches;
+        report.image_mismatches += stats.image_mismatches;
+        report.events += events;
+        report.upstream_bytes += stats.upstream_bytes;
+        report.upstream_fetches += stats.upstream_fetches;
+        report.cache_hits += stats.cache_hits;
+        report.cache_misses += stats.cache_misses;
+        report.single_flight_joins += stats.single_flight_joins;
+        report.evictions += stats.evictions;
+        report.downstream_wire_bytes += stats.downstream_wire_bytes;
+        report.slept += stats.slept;
+        report.makespan_micros = report.makespan_micros.max(stats.makespan_micros);
+        report.per_gateway.push(stats);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TopologyConfig {
+        TopologyConfig {
+            firmware_size: 1_200,
+            block_size: 256,
+            ..TopologyConfig::default()
+        }
+    }
+
+    #[test]
+    fn zero_loss_tree_converges_and_caches() {
+        let config = small();
+        let report = run_dissemination(&config);
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.gave_up, 0);
+        assert_eq!(report.installs, 8);
+        assert_eq!(report.image_matches, 8);
+        assert_eq!(report.image_mismatches, 0);
+        // The cache holds the whole origin: exactly one upstream fetch
+        // per distinct block, every other serve is a hit.
+        let blocks = report.upstream_fetches;
+        assert!(blocks > 0);
+        assert_eq!(report.cache_misses, report.upstream_fetches);
+        assert!(report.cache_hits + report.single_flight_joins >= 7 * blocks);
+        assert_eq!(report.evictions, 0);
+    }
+
+    #[test]
+    fn caching_beats_unicast_on_upstream_bytes() {
+        let cached = run_dissemination(&small());
+        let unicast = run_dissemination(&TopologyConfig {
+            cache_blocks: 0,
+            ..small()
+        });
+        assert_eq!(unicast.completed, 8);
+        assert!(
+            cached.upstream_bytes * 3 < unicast.upstream_bytes,
+            "cached {} vs unicast {}",
+            cached.upstream_bytes,
+            unicast.upstream_bytes
+        );
+        // Caching changes the backhaul, not the devices: both runs move
+        // the same bytes on the access mesh and install the same images.
+        assert_eq!(cached.downstream_wire_bytes, unicast.downstream_wire_bytes);
+        assert_eq!(unicast.image_mismatches, 0);
+    }
+
+    #[test]
+    fn overlapping_campaigns_share_the_cache_and_converge() {
+        let config = TopologyConfig {
+            campaigns: 3,
+            devices_per_gateway: 9,
+            ..small()
+        };
+        let report = run_dissemination(&config);
+        assert_eq!(report.completed, 9);
+        assert_eq!(report.image_matches, 9);
+        assert_eq!(report.image_mismatches, 0);
+        // Three distinct origins were fetched once each.
+        let single = run_dissemination(&small());
+        assert_eq!(report.upstream_fetches, 3 * single.upstream_fetches);
+    }
+
+    #[test]
+    fn lossy_mesh_still_installs_the_exact_image() {
+        let config = TopologyConfig {
+            mesh_hops: 3,
+            loss_rate: 0.05,
+            max_poll_attempts: 32,
+            ..small()
+        };
+        let report = run_dissemination(&config);
+        assert_eq!(report.completed, 8, "gave_up={}", report.gave_up);
+        assert_eq!(report.image_matches, 8);
+        assert_eq!(report.image_mismatches, 0);
+    }
+
+    #[test]
+    fn duty_cycled_devices_sleep_but_still_converge() {
+        let awake = TopologyConfig { ..small() };
+        let dozing = TopologyConfig {
+            duty: Some(DutyCycle::Periodic {
+                awake_micros: 400_000,
+                asleep_micros: 200_000,
+            }),
+            ..small()
+        };
+        let a = run_dissemination(&awake);
+        let d = run_dissemination(&dozing);
+        assert_eq!(d.completed, 8);
+        assert_eq!(d.installs, 8, "sleeping must not duplicate installs");
+        assert_eq!(d.image_mismatches, 0);
+        assert!(d.slept > 0, "the schedule must actually defer something");
+        // Sleeping costs wall-clock time, never radio bytes.
+        assert_eq!(d.downstream_wire_bytes, a.downstream_wire_bytes);
+        assert!(d.makespan_micros > a.makespan_micros);
+    }
+
+    #[test]
+    fn report_is_identical_across_thread_counts() {
+        let config = TopologyConfig {
+            gateways: 4,
+            devices_per_gateway: 4,
+            loss_rate: 0.08,
+            max_poll_attempts: 24,
+            ..small()
+        };
+        let one = run_dissemination(&TopologyConfig {
+            threads: 1,
+            ..config
+        });
+        let two = run_dissemination(&TopologyConfig {
+            threads: 2,
+            ..config
+        });
+        let eight = run_dissemination(&TopologyConfig {
+            threads: 8,
+            ..config
+        });
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_still_converges() {
+        let config = TopologyConfig {
+            campaigns: 2,
+            devices_per_gateway: 8,
+            cache_blocks: 3,
+            ..small()
+        };
+        let report = run_dissemination(&config);
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.image_mismatches, 0);
+        assert!(report.evictions > 0, "two origins must not fit in 3 blocks");
+        // Thrashing refetches: more upstream fetches than distinct blocks.
+        let distinct = run_dissemination(&TopologyConfig {
+            campaigns: 2,
+            devices_per_gateway: 8,
+            ..small()
+        })
+        .upstream_fetches;
+        assert!(report.upstream_fetches > distinct);
+    }
+}

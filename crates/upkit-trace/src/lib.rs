@@ -272,6 +272,33 @@ pub enum Event {
         /// Patch container label (`"raw"`, `"framed"`).
         format: &'static str,
     },
+    /// Proxy: a caching proxy assembled one downstream stream from its
+    /// block cache plus whatever upstream fetches were still needed.
+    ProxyServe {
+        /// Proxy identifier (gateway index in the topology sims).
+        proxy: u64,
+        /// First 8 bytes (big-endian) of the stream's SHA-256.
+        digest: u64,
+        /// Blocks served straight from the cache.
+        hits: u64,
+        /// Blocks fetched upstream before serving.
+        misses: u64,
+        /// Blocks joined while another session's fetch was in flight.
+        joins: u64,
+        /// Bytes moved over the upstream link for this serve.
+        upstream_bytes: u64,
+        /// Virtual microseconds the downstream session waited for the
+        /// stream to be ready.
+        wait_micros: u64,
+    },
+    /// Scheduler: a duty-cycled device's wake event fell in a sleep
+    /// window and was deferred to the next awake edge.
+    DeviceSleep {
+        /// Device id.
+        device: u64,
+        /// Virtual time the device resumes at.
+        until_micros: u64,
+    },
 }
 
 impl Event {
@@ -305,12 +332,14 @@ impl Event {
             Event::PatchCacheHit { .. } => "patch_cache_hit",
             Event::CampaignStage { .. } => "campaign_stage",
             Event::CampaignHalted { .. } => "campaign_halted",
+            Event::ProxyServe { .. } => "proxy_serve",
+            Event::DeviceSleep { .. } => "device_sleep",
         }
     }
 
     /// Coarse layer the event belongs to (`"session"`, `"agent"`,
     /// `"pipeline"`, `"flash"`, `"boot"`, `"scheduler"`, `"chaos"`,
-    /// `"adversary"`, `"generation"`, `"campaign"`).
+    /// `"adversary"`, `"generation"`, `"campaign"`, `"proxy"`).
     #[must_use]
     pub fn layer(&self) -> &'static str {
         match self {
@@ -329,7 +358,9 @@ impl Event {
             Event::Boot { .. } => "boot",
             Event::SchedulerDispatch { .. }
             | Event::DeviceComplete { .. }
-            | Event::RolloutRound { .. } => "scheduler",
+            | Event::RolloutRound { .. }
+            | Event::DeviceSleep { .. } => "scheduler",
+            Event::ProxyServe { .. } => "proxy",
             Event::FaultInjected { .. } | Event::FaultChecked { .. } => "chaos",
             Event::MutationInjected { .. } | Event::MutationChecked { .. } => "adversary",
             Event::PatchGenerated { .. } | Event::PatchCacheHit { .. } => "generation",
@@ -474,6 +505,26 @@ impl Event {
             }
             Event::CampaignHalted { round, reason } => {
                 let _ = write!(out, r#","round":{round},"reason":"{reason}""#);
+            }
+            Event::ProxyServe {
+                proxy,
+                digest,
+                hits,
+                misses,
+                joins,
+                upstream_bytes,
+                wait_micros,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","proxy":{proxy},"digest":{digest},"hits":{hits},"misses":{misses},"joins":{joins},"upstream_bytes":{upstream_bytes},"wait_micros":{wait_micros}"#
+                );
+            }
+            Event::DeviceSleep {
+                device,
+                until_micros,
+            } => {
+                let _ = write!(out, r#","device":{device},"until_micros":{until_micros}"#);
             }
         }
     }
@@ -754,6 +805,22 @@ counters! {
     devices_rolled_back,
     /// Campaigns automatically halted by the fleet-health policy.
     campaign_halts,
+    /// Blocks a caching proxy served straight from its block cache.
+    proxy_cache_hits,
+    /// Blocks a caching proxy had to fetch upstream before serving.
+    proxy_cache_misses,
+    /// Cache blocks evicted under LRU capacity pressure.
+    proxy_evictions,
+    /// Block fetches a caching proxy issued over its upstream link.
+    upstream_fetches,
+    /// Bytes moved over caching proxies' upstream (backhaul) links.
+    upstream_bytes,
+    /// Virtual microseconds upstream links were busy fetching blocks.
+    upstream_micros,
+    /// Downstream serves that joined an upstream fetch already in flight.
+    single_flight_joins,
+    /// Duty-cycle sleep deferrals applied to device wake events.
+    devices_slept,
 }
 
 impl Counters {

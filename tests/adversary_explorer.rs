@@ -6,8 +6,8 @@
 use std::sync::Arc;
 
 use upkit::adversary::{
-    explore, explore_traced, record_baseline, run_case, shrink_violation, AdversaryConfig,
-    MutationClass, DOWNGRADE_CASES,
+    explore, explore_traced, record_baseline, run_case, shrink_violation, universe,
+    AdversaryConfig, MutationClass, DOWNGRADE_CASES,
 };
 use upkit::sim::{WorldConfig, WorldMode};
 use upkit::trace::{Event, MemorySink, Tracer};
@@ -173,4 +173,41 @@ fn exploration_is_byte_identical_across_thread_counts() {
             }
         }
     }
+}
+
+#[test]
+fn poisoned_cache_entries_are_rejected_by_every_downstream_device() {
+    // The cache-poison surface: the gateway's upstream fetch was honest,
+    // the corruption lives in the warm block cache — so forwarding-path
+    // integrity checks never see it. Every downstream device must still
+    // reject the served stream (never-accept), whichever block is
+    // poisoned, and no forgery may ever be counted as accepted.
+    let s = scenario();
+    let baseline = record_baseline(&s);
+    let total = universe(MutationClass::CachePoison, &baseline);
+    assert!(
+        total >= 8,
+        "the 6 kB scenario must span several cache blocks, got {total}"
+    );
+
+    let tracer = Tracer::disabled();
+    for index in [0, 1, total / 2, total - 2, total - 1] {
+        let case = run_case(&s, &baseline, MutationClass::CachePoison, index, 8, &tracer);
+        assert!(
+            case.ok(),
+            "poisoned block {index} was accepted: {:?}",
+            case.violation
+        );
+        assert!(!case.panicked, "poisoned block {index} panicked");
+        assert!(
+            case.outcome.starts_with("rejected"),
+            "poisoned block {index} must die at verification, got {:?}",
+            case.outcome
+        );
+    }
+    assert_eq!(
+        tracer.counters().snapshot().forgeries_accepted,
+        0,
+        "a poisoned cache must never produce an accepted forgery"
+    );
 }

@@ -199,3 +199,85 @@ mod lossy_pins {
         );
     }
 }
+
+mod dissemination_pins {
+    use std::sync::Arc;
+
+    use upkit::sim::{run_dissemination_traced, TopologyConfig};
+    use upkit::trace::{MemorySink, Tracer};
+
+    fn tree() -> TopologyConfig {
+        TopologyConfig {
+            firmware_size: 1_200,
+            block_size: 256,
+            ..TopologyConfig::default()
+        }
+    }
+
+    // The two pins below freeze the dissemination stack end to end: the
+    // poll-spread schedule, the caching proxy's hit/miss/single-flight
+    // bookkeeping, the backhaul transfer model, and the per-session frame
+    // accounting. Any reordering inside the topology event loop or the
+    // proxy cache moves these integers.
+
+    #[test]
+    fn zero_loss_tree_fan_out_is_pinned() {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
+        let report = run_dissemination_traced(&tree(), &tracer);
+        let counters = tracer.counters().snapshot();
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.gave_up, 0);
+        assert_eq!(report.image_mismatches, 0);
+        assert_eq!(
+            report.downstream_wire_bytes, 23_472,
+            "access-mesh wire bytes moved"
+        );
+        assert_eq!(report.upstream_bytes, 2_924, "backhaul bytes moved");
+        assert_eq!(
+            (
+                report.upstream_fetches,
+                report.cache_hits,
+                report.cache_misses,
+                report.single_flight_joins,
+            ),
+            (12, 11, 12, 73),
+            "proxy cache bookkeeping moved"
+        );
+        assert_eq!(report.events, 376);
+        assert_eq!(report.makespan_micros, 1_344_288);
+        assert_eq!(
+            (counters.frames_sent, counters.frames_lost, counters.retries),
+            (368, 0, 0),
+            "zero-loss frame accounting moved"
+        );
+    }
+
+    #[test]
+    fn seeded_ten_percent_loss_dissemination_is_pinned() {
+        let config = TopologyConfig {
+            loss_rate: 0.10,
+            seed: 4242,
+            max_poll_attempts: 24,
+            ..tree()
+        };
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
+        let report = run_dissemination_traced(&config, &tracer);
+        let counters = tracer.counters().snapshot();
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.gave_up, 0);
+        assert_eq!(report.image_mismatches, 0);
+        assert_eq!(report.downstream_wire_bytes, 26_160);
+        // Loss costs downstream retransmissions, never extra upstream
+        // fetches: the cache still pulls each block once.
+        assert_eq!(report.upstream_bytes, 2_924);
+        assert_eq!(report.upstream_fetches, 12);
+        assert_eq!(report.makespan_micros, 1_908_094);
+        assert_eq!(
+            (counters.frames_sent, counters.frames_lost, counters.retries),
+            (410, 42, 42),
+            "seeded loss stream accounting moved"
+        );
+    }
+}
