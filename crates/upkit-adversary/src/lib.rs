@@ -12,6 +12,7 @@
 //! |---|---|
 //! | [`MutationClass::Suit`] | SUIT/CBOR envelope → `from_suit_envelope` |
 //! | [`MutationClass::ManifestWire`] | signed-manifest wire → `SignedManifest::from_bytes` |
+//! | [`MutationClass::ComponentTable`] | multi-payload commit record → `SignedMultiManifest::from_bytes` + dual-signature verify |
 //! | [`MutationClass::BlockDiff`] | block-diff delta → `blockdiff::patch_with_budget` |
 //! | [`MutationClass::StreamDelta`] | bsdiff stream → `StreamPatcher` |
 //! | [`MutationClass::FramedDelta`] | framed patch container → `FramedPatcher` |
@@ -50,17 +51,23 @@ use std::sync::{Arc, Mutex};
 
 use upkit_compress::LzssError;
 use upkit_core::agent::{AgentError, AgentPhase, UpdatePlan};
+use upkit_core::components::check_record_signatures;
+use upkit_core::keys::TrustAnchors;
+use upkit_crypto::backend::TinyCryptBackend;
 use upkit_delta::blockdiff::{self, BlockDiffError};
 use upkit_delta::{FramedDiffOptions, FramedPatcher, PatchError, StreamPatcher};
 use upkit_flash::{SimFlash, SlotId};
 use upkit_manifest::suit::to_suit_envelope;
-use upkit_manifest::{DeviceToken, SignedManifest, Version, SIGNED_MANIFEST_LEN};
+use upkit_manifest::{
+    DeviceToken, SignedManifest, SignedMultiManifest, Version, COMPONENT_ENTRY_LEN,
+    SIGNED_MANIFEST_LEN,
+};
 use upkit_net::{
     CachedOrigin, CachingProxy, FrameAdversary, FrameTamper, LinkProfile, LossyLink, PullSession,
     PushEndpoints, PushSession, RetryPolicy, SessionEndpoints, SessionStream, StreamResolution,
     Transport,
 };
-use upkit_sim::failure::{update_world, world_geometry, UpdateWorld, WorldConfig};
+use upkit_sim::failure::{update_world, world_geometry, UpdateWorld, WorldConfig, WorldMode};
 use upkit_sim::scenario::DEVICE_ID;
 use upkit_sim::FirmwareGenerator;
 use upkit_trace::{Counters, CountersSnapshot, Event, MemorySink, TraceRecord, Tracer};
@@ -79,12 +86,28 @@ mod upkit_chaos_labels {
             WorldMode::Ab => "ab",
             WorldMode::StaticSwap { recovery: false } => "static",
             WorldMode::StaticSwap { recovery: true } => "static-recovery",
+            WorldMode::Multi { components } => match components {
+                2 => "multi-2",
+                3 => "multi-3",
+                4 => "multi-4",
+                5 => "multi-5",
+                6 => "multi-6",
+                7 => "multi-7",
+                8 => "multi-8",
+                _ => "multi",
+            },
         }
     }
 
     /// Inverse of [`mode_label`].
     #[must_use]
     pub fn mode_from_label(label: &str) -> Option<WorldMode> {
+        if let Some(n) = label.strip_prefix("multi-") {
+            let components: u8 = n.parse().ok()?;
+            return (2..=8)
+                .contains(&components)
+                .then_some(WorldMode::Multi { components });
+        }
         match label {
             "ab" => Some(WorldMode::Ab),
             "static" => Some(WorldMode::StaticSwap { recovery: false }),
@@ -101,6 +124,15 @@ pub enum MutationClass {
     Suit,
     /// The fixed-layout signed-manifest wire encoding.
     ManifestWire,
+    /// The multi-payload commit record: legacy signed-manifest wire plus
+    /// the appended component table, fed to
+    /// `SignedMultiManifest::from_bytes` and then the bootloader's
+    /// dual-signature record check — the exact path a journaled commit
+    /// record travels before any component swap may begin. The targeted
+    /// tail mutations cover the component-count bomb, a mismatched
+    /// per-component digest, a duplicate slot assignment, and a
+    /// truncated table.
+    ComponentTable,
     /// A block-diff delta applied with `patch_with_budget`.
     BlockDiff,
     /// A bsdiff stream fed chunkwise to a budgeted [`StreamPatcher`].
@@ -133,9 +165,10 @@ pub enum MutationClass {
 
 impl MutationClass {
     /// Every surface, in canonical exploration order.
-    pub const ALL: [MutationClass; 13] = [
+    pub const ALL: [MutationClass; 14] = [
         MutationClass::Suit,
         MutationClass::ManifestWire,
+        MutationClass::ComponentTable,
         MutationClass::BlockDiff,
         MutationClass::StreamDelta,
         MutationClass::FramedDelta,
@@ -155,6 +188,7 @@ impl MutationClass {
         match self {
             MutationClass::Suit => "suit",
             MutationClass::ManifestWire => "manifest_wire",
+            MutationClass::ComponentTable => "component_table",
             MutationClass::BlockDiff => "blockdiff",
             MutationClass::StreamDelta => "stream_delta",
             MutationClass::FramedDelta => "framed_delta",
@@ -183,6 +217,7 @@ impl MutationClass {
             self,
             MutationClass::Suit
                 | MutationClass::ManifestWire
+                | MutationClass::ComponentTable
                 | MutationClass::BlockDiff
                 | MutationClass::StreamDelta
                 | MutationClass::FramedDelta
@@ -226,6 +261,15 @@ pub const STRUCTURAL_MUTATIONS: u64 = 3;
 /// Downgrade-replay case universe: stale-nonce and wrong-device streams.
 pub const DOWNGRADE_CASES: u64 = 2;
 
+/// Targeted component-table mutations appended after the generic tail of
+/// the [`MutationClass::ComponentTable`] surface: component-count bomb
+/// (`u16::MAX` declared entries), mismatched per-component digest,
+/// duplicate slot assignment, truncated table.
+pub const COMPONENT_TABLE_TARGETED: u64 = 4;
+
+/// Components in the commit record the component-table surface mutates.
+pub const COMPONENT_TABLE_SET: u8 = 3;
+
 /// Block size of the gateway cache the cache-poison surface warms; one
 /// case per block, so every region of the stream gets poisoned once.
 pub const CACHE_POISON_BLOCK_SIZE: usize = 256;
@@ -258,6 +302,13 @@ pub struct Baseline {
     pub suit_bytes: Vec<u8>,
     /// Wire encoding of the honest signed manifest.
     pub manifest_wire: Vec<u8>,
+    /// Wire encoding of an honest multi-payload commit record
+    /// ([`COMPONENT_TABLE_SET`] components) signed by the same-seed
+    /// vendor and server — the corpus the component-table surface
+    /// mutates.
+    pub multi_record_wire: Vec<u8>,
+    /// Trust anchors the commit-record check verifies against.
+    pub multi_anchors: TrustAnchors,
     /// Valid block-diff delta v1 → v2.
     pub blockdiff_delta: Vec<u8>,
     /// Valid bsdiff stream v1 → v2.
@@ -367,6 +418,25 @@ pub fn record_baseline(scenario: &WorldConfig) -> Baseline {
     let old_firmware = FirmwareGenerator::new(scenario.seed).base(scenario.firmware_size);
     let v2 = world.firmware_v2.clone();
 
+    // A same-seed multi-component world provisions a fully signed commit
+    // record during setup; its wire bytes are the component-table corpus,
+    // and its anchors are what the record check verifies mutations
+    // against — the exact pair the transactional bootloader uses.
+    let multi_scenario = WorldConfig {
+        mode: WorldMode::Multi {
+            components: COMPONENT_TABLE_SET,
+        },
+        ..*scenario
+    };
+    let multi_world = update_world(
+        &multi_scenario,
+        Box::new(SimFlash::new(world_geometry(&multi_scenario))),
+    );
+    let multi = multi_world
+        .multi
+        .as_ref()
+        .expect("a multi world always provisions a staged set");
+
     Baseline {
         frames,
         booted_slot,
@@ -376,6 +446,8 @@ pub fn record_baseline(scenario: &WorldConfig) -> Baseline {
         wrong_device_stream,
         suit_bytes,
         manifest_wire: honest.manifest,
+        multi_record_wire: multi.record.to_bytes(),
+        multi_anchors: multi_world.anchors,
         blockdiff_delta: blockdiff::diff(&old_firmware, &v2),
         stream_delta: upkit_delta::diff(&old_firmware, &v2),
         framed_delta: upkit_delta::framed_diff(
@@ -398,6 +470,9 @@ pub fn universe(surface: MutationClass, baseline: &Baseline) -> u64 {
     match surface {
         MutationClass::Suit => corpus(baseline.suit_bytes.len()),
         MutationClass::ManifestWire => corpus(baseline.manifest_wire.len()),
+        MutationClass::ComponentTable => {
+            corpus(baseline.multi_record_wire.len()) + COMPONENT_TABLE_TARGETED
+        }
         MutationClass::BlockDiff => corpus(baseline.blockdiff_delta.len()),
         MutationClass::StreamDelta => corpus(baseline.stream_delta.len()),
         MutationClass::FramedDelta => corpus(baseline.framed_delta.len()),
@@ -433,6 +508,37 @@ pub fn mutate_bytes(corpus: &[u8], index: u64) -> Vec<u8> {
         out.extend(std::iter::repeat_n(0xFF, 64));
     } else {
         out.iter_mut().for_each(|b| *b = 0);
+    }
+    out
+}
+
+/// Applies mutation `index` of the component-table universe to a signed
+/// multi-manifest wire encoding: the generic [`mutate_bytes`] prefix
+/// (bit flips plus structural tail), then the
+/// [`COMPONENT_TABLE_TARGETED`] attacks on the table that starts at
+/// [`SIGNED_MANIFEST_LEN`] — count bomb, mismatched per-component
+/// digest, duplicate slot assignment, truncated table.
+#[must_use]
+pub fn mutate_component_table(corpus: &[u8], index: u64) -> Vec<u8> {
+    let generic = corpus.len() as u64 + STRUCTURAL_MUTATIONS;
+    if index < generic {
+        return mutate_bytes(corpus, index);
+    }
+    let mut out = corpus.to_vec();
+    let count_at = SIGNED_MANIFEST_LEN + 4;
+    let entries_at = SIGNED_MANIFEST_LEN + 6;
+    match index - generic {
+        // Component-count bomb: claim 65535 entries behind 3 of backing.
+        0 => out[count_at..count_at + 2].copy_from_slice(&u16::MAX.to_le_bytes()),
+        // First component's digest no longer matches anything.
+        1 => out[entries_at + 10] ^= 0xFF,
+        // Second component claims the first component's slot.
+        2 => {
+            out[entries_at + 2 * COMPONENT_ENTRY_LEN - 1] =
+                out[entries_at + COMPONENT_ENTRY_LEN - 1]
+        }
+        // Table cut mid-way through the second entry.
+        _ => out.truncate(entries_at + COMPONENT_ENTRY_LEN + COMPONENT_ENTRY_LEN / 2),
     }
     out
 }
@@ -505,13 +611,18 @@ fn run_decoder_case(
     let corpus = match surface {
         MutationClass::Suit => &baseline.suit_bytes,
         MutationClass::ManifestWire => &baseline.manifest_wire,
+        MutationClass::ComponentTable => &baseline.multi_record_wire,
         MutationClass::BlockDiff => &baseline.blockdiff_delta,
         MutationClass::StreamDelta => &baseline.stream_delta,
         MutationClass::FramedDelta => &baseline.framed_delta,
         MutationClass::Lzss => &baseline.lzss_stream,
         _ => unreachable!("decoder dispatch on a session surface"),
     };
-    let mutated = mutate_bytes(corpus, index);
+    let mutated = if surface == MutationClass::ComponentTable {
+        mutate_component_table(corpus, index)
+    } else {
+        mutate_bytes(corpus, index)
+    };
     let budget = baseline.budget;
 
     // (outcome label, produced output length, budget-rejected?)
@@ -522,6 +633,25 @@ fn run_decoder_case(
         },
         MutationClass::ManifestWire => match SignedManifest::from_bytes(&mutated) {
             Ok(_) => ("decoded", 0, false),
+            Err(_) => ("typed_error", 0, false),
+        },
+        // The commit-record acceptance path: structural decode (which
+        // bounds the count before allocating and rejects duplicate
+        // slots), then the same dual-signature check the transactional
+        // bootloader runs before any component swap. Only a record that
+        // passes *both* counts as decoded — and since every mutation
+        // changes at least one signed byte, any such acceptance is a
+        // forgery.
+        MutationClass::ComponentTable => match SignedMultiManifest::from_bytes(&mutated) {
+            Ok(record) => {
+                if check_record_signatures(&TinyCryptBackend, &baseline.multi_anchors, &record)
+                    .is_ok()
+                {
+                    ("decoded", 0, false)
+                } else {
+                    ("typed_error", 0, false)
+                }
+            }
             Err(_) => ("typed_error", 0, false),
         },
         MutationClass::BlockDiff => {
@@ -598,9 +728,19 @@ fn run_decoder_case(
             if budget_rejected {
                 Counters::add(&tracer.counters().decode_overruns, 1);
             }
-            let violation = (produced > budget).then(|| {
-                format!("decoder produced {produced} bytes, beyond the {budget}-byte slot budget")
-            });
+            let violation = if surface == MutationClass::ComponentTable && label == "decoded" {
+                Counters::add(&tracer.counters().forgeries_accepted, 1);
+                Some(
+                    "mutated commit record decoded and passed dual-signature verification"
+                        .to_string(),
+                )
+            } else {
+                (produced > budget).then(|| {
+                    format!(
+                        "decoder produced {produced} bytes, beyond the {budget}-byte slot budget"
+                    )
+                })
+            };
             (label.to_string(), false, violation)
         }
         Err(_) => (
@@ -1159,6 +1299,43 @@ mod tests {
     }
 
     #[test]
+    fn component_table_targeted_mutations_hit_the_table() {
+        // 188 bytes of "signed manifest", then a 3-entry table.
+        let mut corpus = vec![0x11u8; SIGNED_MANIFEST_LEN];
+        corpus.extend_from_slice(b"UKC1");
+        corpus.extend_from_slice(&3u16.to_le_bytes());
+        for slot in [0u8, 2, 4] {
+            let mut entry = vec![0x22u8; COMPONENT_ENTRY_LEN];
+            entry[COMPONENT_ENTRY_LEN - 1] = slot;
+            corpus.extend_from_slice(&entry);
+        }
+        let generic = corpus.len() as u64 + STRUCTURAL_MUTATIONS;
+        let count_at = SIGNED_MANIFEST_LEN + 4;
+        let entries_at = SIGNED_MANIFEST_LEN + 6;
+
+        // Indices below the targeted tail behave like mutate_bytes.
+        assert_eq!(mutate_component_table(&corpus, 5), mutate_bytes(&corpus, 5));
+
+        let bombed = mutate_component_table(&corpus, generic);
+        assert_eq!(&bombed[count_at..count_at + 2], &u16::MAX.to_le_bytes());
+        assert_eq!(bombed.len(), corpus.len(), "the bomb claims, not backs");
+
+        let bad_digest = mutate_component_table(&corpus, generic + 1);
+        assert_ne!(bad_digest[entries_at + 10], corpus[entries_at + 10]);
+
+        let dup_slot = mutate_component_table(&corpus, generic + 2);
+        assert_eq!(
+            dup_slot[entries_at + 2 * COMPONENT_ENTRY_LEN - 1],
+            dup_slot[entries_at + COMPONENT_ENTRY_LEN - 1],
+            "second entry claims the first entry's slot"
+        );
+
+        let truncated = mutate_component_table(&corpus, generic + 3);
+        assert!(truncated.len() > SIGNED_MANIFEST_LEN + 6);
+        assert!(truncated.len() < entries_at + 2 * COMPONENT_ENTRY_LEN);
+    }
+
+    #[test]
     fn frame_tampers_target_the_indexed_frame() {
         let baseline = tiny_baseline();
         assert!(matches!(
@@ -1200,6 +1377,8 @@ mod tests {
             },
             suit_bytes: vec![0; 8],
             manifest_wire: vec![0; 8],
+            multi_record_wire: vec![0; 8],
+            multi_anchors: TrustAnchors::hsm(0, 1),
             blockdiff_delta: vec![0; 8],
             stream_delta: vec![0; 8],
             framed_delta: vec![0; 8],
@@ -1213,6 +1392,10 @@ mod tests {
     fn universes_follow_corpus_sizes() {
         let baseline = tiny_baseline();
         assert_eq!(universe(MutationClass::Suit, &baseline), 8 + 3);
+        assert_eq!(
+            universe(MutationClass::ComponentTable, &baseline),
+            8 + 3 + 4
+        );
         assert_eq!(universe(MutationClass::FrameCorrupt, &baseline), 10);
         assert_eq!(universe(MutationClass::DowngradeReplay, &baseline), 2);
         // 12 stream bytes in one 256-byte cache block.

@@ -16,7 +16,7 @@
 //! ```
 //!
 //! `--smoke` shrinks the scenario and strides each surface's universe so
-//! CI covers all eleven surfaces in seconds; `--repro` replays exactly
+//! CI covers every surface in seconds; `--repro` replays exactly
 //! one case (the command shape the shrinker emits) and exits non-zero if
 //! the invariant fails.
 
@@ -92,7 +92,7 @@ fn main() {
     let smoke = args.iter().any(|arg| arg == "--smoke");
 
     // `--smoke` shrinks the scenario and the per-surface stride, never
-    // the surface list: the CI gate always attacks all eleven surfaces.
+    // the surface list: the CI gate always attacks every surface.
     let (firmware_size, slot_size, case_limit) = if smoke {
         (6_000, 4096 * 3, Some(48))
     } else {
@@ -144,7 +144,10 @@ fn main() {
     }
 
     print_table(
-        &format!("Adversarial-input exploration ({firmware_size} B firmware, 11 surfaces)"),
+        &format!(
+            "Adversarial-input exploration ({firmware_size} B firmware, {} surfaces)",
+            MutationClass::ALL.len()
+        ),
         &["Surface", "Universe", "Explored", "Violations"],
         &surface_rows(&report),
     );

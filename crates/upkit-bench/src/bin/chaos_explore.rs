@@ -10,14 +10,19 @@
 //! `CHAOS_repro.txt` so CI can surface it as an artifact.
 //!
 //! ```text
-//! cargo run --release -p upkit-bench --bin chaos_explore [-- --smoke]
+//! cargo run --release -p upkit-bench --bin chaos_explore \
+//!     [-- --smoke] [--components N]
 //! cargo run --release -p upkit-bench --bin chaos_explore -- \
 //!     --repro <mode> <seed> <firmware_size> <slot_size> <fault> <boundary>
 //! ```
 //!
 //! `--smoke` shrinks the scenarios so CI explores them exhaustively in
-//! seconds; `--repro` replays exactly one case (the command shape the
-//! shrinker emits) and exits non-zero if the invariant fails.
+//! seconds; `--components N` (2 ..= 8) adds an N-component transactional
+//! scenario, whose cases additionally assert the never-mixed-set
+//! invariant (`mixed_set_violations` in the metrics section, pinned to
+//! zero by `bench_diff`); `--repro` replays exactly one case (the
+//! command shape the shrinker emits) and exits non-zero if the invariant
+//! fails.
 
 use upkit_bench::{metrics_json, print_table, Json};
 use upkit_chaos::{
@@ -73,6 +78,16 @@ fn main() {
         std::process::exit(repro(&args[1..]));
     }
     let smoke = args.iter().any(|arg| arg == "--smoke");
+    let components: Option<u8> =
+        args.windows(2)
+            .find(|pair| pair[0] == "--components")
+            .map(|pair| match pair[1].parse() {
+                Ok(n) if (2..=8).contains(&n) => n,
+                _ => {
+                    eprintln!("--components takes a count in 2 ..= 8, got {:?}", pair[1]);
+                    std::process::exit(2);
+                }
+            });
 
     // Exhaustive in both profiles: `--smoke` shrinks the *scenario*, not
     // the boundary coverage, so the CI gate still proves every boundary
@@ -82,10 +97,18 @@ fn main() {
     } else {
         (24_000, 4096 * 8)
     };
-    let scenarios = [
+    let mut scenarios = vec![
         ("quickstart-ab", WorldMode::Ab),
         ("static-recovery", WorldMode::StaticSwap { recovery: true }),
     ];
+    if let Some(components) = components {
+        // An N-module set behind the transactional commit journal: every
+        // staging write, the journal record, and every replay copy is a
+        // boundary, so cuts between component swaps and double cuts
+        // mid-replay are all in the case universe.
+        let mode = WorldMode::Multi { components };
+        scenarios.push((upkit_chaos::mode_label(mode), mode));
+    }
 
     // One tracer across every case of every scenario, merged in
     // deterministic case order: the `metrics` section (including

@@ -121,12 +121,28 @@ pub fn mode_label(mode: WorldMode) -> &'static str {
         WorldMode::Ab => "ab",
         WorldMode::StaticSwap { recovery: false } => "static",
         WorldMode::StaticSwap { recovery: true } => "static-recovery",
+        WorldMode::Multi { components } => match components {
+            2 => "multi-2",
+            3 => "multi-3",
+            4 => "multi-4",
+            5 => "multi-5",
+            6 => "multi-6",
+            7 => "multi-7",
+            8 => "multi-8",
+            _ => "multi",
+        },
     }
 }
 
 /// Inverse of [`mode_label`].
 #[must_use]
 pub fn mode_from_label(label: &str) -> Option<WorldMode> {
+    if let Some(n) = label.strip_prefix("multi-") {
+        let components: u8 = n.parse().ok()?;
+        return (2..=8)
+            .contains(&components)
+            .then_some(WorldMode::Multi { components });
+    }
     match label {
         "ab" => Some(WorldMode::Ab),
         "static" => Some(WorldMode::StaticSwap { recovery: false }),
@@ -313,6 +329,16 @@ pub fn run_case(
                 Some(format!(
                     "booted version {version} is older than the pre-update version {base}"
                 ))
+            } else if world.component_set_mixed() {
+                // The never-mixed-set invariant (multi-component worlds
+                // only; `component_set_mixed` is vacuously false
+                // otherwise): a stable boot must run either the complete
+                // old set or the complete new set.
+                upkit_trace::Counters::add(&tracer.counters().mixed_set_violations, 1);
+                Some(format!(
+                    "mixed component set at the fixed point: {:?}",
+                    world.component_versions()
+                ))
             } else {
                 None
             };
@@ -497,9 +523,15 @@ mod tests {
             WorldMode::Ab,
             WorldMode::StaticSwap { recovery: false },
             WorldMode::StaticSwap { recovery: true },
+            WorldMode::Multi { components: 2 },
+            WorldMode::Multi { components: 3 },
+            WorldMode::Multi { components: 8 },
         ] {
             assert_eq!(mode_from_label(mode_label(mode)), Some(mode));
         }
+        assert_eq!(mode_from_label("multi-1"), None);
+        assert_eq!(mode_from_label("multi-9"), None);
+        assert_eq!(mode_from_label("multi-x"), None);
     }
 
     #[test]

@@ -23,6 +23,11 @@ use upkit_flash::{FlashError, LayoutError, MemoryLayout, SlotId};
 use upkit_manifest::{SignedManifest, Version};
 use upkit_trace::{Counters, Event};
 
+use crate::components::{
+    check_record_signatures, journal_marker_set, read_journal_record, set_journal_marker,
+    slots_for_entry, ComponentImage, ComponentSlots, StageError, JOURNAL_COMPLETE_OFFSET,
+    JOURNAL_DONE_OFFSET, JOURNAL_RECORD_MAX,
+};
 use crate::image::{read_firmware_chunks, read_manifest};
 use crate::keys::TrustAnchors;
 use crate::verifier::{FirmwareDigester, Verifier, VerifyContext, VerifyError};
@@ -43,6 +48,15 @@ pub enum BootMode {
         staging: SlotId,
         /// Whether loading swaps (preserving a rollback image) or copies.
         swap: bool,
+    },
+    /// A set of independently-versioned components, each with a bootable
+    /// and a staging slot, flipped atomically through a commit journal
+    /// (see [`crate::components`]).
+    MultiComponent {
+        /// The component slot pairs, in dependency order.
+        components: Vec<ComponentSlots>,
+        /// The journal slot holding the commit record and markers.
+        journal: SlotId,
     },
 }
 
@@ -80,6 +94,11 @@ pub enum BootAction {
     /// All regular slots were invalid; the recovery image was copied into
     /// the bootable slot and booted.
     RestoredFromRecovery,
+    /// Multi-component: a pending commit journal was replayed — every
+    /// not-yet-done component was copied from staging into its bootable
+    /// slot and the record was marked complete. Loading moved flash, so
+    /// the fixed-point loop boots again to confirm.
+    CommittedSet,
 }
 
 /// A successful boot decision.
@@ -324,6 +343,10 @@ impl Bootloader {
                 staging,
                 swap,
             } => self.boot_static(layout, bootable, staging, swap),
+            BootMode::MultiComponent {
+                components,
+                journal,
+            } => self.boot_multi(layout, &components, journal),
         };
         match regular {
             Err(BootError::NoValidImage(mut rejected)) => {
@@ -335,6 +358,7 @@ impl Bootloader {
                         let bootable = match &self.config.mode {
                             BootMode::AB { slots } => slots[0],
                             BootMode::Static { bootable, .. } => *bootable,
+                            BootMode::MultiComponent { components, .. } => components[0].bootable,
                         };
                         layout.copy_slot(recovery, bootable)?;
                         Ok(BootOutcome {
@@ -436,6 +460,251 @@ impl Bootloader {
             // vacuously true when no current image exists).
             (None, Some(_)) => unreachable!("guard covers missing current image"),
         }
+    }
+
+    /// Multi-component boot: replay a pending commit journal if one
+    /// exists, otherwise verify every bootable component — restoring any
+    /// broken one from its staged copy (per-module rollback) — and boot
+    /// the set.
+    fn boot_multi(
+        &self,
+        layout: &mut MemoryLayout,
+        components: &[ComponentSlots],
+        journal: SlotId,
+    ) -> Result<BootOutcome, BootError> {
+        let record = match read_journal_record(layout, journal)? {
+            // The record's signatures extend over the component table; a
+            // record that does not verify never commits anything.
+            Some(record) => {
+                Counters::add(&layout.tracer().counters().sig_verifications, 2);
+                check_record_signatures(self.backend.as_ref(), &self.anchors, &record)
+                    .ok()
+                    .map(|()| record)
+            }
+            None => None,
+        };
+
+        if let Some(record) = &record {
+            let table = record
+                .multi
+                .components
+                .as_ref()
+                .expect("journal records always carry a table");
+            // Only a table whose every entry maps onto this device's slot
+            // pairs can replay; anything else is ignored like a torn
+            // record (the installer refuses to write such a record, so
+            // this needs a trusted server mistake to ever trigger).
+            let mapped = table
+                .entries()
+                .iter()
+                .all(|e| slots_for_entry(components, e).is_some());
+            let complete = journal_marker_set(layout, journal, JOURNAL_COMPLETE_OFFSET)?;
+            if mapped && !complete {
+                return self.replay_journal(layout, components, journal, record);
+            }
+        }
+
+        // Stable path: no pending transaction. Verify every bootable
+        // component; a component that fails but whose staged copy
+        // verifies is restored from staging (per-module rollback).
+        let table = record.as_ref().and_then(|r| r.multi.components.as_ref());
+        let mut rejected = Vec::new();
+        let mut restored = false;
+        let mut version: Option<Version> = None;
+        for comp in components {
+            match self.verify_slot(layout, comp.bootable) {
+                Ok(signed) => {
+                    let v = signed.manifest.version;
+                    // The set is only as new as its oldest member.
+                    if version.is_none_or(|best| v < best) {
+                        version = Some(v);
+                    }
+                }
+                Err(e) => match self.verify_slot(layout, comp.staging) {
+                    Ok(_) => {
+                        layout.copy_slot(comp.staging, comp.bootable)?;
+                        Counters::add(&layout.tracer().counters().components_rolled_back, 1);
+                        let component = table
+                            .and_then(|t| {
+                                t.entries()
+                                    .iter()
+                                    .find(|entry| entry.slot == comp.bootable.0)
+                            })
+                            .map_or(u64::from(comp.bootable.0), |entry| {
+                                u64::from(entry.component_id)
+                            });
+                        let slot = comp.bootable.0;
+                        layout
+                            .tracer()
+                            .emit(|| Event::ComponentRollback { component, slot });
+                        restored = true;
+                    }
+                    Err(e2) => {
+                        rejected.push((comp.bootable, e));
+                        rejected.push((comp.staging, e2));
+                    }
+                },
+            }
+        }
+        if !rejected.is_empty() {
+            return Err(BootError::NoValidImage(rejected));
+        }
+        if restored {
+            // Flash moved: boot again so the restored component is
+            // verified on the stable pass.
+            return Ok(BootOutcome {
+                booted_slot: components[0].bootable,
+                version: version.unwrap_or(Version(0)),
+                action: BootAction::RestoredFromRecovery,
+                rejected_slots: Vec::new(),
+            });
+        }
+        Ok(BootOutcome {
+            booted_slot: components[0].bootable,
+            version: version.unwrap_or(Version(0)),
+            action: BootAction::BootedExisting,
+            rejected_slots: Vec::new(),
+        })
+    }
+
+    /// Rolls a valid, incomplete commit record forward: copy every
+    /// not-yet-done component from staging to its bootable slot in table
+    /// (dependency) order, marking each done, then mark the set complete.
+    ///
+    /// `copy_slot` never modifies its source, so re-running any prefix of
+    /// this sequence after an interruption — including a second cut mid
+    /// replay — converges to the same complete new set.
+    fn replay_journal(
+        &self,
+        layout: &mut MemoryLayout,
+        components: &[ComponentSlots],
+        journal: SlotId,
+        record: &upkit_manifest::SignedMultiManifest,
+    ) -> Result<BootOutcome, BootError> {
+        let table = record
+            .multi
+            .components
+            .as_ref()
+            .expect("caller checked the table");
+        for (i, entry) in table.entries().iter().enumerate() {
+            let done_at = JOURNAL_DONE_OFFSET + i as u32;
+            if journal_marker_set(layout, journal, done_at)? {
+                continue;
+            }
+            let slots = slots_for_entry(components, entry).expect("caller checked the mapping");
+            layout.copy_slot(slots.staging, slots.bootable)?;
+            set_journal_marker(layout, journal, done_at)?;
+            Counters::add(&layout.tracer().counters().components_installed, 1);
+            let component = u64::from(entry.component_id);
+            let slot = entry.slot;
+            let version = u64::from(entry.version.0);
+            layout.tracer().emit(|| Event::ComponentCommit {
+                component,
+                slot,
+                version,
+            });
+        }
+        set_journal_marker(layout, journal, JOURNAL_COMPLETE_OFFSET)?;
+        Ok(BootOutcome {
+            booted_slot: components[0].bootable,
+            version: record.multi.manifest.version,
+            action: BootAction::CommittedSet,
+            rejected_slots: Vec::new(),
+        })
+    }
+
+    /// Phase one of a transactional multi-component install: stage every
+    /// component of `record`'s table into its staging slot (dependency
+    /// order), health-check each staged image, and — only if the whole
+    /// set verifies — write the commit record into the journal slot.
+    ///
+    /// The flip itself happens on the next boot, when the bootloader
+    /// replays the journal. Until the record is fully written and
+    /// verifiable, a cut anywhere leaves the old set untouched; a
+    /// component failing its health check aborts the install with its
+    /// staging slot erased again (per-module rollback) and nothing
+    /// committed.
+    pub fn stage_component_set(
+        &self,
+        layout: &mut MemoryLayout,
+        record: &upkit_manifest::SignedMultiManifest,
+        images: &[ComponentImage],
+    ) -> Result<(), StageError> {
+        let BootMode::MultiComponent {
+            components,
+            journal,
+        } = self.config.mode.clone()
+        else {
+            return Err(StageError::SetMismatch);
+        };
+        record.multi.validate().map_err(StageError::Record)?;
+        let Some(table) = &record.multi.components else {
+            return Err(StageError::Record(
+                upkit_manifest::ManifestError::BadComponentTable,
+            ));
+        };
+        if record.wire_len() > JOURNAL_RECORD_MAX
+            || table.len() != images.len()
+            || table
+                .entries()
+                .iter()
+                .any(|e| slots_for_entry(&components, e).is_none())
+        {
+            return Err(StageError::SetMismatch);
+        }
+        check_record_signatures(self.backend.as_ref(), &self.anchors, record).map_err(|error| {
+            StageError::ComponentHealth {
+                component_id: 0,
+                error,
+            }
+        })?;
+
+        // Invalidate any previous commit record *before* touching staging
+        // slots: from here until the new record lands, boot sees no valid
+        // journal and keeps the old set.
+        layout.erase_slot(journal)?;
+
+        for (entry, image) in table.entries().iter().zip(images) {
+            let slots = slots_for_entry(&components, entry).expect("checked above");
+            // The image must be the one the signed table promises.
+            let m = &image.signed_manifest.manifest;
+            if m.version != entry.version
+                || m.digest != entry.digest
+                || m.size != entry.size
+                || image.firmware.len() as u64 != u64::from(entry.size)
+            {
+                return Err(StageError::SetMismatch);
+            }
+            layout.erase_slot(slots.staging)?;
+            crate::image::write_manifest(layout, slots.staging, &image.signed_manifest)?;
+            layout.write_slot(
+                slots.staging,
+                crate::image::FIRMWARE_OFFSET,
+                &image.firmware,
+            )?;
+            // Health check: full per-slot verification of what actually
+            // landed in flash (a bit flip between write and check is
+            // caught here, before anything can commit).
+            if let Err(error) = self.verify_slot(layout, slots.staging) {
+                layout.erase_slot(slots.staging)?;
+                Counters::add(&layout.tracer().counters().components_rolled_back, 1);
+                let component = u64::from(entry.component_id);
+                let slot = entry.slot;
+                layout
+                    .tracer()
+                    .emit(|| Event::ComponentRollback { component, slot });
+                return Err(StageError::ComponentHealth {
+                    component_id: entry.component_id,
+                    error,
+                });
+            }
+        }
+
+        // Commit point: the record becomes visible in one write. A torn
+        // write here fails signature verification at boot and the
+        // transaction never happened.
+        layout.write_slot(journal, 0, &record.to_bytes())?;
+        Ok(())
     }
 }
 
@@ -861,5 +1130,320 @@ mod tests {
             }
             other => panic!("expected NoValidImage, got {other:?}"),
         }
+    }
+
+    // ---- multi-component transactional installs ----
+
+    use upkit_flash::configuration_multi;
+    use upkit_manifest::{
+        server_sign_multi, vendor_sign_multi, ComponentEntry, ComponentTable, MultiManifest,
+    };
+
+    const MULTI_SLOT: u32 = 4096 * 4;
+
+    fn multi_layout(n: u8) -> MemoryLayout {
+        configuration_multi(Box::new(SimFlash::new(geometry())), n, MULTI_SLOT, 4096).unwrap()
+    }
+
+    fn multi_slots(n: u8) -> Vec<ComponentSlots> {
+        (0..n)
+            .map(|c| ComponentSlots {
+                bootable: SlotId(c * 2),
+                staging: SlotId(c * 2 + 1),
+            })
+            .collect()
+    }
+
+    fn journal_slot(n: u8) -> SlotId {
+        SlotId(n * 2)
+    }
+
+    fn multi_bootloader(fix: &Fixture, n: u8) -> Bootloader {
+        bootloader(
+            fix,
+            BootMode::MultiComponent {
+                components: multi_slots(n),
+                journal: journal_slot(n),
+            },
+        )
+    }
+
+    fn signed_component(fix: &Fixture, version: u16, firmware: &[u8]) -> SignedManifest {
+        let manifest = Manifest {
+            device_id: DEV,
+            nonce: 1,
+            old_version: Version(0),
+            version: Version(version),
+            size: firmware.len() as u32,
+            payload_size: firmware.len() as u32,
+            digest: sha256(firmware),
+            link_offset: LINK,
+            app_id: APP,
+        };
+        SignedManifest {
+            manifest,
+            vendor_signature: vendor_sign(&manifest, &fix.vendor),
+            server_signature: server_sign(&manifest, &fix.server),
+        }
+    }
+
+    /// Builds a signed commit record plus the matching staged images for
+    /// the given `(component_id, slot, version, firmware)` set.
+    fn multi_record(
+        fix: &Fixture,
+        set_version: u16,
+        parts: &[(u32, u8, u16, &[u8])],
+    ) -> (upkit_manifest::SignedMultiManifest, Vec<ComponentImage>) {
+        let mut entries = Vec::new();
+        let mut images = Vec::new();
+        for &(component_id, slot, version, firmware) in parts {
+            entries.push(ComponentEntry {
+                component_id,
+                version: Version(version),
+                size: firmware.len() as u32,
+                digest: sha256(firmware),
+                slot,
+            });
+            images.push(ComponentImage {
+                signed_manifest: signed_component(fix, version, firmware),
+                firmware: firmware.to_vec(),
+            });
+        }
+        let table = ComponentTable::new(entries).unwrap();
+        let manifest = Manifest {
+            device_id: DEV,
+            nonce: 1,
+            old_version: Version(0),
+            version: Version(set_version),
+            size: u32::try_from(table.total_size()).unwrap(),
+            payload_size: u32::try_from(table.total_size()).unwrap(),
+            digest: table.set_digest(),
+            link_offset: LINK,
+            app_id: APP,
+        };
+        let multi = MultiManifest {
+            manifest,
+            components: Some(table),
+        };
+        let record = upkit_manifest::SignedMultiManifest {
+            vendor_signature: vendor_sign_multi(&multi, &fix.vendor),
+            server_signature: server_sign_multi(&multi, &fix.server),
+            multi,
+        };
+        (record, images)
+    }
+
+    fn install_old_set(fix: &Fixture, layout: &mut MemoryLayout, n: u8) {
+        for c in 0..n {
+            install(
+                fix,
+                layout,
+                SlotId(c * 2),
+                1,
+                format!("old component {c}").as_bytes(),
+            );
+        }
+    }
+
+    fn component_versions(
+        boot: &Bootloader,
+        layout: &mut MemoryLayout,
+        n: u8,
+    ) -> Vec<Option<Version>> {
+        (0..n)
+            .map(|c| {
+                boot.verify_slot(layout, SlotId(c * 2))
+                    .ok()
+                    .map(|s| s.manifest.version)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_stage_then_boot_commits_whole_set() {
+        let fix = keys(200);
+        let mut layout = multi_layout(2);
+        install_old_set(&fix, &mut layout, 2);
+        let boot = multi_bootloader(&fix, 2);
+        let (record, images) = multi_record(
+            &fix,
+            2,
+            &[(0xA, 0, 2, b"new base os"), (0xB, 2, 2, b"new app!!")],
+        );
+        boot.stage_component_set(&mut layout, &record, &images)
+            .unwrap();
+        // Staging never touches bootable slots: still the old set.
+        assert_eq!(
+            component_versions(&boot, &mut layout, 2),
+            vec![Some(Version(1)), Some(Version(1))]
+        );
+
+        let outcome = boot.boot(&mut layout).unwrap();
+        assert_eq!(outcome.action, BootAction::CommittedSet);
+        assert_eq!(outcome.version, Version(2));
+        assert_eq!(
+            layout.tracer().counters().snapshot().components_installed,
+            2
+        );
+        // The next boot is stable on the complete new set.
+        let outcome = boot.boot(&mut layout).unwrap();
+        assert_eq!(outcome.action, BootAction::BootedExisting);
+        assert_eq!(outcome.version, Version(2));
+        assert_eq!(
+            component_versions(&boot, &mut layout, 2),
+            vec![Some(Version(2)), Some(Version(2))]
+        );
+    }
+
+    #[test]
+    fn multi_replay_resumes_after_cut_between_swaps() {
+        let fix = keys(201);
+        let mut layout = multi_layout(3);
+        install_old_set(&fix, &mut layout, 3);
+        let boot = multi_bootloader(&fix, 3);
+        let (record, images) = multi_record(
+            &fix,
+            2,
+            &[
+                (0xA, 0, 2, b"base v2"),
+                (0xB, 2, 2, b"radio v2"),
+                (0xC, 4, 2, b"app v2!"),
+            ],
+        );
+        boot.stage_component_set(&mut layout, &record, &images)
+            .unwrap();
+        // Simulate a power cut after the first component swapped: copy
+        // component 0 and set its done marker by hand, as a partial
+        // replay would have.
+        let journal = journal_slot(3);
+        layout.copy_slot(SlotId(1), SlotId(0)).unwrap();
+        set_journal_marker(&mut layout, journal, JOURNAL_DONE_OFFSET).unwrap();
+
+        let outcome = boot.boot(&mut layout).unwrap();
+        assert_eq!(outcome.action, BootAction::CommittedSet);
+        // Only the two remaining components were copied on this pass.
+        assert_eq!(
+            layout.tracer().counters().snapshot().components_installed,
+            2
+        );
+        assert_eq!(
+            component_versions(&boot, &mut layout, 3),
+            vec![Some(Version(2)), Some(Version(2)), Some(Version(2))]
+        );
+        assert!(journal_marker_set(&layout, journal, JOURNAL_COMPLETE_OFFSET).unwrap());
+    }
+
+    #[test]
+    fn multi_torn_record_keeps_complete_old_set() {
+        let fix = keys(202);
+        let mut layout = multi_layout(2);
+        install_old_set(&fix, &mut layout, 2);
+        let boot = multi_bootloader(&fix, 2);
+        let (record, images) =
+            multi_record(&fix, 2, &[(0xA, 0, 2, b"base v2"), (0xB, 2, 2, b"app v2!")]);
+        boot.stage_component_set(&mut layout, &record, &images)
+            .unwrap();
+        // Tear the commit record (bit-clear inside the server signature).
+        layout
+            .write_slot(
+                journal_slot(2),
+                upkit_manifest::MANIFEST_LEN as u32 + 70,
+                &[0],
+            )
+            .unwrap();
+
+        let outcome = boot.boot(&mut layout).unwrap();
+        assert_eq!(outcome.action, BootAction::BootedExisting);
+        assert_eq!(outcome.version, Version(1));
+        // Never mixed: every component still runs the old version.
+        assert_eq!(
+            component_versions(&boot, &mut layout, 2),
+            vec![Some(Version(1)), Some(Version(1))]
+        );
+        assert_eq!(
+            layout.tracer().counters().snapshot().components_installed,
+            0
+        );
+    }
+
+    #[test]
+    fn multi_health_check_failure_aborts_install() {
+        let fix = keys(203);
+        let attacker = keys(999);
+        let mut layout = multi_layout(2);
+        install_old_set(&fix, &mut layout, 2);
+        let boot = multi_bootloader(&fix, 2);
+        let (record, mut images) =
+            multi_record(&fix, 2, &[(0xA, 0, 2, b"base v2"), (0xB, 2, 2, b"app v2!")]);
+        // Component 0xB's staged image carries foreign signatures (its
+        // digest still matches the table, so only the in-flash health
+        // check can catch it).
+        images[1].signed_manifest = signed_component(&attacker, 2, b"app v2!");
+        match boot.stage_component_set(&mut layout, &record, &images) {
+            Err(StageError::ComponentHealth { component_id, .. }) => {
+                assert_eq!(component_id, 0xB);
+            }
+            other => panic!("expected ComponentHealth, got {other:?}"),
+        }
+        assert_eq!(
+            layout.tracer().counters().snapshot().components_rolled_back,
+            1
+        );
+        // Nothing committed: the journal holds no record and the old set
+        // boots untouched.
+        assert!(read_journal_record(&layout, journal_slot(2))
+            .unwrap()
+            .is_none());
+        let outcome = boot.boot(&mut layout).unwrap();
+        assert_eq!(outcome.action, BootAction::BootedExisting);
+        assert_eq!(outcome.version, Version(1));
+    }
+
+    #[test]
+    fn multi_boot_time_rollback_restores_broken_component() {
+        let fix = keys(204);
+        let mut layout = multi_layout(2);
+        install_old_set(&fix, &mut layout, 2);
+        let boot = multi_bootloader(&fix, 2);
+        let (record, images) =
+            multi_record(&fix, 2, &[(0xA, 0, 2, b"base v2"), (0xB, 2, 2, b"app v2!")]);
+        boot.stage_component_set(&mut layout, &record, &images)
+            .unwrap();
+        boot.boot(&mut layout).unwrap();
+        // Corrupt component 0's bootable copy after the set committed.
+        layout
+            .write_slot(SlotId(0), crate::image::FIRMWARE_OFFSET, &[0x00])
+            .unwrap();
+        let outcome = boot.boot(&mut layout).unwrap();
+        assert_eq!(outcome.action, BootAction::RestoredFromRecovery);
+        assert_eq!(
+            layout.tracer().counters().snapshot().components_rolled_back,
+            1
+        );
+        let outcome = boot.boot(&mut layout).unwrap();
+        assert_eq!(outcome.action, BootAction::BootedExisting);
+        assert_eq!(
+            component_versions(&boot, &mut layout, 2),
+            vec![Some(Version(2)), Some(Version(2))]
+        );
+    }
+
+    #[test]
+    fn multi_rejects_table_that_does_not_match_slots() {
+        let fix = keys(205);
+        let mut layout = multi_layout(2);
+        install_old_set(&fix, &mut layout, 2);
+        let boot = multi_bootloader(&fix, 2);
+        // Slot 6 does not exist on a two-component device.
+        let (record, images) =
+            multi_record(&fix, 2, &[(0xA, 0, 2, b"base v2"), (0xB, 6, 2, b"app v2!")]);
+        assert!(matches!(
+            boot.stage_component_set(&mut layout, &record, &images),
+            Err(StageError::SetMismatch)
+        ));
+        assert_eq!(
+            component_versions(&boot, &mut layout, 2),
+            vec![Some(Version(1)), Some(Version(1))]
+        );
     }
 }

@@ -77,6 +77,13 @@ impl VendorServer {
         vendor_sign(manifest, &self.key)
     }
 
+    /// Signs a multi-component manifest's vendor region (the core fields
+    /// plus the whole component table).
+    #[must_use]
+    pub fn sign_multi(&self, multi: &upkit_manifest::MultiManifest) -> upkit_crypto::Signature {
+        upkit_manifest::vendor_sign_multi(multi, &self.key)
+    }
+
     /// Generation phase: builds and vendor-signs a release.
     #[must_use]
     pub fn release(
@@ -288,6 +295,13 @@ impl UpdateServer {
     #[must_use]
     pub fn sign_manifest(&self, manifest: &Manifest) -> upkit_crypto::Signature {
         server_sign(manifest, &self.key)
+    }
+
+    /// Signs a multi-component manifest's server region (the full token
+    /// fields plus the whole component table).
+    #[must_use]
+    pub fn sign_multi(&self, multi: &upkit_manifest::MultiManifest) -> upkit_crypto::Signature {
+        upkit_manifest::server_sign_multi(multi, &self.key)
     }
 
     /// Enables payload confidentiality: every prepared update's wire

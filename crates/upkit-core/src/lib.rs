@@ -108,6 +108,7 @@ extern crate alloc;
 
 pub mod agent;
 pub mod bootloader;
+pub mod components;
 pub mod freshness;
 #[cfg(feature = "std")]
 pub mod generation;
@@ -120,6 +121,10 @@ pub mod verifier;
 
 pub use agent::{AgentConfig, AgentError, AgentPhase, AgentState, UpdateAgent, UpdatePlan};
 pub use bootloader::{BootAction, BootConfig, BootError, BootMode, BootOutcome, Bootloader};
+pub use components::{
+    ComponentImage, ComponentSlots, StageError, JOURNAL_COMPLETE_OFFSET, JOURNAL_DONE_OFFSET,
+    JOURNAL_LEN, JOURNAL_RECORD_MAX,
+};
 #[cfg(feature = "std")]
 pub use generation::{PreparedUpdate, Release, ServedKind, UpdateServer, VendorServer};
 pub use keys::{KeyAnchor, TrustAnchors};

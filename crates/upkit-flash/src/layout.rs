@@ -501,6 +501,47 @@ pub fn configuration_b(
     Ok(layout)
 }
 
+/// Builds a multi-component layout on internal flash: `components`
+/// (bootable, staging) slot pairs followed by a one-slot commit journal.
+///
+/// Component `c`'s bootable slot is `SlotId(2c)`, its staging slot
+/// `SlotId(2c + 1)`; the journal slot is `SlotId(2 * components)` and is
+/// `journal_size` bytes (one sector is enough).
+pub fn configuration_multi(
+    internal: Box<dyn FlashDevice>,
+    components: u8,
+    slot_size: u32,
+    journal_size: u32,
+) -> Result<MemoryLayout, LayoutError> {
+    let mut layout = MemoryLayout::new();
+    let dev = layout.add_device(internal);
+    for c in 0..components {
+        let pair_base = u32::from(c) * 2 * slot_size;
+        layout.add_slot(SlotSpec {
+            id: SlotId(c * 2),
+            kind: SlotKind::Bootable,
+            device: dev,
+            offset: pair_base,
+            size: slot_size,
+        })?;
+        layout.add_slot(SlotSpec {
+            id: SlotId(c * 2 + 1),
+            kind: SlotKind::NonBootable,
+            device: dev,
+            offset: pair_base + slot_size,
+            size: slot_size,
+        })?;
+    }
+    layout.add_slot(SlotSpec {
+        id: SlotId(components * 2),
+        kind: SlotKind::NonBootable,
+        device: dev,
+        offset: u32::from(components) * 2 * slot_size,
+        size: journal_size,
+    })?;
+    Ok(layout)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

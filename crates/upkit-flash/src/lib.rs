@@ -52,7 +52,7 @@ pub use fault::{FaultFlash, FaultHandle, FaultKind, FaultPlan, FlashOp, OpLog};
 pub use file::FileFlash;
 pub use io::{OpenMode, SlotHandle};
 pub use layout::{
-    configuration_a, configuration_b, standard, LayoutError, MemoryLayout, SlotId, SlotKind,
-    SlotSpec,
+    configuration_a, configuration_b, configuration_multi, standard, LayoutError, MemoryLayout,
+    SlotId, SlotKind, SlotSpec,
 };
 pub use sim::SimFlash;

@@ -43,7 +43,13 @@
 extern crate alloc;
 
 pub mod cbor;
+pub mod components;
 pub mod suit;
+
+pub use components::{
+    server_sign_multi, vendor_sign_multi, ComponentEntry, ComponentTable, MultiManifest,
+    SignedMultiManifest, COMPONENT_ENTRY_LEN, COMPONENT_TABLE_MAGIC, MAX_COMPONENTS,
+};
 
 use alloc::vec::Vec;
 
@@ -83,6 +89,15 @@ pub enum ManifestError {
     BadSignature,
     /// The payload length disagrees with the manifest's payload size.
     PayloadLengthMismatch,
+    /// A component table declared zero entries or more than
+    /// [`components::MAX_COMPONENTS`].
+    ComponentCountOutOfRange,
+    /// Summed component sizes disagree with the manifest's total size.
+    ComponentSizeMismatch,
+    /// Two component entries claim the same slot or component ID.
+    DuplicateComponentSlot,
+    /// A component table carried an unknown magic/version prefix.
+    BadComponentTable,
 }
 
 impl core::fmt::Display for ManifestError {
@@ -93,6 +108,16 @@ impl core::fmt::Display for ManifestError {
             Self::PayloadLengthMismatch => {
                 f.write_str("payload length disagrees with manifest payload size")
             }
+            Self::ComponentCountOutOfRange => {
+                f.write_str("component table entry count out of range")
+            }
+            Self::ComponentSizeMismatch => {
+                f.write_str("summed component sizes disagree with manifest size")
+            }
+            Self::DuplicateComponentSlot => {
+                f.write_str("component table repeats a slot or component id")
+            }
+            Self::BadComponentTable => f.write_str("component table magic/version not recognized"),
         }
     }
 }

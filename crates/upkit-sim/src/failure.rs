@@ -24,15 +24,20 @@ use std::sync::Arc;
 
 use upkit_core::agent::{AgentConfig, UpdateAgent, UpdatePlan};
 use upkit_core::bootloader::{BootConfig, BootMode, Bootloader, FixedPointError, FixedPointReport};
+use upkit_core::components::{ComponentImage, ComponentSlots};
 use upkit_core::image::FIRMWARE_OFFSET;
 use upkit_core::keys::TrustAnchors;
 use upkit_crypto::backend::TinyCryptBackend;
 use upkit_crypto::ecdsa::SigningKey;
+use upkit_crypto::sha256::sha256;
 use upkit_flash::{
-    configuration_a, standard, FlashDevice, FlashGeometry, MemoryLayout, SimFlash, SlotId,
-    SlotKind, SlotSpec,
+    configuration_a, configuration_multi, standard, FlashDevice, FlashGeometry, MemoryLayout,
+    SimFlash, SlotId, SlotKind, SlotSpec,
 };
-use upkit_manifest::Version;
+use upkit_manifest::{
+    ComponentEntry, ComponentTable, Manifest, MultiManifest, SignedManifest, SignedMultiManifest,
+    Version,
+};
 use upkit_net::{
     run_push_session, LinkProfile, LossyLink, PushEndpoints, PushSession, RetryPolicy,
     SessionOutcome, Smartphone, Step, Transport,
@@ -74,6 +79,13 @@ pub enum WorldMode {
         /// Whether a recovery slot is provisioned.
         recovery: bool,
     },
+    /// Multi-component device: `components` (bootable, staging) slot
+    /// pairs plus a commit-journal slot, updated transactionally through
+    /// [`Bootloader::stage_component_set`] and journal replay.
+    Multi {
+        /// Number of components (2..=[`upkit_manifest::MAX_COMPONENTS`]).
+        components: u8,
+    },
 }
 
 /// Parameters of [`update_world`]: everything that determines the
@@ -113,19 +125,56 @@ impl WorldConfig {
             mode: WorldMode::StaticSwap { recovery },
         }
     }
+
+    /// A multi-component world: `components` slot pairs plus a journal,
+    /// with `firmware_size` bytes per component module.
+    #[must_use]
+    pub fn multi(seed: u64, components: u8) -> Self {
+        Self {
+            seed,
+            firmware_size: 20_000,
+            slot_size: SLOT_SIZE,
+            mode: WorldMode::Multi { components },
+        }
+    }
 }
 
-/// Geometry of the internal flash an [`update_world`] expects: exactly
-/// two slots, zero timing (the scenarios measure bytes, not time).
+/// Sector size every scenario world uses.
+const WORLD_SECTOR: u32 = 4096;
+
+/// Geometry of the internal flash an [`update_world`] expects: two slots
+/// (plus a journal sector per component pair in multi mode), zero timing
+/// (the scenarios measure bytes, not time).
 #[must_use]
 pub fn world_geometry(config: &WorldConfig) -> FlashGeometry {
+    let size = match config.mode {
+        WorldMode::Ab | WorldMode::StaticSwap { .. } => config.slot_size * 2,
+        WorldMode::Multi { components } => {
+            config.slot_size * 2 * u32::from(components) + WORLD_SECTOR
+        }
+    };
     FlashGeometry {
-        size: config.slot_size * 2,
-        sector_size: 4096,
+        size,
+        sector_size: WORLD_SECTOR,
         read_micros_per_byte: 0,
         write_micros_per_byte: 0,
         erase_micros_per_sector: 0,
     }
+}
+
+/// The prepared v2 release of a multi-component world: the signed commit
+/// record plus the per-component images it promises, ready for
+/// [`Bootloader::stage_component_set`].
+#[derive(Clone)]
+pub struct MultiUpdate {
+    /// The dual-signed multi-payload manifest (the commit record).
+    pub record: SignedMultiManifest,
+    /// Per-component images, in the record's (dependency) order.
+    pub images: Vec<ComponentImage>,
+    /// The device's component slot pairs, in dependency order.
+    pub components: Vec<ComponentSlots>,
+    /// The commit-journal slot.
+    pub journal: SlotId,
 }
 
 /// A complete push-update world: servers, a provisioned device running
@@ -149,6 +198,8 @@ pub struct UpdateWorld {
     pub base_version: Version,
     /// The v2 firmware image the session propagates.
     pub firmware_v2: Vec<u8>,
+    /// The prepared multi-component release (multi worlds only).
+    pub multi: Option<MultiUpdate>,
 }
 
 /// Builds an [`UpdateWorld`] from `config` over the given internal
@@ -224,13 +275,100 @@ pub fn update_world(config: &WorldConfig, internal: Box<dyn FlashDevice>) -> Upd
             };
             (layout, mode, recovery_slot)
         }
+        WorldMode::Multi { components } => {
+            let layout = configuration_multi(internal, components, config.slot_size, WORLD_SECTOR)
+                .expect("valid layout");
+            let slots: Vec<ComponentSlots> = (0..components)
+                .map(|c| ComponentSlots {
+                    bootable: SlotId(c * 2),
+                    staging: SlotId(c * 2 + 1),
+                })
+                .collect();
+            let mode = BootMode::MultiComponent {
+                components: slots,
+                journal: SlotId(components * 2),
+            };
+            (layout, mode, None)
+        }
     };
 
-    // Install v1 (signed) in slot A, and in the recovery slot if present.
-    install_signed(&mut layout, standard::SLOT_A, &vendor, &server, &v1);
-    if let Some(recovery) = recovery_slot {
-        install_signed(&mut layout, recovery, &vendor, &server, &v1);
-    }
+    // Install v1 (signed), and prepare v2: per component in multi mode
+    // (module 0 = base OS first — dependency order), otherwise in slot A
+    // and in the recovery slot if present.
+    let multi = if let WorldMode::Multi { components } = config.mode {
+        let mut entries = Vec::new();
+        let mut images = Vec::new();
+        for c in 0..components {
+            let module_v1 = generator.module(c, config.firmware_size);
+            install_signed(&mut layout, SlotId(c * 2), &vendor, &server, &module_v1);
+            let module_v2 = generator.module_version_change(c, &module_v1);
+            let manifest = Manifest {
+                device_id: DEVICE_ID,
+                nonce: 0,
+                old_version: Version(0),
+                version: Version(2),
+                size: module_v2.len() as u32,
+                payload_size: module_v2.len() as u32,
+                digest: sha256(&module_v2),
+                link_offset: LINK_OFFSET,
+                app_id: APP_ID,
+            };
+            entries.push(ComponentEntry {
+                component_id: 0x10 + u32::from(c),
+                version: Version(2),
+                size: module_v2.len() as u32,
+                digest: sha256(&module_v2),
+                slot: c * 2,
+            });
+            images.push(ComponentImage {
+                signed_manifest: SignedManifest {
+                    manifest,
+                    vendor_signature: vendor.sign_manifest_core(&manifest),
+                    server_signature: server.sign_manifest(&manifest),
+                },
+                firmware: module_v2,
+            });
+        }
+        let table = ComponentTable::new(entries).expect("valid component set");
+        let total = u32::try_from(table.total_size()).expect("set fits u32");
+        let manifest = Manifest {
+            device_id: DEVICE_ID,
+            nonce: 0,
+            old_version: Version(1),
+            version: Version(2),
+            size: total,
+            payload_size: total,
+            digest: table.set_digest(),
+            link_offset: LINK_OFFSET,
+            app_id: APP_ID,
+        };
+        let set = MultiManifest {
+            manifest,
+            components: Some(table),
+        };
+        let record = SignedMultiManifest {
+            vendor_signature: vendor.sign_multi(&set),
+            server_signature: server.sign_multi(&set),
+            multi: set,
+        };
+        Some(MultiUpdate {
+            record,
+            images,
+            components: (0..components)
+                .map(|c| ComponentSlots {
+                    bootable: SlotId(c * 2),
+                    staging: SlotId(c * 2 + 1),
+                })
+                .collect(),
+            journal: SlotId(components * 2),
+        })
+    } else {
+        install_signed(&mut layout, standard::SLOT_A, &vendor, &server, &v1);
+        if let Some(recovery) = recovery_slot {
+            install_signed(&mut layout, recovery, &vendor, &server, &v1);
+        }
+        None
+    };
     server.publish(vendor.release(v1.clone(), Version(1), LINK_OFFSET, APP_ID));
     server.publish(vendor.release(v2.clone(), Version(2), LINK_OFFSET, APP_ID));
 
@@ -274,6 +412,7 @@ pub fn update_world(config: &WorldConfig, internal: Box<dyn FlashDevice>) -> Upd
         boot_config,
         base_version: Version(1),
         firmware_v2: v2,
+        multi,
     }
 }
 
@@ -284,8 +423,14 @@ impl UpdateWorld {
         Bootloader::new(self.backend.clone(), self.anchors, self.boot_config.clone())
     }
 
-    /// Runs one full push session over a reliable BLE link.
+    /// Runs one full push session over a reliable BLE link. In a multi
+    /// world the "session" is the transactional staging phase instead:
+    /// [`Bootloader::stage_component_set`] with the prepared record.
     pub fn run_push_once(&mut self, nonce: u32) -> SessionOutcome {
+        if self.multi.is_some() {
+            let _ = nonce;
+            return self.run_multi_stage();
+        }
         let mut phone = Smartphone::new();
         let report = run_push_session(
             &self.server,
@@ -325,6 +470,55 @@ impl UpdateWorld {
         self.bootloader()
             .verify_slot(&mut self.layout, slot)
             .is_ok()
+    }
+
+    /// Stages the prepared multi-component set — phase one of the
+    /// transactional install; the flip happens at the next reboot. A
+    /// power cut (or failed health check) surfaces as `Incomplete`: the
+    /// commit record was never written, the old set stays active.
+    pub fn run_multi_stage(&mut self) -> SessionOutcome {
+        let multi = self.multi.as_ref().expect("multi-component world");
+        let record = multi.record.clone();
+        let images = multi.images.clone();
+        match self
+            .bootloader()
+            .stage_component_set(&mut self.layout, &record, &images)
+        {
+            Ok(()) => SessionOutcome::Complete,
+            Err(_) => SessionOutcome::Incomplete,
+        }
+    }
+
+    /// Per-component bootable-slot versions (`None` = that slot does not
+    /// verify). Empty for single-component worlds.
+    pub fn component_versions(&mut self) -> Vec<Option<Version>> {
+        let Some(multi) = &self.multi else {
+            return Vec::new();
+        };
+        let slots: Vec<SlotId> = multi.components.iter().map(|c| c.bootable).collect();
+        let boot = self.bootloader();
+        slots
+            .into_iter()
+            .map(|slot| {
+                boot.verify_slot(&mut self.layout, slot)
+                    .ok()
+                    .map(|signed| signed.manifest.version)
+            })
+            .collect()
+    }
+
+    /// The never-mixed-set check: true when the bootable set is torn —
+    /// any component failing verification or disagreeing on version.
+    /// Always false for single-component worlds.
+    pub fn component_set_mixed(&mut self) -> bool {
+        let versions = self.component_versions();
+        if versions.is_empty() {
+            return false;
+        }
+        let Some(first) = versions[0] else {
+            return true;
+        };
+        versions.iter().any(|v| *v != Some(first))
     }
 }
 
@@ -423,8 +617,6 @@ fn install_signed(
     server: &upkit_core::generation::UpdateServer,
     firmware: &[u8],
 ) {
-    use upkit_crypto::sha256::sha256;
-    use upkit_manifest::{Manifest, SignedManifest};
     let manifest = Manifest {
         device_id: DEVICE_ID,
         nonce: 0,
@@ -502,6 +694,51 @@ mod tests {
         }
     }
 
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // Bounded-boots convergence for multi-component worlds: from ANY
+        // generated cut point of the staging phase, the reboot loop
+        // settles on a COMPLETE set — all components verifying the same
+        // version — within the standard boot budget. (Cuts inside the
+        // boot-time journal replay are covered exhaustively by the chaos
+        // explorer, which injects faults at recorded boot ops too.)
+        #[test]
+        fn multi_world_any_cut_point_converges_to_a_complete_set(
+            cut in 0u64..60_000,
+            seed in 0u64..256,
+            components in 2u8..=3,
+        ) {
+            let config = WorldConfig {
+                seed: 500 + seed,
+                firmware_size: 6_000,
+                slot_size: 4096 * 3,
+                mode: WorldMode::Multi { components },
+            };
+            let mut world =
+                update_world(&config, Box::new(SimFlash::new(world_geometry(&config))));
+            world
+                .layout
+                .device_mut(0)
+                .expect("internal flash")
+                .arm_power_cut_after(cut);
+            let _ = world.run_push_once(1);
+            let report = world
+                .reboot_to_fixed_point(DEFAULT_MAX_BOOTS)
+                .expect("never brick");
+            prop_assert!(
+                matches!(report.outcome.version, Version(1) | Version(2)),
+                "cut at {}: settled on {:?}", cut, report.outcome.version
+            );
+            prop_assert!(report.boots <= DEFAULT_MAX_BOOTS);
+            let versions = world.component_versions();
+            prop_assert!(
+                !world.component_set_mixed(),
+                "cut at {} left a mixed set: {:?}", cut, versions
+            );
+        }
+    }
+
     #[test]
     fn event_cut_before_any_transfer_boots_v1() {
         // Cut before even the token exchange: slot B untouched.
@@ -545,6 +782,50 @@ mod tests {
         assert_eq!(report.outcome.version, Version(1));
         assert_eq!(report.boots, 2, "boot 1 restores, boot 2 confirms");
         assert!(world.slot_verifies(standard::SLOT_A));
+    }
+
+    #[test]
+    fn multi_world_stages_then_flips_the_whole_set() {
+        let config = WorldConfig {
+            seed: 220,
+            firmware_size: 6_000,
+            slot_size: 4096 * 3,
+            mode: WorldMode::Multi { components: 3 },
+        };
+        let mut world = update_world(&config, Box::new(SimFlash::new(world_geometry(&config))));
+        assert_eq!(world.component_versions(), vec![Some(Version(1)); 3]);
+
+        assert!(matches!(world.run_push_once(1), SessionOutcome::Complete));
+        // Phase one only staged: the bootable set is still v1.
+        assert_eq!(world.component_versions(), vec![Some(Version(1)); 3]);
+        assert!(!world.component_set_mixed());
+
+        let report = world.reboot_to_fixed_point(DEFAULT_MAX_BOOTS).unwrap();
+        assert_eq!(report.outcome.version, Version(2));
+        assert_eq!(world.component_versions(), vec![Some(Version(2)); 3]);
+        assert!(!world.component_set_mixed());
+    }
+
+    #[test]
+    fn multi_world_cut_mid_staging_keeps_complete_old_set() {
+        let config = WorldConfig {
+            seed: 221,
+            firmware_size: 6_000,
+            slot_size: 4096 * 3,
+            mode: WorldMode::Multi { components: 2 },
+        };
+        let mut world = update_world(&config, Box::new(SimFlash::new(world_geometry(&config))));
+        // The cut lands inside the second component's staging write.
+        world
+            .layout
+            .device_mut(0)
+            .expect("internal flash")
+            .arm_power_cut_after(20_000);
+        assert!(matches!(world.run_push_once(1), SessionOutcome::Incomplete));
+        let report = world.reboot_to_fixed_point(DEFAULT_MAX_BOOTS).unwrap();
+        assert_eq!(report.outcome.version, Version(1));
+        assert_eq!(world.component_versions(), vec![Some(Version(1)); 2]);
+        assert!(!world.component_set_mixed());
     }
 
     #[test]

@@ -94,6 +94,36 @@ impl FirmwareGenerator {
         rng.fill_bytes(&mut out[start..end]);
         out
     }
+
+    /// Generates one **module** of a multi-component build: module 0 is
+    /// the base OS (the ordinary [`base`](Self::base) image); higher
+    /// indices are independently seeded module binaries — same block
+    /// structure, distinct content — so a set of modules looks like
+    /// separately linked artifacts that still share code-pool idioms.
+    #[must_use]
+    pub fn module(&self, index: u8, size: usize) -> Vec<u8> {
+        Self::new(self.seed ^ Self::module_tweak(index)).base(size)
+    }
+
+    /// Golden-ratio multiplicative tweak spreading module indices across
+    /// the seed space (zero for module 0, so module 0 IS the base image).
+    fn module_tweak(index: u8) -> u64 {
+        u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Derives a module's next version: the base OS module gets a full
+    /// OS-version change, every other module a small functional change —
+    /// matching how a real multi-component release mixes a kernel bump
+    /// with per-module edits.
+    #[must_use]
+    pub fn module_version_change(&self, index: u8, base: &[u8]) -> Vec<u8> {
+        let per_module = Self::new(self.seed ^ Self::module_tweak(index));
+        if index == 0 {
+            per_module.os_version_change(base)
+        } else {
+            per_module.app_change(base, (base.len() / 40).max(64))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +186,33 @@ mod tests {
             Params::default(),
         );
         assert!(app.len() < os.len());
+    }
+
+    #[test]
+    fn modules_are_distinct_but_deterministic() {
+        let generator = FirmwareGenerator::new(6);
+        let base = generator.module(0, 20_000);
+        assert_eq!(base, generator.base(20_000), "module 0 IS the base OS");
+        let m1 = generator.module(1, 20_000);
+        let m2 = generator.module(2, 20_000);
+        assert_ne!(m1, m2);
+        assert_ne!(base, m1);
+        assert_eq!(m1, FirmwareGenerator::new(6).module(1, 20_000));
+    }
+
+    #[test]
+    fn module_version_changes_mirror_release_shape() {
+        // Module 0 (base OS) changes like an OS upgrade; module 1 like an
+        // app edit — so the OS delta dominates the module delta.
+        let generator = FirmwareGenerator::new(7);
+        let os_v1 = generator.module(0, 60_000);
+        let os_v2 = generator.module_version_change(0, &os_v1);
+        let app_v1 = generator.module(1, 60_000);
+        let app_v2 = generator.module_version_change(1, &app_v1);
+        let os_delta = compress(&diff(&os_v1, &os_v2), Params::default());
+        let app_delta = compress(&diff(&app_v1, &app_v2), Params::default());
+        assert!(app_delta.len() < os_delta.len());
+        assert_eq!(patch(&app_v1, &diff(&app_v1, &app_v2)).unwrap(), app_v2);
     }
 
     #[test]

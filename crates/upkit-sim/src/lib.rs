@@ -47,7 +47,7 @@ pub use campaign::{
 pub use device::{PollOutcome, SimDevice};
 pub use events::{run_event_rollout, run_event_rollout_traced, EventFleetConfig, EventFleetReport};
 pub use failure::{
-    run_power_loss_at_event, run_power_loss_scenario, update_world, world_geometry,
+    run_power_loss_at_event, run_power_loss_scenario, update_world, world_geometry, MultiUpdate,
     PowerLossReport, UpdateWorld, WorldConfig, WorldMode, DEFAULT_MAX_BOOTS,
 };
 pub use firmware::FirmwareGenerator;

@@ -187,6 +187,24 @@ pub enum Event {
         /// Devices converged so far.
         completed: u64,
     },
+    /// Bootloader: a staged component was committed to its bootable slot
+    /// during journal replay of a multi-component set.
+    ComponentCommit {
+        /// Component identifier from the manifest component table.
+        component: u64,
+        /// Bootable slot the component was committed to.
+        slot: u8,
+        /// Component version now active.
+        version: u64,
+    },
+    /// Bootloader: a bootable component failed verification and was
+    /// restored from its staging copy.
+    ComponentRollback {
+        /// Component identifier from the manifest component table.
+        component: u64,
+        /// Bootable slot that was restored.
+        slot: u8,
+    },
     /// Chaos explorer: a fault was injected at a flash-op boundary.
     FaultInjected {
         /// Zero-based mutating-op boundary index the fault fired at.
@@ -324,6 +342,8 @@ impl Event {
             Event::SchedulerDispatch { .. } => "scheduler_dispatch",
             Event::DeviceComplete { .. } => "device_complete",
             Event::RolloutRound { .. } => "rollout_round",
+            Event::ComponentCommit { .. } => "component_commit",
+            Event::ComponentRollback { .. } => "component_rollback",
             Event::FaultInjected { .. } => "fault_injected",
             Event::FaultChecked { .. } => "fault_checked",
             Event::MutationInjected { .. } => "mutation_injected",
@@ -355,7 +375,9 @@ impl Event {
             | Event::FlashWrite { .. }
             | Event::FlashErase { .. }
             | Event::SlotsSwapped { .. } => "flash",
-            Event::Boot { .. } => "boot",
+            Event::Boot { .. }
+            | Event::ComponentCommit { .. }
+            | Event::ComponentRollback { .. } => "boot",
             Event::SchedulerDispatch { .. }
             | Event::DeviceComplete { .. }
             | Event::RolloutRound { .. }
@@ -440,6 +462,19 @@ impl Event {
             }
             Event::RolloutRound { round, completed } => {
                 let _ = write!(out, r#","round":{round},"completed":{completed}"#);
+            }
+            Event::ComponentCommit {
+                component,
+                slot,
+                version,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","component":{component},"slot":{slot},"version":{version}"#
+                );
+            }
+            Event::ComponentRollback { component, slot } => {
+                let _ = write!(out, r#","component":{component},"slot":{slot}"#);
             }
             Event::FaultInjected { boundary, fault } => {
                 let _ = write!(out, r#","boundary":{boundary},"fault":"{fault}""#);
@@ -821,6 +856,12 @@ counters! {
     single_flight_joins,
     /// Duty-cycle sleep deferrals applied to device wake events.
     devices_slept,
+    /// Components committed to their bootable slots by the journal replay.
+    components_installed,
+    /// Components restored from staging after a failed health check.
+    components_rolled_back,
+    /// Never-mixed-set invariant violations observed by the explorer.
+    mixed_set_violations,
 }
 
 impl Counters {

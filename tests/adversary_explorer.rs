@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use upkit::adversary::{
     explore, explore_traced, record_baseline, run_case, shrink_violation, universe,
-    AdversaryConfig, MutationClass, DOWNGRADE_CASES,
+    AdversaryConfig, MutationClass, COMPONENT_TABLE_TARGETED, DOWNGRADE_CASES,
 };
 use upkit::sim::{WorldConfig, WorldMode};
 use upkit::trace::{Event, MemorySink, Tracer};
@@ -173,6 +173,45 @@ fn exploration_is_byte_identical_across_thread_counts() {
             }
         }
     }
+}
+
+#[test]
+fn mutated_commit_records_never_pass_the_record_check() {
+    // The component-table surface: a journaled multi-payload commit
+    // record, mutated, fed through the exact decode + dual-signature
+    // path the transactional bootloader runs before any component swap.
+    // Bit flips in the signed region, the structural tail, and all four
+    // targeted table attacks (count bomb, bad digest, duplicate slot,
+    // truncation) must produce typed rejections — never a panic, never
+    // an accepted forgery.
+    let s = scenario();
+    let baseline = record_baseline(&s);
+    let total = universe(MutationClass::ComponentTable, &baseline);
+    assert!(
+        total > COMPONENT_TABLE_TARGETED,
+        "the record corpus must be non-trivial, got {total}"
+    );
+
+    let tracer = Tracer::disabled();
+    let targeted = (total - COMPONENT_TABLE_TARGETED)..total;
+    let flips = [0, 57, total / 2];
+    for index in targeted.chain(flips) {
+        let case = run_case(
+            &s,
+            &baseline,
+            MutationClass::ComponentTable,
+            index,
+            8,
+            &tracer,
+        );
+        assert!(case.ok(), "record mutation {index}: {:?}", case.violation);
+        assert!(!case.panicked, "record mutation {index} panicked");
+        assert_eq!(
+            case.outcome, "typed_error",
+            "record mutation {index} must be rejected with a typed error"
+        );
+    }
+    assert_eq!(tracer.counters().snapshot().forgeries_accepted, 0);
 }
 
 #[test]

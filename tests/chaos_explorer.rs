@@ -128,6 +128,104 @@ fn explorer_finds_and_shrinks_the_bare_static_swap_hazard() {
     assert_eq!(replayed, shrunk.case);
 }
 
+/// Multi-component scenario kept one sector per slot so the exhaustive
+/// (boundary × fault) product stays cheap: staging, the journal commit,
+/// and every replay copy are all still distinct boundaries. 2 kB modules
+/// leave room for the base OS module's v2 growth (~1.5 kB insert).
+fn multi_scenario(components: u8) -> WorldConfig {
+    WorldConfig {
+        seed: 7,
+        firmware_size: 2_000,
+        slot_size: 4096,
+        mode: WorldMode::Multi { components },
+    }
+}
+
+#[test]
+fn three_component_scenario_covers_every_boundary_with_no_mixed_sets() {
+    let mut config = ChaosConfig::exhaustive(multi_scenario(3));
+    config.threads = 4;
+    let sink = Arc::new(MemorySink::new());
+    let tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
+    let report = explore_traced(&config, &tracer);
+
+    assert!(report.full_coverage());
+    assert_eq!(
+        report.cases.len(),
+        report.recorded_ops * FaultClass::ALL.len()
+    );
+    // The recording spans staging (3 × erase+manifest+firmware), the
+    // journal erase + commit record, and the replay (3 × copy + marker,
+    // plus the complete marker) — cuts *between* component swaps and
+    // double cuts mid-replay are all in the universe.
+    assert!(
+        report.recorded_ops >= 20,
+        "expected staging + journal + replay boundaries, got {}",
+        report.recorded_ops
+    );
+    assert!(
+        report.violations().is_empty(),
+        "multi-component violations: {:?}",
+        report.violations()
+    );
+    let counters = tracer.counters().snapshot();
+    assert_eq!(counters.fault_violations, 0);
+    assert_eq!(counters.mixed_set_violations, 0);
+    assert_eq!(counters.faults_injected as usize, report.cases.len());
+    // Journal replay work shows up in the ledger.
+    assert!(counters.components_installed > 0);
+    // Every case settles on the complete old set or the complete new set.
+    for case in &report.cases {
+        assert!(
+            matches!(case.version, Some(1) | Some(2)),
+            "case {case:?} settled on an unexpected version"
+        );
+    }
+    assert!(report.max_boots_to_recovery <= 4);
+}
+
+#[test]
+fn two_component_scenario_has_no_violations() {
+    let mut config = ChaosConfig::exhaustive(multi_scenario(2));
+    config.threads = 2;
+    let report = explore(&config);
+    assert!(report.full_coverage());
+    assert!(
+        report.violations().is_empty(),
+        "2-component violations: {:?}",
+        report.violations()
+    );
+}
+
+#[test]
+fn multi_component_exploration_is_byte_identical_across_thread_counts() {
+    let base = ChaosConfig {
+        scenario: multi_scenario(3),
+        threads: 1,
+        max_boots: 8,
+        boundary_limit: Some(6),
+    };
+
+    let mut reference = None;
+    for threads in [1usize, 2, 8] {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::with_sink(Box::new(Arc::clone(&sink)));
+        let report = explore_traced(&ChaosConfig { threads, ..base }, &tracer);
+        let observed = (
+            report.explored.clone(),
+            report.cases.clone(),
+            tracer.counters().snapshot(),
+            sink.drain(),
+        );
+        match &reference {
+            None => reference = Some(observed),
+            Some(expected) => {
+                assert_eq!(expected, &observed, "results differ at {threads} threads");
+            }
+        }
+    }
+}
+
 #[test]
 fn exploration_is_byte_identical_across_thread_counts() {
     let base = ChaosConfig {

@@ -178,3 +178,90 @@ fn forged_recovery_image_rejected() {
         Err(BootError::NoValidImage(_))
     ));
 }
+
+// ---- per-module recovery in multi-component sets ----
+//
+// A multi-component device has no external recovery image; instead every
+// component's staging slot keeps the last committed copy, and the
+// bootloader restores a broken module from it — without ever letting a
+// mixed set reach a stable boot.
+
+mod multi_rollback {
+    use upkit::core::bootloader::{BootAction, BootError};
+    use upkit::flash::SimFlash;
+    use upkit::manifest::Version;
+    use upkit::net::SessionOutcome;
+    use upkit::sim::{update_world, world_geometry, WorldConfig, WorldMode, DEFAULT_MAX_BOOTS};
+
+    fn committed_world(seed: u64, components: u8) -> upkit::sim::UpdateWorld {
+        let cfg = WorldConfig {
+            seed,
+            firmware_size: 6_000,
+            slot_size: 4096 * 3,
+            mode: WorldMode::Multi { components },
+        };
+        let mut world = update_world(&cfg, Box::new(SimFlash::new(world_geometry(&cfg))));
+        assert!(matches!(world.run_push_once(1), SessionOutcome::Complete));
+        world
+            .reboot_to_fixed_point(DEFAULT_MAX_BOOTS)
+            .expect("commit the staged set");
+        world
+    }
+
+    #[test]
+    fn broken_component_is_restored_from_its_staged_copy() {
+        let mut world = committed_world(40, 3);
+        let multi = world.multi.clone().unwrap();
+        // Corrupt the middle component's bootable copy (bit-clear).
+        world
+            .layout
+            .write_slot(
+                multi.components[1].bootable,
+                upkit::core::image::FIRMWARE_OFFSET + 9,
+                &[0x00],
+            )
+            .unwrap();
+        assert!(world.component_set_mixed(), "the module is broken");
+
+        let report = world.reboot_to_fixed_point(DEFAULT_MAX_BOOTS).unwrap();
+        assert_eq!(report.outcome.version, Version(2));
+        assert_eq!(
+            report.boots, 2,
+            "boot 1 restores the module, boot 2 confirms"
+        );
+        assert_eq!(world.component_versions(), vec![Some(Version(2)); 3]);
+        assert!(!world.component_set_mixed());
+    }
+
+    #[test]
+    fn restore_pass_reports_the_rollback_action() {
+        let mut world = committed_world(41, 2);
+        let multi = world.multi.clone().unwrap();
+        world
+            .layout
+            .write_slot(
+                multi.components[0].bootable,
+                upkit::core::image::FIRMWARE_OFFSET,
+                &[0x00],
+            )
+            .unwrap();
+        let outcome = world.bootloader().boot(&mut world.layout).unwrap();
+        assert_eq!(outcome.action, BootAction::RestoredFromRecovery);
+    }
+
+    #[test]
+    fn component_with_both_copies_broken_is_not_silently_booted() {
+        let mut world = committed_world(42, 2);
+        let multi = world.multi.clone().unwrap();
+        for slot in [multi.components[1].bootable, multi.components[1].staging] {
+            world
+                .layout
+                .write_slot(slot, upkit::core::image::FIRMWARE_OFFSET + 3, &[0x00])
+                .unwrap();
+        }
+        assert!(matches!(
+            world.bootloader().boot(&mut world.layout),
+            Err(BootError::NoValidImage(_))
+        ));
+    }
+}

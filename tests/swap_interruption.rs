@@ -196,3 +196,119 @@ fn ab_mode_loading_has_no_swap_to_interrupt() {
     assert_eq!(outcome.version, Version(2));
     assert_eq!(outcome.action, BootAction::JumpedInPlace);
 }
+
+// ---- multi-component mixed-set scenarios ----
+//
+// A multi-component install replaces several images; the hazard is no
+// longer just a torn slot but a *mixed set* — some components new, some
+// old. The commit journal must make the flip all-or-nothing from any cut.
+
+mod multi {
+    use upkit::core::bootloader::BootAction;
+    use upkit::core::components::{set_journal_marker, JOURNAL_DONE_OFFSET};
+    use upkit::flash::SimFlash;
+    use upkit::manifest::Version;
+    use upkit::net::SessionOutcome;
+    use upkit::sim::{update_world, world_geometry, WorldConfig, WorldMode, DEFAULT_MAX_BOOTS};
+
+    fn config(seed: u64, components: u8) -> WorldConfig {
+        WorldConfig {
+            seed,
+            firmware_size: 6_000,
+            slot_size: 4096 * 3,
+            mode: WorldMode::Multi { components },
+        }
+    }
+
+    /// A cut while components are still being staged (before the commit
+    /// record exists) must boot the complete old set.
+    #[test]
+    fn cut_between_component_stagings_boots_the_complete_old_set() {
+        let cfg = config(30, 3);
+        let mut world = update_world(&cfg, Box::new(SimFlash::new(world_geometry(&cfg))));
+        // Budget covers component 0's staging (erase 3 sectors + manifest
+        // + firmware) and dies inside component 1's.
+        world
+            .layout
+            .device_mut(0)
+            .unwrap()
+            .arm_power_cut_after(3 * 4096 + 7_000 + 3 * 4096 + 1_000);
+        assert!(matches!(world.run_push_once(1), SessionOutcome::Incomplete));
+
+        let report = world.reboot_to_fixed_point(DEFAULT_MAX_BOOTS).unwrap();
+        assert_eq!(report.outcome.version, Version(1));
+        assert_eq!(world.component_versions(), vec![Some(Version(1)); 3]);
+        assert!(!world.component_set_mixed());
+    }
+
+    /// A cut *between component swaps* of the journal replay: the record
+    /// is committed, so the next boot must roll forward to the complete
+    /// new set — never a mix.
+    #[test]
+    fn cut_between_component_swaps_rolls_forward_to_the_complete_new_set() {
+        let cfg = config(31, 3);
+        let mut world = update_world(&cfg, Box::new(SimFlash::new(world_geometry(&cfg))));
+        assert!(matches!(world.run_push_once(1), SessionOutcome::Complete));
+
+        // Replay component 0 by hand (one copy + its done marker), as a
+        // replay interrupted right between the first and second component
+        // swap would leave flash.
+        let multi = world.multi.clone().unwrap();
+        world
+            .layout
+            .copy_slot(multi.components[0].staging, multi.components[0].bootable)
+            .unwrap();
+        set_journal_marker(&mut world.layout, multi.journal, JOURNAL_DONE_OFFSET).unwrap();
+        // Flash now holds a mixed set — but no stable boot has seen it.
+        assert!(world.component_set_mixed());
+
+        let report = world.reboot_to_fixed_point(DEFAULT_MAX_BOOTS).unwrap();
+        assert_eq!(report.outcome.version, Version(2));
+        assert_eq!(world.component_versions(), vec![Some(Version(2)); 3]);
+        assert!(!world.component_set_mixed());
+    }
+
+    /// Double cut mid-journal-replay: the first boot's replay is cut
+    /// mid-copy, the second boot replays from the markers and completes.
+    #[test]
+    fn double_cut_mid_replay_still_converges_to_the_new_set() {
+        let cfg = config(32, 2);
+        let mut world = update_world(&cfg, Box::new(SimFlash::new(world_geometry(&cfg))));
+        assert!(matches!(world.run_push_once(1), SessionOutcome::Complete));
+
+        // First power-on: the replay dies mid-way through the copies.
+        world
+            .layout
+            .device_mut(0)
+            .unwrap()
+            .arm_power_cut_after(4 * 4096);
+        assert!(
+            world.bootloader().boot(&mut world.layout).is_err(),
+            "replay was cut"
+        );
+        // Second power-on: the fixed-point loop disarms the cut and the
+        // replay resumes from the done markers.
+        let report = world.reboot_to_fixed_point(DEFAULT_MAX_BOOTS).unwrap();
+        assert_eq!(report.outcome.version, Version(2));
+        assert_eq!(world.component_versions(), vec![Some(Version(2)); 2]);
+        assert!(!world.component_set_mixed());
+    }
+
+    /// The complete marker makes replay a no-op: a committed set boots
+    /// stably and the journal is not replayed again.
+    #[test]
+    fn committed_set_boots_stably_without_replaying() {
+        let cfg = config(33, 2);
+        let mut world = update_world(&cfg, Box::new(SimFlash::new(world_geometry(&cfg))));
+        assert!(matches!(world.run_push_once(1), SessionOutcome::Complete));
+        let report = world.reboot_to_fixed_point(DEFAULT_MAX_BOOTS).unwrap();
+        assert_eq!(report.outcome.action, BootAction::BootedExisting);
+        assert_eq!(report.outcome.version, Version(2));
+
+        // A later boot moves no flash at all.
+        world.layout.reset_stats();
+        assert_eq!(world.reboot(), Some(Version(2)));
+        assert_eq!(world.layout.total_stats().bytes_written, 0);
+        assert_eq!(world.layout.total_stats().sectors_erased, 0);
+    }
+}
